@@ -1,0 +1,314 @@
+// Package circuitfold is an open-source implementation of
+// "Time Multiplexing via Circuit Folding" (Chien & Jiang, DAC 2020).
+//
+// Circuit folding reduces the number of physical input pins a
+// combinational circuit needs by folding its evaluation over T clock
+// cycles: the result is a sequential circuit with ceil(n/T) input pins
+// whose T-frame time-frame expansion is functionally equivalent to the
+// original circuit. Folding trades I/O bandwidth for throughput at the
+// logic level — orthogonally to physical-level time-division
+// multiplexing — and is the paper's answer to the FPGA I/O pin
+// bottleneck.
+//
+// # Quick start
+//
+//	g := circuitfold.NewCircuit()
+//	a := g.PI("a")
+//	b := g.PI("b")
+//	g.AddPO(g.And(a, b), "y")
+//
+//	r, err := circuitfold.Structural(g, 2, circuitfold.Options{})
+//	// r.Seq is a sequential circuit with 1 input pin; r.Execute(inputs)
+//	// runs one folded computation.
+//
+// Four folding engines are provided:
+//
+//   - Structural (Section IV): scalable layered folding with pipeline
+//     registers and counter-selected outputs.
+//   - Functional (Section V): pin scheduling, FSM construction via
+//     time-frame folding, exact state minimization, state encoding —
+//     slower, but often dramatically smaller.
+//   - Hybrid (the conclusion's future work): functional folding per
+//     output cluster with a structural fallback, one pin interface.
+//   - Simple (Section VI): the input-buffering baseline.
+//
+// The subpackages under internal implement the full substrate from
+// scratch: AIGs, BDDs with reordering, a CDCL SAT solver, ISFSM
+// minimization (MeMin), LUT mapping, sequential circuits, benchmark
+// generators, file I/O and the paper's experiment harness.
+package circuitfold
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/cio"
+	"circuitfold/internal/core"
+	"circuitfold/internal/eqcheck"
+	"circuitfold/internal/fsm"
+	"circuitfold/internal/gen"
+	"circuitfold/internal/lutmap"
+	"circuitfold/internal/part"
+	"circuitfold/internal/seq"
+	"circuitfold/internal/tdm"
+)
+
+// Circuit is a combinational circuit as an And-Inverter Graph.
+type Circuit = aig.Graph
+
+// Lit is an edge (signal) in a Circuit, possibly complemented.
+type Lit = aig.Lit
+
+// Constant signals.
+const (
+	Const0 = aig.Const0
+	Const1 = aig.Const1
+)
+
+// Sequential is a sequential circuit: a combinational core plus
+// flip-flops.
+type Sequential = seq.Circuit
+
+// Result is a folded circuit together with its pin schedule.
+type Result = core.Result
+
+// Schedule is a pin schedule computed by Algorithms 1 and 2.
+type Schedule = core.Schedule
+
+// Machine is an incompletely specified Mealy machine.
+type Machine = fsm.Machine
+
+// Link models an inter-FPGA I/O link with optional TDM.
+type Link = tdm.Link
+
+// Encoding selects binary or one-hot encodings for frame counters and
+// FSM states.
+type Encoding = core.Encoding
+
+// Encoding values.
+const (
+	Binary = core.Binary
+	OneHot = core.OneHot
+)
+
+// NewCircuit returns an empty combinational circuit.
+func NewCircuit() *Circuit { return aig.New() }
+
+// Options configures folding. The zero value is the cheapest
+// configuration (binary counter and states, no reordering, no
+// minimization); DefaultOptions returns the configuration recommended by
+// the paper's experiments.
+type Options struct {
+	// Counter selects the structural method's frame counter encoding.
+	Counter Encoding
+	// Reorder enables BDD symmetric-sifting input reordering during
+	// functional pin scheduling. Ignored by Structural.
+	Reorder bool
+	// Minimize runs exact FSM state minimization in the functional
+	// method. Ignored by Structural.
+	Minimize bool
+	// StateEnc selects the functional method's state encoding.
+	StateEnc Encoding
+	// Timeout bounds the functional method's scheduling and folding
+	// phases, like the paper's 300-second limit. Zero means no limit.
+	Timeout time.Duration
+}
+
+// DefaultOptions returns the configuration the paper's experiments
+// favor: binary frame counter, input reordering, state minimization,
+// one-hot state encoding, 30-second budget.
+func DefaultOptions() Options {
+	return Options{
+		Counter:  Binary,
+		Reorder:  true,
+		Minimize: true,
+		StateEnc: OneHot,
+		Timeout:  30 * time.Second,
+	}
+}
+
+// Structural folds g by T frames with the structural method of Section
+// IV.
+func Structural(g *Circuit, T int, opt Options) (*Result, error) {
+	return core.StructuralFold(g, T, core.StructuralOptions{Counter: opt.Counter})
+}
+
+// Functional folds g by T frames with the functional method of Section
+// V.
+func Functional(g *Circuit, T int, opt Options) (*Result, error) {
+	fo := core.DefaultFunctionalOptions()
+	fo.Reorder = opt.Reorder
+	fo.Minimize = opt.Minimize
+	fo.StateEnc = opt.StateEnc
+	fo.Timeout = opt.Timeout
+	if opt.Timeout > 0 {
+		fo.MinOpts.Timeout = opt.Timeout
+	}
+	return core.FunctionalFold(g, T, fo)
+}
+
+// Simple folds g by T frames with the input-buffering baseline of
+// Section VI.
+func Simple(g *Circuit, T int) (*Result, error) {
+	return core.SimpleFold(g, T)
+}
+
+// Hybrid folds g by T frames combining both methods (the future work
+// named in the paper's conclusion): output clusters are folded
+// functionally where affordable and structurally otherwise, all sharing
+// one ceil(n/T)-pin interface.
+func Hybrid(g *Circuit, T int, opt Options) (*Result, error) {
+	ho := core.DefaultHybridOptions()
+	ho.Counter = opt.Counter
+	ho.StateEnc = opt.StateEnc
+	ho.Minimize = opt.Minimize
+	if opt.Timeout > 0 {
+		ho.ClusterTimeout = opt.Timeout
+	}
+	return core.HybridFold(g, T, ho)
+}
+
+// PinSchedule runs the paper's Algorithms 1 and 2 and returns the pin
+// schedule without folding.
+func PinSchedule(g *Circuit, T int, reorder bool) (*Schedule, error) {
+	return core.PinSchedule(g, T, core.ScheduleOptions{Reorder: reorder})
+}
+
+// Verify checks that a fold is a correct time multiplexing of g:
+// exhaustively for small circuits, with randomTrials random vectors
+// otherwise. It returns nil on success.
+func Verify(g *Circuit, r *Result, randomTrials int) error {
+	return eqcheck.VerifyFold(g, r, randomTrials, 1)
+}
+
+// VerifyByUnrolling checks the problem-statement form: unrolling the
+// fold by T frames yields a circuit equivalent to g under the schedule.
+func VerifyByUnrolling(g *Circuit, r *Result, randomTrials int) error {
+	return eqcheck.VerifyFoldByUnrolling(g, r, randomTrials, 1)
+}
+
+// Optimize runs the synthesis pipeline (strash, balance, SAT sweep) used
+// before reporting circuit sizes.
+func Optimize(g *Circuit) *Circuit { return g.Optimize() }
+
+// LUTCount maps g onto k-input LUTs and returns the LUT count, the
+// area metric of the paper's tables (k = 6 there).
+func LUTCount(g *Circuit, k int) int { return lutmap.Count(g, k) }
+
+// Benchmark builds one of the paper's 27 benchmark circuits (or the
+// adder3 running example) by name; see Benchmarks for the list.
+func Benchmark(name string) (*Circuit, error) { return gen.Build(name) }
+
+// Benchmarks lists the available benchmark circuit names.
+func Benchmarks() []string { return gen.Names() }
+
+// BenchmarkInfo describes a benchmark circuit.
+type BenchmarkInfo = gen.Info
+
+// LookupBenchmark returns a benchmark's metadata.
+func LookupBenchmark(name string) (BenchmarkInfo, error) { return gen.Lookup(name) }
+
+// ReadBLIF parses a BLIF netlist.
+func ReadBLIF(r io.Reader) (*Sequential, error) { return cio.ReadBLIF(r) }
+
+// WriteBLIF writes a sequential circuit as BLIF.
+func WriteBLIF(w io.Writer, c *Sequential, model string) error { return cio.WriteBLIF(w, c, model) }
+
+// ReadBench parses an ISCAS/ITC BENCH netlist.
+func ReadBench(r io.Reader) (*Sequential, error) { return cio.ReadBench(r) }
+
+// ReadAAG parses an ASCII AIGER file.
+func ReadAAG(r io.Reader) (*Sequential, error) { return cio.ReadAAG(r) }
+
+// WriteAAG writes a sequential circuit as ASCII AIGER.
+func WriteAAG(w io.Writer, c *Sequential) error { return cio.WriteAAG(w, c) }
+
+// FoldedIOCycles computes the I/O-cycle count of a folded execution over
+// a pins-wide link (TDM ratio 1), per the Section VI latency model.
+func FoldedIOCycles(r *Result, pins int) (int, error) {
+	n, _, err := tdm.FoldedCycles(r, pins)
+	return n, err
+}
+
+// UnfoldedIOCycles is the latency baseline: stream all inputs, evaluate,
+// stream all outputs.
+func UnfoldedIOCycles(nIn, nOut, pins int) int {
+	return tdm.UnfoldedCycles(nIn, nOut, pins)
+}
+
+// PartitionOptions configures multi-FPGA bipartitioning.
+type PartitionOptions = part.Options
+
+// Partition bipartitions a circuit across two FPGAs with the
+// Fiduccia-Mattheyses heuristic and returns the inter-chip signal count
+// (cut nets) — the quantity TDM and circuit folding both fight over.
+func Partition(g *Circuit, opt PartitionOptions) (cut int, side []bool, err error) {
+	bp, _, err := part.PartitionCircuit(g, opt)
+	if err != nil {
+		return 0, nil, err
+	}
+	return bp.Cut, bp.Side, nil
+}
+
+// WriteDOT renders a circuit as a Graphviz graph.
+func WriteDOT(w io.Writer, g *Circuit, name string) error { return g.WriteDOT(w, name) }
+
+// WriteFSMDOT renders a Mealy machine as a Graphviz state diagram in the
+// style of the paper's Figure 6.
+func WriteFSMDOT(w io.Writer, m *Machine, name string) error { return fsm.WriteDOT(w, m, name) }
+
+// WriteKISS writes a machine in KISS2 format (the MeMin interchange
+// format); ReadKISS parses one.
+func WriteKISS(w io.Writer, m *Machine) error { return fsm.WriteKISS(w, m) }
+
+// ReadKISS parses a KISS2 machine.
+func ReadKISS(r io.Reader) (*Machine, error) { return fsm.ReadKISS(r) }
+
+// MinimizeMachine runs SAT-based exact state minimization (MeMin) with
+// default bounds.
+func MinimizeMachine(m *Machine) (*Machine, error) {
+	return fsm.Minimize(m, fsm.DefaultMinimizeOptions())
+}
+
+// VerifyFast is the word-parallel verifier: rounds*64 random vectors per
+// call, much faster than Verify on wide circuits.
+func VerifyFast(g *Circuit, r *Result, rounds int) error {
+	return eqcheck.VerifyFoldWords(g, r, rounds, 1)
+}
+
+// WriteVerilog writes a sequential circuit as synthesizable structural
+// Verilog.
+func WriteVerilog(w io.Writer, c *Sequential, module string) error {
+	return cio.WriteVerilog(w, c, module)
+}
+
+// WriteVCD dumps a waveform of the circuit simulated over the stream.
+func WriteVCD(w io.Writer, c *Sequential, stream [][]bool, module string) error {
+	return cio.WriteVCD(w, c, stream, module)
+}
+
+// WriteMappedBLIF maps g onto k-input LUTs and writes the mapped netlist
+// as BLIF (.names tables, one per LUT).
+func WriteMappedBLIF(w io.Writer, g *Circuit, k int, model string) error {
+	opt := lutmap.DefaultOptions()
+	opt.K = k
+	return lutmap.WriteMappedBLIF(w, g, lutmap.Map(g, opt), model)
+}
+
+// PartitionKWay splits a circuit across k FPGAs by recursive FM
+// bisection, returning per-cell part labels and the spanning-net count.
+func PartitionKWay(g *Circuit, k int, opt PartitionOptions) (parts []int, cut int, err error) {
+	if g.NumNodes() <= 1 {
+		return nil, 0, fmt.Errorf("circuitfold: empty circuit")
+	}
+	h, _ := part.FromAIG(g)
+	parts, cut = part.KWay(h, k, opt)
+	return parts, cut, nil
+}
+
+// Resynthesize maps g onto k-input LUTs and rebuilds each LUT from an
+// irredundant sum-of-products cover of its cut function, returning the
+// smaller of the original and the rebuilt circuit.
+func Resynthesize(g *Circuit, k int) (*Circuit, error) { return lutmap.Resynthesize(g, k) }

@@ -1,0 +1,94 @@
+// Command benchgen regenerates the paper's benchmark circuits and writes
+// them as BLIF or ASCII AIGER files.
+//
+// Usage:
+//
+//	benchgen -list
+//	benchgen -name 64-adder [-format blif|aag] [-out 64-adder.blif]
+//	benchgen -all -dir bench/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"circuitfold"
+	"circuitfold/internal/seq"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available benchmark circuits")
+		name   = flag.String("name", "", "benchmark to generate")
+		all    = flag.Bool("all", false, "generate the full suite")
+		dir    = flag.String("dir", ".", "output directory for -all")
+		out    = flag.String("out", "", "output file for -name (default stdout)")
+		format = flag.String("format", "blif", "output format: blif or aag")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, n := range circuitfold.Benchmarks() {
+			info, _ := circuitfold.LookupBenchmark(n)
+			fmt.Printf("%-10s %5d in %5d out  %s\n", n, info.PIs, info.POs, info.Description)
+		}
+	case *all:
+		for _, n := range circuitfold.Benchmarks() {
+			path := filepath.Join(*dir, n+"."+ext(*format))
+			if err := writeOne(n, path, *format); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	case *name != "":
+		path := *out
+		if path == "" {
+			if err := emit(os.Stdout, *name, *format); err != nil {
+				fail(err)
+			}
+			return
+		}
+		if err := writeOne(*name, path, *format); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func ext(format string) string {
+	if format == "aag" {
+		return "aag"
+	}
+	return "blif"
+}
+
+func writeOne(name, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return emit(f, name, format)
+}
+
+func emit(w *os.File, name, format string) error {
+	g, err := circuitfold.Benchmark(name)
+	if err != nil {
+		return err
+	}
+	c := seq.Combinational(g)
+	if format == "aag" {
+		return circuitfold.WriteAAG(w, c)
+	}
+	return circuitfold.WriteBLIF(w, c, name)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

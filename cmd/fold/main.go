@@ -1,0 +1,210 @@
+// Command fold folds a combinational circuit for time multiplexing and
+// writes the resulting sequential circuit.
+//
+// Usage:
+//
+//	fold -T 4 [-method structural|functional|hybrid|simple] [-in file.blif]
+//	     [-bench name] [-format blif|aag|verilog] [-out folded.blif]
+//	     [-counter nat|1hot] [-enc nat|1hot] [-reorder] [-minimize]
+//	     [-resynth] [-verify N] [-vcd wave.vcd]
+//
+// The input is a BLIF (.blif), BENCH (.bench) or ASCII AIGER (.aag) file
+// with a combinational model, or one of the built-in benchmark circuits
+// via -bench. The folded circuit is written to -out (default stdout)
+// and the pin schedule is reported on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"circuitfold"
+)
+
+func main() {
+	var (
+		T        = flag.Int("T", 2, "folding number (time-frames per computation)")
+		method   = flag.String("method", "structural", "folding method: structural, functional, hybrid or simple")
+		inFile   = flag.String("in", "", "input circuit file (.blif, .bench or .aag)")
+		benchN   = flag.String("bench", "", "use a built-in benchmark circuit instead of -in")
+		outFile  = flag.String("out", "", "output file (default stdout)")
+		format   = flag.String("format", "blif", "output format: blif, aag or verilog")
+		counter  = flag.String("counter", "nat", "structural frame counter: nat (binary) or 1hot")
+		stateEnc = flag.String("enc", "1hot", "functional state encoding: nat or 1hot")
+		reorder  = flag.Bool("reorder", true, "functional: BDD symmetric-sifting input reordering")
+		minimize = flag.Bool("minimize", true, "functional: exact FSM state minimization")
+		timeout  = flag.Duration("timeout", 60*time.Second, "functional folding budget")
+		verify   = flag.Int("verify", 256, "random verification vectors (0 disables)")
+		vcdFile  = flag.String("vcd", "", "dump a waveform of one random folded execution to this file")
+		resynth  = flag.Bool("resynth", false, "resynthesize the folded logic (ISOP refactor) before writing")
+	)
+	flag.Parse()
+
+	g, err := loadCircuit(*inFile, *benchN)
+	if err != nil {
+		fail(err)
+	}
+	opt := circuitfold.Options{
+		Reorder:  *reorder,
+		Minimize: *minimize,
+		Timeout:  *timeout,
+	}
+	if *counter == "1hot" {
+		opt.Counter = circuitfold.OneHot
+	}
+	if *stateEnc == "1hot" {
+		opt.StateEnc = circuitfold.OneHot
+	}
+
+	start := time.Now()
+	var r *circuitfold.Result
+	switch *method {
+	case "structural":
+		r, err = circuitfold.Structural(g, *T, opt)
+	case "functional":
+		r, err = circuitfold.Functional(g, *T, opt)
+	case "simple":
+		r, err = circuitfold.Simple(g, *T)
+	case "hybrid":
+		r, err = circuitfold.Hybrid(g, *T, opt)
+	default:
+		err = fmt.Errorf("unknown method %q", *method)
+	}
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	if *resynth {
+		r.Seq = r.Seq.Transform(func(g *circuitfold.Circuit) *circuitfold.Circuit {
+			n, rerr := circuitfold.Resynthesize(g.Optimize(), 6)
+			if rerr != nil {
+				fail(rerr)
+			}
+			return n
+		})
+	}
+
+	if *verify > 0 {
+		if err := circuitfold.Verify(g, r, *verify); err != nil {
+			fail(fmt.Errorf("verification FAILED: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "verified against the original circuit (%d vectors or exhaustive)\n", *verify)
+	}
+
+	fmt.Fprintf(os.Stderr, "folded %d in / %d out by T=%d (%s) in %v:\n",
+		g.NumPIs(), g.NumPOs(), r.T, *method, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "  pins: %d in, %d out; flip-flops: %d; AIG nodes: %d; 6-LUTs: %d\n",
+		r.InputPins(), r.OutputPins(), r.FlipFlops(), r.Gates(),
+		circuitfold.LUTCount(r.Seq.G, 6))
+	if r.States > 0 && *method == "functional" {
+		min := "not minimized"
+		if r.StatesMin >= 0 {
+			min = fmt.Sprintf("minimized to %d", r.StatesMin)
+		}
+		fmt.Fprintf(os.Stderr, "  FSM states: %d (%s)\n", r.States, min)
+	}
+	for t := 0; t < r.T; t++ {
+		fmt.Fprintf(os.Stderr, "  frame %d: in %v out %v\n", t+1, r.InSched[t], r.OutSched[t])
+	}
+
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if *vcdFile != "" {
+		if err := dumpVCD(*vcdFile, r); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "waveform written to %s\n", *vcdFile)
+	}
+
+	switch *format {
+	case "blif":
+		err = circuitfold.WriteBLIF(out, r.Seq, "folded")
+	case "aag":
+		err = circuitfold.WriteAAG(out, r.Seq)
+	case "verilog":
+		err = circuitfold.WriteVerilog(out, r.Seq, "folded")
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func loadCircuit(inFile, benchName string) (*circuitfold.Circuit, error) {
+	if benchName != "" {
+		return circuitfold.Benchmark(benchName)
+	}
+	if inFile == "" {
+		return nil, fmt.Errorf("provide -in or -bench (see -h); benchmarks: %s",
+			strings.Join(circuitfold.Benchmarks(), ", "))
+	}
+	f, err := os.Open(inFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var c *circuitfold.Sequential
+	switch strings.ToLower(filepath.Ext(inFile)) {
+	case ".blif":
+		c, err = circuitfold.ReadBLIF(f)
+	case ".bench":
+		c, err = circuitfold.ReadBench(f)
+	case ".aag":
+		c, err = circuitfold.ReadAAG(f)
+	default:
+		return nil, fmt.Errorf("unknown input extension %q", filepath.Ext(inFile))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.NumLatches() != 0 {
+		return nil, fmt.Errorf("folding requires a combinational circuit; %q has %d latches",
+			inFile, c.NumLatches())
+	}
+	return c.G, nil
+}
+
+// dumpVCD simulates one folded computation on a fixed pseudo-random
+// input assignment and writes the waveform.
+func dumpVCD(path string, r *circuitfold.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var n int
+	for _, row := range r.InSched {
+		for _, src := range row {
+			if src >= 0 {
+				n++
+			}
+		}
+	}
+	in := make([]bool, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range in {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		in[i] = state&1 == 1
+	}
+	return circuitfold.WriteVCD(f, r.Seq, r.ScheduleInputs(in), "folded")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fold:", err)
+	os.Exit(1)
+}

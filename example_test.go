@@ -1,0 +1,36 @@
+package circuitfold_test
+
+import (
+	"fmt"
+
+	"circuitfold"
+)
+
+// Example folds a 2-bit equality comparator over two clock cycles: four
+// input pins become two, and the fold is verified exhaustively against
+// the original circuit.
+func Example() {
+	g := circuitfold.NewCircuit()
+	a0 := g.PI("a0")
+	b0 := g.PI("b0")
+	a1 := g.PI("a1")
+	b1 := g.PI("b1")
+	g.AddPO(g.And(g.Xnor(a0, b0), g.Xnor(a1, b1)), "eq")
+
+	r, err := circuitfold.Functional(g, 2, circuitfold.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	if err := circuitfold.Verify(g, r, 0); err != nil {
+		panic(err)
+	}
+	fmt.Printf("pins: %d -> %d, flip-flops: %d, FSM states: %d\n",
+		g.NumPIs(), r.InputPins(), r.FlipFlops(), r.States)
+
+	// Execute one folded comparison: a = 2, b = 2.
+	out := r.Execute([]bool{false, false, true, true})
+	fmt.Printf("2 == 2: %v\n", out[0])
+	// Output:
+	// pins: 4 -> 2, flip-flops: 2, FSM states: 4
+	// 2 == 2: true
+}

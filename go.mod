@@ -1,0 +1,3 @@
+module circuitfold
+
+go 1.22

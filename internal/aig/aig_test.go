@@ -1,0 +1,482 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitBasics(t *testing.T) {
+	l := MkLit(7, false)
+	if l.Node() != 7 || l.Compl() {
+		t.Fatalf("MkLit(7,false) = %v", l)
+	}
+	if n := l.Not(); n.Node() != 7 || !n.Compl() {
+		t.Fatalf("Not() = %v", n)
+	}
+	if l.NotIf(false) != l || l.NotIf(true) != l.Not() {
+		t.Fatal("NotIf misbehaves")
+	}
+	if !Const0.IsConst() || !Const1.IsConst() || Const0.Not() != Const1 {
+		t.Fatal("constants misbehave")
+	}
+	if Const0.String() != "0" || Const1.String() != "1" {
+		t.Fatal("constant String misbehaves")
+	}
+	if MkLit(3, true).String() != "!3" || MkLit(3, false).String() != "3" {
+		t.Fatal("literal String misbehaves")
+	}
+}
+
+func TestAndSimplifications(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	cases := []struct {
+		got, want Lit
+		name      string
+	}{
+		{g.And(a, a), a, "x&x"},
+		{g.And(a, a.Not()), Const0, "x&!x"},
+		{g.And(a, Const0), Const0, "x&0"},
+		{g.And(Const0, a), Const0, "0&x"},
+		{g.And(a, Const1), a, "x&1"},
+		{g.And(Const1, a), a, "1&x"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %v want %v", c.name, c.got, c.want)
+		}
+	}
+	if g.NumAnds() != 0 {
+		t.Fatalf("simplifications created nodes: %d", g.NumAnds())
+	}
+	ab := g.And(a, b)
+	if g.And(b, a) != ab {
+		t.Fatal("strashing failed to merge commuted AND")
+	}
+	if g.NumAnds() != 1 {
+		t.Fatalf("want 1 AND, got %d", g.NumAnds())
+	}
+}
+
+func TestDerivedGates(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	s := g.PI("s")
+	g.AddPO(g.Or(a, b), "or")
+	g.AddPO(g.Xor(a, b), "xor")
+	g.AddPO(g.Xnor(a, b), "xnor")
+	g.AddPO(g.Mux(s, a, b), "mux")
+	g.AddPO(g.Implies(a, b), "imp")
+	for v := uint64(0); v < 8; v++ {
+		av, bv, sv := v&1 == 1, v&2 == 2, v&4 == 4
+		out := g.EvalUint(v)
+		want := []bool{av || bv, av != bv, av == bv, (sv && av) || (!sv && bv), !av || bv}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("v=%d output %s: got %v want %v", v, g.POName(i), out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNaryGates(t *testing.T) {
+	g := New()
+	var ins []Lit
+	for i := 0; i < 7; i++ {
+		ins = append(ins, g.PI(""))
+	}
+	g.AddPO(g.AndN(ins...), "and")
+	g.AddPO(g.OrN(ins...), "or")
+	g.AddPO(g.XorN(ins...), "xor")
+	g.AddPO(g.AndN(), "and0")
+	g.AddPO(g.OrN(), "or0")
+	g.AddPO(g.AndN(ins[3]), "and1")
+	for v := uint64(0); v < 128; v++ {
+		out := g.EvalUint(v)
+		all, any, par := true, false, false
+		for i := 0; i < 7; i++ {
+			bit := v>>uint(i)&1 == 1
+			all = all && bit
+			any = any || bit
+			par = par != bit
+		}
+		if out[0] != all || out[1] != any || out[2] != par {
+			t.Fatalf("v=%d: and/or/xor wrong", v)
+		}
+		if out[3] != true || out[4] != false || out[5] != (v>>3&1 == 1) {
+			t.Fatalf("v=%d: edge cases wrong", v)
+		}
+	}
+}
+
+func TestAdderMatchesIntegerAddition(t *testing.T) {
+	const w = 6
+	g := New()
+	var a, b []Lit
+	for i := 0; i < w; i++ {
+		a = append(a, g.PI(""))
+	}
+	for i := 0; i < w; i++ {
+		b = append(b, g.PI(""))
+	}
+	sum, cout := g.Adder(a, b, Const0)
+	for _, s := range sum {
+		g.AddPO(s, "")
+	}
+	g.AddPO(cout, "cout")
+	for av := uint64(0); av < 1<<w; av++ {
+		for bv := uint64(0); bv < 1<<w; bv += 5 {
+			out := g.EvalUint(av | bv<<w)
+			want := av + bv
+			var got uint64
+			for i := 0; i <= w; i++ {
+				if out[i] {
+					got |= 1 << uint(i)
+				}
+			}
+			if got != want {
+				t.Fatalf("%d+%d: got %d", av, bv, got)
+			}
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	c := g.PI("c")
+	_ = g.PI("d")
+	f := g.Or(g.And(a, b), c)
+	got := g.Support(f)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("support = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("support = %v, want %v", got, want)
+		}
+	}
+	if s := g.Support(Const1); len(s) != 0 {
+		t.Fatalf("const support = %v", s)
+	}
+	if s := g.Support(b); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("PI support = %v", s)
+	}
+}
+
+func TestSupportSetsMatchesSupport(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(3)), 70, 30, 10)
+	sets := g.SupportSets()
+	for o := 0; o < g.NumPOs(); o++ {
+		want := g.Support(g.PO(o))
+		got := sets[o]
+		if len(got) != len(want) {
+			t.Fatalf("po %d: got %v want %v", o, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("po %d: got %v want %v", o, got, want)
+			}
+		}
+	}
+}
+
+func TestEvalAgreesWithSimWords(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(7)), 40, 12, 6)
+	rng := rand.New(rand.NewSource(99))
+	in := make([]uint64, g.NumPIs())
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	words := g.SimWords(in)
+	for bit := 0; bit < 64; bit += 13 {
+		bin := make([]bool, g.NumPIs())
+		for i := range bin {
+			bin[i] = in[i]>>uint(bit)&1 == 1
+		}
+		out := g.Eval(bin)
+		for o := range out {
+			if out[o] != (words[o]>>uint(bit)&1 == 1) {
+				t.Fatalf("bit %d output %d disagree", bit, o)
+			}
+		}
+	}
+}
+
+func TestTransferPreservesFunction(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(11)), 50, 10, 8)
+	dst := New()
+	piMap := make([]Lit, g.NumPIs())
+	for i := range piMap {
+		piMap[i] = dst.PI("")
+	}
+	roots := make([]Lit, g.NumPOs())
+	for i := range roots {
+		roots[i] = g.PO(i)
+	}
+	outs := Transfer(dst, g, piMap, roots)
+	for i, o := range outs {
+		dst.AddPO(o, g.POName(i))
+	}
+	checkEquivalentBySim(t, g, dst, 64)
+}
+
+func TestCleanupRemovesDanglingAndPreservesFunction(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	g.And(a.Not(), b.Not()) // dangling
+	g.AddPO(g.Xor(a, b), "y")
+	n := g.Cleanup()
+	if n.NumAnds() >= g.NumAnds() {
+		t.Fatalf("cleanup did not shrink: %d -> %d", g.NumAnds(), n.NumAnds())
+	}
+	checkEquivalentBySim(t, g, n, 16)
+	if n.PIName(0) != "a" || n.POName(0) != "y" {
+		t.Fatal("names lost")
+	}
+}
+
+func TestBalanceReducesDepthAndPreservesFunction(t *testing.T) {
+	g := New()
+	var ins []Lit
+	for i := 0; i < 16; i++ {
+		ins = append(ins, g.PI(""))
+	}
+	// A long AND chain: depth 15.
+	acc := ins[0]
+	for i := 1; i < 16; i++ {
+		acc = g.And(acc, ins[i])
+	}
+	g.AddPO(acc, "y")
+	if g.Depth() != 15 {
+		t.Fatalf("chain depth = %d", g.Depth())
+	}
+	n := g.Balance()
+	if n.Depth() != 4 {
+		t.Fatalf("balanced depth = %d, want 4", n.Depth())
+	}
+	checkEquivalentBySim(t, g, n, 32)
+}
+
+func TestBalanceRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 60, 8, 5)
+		n := g.Balance()
+		checkEquivalentBySim(t, g, n, 16)
+		if n.Depth() > g.Depth() {
+			t.Fatalf("balance increased depth: %d -> %d", g.Depth(), n.Depth())
+		}
+	}
+}
+
+func TestSweepMergesEquivalentNodes(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	// Two structurally different XOR implementations.
+	x1 := g.Or(g.And(a, b.Not()), g.And(a.Not(), b))
+	x2 := g.And(g.Or(a, b), g.And(a, b).Not())
+	g.AddPO(x1, "x1")
+	g.AddPO(x2, "x2")
+	n := g.Sweep(DefaultSweepOptions())
+	checkEquivalentBySim(t, g, n, 16)
+	if n.PO(0).Node() != n.PO(1).Node() {
+		t.Fatalf("sweep failed to merge equivalent outputs: %v vs %v", n.PO(0), n.PO(1))
+	}
+	if n.NumAnds() >= g.NumAnds() {
+		t.Fatalf("sweep did not shrink: %d -> %d", g.NumAnds(), n.NumAnds())
+	}
+}
+
+func TestSweepMergesConstantNodes(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	// (a&b) & (a&!b) == 0, built so local rules cannot see it.
+	c1 := g.And(a, b)
+	c2 := g.And(a, b.Not())
+	g.AddPO(g.And(c1, c2), "zero")
+	g.AddPO(g.Or(a, b), "keep")
+	n := g.Sweep(DefaultSweepOptions())
+	checkEquivalentBySim(t, g, n, 16)
+	if n.PO(0) != Const0 {
+		t.Fatalf("constant output not reduced: %v", n.PO(0))
+	}
+}
+
+func TestSweepRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(rng, 80, 10, 6)
+		n := g.Sweep(DefaultSweepOptions())
+		checkEquivalentBySim(t, g, n, 16)
+		if n.NumAnds() > g.NumAnds() {
+			t.Fatalf("sweep grew the graph: %d -> %d", g.NumAnds(), n.NumAnds())
+		}
+	}
+}
+
+func TestOptimizePipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 120, 12, 9)
+	n := g.Optimize()
+	checkEquivalentBySim(t, g, n, 32)
+}
+
+func TestFanoutCounts(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	ab := g.And(a, b)
+	g.AddPO(ab, "y0")
+	g.AddPO(g.And(ab, a.Not()), "y1")
+	cnt := g.FanoutCounts()
+	if cnt[ab.Node()] != 2 {
+		t.Fatalf("fanout of shared node = %d, want 2", cnt[ab.Node()])
+	}
+	if cnt[a.Node()] != 2 { // ab and the second AND
+		t.Fatalf("fanout of a = %d, want 2", cnt[a.Node()])
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	g.AddPO(a, "y")
+	c := g.Copy()
+	b := c.PI("b")
+	c.AddPO(c.And(a, b), "z")
+	if g.NumPIs() != 1 || g.NumPOs() != 1 {
+		t.Fatal("copy mutated the original")
+	}
+	if c.NumPIs() != 2 || c.NumPOs() != 2 {
+		t.Fatal("copy not extended")
+	}
+}
+
+func TestLevelAndDepth(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	c := g.PI("c")
+	n1 := g.And(a, b)
+	n2 := g.And(n1, c)
+	g.AddPO(n2, "y")
+	if g.Level(a.Node()) != 0 || g.Level(n1.Node()) != 1 || g.Level(n2.Node()) != 2 {
+		t.Fatal("levels wrong")
+	}
+	if g.Depth() != 2 {
+		t.Fatalf("depth = %d", g.Depth())
+	}
+}
+
+func TestQuickCleanupEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 40, 9, 4)
+		n := g.Cleanup()
+		return equivalentBySim(g, n, 8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomGraph builds a deterministic random AIG with the given number of
+// AND nodes, PIs and POs.
+func randomGraph(rng *rand.Rand, ands, pis, pos int) *Graph {
+	g := New()
+	lits := []Lit{Const1}
+	for i := 0; i < pis; i++ {
+		lits = append(lits, g.PI(""))
+	}
+	for i := 0; i < ands; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, g.And(a, b))
+	}
+	for i := 0; i < pos; i++ {
+		g.AddPO(lits[len(lits)-1-rng.Intn(min(ands, len(lits)))].NotIf(rng.Intn(2) == 0), "")
+	}
+	return g
+}
+
+func checkEquivalentBySim(t *testing.T, a, b *Graph, rounds int) {
+	t.Helper()
+	if !equivalentBySim(a, b, rounds) {
+		t.Fatal("graphs differ under random simulation")
+	}
+}
+
+func equivalentBySim(a, b *Graph, rounds int) bool {
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		return false
+	}
+	rng := rand.New(rand.NewSource(12345))
+	in := make([]uint64, a.NumPIs())
+	for r := 0; r < rounds; r++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		oa := a.SimWords(in)
+		ob := b.SimWords(in)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRandomSimReproducible(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(2)), 40, 8, 4)
+	a := g.RandomSim(5, rand.New(rand.NewSource(9)))
+	b := g.RandomSim(5, rand.New(rand.NewSource(9)))
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatal("round count wrong")
+	}
+	for r := range a {
+		for o := range a[r] {
+			if a[r][o] != b[r][o] {
+				t.Fatal("same seed must reproduce the same simulation")
+			}
+		}
+	}
+	c := g.RandomSim(5, rand.New(rand.NewSource(10)))
+	same := true
+	for r := range a {
+		for o := range a[r] {
+			if a[r][o] != c[r][o] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ somewhere")
+	}
+}
+
+func TestEvalUintMatchesEval(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(3)), 30, 6, 3)
+	for v := uint64(0); v < 64; v++ {
+		in := make([]bool, 6)
+		for i := range in {
+			in[i] = v>>uint(i)&1 == 1
+		}
+		a := g.Eval(in)
+		b := g.EvalUint(v)
+		for o := range a {
+			if a[o] != b[o] {
+				t.Fatalf("EvalUint differs at %d", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Cofactor returns a graph computing g with primary input pi fixed to
+// val. The input stays in the interface (with no influence), so the
+// shape of the circuit's pin interface is preserved.
+func (g *Graph) Cofactor(pi int, val bool) *Graph {
+	ng := New()
+	piMap := make([]Lit, g.NumPIs())
+	for i := range piMap {
+		piMap[i] = ng.PI(g.piNames[i])
+	}
+	fixed := Const0
+	if val {
+		fixed = Const1
+	}
+	piMap[pi] = fixed
+	outs := Transfer(ng, g, piMap, g.pos)
+	for i, o := range outs {
+		ng.AddPO(o, g.poNames[i])
+	}
+	return ng
+}
+
+// Restrict fixes several primary inputs at once; assignment maps PI
+// index to value.
+func (g *Graph) Restrict(assignment map[int]bool) *Graph {
+	ng := New()
+	piMap := make([]Lit, g.NumPIs())
+	for i := range piMap {
+		piMap[i] = ng.PI(g.piNames[i])
+	}
+	for pi, val := range assignment {
+		piMap[pi] = Const0
+		if val {
+			piMap[pi] = Const1
+		}
+	}
+	outs := Transfer(ng, g, piMap, g.pos)
+	for i, o := range outs {
+		ng.AddPO(o, g.poNames[i])
+	}
+	return ng
+}
+
+// ExtractCones builds a sub-circuit containing only the selected primary
+// outputs. The primary inputs are preserved (including unused ones), so
+// pin positions remain comparable with the original.
+func (g *Graph) ExtractCones(pos []int) *Graph {
+	ng := New()
+	piMap := make([]Lit, g.NumPIs())
+	for i := range piMap {
+		piMap[i] = ng.PI(g.piNames[i])
+	}
+	roots := make([]Lit, len(pos))
+	for i, o := range pos {
+		roots[i] = g.pos[o]
+	}
+	outs := Transfer(ng, g, piMap, roots)
+	for i, o := range outs {
+		ng.AddPO(o, g.poNames[pos[i]])
+	}
+	return ng
+}
+
+// ConeSize returns the number of AND nodes in the cone of lit.
+func (g *Graph) ConeSize(lit Lit) int {
+	seen := make(map[int]bool)
+	count := 0
+	var walk func(id int)
+	walk = func(id int) {
+		if seen[id] || !g.IsAnd(id) {
+			return
+		}
+		seen[id] = true
+		count++
+		f0, f1 := g.Fanins(id)
+		walk(f0.Node())
+		walk(f1.Node())
+	}
+	walk(lit.Node())
+	return count
+}
+
+// Levels returns a histogram of AND nodes per logic level.
+func (g *Graph) Levels() []int {
+	hist := make([]int, g.Depth()+1)
+	for id := 1; id < g.NumNodes(); id++ {
+		if g.IsAnd(id) {
+			hist[g.Level(id)]++
+		}
+	}
+	return hist
+}
+
+// WriteDOT renders the graph in Graphviz DOT format: inputs as boxes,
+// ANDs as circles, complemented edges dashed, outputs as double circles.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=BT;\n", name)
+	fmt.Fprintf(bw, "  n0 [label=\"0\" shape=box style=dotted];\n")
+	used := make(map[int]bool)
+	var mark func(id int)
+	mark = func(id int) {
+		if used[id] {
+			return
+		}
+		used[id] = true
+		if g.IsAnd(id) {
+			f0, f1 := g.Fanins(id)
+			mark(f0.Node())
+			mark(f1.Node())
+		}
+	}
+	for _, po := range g.pos {
+		mark(po.Node())
+	}
+	for id := 1; id < g.NumNodes(); id++ {
+		if !used[id] {
+			continue
+		}
+		if pi := g.PIIndex(id); pi >= 0 {
+			fmt.Fprintf(bw, "  n%d [label=%q shape=box];\n", id, g.piNames[pi])
+			continue
+		}
+		fmt.Fprintf(bw, "  n%d [label=\"&\" shape=circle];\n", id)
+		f0, f1 := g.Fanins(id)
+		for _, f := range []Lit{f0, f1} {
+			style := "solid"
+			if f.Compl() {
+				style = "dashed"
+			}
+			fmt.Fprintf(bw, "  n%d -> n%d [style=%s];\n", f.Node(), id, style)
+		}
+	}
+	for i, po := range g.pos {
+		fmt.Fprintf(bw, "  o%d [label=%q shape=doublecircle];\n", i, g.poNames[i])
+		style := "solid"
+		if po.Compl() {
+			style = "dashed"
+		}
+		fmt.Fprintf(bw, "  n%d -> o%d [style=%s];\n", po.Node(), i, style)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

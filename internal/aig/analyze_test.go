@@ -1,0 +1,143 @@
+package aig
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCofactor(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	g.AddPO(g.And(a, b), "y")
+	c1 := g.Cofactor(0, true)
+	if c1.NumPIs() != 2 {
+		t.Fatal("cofactor must preserve the pin interface")
+	}
+	// y|a=1 = b.
+	if out := c1.Eval([]bool{false, true}); !out[0] {
+		t.Fatal("cofactor a=1 wrong")
+	}
+	c0 := g.Cofactor(0, false)
+	if c0.PO(0) != Const0 {
+		t.Fatal("cofactor a=0 should collapse to constant 0")
+	}
+}
+
+func TestCofactorShannonExpansion(t *testing.T) {
+	// f == (a & f|a=1) | (!a & f|a=0) for random circuits.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 50, 8, 4)
+		pi := rng.Intn(8)
+		hi := g.Cofactor(pi, true)
+		lo := g.Cofactor(pi, false)
+		in := make([]bool, 8)
+		for v := 0; v < 64; v++ {
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			want := g.Eval(in)
+			var got []bool
+			if in[pi] {
+				got = hi.Eval(in)
+			} else {
+				got = lo.Eval(in)
+			}
+			for o := range want {
+				if want[o] != got[o] {
+					t.Fatalf("trial %d: Shannon expansion violated at output %d", trial, o)
+				}
+			}
+		}
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	c := g.PI("c")
+	g.AddPO(g.Or(g.And(a, b), c), "y")
+	r := g.Restrict(map[int]bool{0: true, 2: false})
+	// y|a=1,c=0 = b.
+	if out := r.Eval([]bool{false, true, false}); !out[0] {
+		t.Fatal("restrict wrong")
+	}
+	if out := r.Eval([]bool{true, false, true}); out[0] {
+		t.Fatal("restricted inputs must be ignored")
+	}
+}
+
+func TestExtractCones(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	c := g.PI("c")
+	g.AddPO(g.And(a, b), "y0")
+	g.AddPO(g.Xor(b, c), "y1")
+	g.AddPO(g.Or(a, c), "y2")
+	sub := g.ExtractCones([]int{1})
+	if sub.NumPOs() != 1 || sub.POName(0) != "y1" {
+		t.Fatalf("cone extraction wrong: %d POs", sub.NumPOs())
+	}
+	if sub.NumPIs() != 3 {
+		t.Fatal("cone extraction must preserve inputs")
+	}
+	for v := uint64(0); v < 8; v++ {
+		if sub.EvalUint(v)[0] != g.EvalUint(v)[1] {
+			t.Fatalf("cone function changed at %d", v)
+		}
+	}
+	if sub.NumAnds() >= g.NumAnds() {
+		t.Fatal("cone should drop unrelated logic")
+	}
+}
+
+func TestConeSize(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	x := g.And(a, b)
+	y := g.And(x, a.Not())
+	g.AddPO(y, "y")
+	if got := g.ConeSize(y); got != 2 {
+		t.Fatalf("cone size = %d, want 2", got)
+	}
+	if got := g.ConeSize(a); got != 0 {
+		t.Fatalf("PI cone size = %d, want 0", got)
+	}
+}
+
+func TestLevelsHistogram(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	c := g.PI("c")
+	l1 := g.And(a, b)
+	l2 := g.And(l1, c)
+	g.AddPO(l2, "y")
+	hist := g.Levels()
+	if hist[0] != 0 || hist[1] != 1 || hist[2] != 1 {
+		t.Fatalf("levels histogram = %v", hist)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	g.AddPO(g.And(a, b.Not()), "y")
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{"digraph", "shape=box", "doublecircle", "style=dashed"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package aig
+
+import "circuitfold/internal/sat"
+
+// CNF is the result of Tseitin-encoding a Graph into a sat.Solver: one
+// solver variable per AIG node that was encoded (constant node included).
+type CNF struct {
+	// NodeVar maps AIG node id to solver variable, -1 when the node was
+	// not in any encoded cone.
+	NodeVar []int
+}
+
+// LitFor translates an AIG literal into a solver literal.
+func (c *CNF) LitFor(l Lit) sat.Lit {
+	v := c.NodeVar[l.Node()]
+	if v < 0 {
+		panic("aig: literal outside the encoded cone")
+	}
+	return sat.MkLit(v, l.Compl())
+}
+
+// ToCNF Tseitin-encodes the cones of the given root literals into s and
+// returns the node-to-variable map. The constant node is constrained to
+// false. Roots themselves are not asserted; use LitFor to constrain them.
+func (g *Graph) ToCNF(s *sat.Solver, roots []Lit) *CNF {
+	c := &CNF{NodeVar: make([]int, g.NumNodes())}
+	for i := range c.NodeVar {
+		c.NodeVar[i] = -1
+	}
+	var encode func(id int) int
+	encode = func(id int) int {
+		if c.NodeVar[id] >= 0 {
+			return c.NodeVar[id]
+		}
+		v := s.NewVar()
+		c.NodeVar[id] = v
+		n := &g.nodes[id]
+		switch n.kind {
+		case kindConst:
+			s.AddClause(sat.MkLit(v, true))
+		case kindAnd:
+			a := sat.MkLit(encode(n.fan0.Node()), n.fan0.Compl())
+			b := sat.MkLit(encode(n.fan1.Node()), n.fan1.Compl())
+			o := sat.MkLit(v, false)
+			// o <-> a & b
+			s.AddClause(o.Not(), a)
+			s.AddClause(o.Not(), b)
+			s.AddClause(o, a.Not(), b.Not())
+		}
+		return v
+	}
+	encode(0) // constant node is always available for equivalence queries
+	for _, r := range roots {
+		encode(r.Node())
+	}
+	return c
+}

@@ -1,0 +1,88 @@
+package aig
+
+import "math/rand"
+
+// SimWords evaluates the graph on 64 input vectors at once. in holds one
+// 64-bit word per primary input (bit k of word i is the value of input i
+// in vector k); the result holds one word per primary output.
+func (g *Graph) SimWords(in []uint64) []uint64 {
+	if len(in) != len(g.pis) {
+		panic("aig: SimWords input width mismatch")
+	}
+	vals := make([]uint64, len(g.nodes))
+	g.simInto(vals, in)
+	out := make([]uint64, len(g.pos))
+	for i, po := range g.pos {
+		v := vals[po.Node()]
+		if po.Compl() {
+			v = ^v
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// simInto fills vals (len == NumNodes) with the 64-way simulation values
+// of every node given the PI words.
+func (g *Graph) simInto(vals []uint64, in []uint64) {
+	vals[0] = 0
+	for i := 1; i < len(g.nodes); i++ {
+		n := &g.nodes[i]
+		switch n.kind {
+		case kindPI:
+			vals[i] = in[n.piIndex]
+		case kindAnd:
+			v0 := vals[n.fan0.Node()]
+			if n.fan0.Compl() {
+				v0 = ^v0
+			}
+			v1 := vals[n.fan1.Node()]
+			if n.fan1.Compl() {
+				v1 = ^v1
+			}
+			vals[i] = v0 & v1
+		}
+	}
+}
+
+// Eval evaluates the graph on a single Boolean input assignment.
+func (g *Graph) Eval(in []bool) []bool {
+	words := make([]uint64, len(in))
+	for i, b := range in {
+		if b {
+			words[i] = 1
+		}
+	}
+	ow := g.SimWords(words)
+	out := make([]bool, len(ow))
+	for i, w := range ow {
+		out[i] = w&1 == 1
+	}
+	return out
+}
+
+// EvalUint evaluates the graph reading the input assignment from the bits
+// of v (input i gets bit i); useful for exhaustive sweeps of small
+// circuits.
+func (g *Graph) EvalUint(v uint64) []bool {
+	in := make([]bool, len(g.pis))
+	for i := range in {
+		in[i] = v>>uint(i)&1 == 1
+	}
+	return g.Eval(in)
+}
+
+// RandomSim runs rounds of 64-way random simulation and returns the output
+// words of every round concatenated: result[r][o] is output o in round r.
+// The rng makes runs reproducible.
+func (g *Graph) RandomSim(rounds int, rng *rand.Rand) [][]uint64 {
+	res := make([][]uint64, rounds)
+	in := make([]uint64, len(g.pis))
+	for r := 0; r < rounds; r++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		res[r] = g.SimWords(in)
+	}
+	return res
+}

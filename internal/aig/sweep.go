@@ -1,0 +1,151 @@
+package aig
+
+import (
+	"math/rand"
+
+	"circuitfold/internal/sat"
+)
+
+// SweepOptions controls SAT sweeping.
+type SweepOptions struct {
+	// SimRounds is the number of 64-bit random simulation rounds used to
+	// split candidate equivalence classes before SAT is consulted.
+	SimRounds int
+	// ConflictBudget bounds each SAT equivalence query; nodes whose query
+	// exhausts the budget are conservatively kept distinct.
+	ConflictBudget int64
+	// Seed makes the random simulation reproducible.
+	Seed int64
+}
+
+// DefaultSweepOptions returns the settings used by the optimization flow.
+func DefaultSweepOptions() SweepOptions {
+	return SweepOptions{SimRounds: 8, ConflictBudget: 2000, Seed: 1}
+}
+
+// Sweep performs fraig-style SAT sweeping: nodes that random simulation
+// cannot distinguish are checked for functional equivalence (up to
+// complementation) with SAT, and proven-equivalent nodes are merged. The
+// result is a cleaned-up, structurally hashed graph.
+func (g *Graph) Sweep(opt SweepOptions) *Graph {
+	if g.NumAnds() == 0 {
+		return g.Cleanup()
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Signature per node: values across SimRounds rounds, normalized so
+	// that bit0 of round 0 is 0 (merging up to complement).
+	sig := make([][]uint64, g.NumNodes())
+	for i := range sig {
+		sig[i] = make([]uint64, opt.SimRounds)
+	}
+	vals := make([]uint64, g.NumNodes())
+	in := make([]uint64, g.NumPIs())
+	for r := 0; r < opt.SimRounds; r++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		g.simInto(vals, in)
+		for id := range vals {
+			sig[id][r] = vals[id]
+		}
+	}
+	type key string
+	classes := make(map[key][]int)
+	compl := make([]bool, g.NumNodes()) // node stored complemented in class
+	for id := 0; id < g.NumNodes(); id++ {
+		s := sig[id]
+		neg := s[0]&1 == 1
+		compl[id] = neg
+		buf := make([]byte, 0, len(s)*8)
+		for _, w := range s {
+			if neg {
+				w = ^w
+			}
+			for b := 0; b < 8; b++ {
+				buf = append(buf, byte(w>>(8*uint(b))))
+			}
+		}
+		classes[key(buf)] = append(classes[key(buf)], id)
+	}
+
+	// Build the swept graph; repr maps old literal -> new literal.
+	solver := sat.New()
+	solver.SetBudget(opt.ConflictBudget)
+	cnf := g.ToCNF(solver, g.pos)
+
+	ng := New()
+	piMap := make([]Lit, g.NumPIs())
+	for i := range piMap {
+		piMap[i] = ng.PI(g.piNames[i])
+	}
+	newLit := make([]Lit, g.NumNodes())
+	newLit[0] = Const0
+	for i, pid := range g.pis {
+		newLit[pid] = piMap[i]
+	}
+	// classRepr maps class key -> first node id already placed.
+	classRepr := make(map[key]int)
+	keyOf := make([]key, g.NumNodes())
+	for k, ids := range classes {
+		for _, id := range ids {
+			keyOf[id] = k
+		}
+	}
+	classRepr[keyOf[0]] = 0 // nodes equivalent to constant merge into it
+
+	// provedEqual checks with SAT that old nodes a and b are equal up to
+	// the complement relation implied by their normalized signatures.
+	provedEqual := func(a, b int) bool {
+		if cnf.NodeVar[a] < 0 || cnf.NodeVar[b] < 0 {
+			return false // outside the PO cones; no CNF, keep distinct
+		}
+		inv := compl[a] != compl[b]
+		la := sat.MkLit(cnf.NodeVar[a], false)
+		lb := sat.MkLit(cnf.NodeVar[b], inv)
+		// UNSAT of (a != b) in both polarities proves equality.
+		if solver.Solve(la, lb.Not()) != sat.Unsat {
+			return false
+		}
+		return solver.Solve(la.Not(), lb) == sat.Unsat
+	}
+
+	for id := 1; id < g.NumNodes(); id++ {
+		n := &g.nodes[id]
+		if n.kind == kindPI {
+			// PIs are never merged away; they seed their class.
+			if _, ok := classRepr[keyOf[id]]; !ok {
+				classRepr[keyOf[id]] = id
+			}
+			continue
+		}
+		a := newLit[n.fan0.Node()].NotIf(n.fan0.Compl())
+		b := newLit[n.fan1.Node()].NotIf(n.fan1.Compl())
+		lit := ng.And(a, b)
+		if rep, ok := classRepr[keyOf[id]]; ok && rep != id {
+			if provedEqual(rep, id) {
+				repLit := newLit[rep]
+				if compl[rep] != compl[id] {
+					repLit = repLit.Not()
+				}
+				newLit[id] = repLit
+				continue
+			}
+		} else if !ok {
+			classRepr[keyOf[id]] = id
+		}
+		newLit[id] = lit
+	}
+	for i, po := range g.pos {
+		ng.AddPO(newLit[po.Node()].NotIf(po.Compl()), g.poNames[i])
+	}
+	return ng.Cleanup()
+}
+
+// Optimize runs the standard synthesis pipeline used before reporting
+// sizes: cleanup, balance, and SAT sweeping, mirroring the paper's "after
+// optimization" circuit preparation (ABC's strash/balance/fraig).
+func (g *Graph) Optimize() *Graph {
+	ng := g.Cleanup().Balance()
+	return ng.Sweep(DefaultSweepOptions())
+}

@@ -1,0 +1,124 @@
+package aig
+
+// Transfer copies the cone of each literal in roots from g into dst,
+// substituting g's primary inputs with the literals in piMap (one per PI
+// of g, in PI order). It returns the corresponding literals in dst.
+// Structural hashing in dst merges shared logic across calls, which is
+// what time-frame expansion and folding rely on.
+func Transfer(dst *Graph, g *Graph, piMap []Lit, roots []Lit) []Lit {
+	if len(piMap) != g.NumPIs() {
+		panic("aig: Transfer piMap width mismatch")
+	}
+	memo := make([]Lit, g.NumNodes())
+	done := make([]bool, g.NumNodes())
+	memo[0], done[0] = Const0, true
+	for i, pid := range g.pis {
+		memo[pid], done[pid] = piMap[i], true
+	}
+	var copyNode func(id int) Lit
+	copyNode = func(id int) Lit {
+		if done[id] {
+			return memo[id]
+		}
+		n := &g.nodes[id]
+		a := copyNode(n.fan0.Node()).NotIf(n.fan0.Compl())
+		b := copyNode(n.fan1.Node()).NotIf(n.fan1.Compl())
+		l := dst.And(a, b)
+		memo[id], done[id] = l, true
+		return l
+	}
+	out := make([]Lit, len(roots))
+	for i, r := range roots {
+		out[i] = copyNode(r.Node()).NotIf(r.Compl())
+	}
+	return out
+}
+
+// Cleanup returns a structurally hashed copy of g containing only logic
+// reachable from the primary outputs, preserving PI and PO order and
+// names. Dangling nodes introduced by rewrites disappear.
+func (g *Graph) Cleanup() *Graph {
+	ng := New()
+	piMap := make([]Lit, g.NumPIs())
+	for i := range piMap {
+		piMap[i] = ng.PI(g.piNames[i])
+	}
+	outs := Transfer(ng, g, piMap, g.pos)
+	for i, o := range outs {
+		ng.AddPO(o, g.poNames[i])
+	}
+	return ng
+}
+
+// Balance rebuilds the graph with multi-input AND trees re-associated into
+// balanced form, reducing depth. Trees are collected through single-fanout
+// conjunction chains only, so shared logic is not duplicated.
+func (g *Graph) Balance() *Graph {
+	fanout := g.FanoutCounts()
+	ng := New()
+	piMap := make([]Lit, g.NumPIs())
+	for i := range piMap {
+		piMap[i] = ng.PI(g.piNames[i])
+	}
+	memo := make(map[Lit]Lit)
+	memo[Const0] = Const0
+	memo[Const1] = Const1
+	for i, pid := range g.pis {
+		memo[MkLit(pid, false)] = piMap[i]
+		memo[MkLit(pid, true)] = piMap[i].Not()
+	}
+
+	// collect gathers the conjunct leaves of the AND tree rooted at lit,
+	// stopping at complemented edges, PIs, and multi-fanout nodes.
+	var collect func(lit Lit, leaves *[]Lit)
+	collect = func(lit Lit, leaves *[]Lit) {
+		id := lit.Node()
+		if lit.Compl() || !g.IsAnd(id) || fanout[id] > 1 {
+			*leaves = append(*leaves, lit)
+			return
+		}
+		f0, f1 := g.Fanins(id)
+		collect(f0, leaves)
+		collect(f1, leaves)
+	}
+
+	var build func(lit Lit) Lit
+	build = func(lit Lit) Lit {
+		if r, ok := memo[lit]; ok {
+			return r
+		}
+		pos := lit & ^Lit(1)
+		// Descend into the root unconditionally; collect stops at shared
+		// or complemented sub-trees below it.
+		f0, f1 := g.Fanins(pos.Node())
+		var leaves []Lit
+		collect(f0, &leaves)
+		collect(f1, &leaves)
+		mapped := make([]Lit, len(leaves))
+		for i, lf := range leaves {
+			mapped[i] = build(lf)
+		}
+		// Pair shallowest first for minimum depth.
+		for len(mapped) > 1 {
+			sortByLevel(ng, mapped)
+			a := ng.And(mapped[0], mapped[1])
+			mapped = append(mapped[2:], a)
+		}
+		r := mapped[0]
+		memo[pos] = r
+		memo[pos.Not()] = r.Not()
+		return r.NotIf(lit.Compl())
+	}
+	for i, po := range g.pos {
+		ng.AddPO(build(po), g.poNames[i])
+	}
+	return ng
+}
+
+func sortByLevel(g *Graph, ls []Lit) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && g.Level(ls[j].Node()) < g.Level(ls[j-1].Node()); j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}

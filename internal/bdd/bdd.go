@@ -1,0 +1,437 @@
+// Package bdd implements reduced ordered binary decision diagrams with an
+// in-place variable-reordering engine (adjacent-level swap, Rudell-style
+// sifting, and Panda–Somenzi symmetric sifting). It plays the role CUDD
+// plays in the paper's implementation.
+//
+// A Manager owns an arena of nodes; Node values are indices into that
+// arena and remain stable across reordering (a swap rewrites node
+// structure in place, never node identity), so callers can hold Nodes
+// across Sift calls. There are no complement edges and no garbage
+// collection: dead nodes simply linger in the arena, which is fine at the
+// problem sizes of this library.
+package bdd
+
+import "fmt"
+
+// Node identifies a BDD function within its Manager. The two terminals
+// are False and True.
+type Node int32
+
+// Terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type nodeRec struct {
+	level  int32 // level of the node's top variable; terminals use nVars
+	lo, hi Node
+}
+
+type opKey struct {
+	op   int32
+	f, g Node
+}
+
+type iteKey struct {
+	f, g, h Node
+}
+
+const (
+	opAnd = iota + 1
+	opOr
+	opXor
+)
+
+// Manager is a BDD node arena with a variable order. Variable indices are
+// permanent names; levels are positions in the current order (level 0 is
+// the top). The zero value is not usable; call New.
+type Manager struct {
+	nodes      []nodeRec
+	tables     []map[[2]Node]Node // unique table per level
+	varAtLevel []int
+	levelOfVar []int
+	opCache    map[opKey]Node
+	iteCache   map[iteKey]Node
+}
+
+// New creates a manager with nVars variables, variable i initially at
+// level i.
+func New(nVars int) *Manager {
+	m := &Manager{
+		nodes:    make([]nodeRec, 2, 1024),
+		opCache:  make(map[opKey]Node),
+		iteCache: make(map[iteKey]Node),
+	}
+	m.nodes[False] = nodeRec{level: int32(nVars)}
+	m.nodes[True] = nodeRec{level: int32(nVars)}
+	for i := 0; i < nVars; i++ {
+		m.tables = append(m.tables, make(map[[2]Node]Node))
+		m.varAtLevel = append(m.varAtLevel, i)
+		m.levelOfVar = append(m.levelOfVar, i)
+	}
+	return m
+}
+
+// NumVars returns the number of variables.
+func (m *Manager) NumVars() int { return len(m.varAtLevel) }
+
+// NumNodes returns the arena size (including terminals and dead nodes).
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// VarAtLevel returns the variable currently at the given level.
+func (m *Manager) VarAtLevel(l int) int { return m.varAtLevel[l] }
+
+// LevelOfVar returns the current level of variable v.
+func (m *Manager) LevelOfVar(v int) int { return m.levelOfVar[v] }
+
+// Order returns the current variable order, top to bottom.
+func (m *Manager) Order() []int { return append([]int(nil), m.varAtLevel...) }
+
+// IsTerminal reports whether n is a terminal node.
+func (m *Manager) IsTerminal(n Node) bool { return n == False || n == True }
+
+// Level returns the level of node n's top variable; terminals return
+// NumVars().
+func (m *Manager) Level(n Node) int { return int(m.nodes[n].level) }
+
+// TopVar returns the variable index labeling node n.
+func (m *Manager) TopVar(n Node) int { return m.varAtLevel[m.nodes[n].level] }
+
+// Lo returns the low (variable = 0) child of n.
+func (m *Manager) Lo(n Node) Node { return m.nodes[n].lo }
+
+// Hi returns the high (variable = 1) child of n.
+func (m *Manager) Hi(n Node) Node { return m.nodes[n].hi }
+
+// Var returns the function of variable v.
+func (m *Manager) Var(v int) Node {
+	return m.mk(m.levelOfVar[v], False, True)
+}
+
+// NVar returns the function NOT v.
+func (m *Manager) NVar(v int) Node {
+	return m.mk(m.levelOfVar[v], True, False)
+}
+
+// mk returns the canonical node (level, lo, hi).
+func (m *Manager) mk(level int, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := [2]Node{lo, hi}
+	if n, ok := m.tables[level][key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, nodeRec{level: int32(level), lo: lo, hi: hi})
+	m.tables[level][key] = n
+	return n
+}
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Node) Node { return m.Xor(f, True) }
+
+// And returns f AND g.
+func (m *Manager) And(f, g Node) Node { return m.apply(opAnd, f, g) }
+
+// Or returns f OR g.
+func (m *Manager) Or(f, g Node) Node { return m.apply(opOr, f, g) }
+
+// Xor returns f XOR g.
+func (m *Manager) Xor(f, g Node) Node { return m.apply(opXor, f, g) }
+
+// Xnor returns NOT (f XOR g).
+func (m *Manager) Xnor(f, g Node) Node { return m.Not(m.Xor(f, g)) }
+
+// Implies returns f -> g.
+func (m *Manager) Implies(f, g Node) Node { return m.Or(m.Not(f), g) }
+
+// Diff returns f AND NOT g.
+func (m *Manager) Diff(f, g Node) Node { return m.And(f, m.Not(g)) }
+
+func (m *Manager) apply(op int32, f, g Node) Node {
+	// Terminal cases.
+	switch op {
+	case opAnd:
+		if f == False || g == False {
+			return False
+		}
+		if f == True {
+			return g
+		}
+		if g == True {
+			return f
+		}
+		if f == g {
+			return f
+		}
+	case opOr:
+		if f == True || g == True {
+			return True
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f == g {
+			return f
+		}
+	case opXor:
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f == g {
+			return False
+		}
+		if f == True && g == True {
+			return False
+		}
+	}
+	if f > g {
+		f, g = g, f
+	}
+	key := opKey{op, f, g}
+	if r, ok := m.opCache[key]; ok {
+		return r
+	}
+	lf, lg := m.nodes[f].level, m.nodes[g].level
+	top := lf
+	if lg < top {
+		top = lg
+	}
+	f0, f1 := f, f
+	if lf == top {
+		f0, f1 = m.nodes[f].lo, m.nodes[f].hi
+	}
+	g0, g1 := g, g
+	if lg == top {
+		g0, g1 = m.nodes[g].lo, m.nodes[g].hi
+	}
+	r := m.mk(int(top), m.apply(op, f0, g0), m.apply(op, f1, g1))
+	m.opCache[key] = r
+	return r
+}
+
+// Ite returns "if f then g else h".
+func (m *Manager) Ite(f, g, h Node) Node {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := iteKey{f, g, h}
+	if r, ok := m.iteCache[key]; ok {
+		return r
+	}
+	top := m.nodes[f].level
+	if l := m.nodes[g].level; l < top {
+		top = l
+	}
+	if l := m.nodes[h].level; l < top {
+		top = l
+	}
+	cof := func(n Node) (Node, Node) {
+		if m.nodes[n].level == top {
+			return m.nodes[n].lo, m.nodes[n].hi
+		}
+		return n, n
+	}
+	f0, f1 := cof(f)
+	g0, g1 := cof(g)
+	h0, h1 := cof(h)
+	r := m.mk(int(top), m.Ite(f0, g0, h0), m.Ite(f1, g1, h1))
+	m.iteCache[key] = r
+	return r
+}
+
+// Cofactor returns f with variable v fixed to val.
+func (m *Manager) Cofactor(f Node, v int, val bool) Node {
+	lv := m.levelOfVar[v]
+	memo := make(map[Node]Node)
+	var rec func(n Node) Node
+	rec = func(n Node) Node {
+		nl := int(m.nodes[n].level)
+		if nl > lv {
+			return n
+		}
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		var r Node
+		if nl == lv {
+			if val {
+				r = m.nodes[n].hi
+			} else {
+				r = m.nodes[n].lo
+			}
+		} else {
+			r = m.mk(nl, rec(m.nodes[n].lo), rec(m.nodes[n].hi))
+		}
+		memo[n] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Exists existentially quantifies the given variables out of f.
+func (m *Manager) Exists(f Node, vars []int) Node {
+	quant := make([]bool, m.NumVars())
+	maxLvl := -1
+	for _, v := range vars {
+		quant[m.levelOfVar[v]] = true
+		if m.levelOfVar[v] > maxLvl {
+			maxLvl = m.levelOfVar[v]
+		}
+	}
+	memo := make(map[Node]Node)
+	var rec func(n Node) Node
+	rec = func(n Node) Node {
+		nl := int(m.nodes[n].level)
+		if nl > maxLvl {
+			return n
+		}
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		lo, hi := rec(m.nodes[n].lo), rec(m.nodes[n].hi)
+		var r Node
+		if quant[nl] {
+			r = m.Or(lo, hi)
+		} else {
+			r = m.mk(nl, lo, hi)
+		}
+		memo[n] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Eval evaluates f under a full assignment indexed by variable.
+func (m *Manager) Eval(f Node, assign []bool) bool {
+	for !m.IsTerminal(f) {
+		if assign[m.TopVar(f)] {
+			f = m.nodes[f].hi
+		} else {
+			f = m.nodes[f].lo
+		}
+	}
+	return f == True
+}
+
+// Support returns the variables f depends on, in current level order.
+func (m *Manager) Support(f Node) []int {
+	seen := make(map[Node]bool)
+	inSup := make([]bool, m.NumVars())
+	var rec func(n Node)
+	rec = func(n Node) {
+		if m.IsTerminal(n) || seen[n] {
+			return
+		}
+		seen[n] = true
+		inSup[m.nodes[n].level] = true
+		rec(m.nodes[n].lo)
+		rec(m.nodes[n].hi)
+	}
+	rec(f)
+	var out []int
+	for l := 0; l < m.NumVars(); l++ {
+		if inSup[l] {
+			out = append(out, m.varAtLevel[l])
+		}
+	}
+	return out
+}
+
+// NodeCount returns the number of distinct non-terminal nodes reachable
+// from the given roots (the shared size of the function set).
+func (m *Manager) NodeCount(roots ...Node) int {
+	seen := make(map[Node]bool)
+	var rec func(n Node)
+	rec = func(n Node) {
+		if m.IsTerminal(n) || seen[n] {
+			return
+		}
+		seen[n] = true
+		rec(m.nodes[n].lo)
+		rec(m.nodes[n].hi)
+	}
+	for _, r := range roots {
+		rec(r)
+	}
+	return len(seen)
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// variables of the manager as a float64 (exact below 2^53).
+//
+// With c(n) defined as the count over variables at levels in
+// [level(n), NumVars()), the recurrence is
+//
+//	c(terminal) = 0 or 1
+//	c(n) = c(lo)*2^(level(lo)-level(n)-1) + c(hi)*2^(level(hi)-level(n)-1)
+//
+// and SatCount(f) = c(f) * 2^level(f). Terminals carry level NumVars(),
+// which makes the recurrence uniform.
+func (m *Manager) SatCount(f Node) float64 {
+	memo := make(map[Node]float64)
+	var c func(nd Node) float64
+	c = func(nd Node) float64 {
+		if nd == False {
+			return 0
+		}
+		if nd == True {
+			return 1
+		}
+		if r, ok := memo[nd]; ok {
+			return r
+		}
+		lo, hi := m.nodes[nd].lo, m.nodes[nd].hi
+		r := c(lo)*pow2(int(m.nodes[lo].level)-int(m.nodes[nd].level)-1) +
+			c(hi)*pow2(int(m.nodes[hi].level)-int(m.nodes[nd].level)-1)
+		memo[nd] = r
+		return r
+	}
+	return c(f) * pow2(int(m.nodes[f].level))
+}
+
+func pow2(k int) float64 {
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= 2
+	}
+	return r
+}
+
+// String renders a small summary.
+func (m *Manager) String() string {
+	return fmt.Sprintf("bdd{vars:%d nodes:%d}", m.NumVars(), len(m.nodes))
+}
+
+// AnySat returns one satisfying assignment of f (indexed by variable,
+// unconstrained variables false), or ok=false when f is unsatisfiable.
+func (m *Manager) AnySat(f Node) (assign []bool, ok bool) {
+	if f == False {
+		return nil, false
+	}
+	assign = make([]bool, m.NumVars())
+	for !m.IsTerminal(f) {
+		if m.Lo(f) != False {
+			f = m.Lo(f)
+		} else {
+			assign[m.TopVar(f)] = true
+			f = m.Hi(f)
+		}
+	}
+	return assign, true
+}

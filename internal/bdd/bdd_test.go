@@ -1,0 +1,621 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarAndEval(t *testing.T) {
+	m := New(3)
+	x := m.Var(0)
+	y := m.Var(1)
+	f := m.And(x, m.Not(y))
+	cases := []struct {
+		a    []bool
+		want bool
+	}{
+		{[]bool{true, false, false}, true},
+		{[]bool{true, true, false}, false},
+		{[]bool{false, false, true}, false},
+	}
+	for _, c := range cases {
+		if got := m.Eval(f, c.a); got != c.want {
+			t.Fatalf("Eval(%v) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(4)
+	a, b := m.Var(0), m.Var(1)
+	// Build XOR two different ways.
+	x1 := m.Xor(a, b)
+	x2 := m.Or(m.And(a, m.Not(b)), m.And(m.Not(a), b))
+	if x1 != x2 {
+		t.Fatalf("xor built two ways differ: %d vs %d", x1, x2)
+	}
+	// De Morgan.
+	if m.Not(m.And(a, b)) != m.Or(m.Not(a), m.Not(b)) {
+		t.Fatal("De Morgan violated")
+	}
+	// Double negation.
+	if m.Not(m.Not(x1)) != x1 {
+		t.Fatal("double negation violated")
+	}
+	// Ite equivalence.
+	if m.Ite(a, b, m.Not(b)) != m.Xnor(a, b) {
+		t.Fatal("ite(a,b,!b) != xnor")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	m := New(2)
+	a := m.Var(0)
+	if m.And(a, False) != False || m.Or(a, True) != True {
+		t.Fatal("constant absorption broken")
+	}
+	if m.And(a, True) != a || m.Or(a, False) != a {
+		t.Fatal("constant identity broken")
+	}
+	if m.Xor(a, False) != a || m.Xor(a, True) != m.Not(a) {
+		t.Fatal("xor constants broken")
+	}
+	if m.Implies(False, a) != True || m.Diff(a, a) != False {
+		t.Fatal("implies/diff broken")
+	}
+}
+
+func TestCofactor(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(a, b), c)
+	if m.Cofactor(f, 0, true) != m.Or(b, c) {
+		t.Fatal("f|a=1 wrong")
+	}
+	if m.Cofactor(f, 0, false) != c {
+		t.Fatal("f|a=0 wrong")
+	}
+	if m.Cofactor(f, 2, true) != True {
+		t.Fatal("f|c=1 wrong")
+	}
+	// Cofactor on variable not in support is identity.
+	g := m.And(a, b)
+	if m.Cofactor(g, 2, true) != g {
+		t.Fatal("cofactor on non-support var should be identity")
+	}
+}
+
+func TestExists(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(a, b), m.And(m.Not(a), c))
+	got := m.Exists(f, []int{0})
+	want := m.Or(b, c)
+	if got != want {
+		t.Fatal("exists a wrong")
+	}
+	if m.Exists(f, []int{0, 1, 2}) != True {
+		t.Fatal("full quantification of satisfiable f should be True")
+	}
+	if m.Exists(False, []int{0}) != False {
+		t.Fatal("exists of False should be False")
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(5)
+	f := m.Or(m.And(m.Var(0), m.Var(3)), m.Var(4))
+	got := m.Support(f)
+	want := []int{0, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("support = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("support = %v, want %v", got, want)
+		}
+	}
+	if s := m.Support(True); len(s) != 0 {
+		t.Fatalf("support of constant = %v", s)
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(4)
+	a, b := m.Var(0), m.Var(1)
+	if got := m.SatCount(True); got != 16 {
+		t.Fatalf("SatCount(True) = %v", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Fatalf("SatCount(False) = %v", got)
+	}
+	if got := m.SatCount(a); got != 8 {
+		t.Fatalf("SatCount(a) = %v", got)
+	}
+	if got := m.SatCount(m.And(a, b)); got != 4 {
+		t.Fatalf("SatCount(a&b) = %v", got)
+	}
+	if got := m.SatCount(m.Xor(a, b)); got != 8 {
+		t.Fatalf("SatCount(a^b) = %v", got)
+	}
+	// Var 3 only.
+	if got := m.SatCount(m.Var(3)); got != 8 {
+		t.Fatalf("SatCount(d) = %v", got)
+	}
+}
+
+func TestCube(t *testing.T) {
+	m := New(3)
+	c := m.Cube([]int{0, 2}, []bool{true, false})
+	if !m.Eval(c, []bool{true, true, false}) {
+		t.Fatal("cube should accept a=1,c=0")
+	}
+	if m.Eval(c, []bool{true, true, true}) {
+		t.Fatal("cube should reject c=1")
+	}
+	if m.SatCount(c) != 2 {
+		t.Fatalf("cube satcount = %v", m.SatCount(c))
+	}
+}
+
+// randomFunc builds a random BDD over n vars using a random expression.
+func randomFunc(m *Manager, rng *rand.Rand, n, ops int) Node {
+	pool := []Node{True, False}
+	for i := 0; i < n; i++ {
+		pool = append(pool, m.Var(i))
+	}
+	for i := 0; i < ops; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		var r Node
+		switch rng.Intn(4) {
+		case 0:
+			r = m.And(a, b)
+		case 1:
+			r = m.Or(a, b)
+		case 2:
+			r = m.Xor(a, b)
+		default:
+			r = m.Not(a)
+		}
+		pool = append(pool, r)
+	}
+	return pool[len(pool)-1]
+}
+
+// truthTable evaluates f on all 2^n assignments.
+func truthTable(m *Manager, f Node, n int) []bool {
+	tt := make([]bool, 1<<uint(n))
+	assign := make([]bool, n)
+	for v := range tt {
+		for i := 0; i < n; i++ {
+			assign[i] = v>>uint(i)&1 == 1
+		}
+		tt[v] = m.Eval(f, assign)
+	}
+	return tt
+}
+
+// checkInvariants verifies ROBDD structural invariants for live nodes.
+func checkInvariants(t *testing.T, m *Manager, roots []Node) {
+	t.Helper()
+	seen := make(map[Node]bool)
+	type key struct {
+		l      int
+		lo, hi Node
+	}
+	uniq := make(map[key]Node)
+	var rec func(n Node)
+	rec = func(n Node) {
+		if m.IsTerminal(n) || seen[n] {
+			return
+		}
+		seen[n] = true
+		lo, hi := m.Lo(n), m.Hi(n)
+		if lo == hi {
+			t.Fatalf("node %d has lo == hi", n)
+		}
+		if m.Level(lo) <= m.Level(n) || m.Level(hi) <= m.Level(n) {
+			t.Fatalf("node %d violates level ordering", n)
+		}
+		k := key{m.Level(n), lo, hi}
+		if other, ok := uniq[k]; ok && other != n {
+			t.Fatalf("duplicate nodes %d and %d for %v", n, other, k)
+		}
+		uniq[k] = n
+		rec(lo)
+		rec(hi)
+	}
+	for _, r := range roots {
+		rec(r)
+	}
+}
+
+func TestSwapAdjacentPreservesFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(4)
+		m := New(n)
+		var roots []Node
+		for i := 0; i < 3; i++ {
+			roots = append(roots, randomFunc(m, rng, n, 25))
+		}
+		var before [][]bool
+		for _, f := range roots {
+			before = append(before, truthTable(m, f, n))
+		}
+		for s := 0; s < 20; s++ {
+			m.SwapAdjacent(rng.Intn(n - 1))
+			checkInvariants(t, m, roots)
+		}
+		for i, f := range roots {
+			after := truthTable(m, f, n)
+			for v := range after {
+				if after[v] != before[i][v] {
+					t.Fatalf("trial %d: function %d changed at minterm %d", trial, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSwapAdjacentUpdatesOrder(t *testing.T) {
+	m := New(3)
+	m.SwapAdjacent(0)
+	want := []int{1, 0, 2}
+	for l, v := range want {
+		if m.VarAtLevel(l) != v {
+			t.Fatalf("order after swap = %v", m.Order())
+		}
+		if m.LevelOfVar(v) != l {
+			t.Fatalf("levelOfVar inconsistent")
+		}
+	}
+}
+
+func TestOpsAfterSwaps(t *testing.T) {
+	// New operations must be correct after reordering (caches, mk levels).
+	rng := rand.New(rand.NewSource(99))
+	n := 6
+	m := New(n)
+	f := randomFunc(m, rng, n, 30)
+	g := randomFunc(m, rng, n, 30)
+	ttF, ttG := truthTable(m, f, n), truthTable(m, g, n)
+	for s := 0; s < 10; s++ {
+		m.SwapAdjacent(rng.Intn(n - 1))
+	}
+	h := m.And(f, g)
+	ttH := truthTable(m, h, n)
+	for v := range ttH {
+		if ttH[v] != (ttF[v] && ttG[v]) {
+			t.Fatalf("AND after swaps wrong at %d", v)
+		}
+	}
+	x := m.Xor(f, g)
+	ttX := truthTable(m, x, n)
+	for v := range ttX {
+		if ttX[v] != (ttF[v] != ttG[v]) {
+			t.Fatalf("XOR after swaps wrong at %d", v)
+		}
+	}
+}
+
+func TestSiftReducesInterleavedEquality(t *testing.T) {
+	// f = (a0=b0) & (a1=b1) & (a2=b2) with order a0a1a2b0b1b2 is
+	// exponential; sifting should find an interleaved order and shrink it.
+	m := New(6)
+	f := True
+	for i := 0; i < 3; i++ {
+		f = m.And(f, m.Xnor(m.Var(i), m.Var(3+i)))
+	}
+	before := m.NodeCount(f)
+	tt := truthTable(m, f, 6)
+	after := m.Sift([]Node{f}, 0, 5)
+	if after >= before {
+		t.Fatalf("sift did not reduce: %d -> %d", before, after)
+	}
+	checkInvariants(t, m, []Node{f})
+	tt2 := truthTable(m, f, 6)
+	for v := range tt {
+		if tt[v] != tt2[v] {
+			t.Fatalf("sift changed function at %d", v)
+		}
+	}
+}
+
+func TestSiftRespectsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 8
+	m := New(n)
+	f := randomFunc(m, rng, n, 40)
+	// Freeze levels 0..3, sift only 4..7.
+	frozen := make([]int, 4)
+	copy(frozen, m.Order()[:4])
+	m.Sift([]Node{f}, 4, 7)
+	now := m.Order()[:4]
+	for i := range frozen {
+		if now[i] != frozen[i] {
+			t.Fatalf("sift moved frozen variables: %v -> %v", frozen, now)
+		}
+	}
+}
+
+func TestSiftRandomFunctionsPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(3)
+		m := New(n)
+		roots := []Node{randomFunc(m, rng, n, 30), randomFunc(m, rng, n, 30)}
+		var before [][]bool
+		for _, f := range roots {
+			before = append(before, truthTable(m, f, n))
+		}
+		m.Sift(roots, 0, n-1)
+		checkInvariants(t, m, roots)
+		for i, f := range roots {
+			after := truthTable(m, f, n)
+			for v := range after {
+				if after[v] != before[i][v] {
+					t.Fatalf("trial %d: sift changed function %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSymmetricDetection(t *testing.T) {
+	m := New(4)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	// Majority of a,b,c is totally symmetric.
+	maj := m.Or(m.Or(m.And(a, b), m.And(a, c)), m.And(b, c))
+	if !m.Symmetric([]Node{maj}, 0, 1) || !m.Symmetric([]Node{maj}, 0, 2) || !m.Symmetric([]Node{maj}, 1, 2) {
+		t.Fatal("majority should be symmetric in all pairs")
+	}
+	f := m.And(a, m.Not(b))
+	if m.Symmetric([]Node{f}, 0, 1) {
+		t.Fatal("a&!b is not symmetric in a,b")
+	}
+	// Symmetric in the pair not in support.
+	if !m.Symmetric([]Node{maj}, 0, 3) == m.Symmetric([]Node{maj}, 0, 3) {
+		// just exercise the call; membership of var 3 is not symmetric
+		// with a support var unless the function ignores both.
+		_ = f
+	}
+}
+
+func TestSymmetryGroups(t *testing.T) {
+	m := New(5)
+	// f = (a+b+c >= 2) & (d ^ e): {a,b,c} symmetric, {d,e} symmetric.
+	a, b, c, d, e := m.Var(0), m.Var(1), m.Var(2), m.Var(3), m.Var(4)
+	maj := m.Or(m.Or(m.And(a, b), m.And(a, c)), m.And(b, c))
+	f := m.And(maj, m.Xor(d, e))
+	groups := m.SymmetryGroups([]Node{f}, 0, 4)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	sizes := map[int]bool{len(groups[0]): true, len(groups[1]): true}
+	if !sizes[3] || !sizes[2] {
+		t.Fatalf("group sizes wrong: %v", groups)
+	}
+}
+
+func TestSiftSymmetricPreservesFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		n := 6
+		m := New(n)
+		roots := []Node{randomFunc(m, rng, n, 25)}
+		before := truthTable(m, roots[0], n)
+		m.SiftSymmetric(roots, 0, n-1)
+		checkInvariants(t, m, roots)
+		after := truthTable(m, roots[0], n)
+		for v := range after {
+			if after[v] != before[v] {
+				t.Fatalf("trial %d: symmetric sift changed function", trial)
+			}
+		}
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	src := New(3)
+	f := src.Or(src.And(src.Var(0), src.Var(1)), src.Var(2))
+	dst := New(6)
+	vm := map[int]int{0: 3, 1: 4, 2: 5}
+	g := src.Translate(dst, f, vm)
+	for v := 0; v < 8; v++ {
+		sa := []bool{v&1 == 1, v&2 == 2, v&4 == 4}
+		da := []bool{false, false, false, sa[0], sa[1], sa[2]}
+		if src.Eval(f, sa) != dst.Eval(g, da) {
+			t.Fatalf("translate differs at %d", v)
+		}
+	}
+}
+
+func TestQuickSwapInvariance(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		m := New(n)
+		f := randomFunc(m, rng, n, 20)
+		before := truthTable(m, f, n)
+		for s := 0; s < 8; s++ {
+			m.SwapAdjacent(rng.Intn(n - 1))
+		}
+		after := truthTable(m, f, n)
+		for v := range after {
+			if after[v] != before[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeCountSharing(t *testing.T) {
+	m := New(4)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Xor(b, c)
+	g := m.And(a, f) // g = a ? f : 0, so f's nodes nest inside g
+	cf := m.NodeCount(f)
+	cg := m.NodeCount(g)
+	both := m.NodeCount(f, g)
+	if cg != cf+1 {
+		t.Fatalf("count(g)=%d, want count(f)+1=%d", cg, cf+1)
+	}
+	if both != cg {
+		t.Fatalf("shared count %d, expected %d (f within g)", both, cg)
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	m := New(4)
+	f := m.And(m.Var(1), m.Not(m.Var(3)))
+	a, ok := m.AnySat(f)
+	if !ok || !m.Eval(f, a) {
+		t.Fatalf("AnySat returned a non-model: %v %v", a, ok)
+	}
+	if _, ok := m.AnySat(False); ok {
+		t.Fatal("False should have no model")
+	}
+	a, ok = m.AnySat(True)
+	if !ok || !m.Eval(True, a) {
+		t.Fatal("True should have a model")
+	}
+}
+
+func TestGCPreservesLiveFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		n := 6
+		m := New(n)
+		// Create garbage alongside two live roots.
+		var live []Node
+		for i := 0; i < 30; i++ {
+			f := randomFunc(m, rng, n, 15)
+			if i%15 == 0 {
+				live = append(live, f)
+			}
+		}
+		var before [][]bool
+		for _, f := range live {
+			before = append(before, truthTable(m, f, n))
+		}
+		liveCount := m.GC(live)
+		if liveCount != m.NodeCount(live...) {
+			t.Fatalf("GC reported %d live, NodeCount says %d", liveCount, m.NodeCount(live...))
+		}
+		checkInvariants(t, m, live)
+		for i, f := range live {
+			after := truthTable(m, f, n)
+			for v := range after {
+				if after[v] != before[i][v] {
+					t.Fatalf("trial %d: GC changed function %d", trial, i)
+				}
+			}
+		}
+		// New operations after GC must still be canonical and correct.
+		g1 := m.And(live[0], m.Not(live[1]))
+		g2 := m.Diff(live[0], live[1])
+		if g1 != g2 {
+			t.Fatal("post-GC canonicity broken")
+		}
+	}
+}
+
+func TestGCThenSwapStillSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 6
+	m := New(n)
+	f := randomFunc(m, rng, n, 25)
+	for i := 0; i < 10; i++ {
+		randomFunc(m, rng, n, 10) // garbage
+	}
+	before := truthTable(m, f, n)
+	m.GC([]Node{f})
+	for s := 0; s < 12; s++ {
+		m.SwapAdjacent(rng.Intn(n - 1))
+	}
+	checkInvariants(t, m, []Node{f})
+	after := truthTable(m, f, n)
+	for v := range after {
+		if after[v] != before[v] {
+			t.Fatalf("GC+swap changed function at %d", v)
+		}
+	}
+}
+
+func TestSiftWithHeavyGarbage(t *testing.T) {
+	// Sifting must stay fast and correct when the manager carries far
+	// more construction garbage than live nodes (the regression behind
+	// the pin-scheduling hang).
+	rng := rand.New(rand.NewSource(47))
+	n := 10
+	m := New(n)
+	for i := 0; i < 200; i++ {
+		randomFunc(m, rng, n, 20) // garbage
+	}
+	f := True
+	for i := 0; i < 5; i++ {
+		f = m.And(f, m.Xnor(m.Var(i), m.Var(5+i)))
+	}
+	before := m.NodeCount(f)
+	after := m.SiftSymmetric([]Node{f}, 0, n-1)
+	if after > before {
+		t.Fatalf("sift grew the function: %d -> %d", before, after)
+	}
+	checkInvariants(t, m, []Node{f})
+}
+
+func TestQuickSatCountMatchesTruthTable(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		m := New(n)
+		f := randomFunc(m, rng, n, 18)
+		count := 0
+		for _, b := range truthTable(m, f, n) {
+			if b {
+				count++
+			}
+		}
+		return m.SatCount(f) == float64(count)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExistsIsDisjunctionOfCofactors(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		m := New(n)
+		f := randomFunc(m, rng, n, 15)
+		v := rng.Intn(n)
+		return m.Exists(f, []int{v}) == m.Or(m.Cofactor(f, v, false), m.Cofactor(f, v, true))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickShannonExpansion(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		m := New(n)
+		f := randomFunc(m, rng, n, 15)
+		v := rng.Intn(n)
+		x := m.Var(v)
+		recon := m.Or(m.And(x, m.Cofactor(f, v, true)), m.And(m.Not(x), m.Cofactor(f, v, false)))
+		return recon == f
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

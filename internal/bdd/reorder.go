@@ -1,0 +1,381 @@
+package bdd
+
+import "sort"
+
+// SwapAdjacent exchanges the variables at levels l and l+1 in place.
+// Node identities are preserved: nodes at level l that depend on both
+// variables are restructured in place, nodes that do not are relabeled.
+// Functions held by callers remain valid.
+func (m *Manager) SwapAdjacent(l int) {
+	if l < 0 || l+1 >= m.NumVars() {
+		panic("bdd: SwapAdjacent level out of range")
+	}
+	x := m.varAtLevel[l]
+	y := m.varAtLevel[l+1]
+
+	// Snapshot the two levels before mutating anything.
+	var levL, levL1 []Node
+	for _, n := range m.tables[l] {
+		levL = append(levL, n)
+	}
+	for _, n := range m.tables[l+1] {
+		levL1 = append(levL1, n)
+	}
+	// Classify level-l nodes by whether they reference level l+1.
+	rewrite := make([]bool, len(levL))
+	for i, n := range levL {
+		if m.nodes[m.nodes[n].lo].level == int32(l+1) || m.nodes[m.nodes[n].hi].level == int32(l+1) {
+			rewrite[i] = true
+		}
+	}
+	m.tables[l] = make(map[[2]Node]Node)
+	m.tables[l+1] = make(map[[2]Node]Node)
+
+	// Old level-l+1 nodes (variable y) move up to level l.
+	for _, n := range levL1 {
+		m.nodes[n].level = int32(l)
+		m.tables[l][[2]Node{m.nodes[n].lo, m.nodes[n].hi}] = n
+	}
+	// Level-l nodes independent of y move down to level l+1 unchanged.
+	for i, n := range levL {
+		if !rewrite[i] {
+			m.nodes[n].level = int32(l + 1)
+			m.tables[l+1][[2]Node{m.nodes[n].lo, m.nodes[n].hi}] = n
+		}
+	}
+	// Remaining level-l nodes are restructured:
+	//   f = x ? f1 : f0  becomes  f = y ? (x ? d : b) : (x ? c : a)
+	// with a = f[x=0,y=0], b = f[x=0,y=1], c = f[x=1,y=0], d = f[x=1,y=1].
+	for i, n := range levL {
+		if !rewrite[i] {
+			continue
+		}
+		f0, f1 := m.nodes[n].lo, m.nodes[n].hi
+		a, b := f0, f0
+		if m.nodes[f0].level == int32(l) { // old y-node, already relabeled
+			a, b = m.nodes[f0].lo, m.nodes[f0].hi
+		}
+		c, d := f1, f1
+		if m.nodes[f1].level == int32(l) {
+			c, d = m.nodes[f1].lo, m.nodes[f1].hi
+		}
+		lo := m.mk(l+1, a, c)
+		hi := m.mk(l+1, b, d)
+		m.nodes[n].lo = lo
+		m.nodes[n].hi = hi
+		m.tables[l][[2]Node{lo, hi}] = n
+	}
+
+	m.varAtLevel[l], m.varAtLevel[l+1] = y, x
+	m.levelOfVar[x], m.levelOfVar[y] = l+1, l
+}
+
+// moveVarTo moves the variable currently at level `from` to level `to`
+// via adjacent swaps.
+func (m *Manager) moveVarTo(from, to int) {
+	for from < to {
+		m.SwapAdjacent(from)
+		from++
+	}
+	for from > to {
+		m.SwapAdjacent(from - 1)
+		from--
+	}
+}
+
+// Sift performs Rudell sifting of every variable whose level lies within
+// [loLevel, hiLevel] (inclusive), with all movement confined to that
+// range, minimizing the shared node count of roots. Variables outside the
+// range are untouched, which is how the pin scheduler keeps already
+// scheduled frames frozen. It returns the final node count.
+func (m *Manager) Sift(roots []Node, loLevel, hiLevel int) int {
+	if hiLevel >= m.NumVars() {
+		hiLevel = m.NumVars() - 1
+	}
+	if loLevel < 0 {
+		loLevel = 0
+	}
+	m.GC(roots) // construction garbage dominates; collect up front
+	best := m.NodeCount(roots...)
+	if loLevel >= hiLevel {
+		return best
+	}
+	vars := m.varsByContribution(roots, loLevel, hiLevel)
+	for _, v := range vars {
+		m.maybeGC(roots)
+		best = m.siftOne(roots, v, loLevel, hiLevel, best)
+	}
+	return best
+}
+
+// siftOne moves variable v through [loLevel, hiLevel] and parks it at the
+// position minimizing the node count; returns the resulting count.
+func (m *Manager) siftOne(roots []Node, v, loLevel, hiLevel, cur int) int {
+	start := m.levelOfVar[v]
+	bestLevel, bestSize := start, cur
+
+	tryRange := func(dir int) {
+		for m.levelOfVar[v]+dir >= loLevel && m.levelOfVar[v]+dir <= hiLevel {
+			if dir > 0 {
+				m.SwapAdjacent(m.levelOfVar[v])
+			} else {
+				m.SwapAdjacent(m.levelOfVar[v] - 1)
+			}
+			m.maybeGC(roots)
+			size := m.NodeCount(roots...)
+			if size < bestSize {
+				bestSize, bestLevel = size, m.levelOfVar[v]
+			}
+		}
+	}
+	// Explore the closer end first, then the other.
+	if start-loLevel < hiLevel-start {
+		tryRange(-1)
+		tryRange(+1)
+	} else {
+		tryRange(+1)
+		tryRange(-1)
+	}
+	m.moveVarTo(m.levelOfVar[v], bestLevel)
+	return bestSize
+}
+
+// varsByContribution lists the variables in [loLevel, hiLevel] sorted by
+// decreasing live node count at their level (the classic sifting order).
+func (m *Manager) varsByContribution(roots []Node, loLevel, hiLevel int) []int {
+	counts := make(map[int]int)
+	seen := make(map[Node]bool)
+	var rec func(n Node)
+	rec = func(n Node) {
+		if m.IsTerminal(n) || seen[n] {
+			return
+		}
+		seen[n] = true
+		counts[int(m.nodes[n].level)]++
+		rec(m.nodes[n].lo)
+		rec(m.nodes[n].hi)
+	}
+	for _, r := range roots {
+		rec(r)
+	}
+	var vars []int
+	for l := loLevel; l <= hiLevel; l++ {
+		vars = append(vars, m.varAtLevel[l])
+	}
+	sort.SliceStable(vars, func(i, j int) bool {
+		return counts[m.levelOfVar[vars[i]]] > counts[m.levelOfVar[vars[j]]]
+	})
+	return vars
+}
+
+// Symmetric reports whether all roots are symmetric in variables v and w,
+// i.e. invariant under exchanging the two variables.
+func (m *Manager) Symmetric(roots []Node, v, w int) bool {
+	for _, f := range roots {
+		f01 := m.Cofactor(m.Cofactor(f, v, false), w, true)
+		f10 := m.Cofactor(m.Cofactor(f, v, true), w, false)
+		if f01 != f10 {
+			return false
+		}
+	}
+	return true
+}
+
+// SymmetryGroups partitions the variables at levels [loLevel, hiLevel]
+// into groups of mutually symmetric variables (greedy: a variable joins
+// the first group whose representative it is symmetric with).
+func (m *Manager) SymmetryGroups(roots []Node, loLevel, hiLevel int) [][]int {
+	var groups [][]int
+	for l := loLevel; l <= hiLevel && l < m.NumVars(); l++ {
+		v := m.varAtLevel[l]
+		placed := false
+		for gi := range groups {
+			if m.Symmetric(roots, groups[gi][0], v) {
+				groups[gi] = append(groups[gi], v)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []int{v})
+		}
+	}
+	return groups
+}
+
+// SiftSymmetric performs symmetric sifting in the style of Panda and
+// Somenzi: variables in [loLevel, hiLevel] are grouped by symmetry, each
+// group is made contiguous, and groups are then sifted as blocks within
+// the range. Returns the final node count of roots.
+func (m *Manager) SiftSymmetric(roots []Node, loLevel, hiLevel int) int {
+	if hiLevel >= m.NumVars() {
+		hiLevel = m.NumVars() - 1
+	}
+	if loLevel < 0 {
+		loLevel = 0
+	}
+	if loLevel >= hiLevel {
+		return m.NodeCount(roots...)
+	}
+	m.GC(roots) // construction garbage dominates; collect up front
+	groups := m.SymmetryGroups(roots, loLevel, hiLevel)
+	// Make each group contiguous: stack groups from loLevel downward.
+	next := loLevel
+	for _, g := range groups {
+		// Order group members by current level so moves do not cross.
+		sort.Slice(g, func(i, j int) bool { return m.levelOfVar[g[i]] < m.levelOfVar[g[j]] })
+		for _, v := range g {
+			m.moveVarTo(m.levelOfVar[v], next)
+			next++
+		}
+	}
+	// Sift each block, largest first.
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return len(groups[order[a]]) > len(groups[order[b]]) })
+	best := m.NodeCount(roots...)
+	for _, gi := range order {
+		m.maybeGC(roots)
+		best = m.siftBlock(roots, groups[gi], loLevel, hiLevel, best)
+	}
+	return best
+}
+
+// siftBlock moves a contiguous block of variables through the range and
+// parks it at the best position. The block is identified by its variable
+// set; it must be contiguous on entry and stays contiguous.
+func (m *Manager) siftBlock(roots []Node, block []int, loLevel, hiLevel, cur int) int {
+	k := len(block)
+	blockTop := func() int {
+		t := m.levelOfVar[block[0]]
+		for _, v := range block[1:] {
+			if m.levelOfVar[v] < t {
+				t = m.levelOfVar[v]
+			}
+		}
+		return t
+	}
+	start := blockTop()
+	bestTop, bestSize := start, cur
+
+	// moveDown moves the block one level down by bubbling the external
+	// variable below it up over the whole block; moveUp is symmetric.
+	moveDown := func() {
+		b := blockTop() + k - 1 // bottom level of the block
+		for l := b; l >= blockTop(); l-- {
+			m.SwapAdjacent(l)
+		}
+	}
+	moveUp := func() {
+		t := blockTop()
+		for l := t - 1; l < t-1+k; l++ {
+			m.SwapAdjacent(l)
+		}
+	}
+	for blockTop()+k-1 < hiLevel {
+		moveDown()
+		m.maybeGC(roots)
+		if size := m.NodeCount(roots...); size < bestSize {
+			bestSize, bestTop = size, blockTop()
+		}
+	}
+	for blockTop() > loLevel {
+		moveUp()
+		m.maybeGC(roots)
+		if size := m.NodeCount(roots...); size < bestSize {
+			bestSize, bestTop = size, blockTop()
+		}
+	}
+	for blockTop() < bestTop {
+		moveDown()
+	}
+	for blockTop() > bestTop {
+		moveUp()
+	}
+	return bestSize
+}
+
+// Translate rebuilds f (a function in m) inside dst, renaming each source
+// variable v to varMap[v]. It uses Ite, so it is correct for any target
+// order, and linear when the mapping preserves relative order.
+func (m *Manager) Translate(dst *Manager, f Node, varMap map[int]int) Node {
+	memo := make(map[Node]Node)
+	var rec func(n Node) Node
+	rec = func(n Node) Node {
+		if n == False || n == True {
+			return Node(n)
+		}
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		v, ok := varMap[m.TopVar(n)]
+		if !ok {
+			panic("bdd: Translate: unmapped variable in support")
+		}
+		r := dst.Ite(dst.Var(v), rec(m.nodes[n].hi), rec(m.nodes[n].lo))
+		memo[n] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Cube returns the conjunction of the given variables with the given
+// phases.
+func (m *Manager) Cube(vars []int, vals []bool) Node {
+	r := True
+	for i, v := range vars {
+		lit := m.Var(v)
+		if !vals[i] {
+			lit = m.NVar(v)
+		}
+		r = m.And(r, lit)
+	}
+	return r
+}
+
+// GC rebuilds the unique tables keeping only nodes reachable from roots
+// and clears the operation caches. Live node identities are preserved, so
+// roots and any other live references stay valid; the arena itself is not
+// compacted. Long reordering runs must collect periodically: every swap
+// orphans nodes, and orphans left in the tables get relabeled and
+// restructured again and again, degrading later swaps.
+func (m *Manager) GC(roots []Node) int {
+	live := make(map[Node]bool, len(m.nodes)/4)
+	var mark func(n Node)
+	mark = func(n Node) {
+		if m.IsTerminal(n) || live[n] {
+			return
+		}
+		live[n] = true
+		mark(m.nodes[n].lo)
+		mark(m.nodes[n].hi)
+	}
+	for _, r := range roots {
+		mark(r)
+	}
+	for l := range m.tables {
+		nt := make(map[[2]Node]Node)
+		for key, n := range m.tables[l] {
+			if live[n] {
+				nt[key] = n
+			}
+		}
+		m.tables[l] = nt
+	}
+	m.opCache = make(map[opKey]Node)
+	m.iteCache = make(map[iteKey]Node)
+	return len(live)
+}
+
+// maybeGC collects when the table population is far above the live count.
+func (m *Manager) maybeGC(roots []Node) {
+	pop := 0
+	for _, t := range m.tables {
+		pop += len(t)
+	}
+	if pop > 4*m.NodeCount(roots...)+1024 {
+		m.GC(roots)
+	}
+}

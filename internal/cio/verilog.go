@@ -1,0 +1,208 @@
+package cio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/seq"
+)
+
+// WriteVerilog writes the sequential circuit as synthesizable structural
+// Verilog-2001: one assign per AND node, a single always block for the
+// flip-flops (with an active-high synchronous reset realizing the
+// initial state), and ports named after the circuit's pins.
+func WriteVerilog(w io.Writer, c *seq.Circuit, module string) error {
+	bw := bufio.NewWriter(w)
+	g := c.G
+
+	inPorts := make([]string, c.NumInputs)
+	for i := range inPorts {
+		inPorts[i] = vlName(g.PIName(i), "in", i)
+	}
+	outPorts := make([]string, g.NumPOs())
+	for i := range outPorts {
+		outPorts[i] = vlName(g.POName(i), "out", i)
+	}
+
+	fmt.Fprintf(bw, "module %s(\n  input wire clk,\n  input wire rst,\n", module)
+	for _, p := range inPorts {
+		fmt.Fprintf(bw, "  input wire %s,\n", p)
+	}
+	for i, p := range outPorts {
+		comma := ","
+		if i == len(outPorts)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(bw, "  output wire %s%s\n", p, comma)
+	}
+	fmt.Fprintln(bw, ");")
+
+	// Declarations.
+	if c.NumLatches() > 0 {
+		fmt.Fprintf(bw, "  reg [%d:0] state;\n", c.NumLatches()-1)
+	}
+	for id := 1; id < g.NumNodes(); id++ {
+		if g.IsAnd(id) {
+			fmt.Fprintf(bw, "  wire n%d;\n", id)
+		}
+	}
+
+	// Literal rendering.
+	lit := func(l aig.Lit) string {
+		var base string
+		switch {
+		case l.Node() == 0:
+			base = "1'b0"
+			if l.Compl() {
+				return "1'b1"
+			}
+			return base
+		case g.IsPI(l.Node()):
+			pi := g.PIIndex(l.Node())
+			if pi < c.NumInputs {
+				base = inPorts[pi]
+			} else {
+				base = fmt.Sprintf("state[%d]", pi-c.NumInputs)
+			}
+		default:
+			base = fmt.Sprintf("n%d", l.Node())
+		}
+		if l.Compl() {
+			return "~" + base
+		}
+		return base
+	}
+
+	for id := 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		fmt.Fprintf(bw, "  assign n%d = %s & %s;\n", id, lit(f0), lit(f1))
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		fmt.Fprintf(bw, "  assign %s = %s;\n", outPorts[i], lit(g.PO(i)))
+	}
+
+	if c.NumLatches() > 0 {
+		reset := make([]string, c.NumLatches())
+		for i, b := range c.Init {
+			reset[c.NumLatches()-1-i] = "0"
+			if b {
+				reset[c.NumLatches()-1-i] = "1"
+			}
+		}
+		fmt.Fprintln(bw, "  always @(posedge clk) begin")
+		fmt.Fprintf(bw, "    if (rst) state <= %d'b%s;\n", c.NumLatches(), strings.Join(reset, ""))
+		fmt.Fprintln(bw, "    else begin")
+		for i, n := range c.Next {
+			fmt.Fprintf(bw, "      state[%d] <= %s;\n", i, lit(n))
+		}
+		fmt.Fprintln(bw, "    end")
+		fmt.Fprintln(bw, "  end")
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// vlName sanitizes a pin name into a Verilog identifier, falling back to
+// a positional name.
+func vlName(name, kind string, idx int) string {
+	if name == "" {
+		return fmt.Sprintf("%s%d", kind, idx)
+	}
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	s := b.String()
+	if s == "" || s == "clk" || s == "rst" {
+		return fmt.Sprintf("%s%d", kind, idx)
+	}
+	return s
+}
+
+// WriteVCD dumps a value-change-dump waveform of the circuit simulated
+// over the input stream, with one timestep per clock cycle: all inputs,
+// outputs and flip-flops appear as 1-bit signals. Useful for inspecting
+// a folded execution in a waveform viewer.
+func WriteVCD(w io.Writer, c *seq.Circuit, stream [][]bool, module string) error {
+	bw := bufio.NewWriter(w)
+	g := c.G
+
+	type sig struct {
+		id   string
+		name string
+	}
+	var sigs []sig
+	vcdID := func(i int) string {
+		// Printable short identifiers: !, ", #, ...
+		var s []byte
+		i++
+		for i > 0 {
+			s = append(s, byte('!'+(i-1)%94))
+			i = (i - 1) / 94
+		}
+		return string(s)
+	}
+	for i := 0; i < c.NumInputs; i++ {
+		sigs = append(sigs, sig{vcdID(len(sigs)), vlName(g.PIName(i), "in", i)})
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		sigs = append(sigs, sig{vcdID(len(sigs)), vlName(g.POName(i), "out", i)})
+	}
+	for i := 0; i < c.NumLatches(); i++ {
+		sigs = append(sigs, sig{vcdID(len(sigs)), fmt.Sprintf("ff%d", i)})
+	}
+
+	fmt.Fprintln(bw, "$timescale 1ns $end")
+	fmt.Fprintf(bw, "$scope module %s $end\n", module)
+	for _, s := range sigs {
+		fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", s.id, s.name)
+	}
+	fmt.Fprintln(bw, "$upscope $end")
+	fmt.Fprintln(bw, "$enddefinitions $end")
+
+	state := append([]bool(nil), c.Init...)
+	prev := make([]int8, len(sigs)) // -1 unknown, 0, 1
+	for i := range prev {
+		prev[i] = -1
+	}
+	emit := func(t int, vals []bool) {
+		fmt.Fprintf(bw, "#%d\n", t)
+		for i, v := range vals {
+			b := int8(0)
+			if v {
+				b = 1
+			}
+			if prev[i] != b {
+				fmt.Fprintf(bw, "%d%s\n", b, sigs[i].id)
+				prev[i] = b
+			}
+		}
+	}
+	for t, in := range stream {
+		out, next := c.Step(state, in)
+		vals := make([]bool, 0, len(sigs))
+		vals = append(vals, in...)
+		vals = append(vals, out...)
+		vals = append(vals, state...)
+		emit(t, vals)
+		state = next
+	}
+	fmt.Fprintf(bw, "#%d\n", len(stream))
+	return bw.Flush()
+}

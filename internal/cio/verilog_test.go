@@ -1,0 +1,129 @@
+package cio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/seq"
+)
+
+func TestWriteVerilogCombinational(t *testing.T) {
+	g := aig.New()
+	a := g.PI("a")
+	b := g.PI("b")
+	g.AddPO(g.Xor(a, b), "sum")
+	c := seq.Combinational(g)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, c, "xor2"); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module xor2(", "input wire a", "output wire sum",
+		"assign", "endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("verilog missing %q:\n%s", want, v)
+		}
+	}
+	if strings.Contains(v, "always") {
+		t.Fatal("combinational module should have no always block")
+	}
+}
+
+func TestWriteVerilogSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := randomSeq(rng, 3, 2, 2, 25)
+	c.Init = []bool{true, false}
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, c, "m"); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"reg [1:0] state;", "always @(posedge clk)",
+		"if (rst) state <= 2'b01;", "state[0] <=", "state[1] <=",
+	} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("verilog missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestVerilogNameSanitization(t *testing.T) {
+	if vlName("a b[3]", "in", 0) != "a_b_3_" {
+		t.Fatalf("sanitize: %q", vlName("a b[3]", "in", 0))
+	}
+	if vlName("", "out", 4) != "out4" {
+		t.Fatal("empty name fallback wrong")
+	}
+	if vlName("clk", "in", 1) != "in1" {
+		t.Fatal("reserved port collision not avoided")
+	}
+	if vlName("3x", "in", 2) != "_3x" {
+		t.Fatalf("leading digit: %q", vlName("3x", "in", 2))
+	}
+}
+
+func TestWriteVCD(t *testing.T) {
+	g := aig.New()
+	en := g.PI("en")
+	s := g.PI("")
+	g.AddPO(s, "q")
+	c := &seq.Circuit{G: g, NumInputs: 1, Next: []aig.Lit{g.Xor(s, en)}, Init: []bool{false}}
+	stream := [][]bool{{true}, {false}, {true}}
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, c, stream, "toggle"); err != nil {
+		t.Fatal(err)
+	}
+	vcd := buf.String()
+	for _, want := range []string{
+		"$timescale", "$scope module toggle", "$var wire 1",
+		"$enddefinitions", "#0", "#3",
+	} {
+		if !strings.Contains(vcd, want) {
+			t.Fatalf("vcd missing %q:\n%s", want, vcd)
+		}
+	}
+	// The q output changes at cycle 1 (state toggled by en at cycle 0),
+	// so there must be at least one value change after #1.
+	idx := strings.Index(vcd, "#1\n")
+	if idx < 0 || !strings.Contains(vcd[idx:], "1") {
+		t.Fatal("no value changes recorded after cycle 1")
+	}
+}
+
+func TestVCDIdentifiersUnique(t *testing.T) {
+	// Exercise multi-character VCD ids with a wide circuit.
+	g := aig.New()
+	var outs []aig.Lit
+	for i := 0; i < 120; i++ {
+		outs = append(outs, g.PI(""))
+	}
+	for i, o := range outs {
+		g.AddPO(o, "")
+		_ = i
+	}
+	c := seq.Combinational(g)
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, c, [][]bool{make([]bool, 120)}, "wide"); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "$var wire 1 ") {
+			f := strings.Fields(line)
+			id := f[3]
+			if ids[id] {
+				t.Fatalf("duplicate vcd id %q", id)
+			}
+			ids[id] = true
+		}
+	}
+	if len(ids) != 240 {
+		t.Fatalf("expected 240 signals, got %d", len(ids))
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/bdd"
+)
+
+// errBudget is returned when a BDD construction exceeds its node budget,
+// the library's analogue of the paper's 300-second timeout.
+var errBudget = fmt.Errorf("core: BDD node budget exceeded")
+
+// buildOutputBDDs constructs BDDs for the given output literals of g in
+// mgr, mapping PI index i to manager variable varOfPI[i]. A varOfPI entry
+// of -1 marks an input that must not occur in the supports. The build
+// aborts with errBudget when the manager grows past nodeBudget (0 = no
+// limit).
+func buildOutputBDDs(g *aig.Graph, mgr *bdd.Manager, varOfPI []int, roots []aig.Lit, nodeBudget int) ([]bdd.Node, error) {
+	memo := make(map[int]bdd.Node) // AIG node id -> BDD of its positive literal
+	memo[0] = bdd.False
+	var build func(id int) (bdd.Node, error)
+	build = func(id int) (bdd.Node, error) {
+		if r, ok := memo[id]; ok {
+			return r, nil
+		}
+		var r bdd.Node
+		if pi := g.PIIndex(id); pi >= 0 {
+			v := varOfPI[pi]
+			if v < 0 {
+				return bdd.False, fmt.Errorf("core: PI %d not mapped to a BDD variable", pi)
+			}
+			r = mgr.Var(v)
+		} else {
+			f0, f1 := g.Fanins(id)
+			b0, err := build(f0.Node())
+			if err != nil {
+				return bdd.False, err
+			}
+			if f0.Compl() {
+				b0 = mgr.Not(b0)
+			}
+			b1, err := build(f1.Node())
+			if err != nil {
+				return bdd.False, err
+			}
+			if f1.Compl() {
+				b1 = mgr.Not(b1)
+			}
+			r = mgr.And(b0, b1)
+			if nodeBudget > 0 && mgr.NumNodes() > nodeBudget {
+				return bdd.False, errBudget
+			}
+		}
+		memo[id] = r
+		return r, nil
+	}
+	out := make([]bdd.Node, len(roots))
+	for i, root := range roots {
+		b, err := build(root.Node())
+		if err != nil {
+			return nil, err
+		}
+		if root.Compl() {
+			b = mgr.Not(b)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// decomposition is one branch of a cut decomposition: the set of
+// assignments to the variables above the cut (cond, a BDD over those
+// variables) that lead to the sub-function leaf below the cut.
+type decomposition struct {
+	cond bdd.Node
+	leaf bdd.Node
+}
+
+// decomposeAtCut splits f by the cut at cutLevel: it returns the distinct
+// sub-functions of f over the variables at levels >= cutLevel, each with
+// the condition over the levels above the cut under which f reduces to
+// it. This is the BDD functional-decomposition step at the heart of
+// time-frame folding: the leaves are exactly the states induced by f.
+func decomposeAtCut(mgr *bdd.Manager, f bdd.Node, cutLevel int) []decomposition {
+	if mgr.Level(f) >= cutLevel {
+		return []decomposition{{cond: bdd.True, leaf: f}}
+	}
+	// Collect the internal nodes above the cut, sorted by level (parents
+	// strictly above children, so level order is topological).
+	var above []bdd.Node
+	seen := map[bdd.Node]bool{}
+	var collect func(n bdd.Node)
+	collect = func(n bdd.Node) {
+		if seen[n] || mgr.Level(n) >= cutLevel {
+			return
+		}
+		seen[n] = true
+		above = append(above, n)
+		collect(mgr.Lo(n))
+		collect(mgr.Hi(n))
+	}
+	collect(f)
+	for i := 1; i < len(above); i++ {
+		for j := i; j > 0 && mgr.Level(above[j]) < mgr.Level(above[j-1]); j-- {
+			above[j], above[j-1] = above[j-1], above[j]
+		}
+	}
+
+	arrive := map[bdd.Node]bdd.Node{f: bdd.True}
+	leafCond := map[bdd.Node]bdd.Node{}
+	var leaves []bdd.Node
+	push := func(child bdd.Node, cond bdd.Node) {
+		if cond == bdd.False {
+			return
+		}
+		if mgr.Level(child) >= cutLevel {
+			if _, ok := leafCond[child]; !ok {
+				leaves = append(leaves, child)
+				leafCond[child] = bdd.False
+			}
+			leafCond[child] = mgr.Or(leafCond[child], cond)
+			return
+		}
+		if a, ok := arrive[child]; ok {
+			arrive[child] = mgr.Or(a, cond)
+		} else {
+			arrive[child] = cond
+		}
+	}
+	for _, n := range above {
+		a := arrive[n]
+		v := mgr.VarAtLevel(mgr.Level(n))
+		push(mgr.Lo(n), mgr.And(a, mgr.NVar(v)))
+		push(mgr.Hi(n), mgr.And(a, mgr.Var(v)))
+	}
+	out := make([]decomposition, len(leaves))
+	for i, l := range leaves {
+		out[i] = decomposition{cond: leafCond[l], leaf: l}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package core implements the paper's contribution: circuit folding for
+// time multiplexing. A combinational circuit with n inputs is folded by a
+// factor T into a sequential circuit with ceil(n/T) input pins whose
+// T-frame time-frame expansion is functionally equivalent to the original
+// circuit.
+//
+// Two methods are provided, mirroring Sections IV and V of the paper:
+//
+//   - StructuralFold: layered topological traversal with pipeline
+//     flip-flops at frame boundaries and counter-based output selection.
+//   - FunctionalFold: pin scheduling (Algorithms 1 and 2), FSM
+//     construction via time-frame folding (BDD cut/functional
+//     decomposition), optional exact state minimization (MeMin), and
+//     state encoding.
+//
+// SimpleFold implements the input-buffering baseline the paper compares
+// against in Section VI.
+package core
+
+import (
+	"fmt"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/seq"
+)
+
+// Encoding selects how frame counters (structural method) or states
+// (functional method) are encoded.
+type Encoding int
+
+// Encodings.
+const (
+	// Binary uses ceil(log2 N) flip-flops with natural binary encoding.
+	Binary Encoding = iota
+	// OneHot uses N flip-flops, one per frame or state.
+	OneHot
+)
+
+func (e Encoding) String() string {
+	if e == OneHot {
+		return "1hot"
+	}
+	return "nat"
+}
+
+// Result is a folded circuit together with the pin schedule that defines
+// its input-output association with the original circuit.
+type Result struct {
+	// Seq is the folded sequential circuit: ceil(n/T) input pins, and as
+	// many output pins as the largest per-frame output group.
+	Seq *seq.Circuit
+	// T is the folding number (time-frames per computation).
+	T int
+	// InSched[t][j] is the original PI index presented on input pin j
+	// during frame t (0-based frames), or -1 for a dummy input.
+	InSched [][]int
+	// OutSched[t][k] is the original PO index produced on output pin k
+	// during frame t, or -1 for a null (don't care) output.
+	OutSched [][]int
+	// States (functional method only) is the number of FSM states before
+	// and after minimization; StatesMin is -1 when minimization was not
+	// run or did not finish.
+	States    int
+	StatesMin int
+}
+
+// InputPins returns the folded circuit's input pin count, m = ceil(n/T).
+func (r *Result) InputPins() int { return r.Seq.NumInputs }
+
+// OutputPins returns the folded circuit's output pin count.
+func (r *Result) OutputPins() int { return r.Seq.NumOutputs() }
+
+// FlipFlops returns the folded circuit's flip-flop count.
+func (r *Result) FlipFlops() int { return r.Seq.NumLatches() }
+
+// Gates returns the AND-node count of the folded circuit's combinational
+// core.
+func (r *Result) Gates() int { return r.Seq.G.NumAnds() }
+
+// ScheduleInputs maps a full assignment of the original circuit's inputs
+// to the frame-by-frame pin assignment defined by InSched. Dummy pins get
+// false.
+func (r *Result) ScheduleInputs(in []bool) [][]bool {
+	stream := make([][]bool, r.T)
+	for t := range stream {
+		row := make([]bool, len(r.InSched[t]))
+		for j, src := range r.InSched[t] {
+			if src >= 0 {
+				row[j] = in[src]
+			}
+		}
+		stream[t] = row
+	}
+	return stream
+}
+
+// CollectOutputs reassembles the original circuit's output vector from
+// the folded circuit's frame-by-frame outputs according to OutSched.
+func (r *Result) CollectOutputs(frames [][]bool) []bool {
+	max := -1
+	for _, row := range r.OutSched {
+		for _, dst := range row {
+			if dst > max {
+				max = dst
+			}
+		}
+	}
+	out := make([]bool, max+1)
+	for t, row := range r.OutSched {
+		for k, dst := range row {
+			if dst >= 0 {
+				out[dst] = frames[t][k]
+			}
+		}
+	}
+	return out
+}
+
+// Execute runs the folded circuit on one computation of the original
+// circuit: inputs are scheduled over T frames, outputs collected per the
+// schedule. This is the complete time-multiplexed execution of Section
+// III.
+func (r *Result) Execute(in []bool) []bool {
+	return r.CollectOutputs(r.Seq.Simulate(r.ScheduleInputs(in)))
+}
+
+// ceilDiv returns ceil(a/b).
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// validateFoldArgs checks common preconditions.
+func validateFoldArgs(g *aig.Graph, T int) error {
+	if T < 1 {
+		return fmt.Errorf("core: folding number %d < 1", T)
+	}
+	if g.NumPIs() == 0 {
+		return fmt.Errorf("core: circuit has no inputs")
+	}
+	if T > g.NumPIs() {
+		return fmt.Errorf("core: folding number %d exceeds input count %d", T, g.NumPIs())
+	}
+	return nil
+}
+
+// identityResult wraps a combinational circuit as a T=1 "fold".
+func identityResult(g *aig.Graph) *Result {
+	in := make([]int, g.NumPIs())
+	for i := range in {
+		in[i] = i
+	}
+	out := make([]int, g.NumPOs())
+	for i := range out {
+		out[i] = i
+	}
+	return &Result{
+		Seq:       seq.Combinational(g),
+		T:         1,
+		InSched:   [][]int{in},
+		OutSched:  [][]int{out},
+		States:    1,
+		StatesMin: -1,
+	}
+}

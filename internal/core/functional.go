@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/bdd"
+	"circuitfold/internal/fsm"
+)
+
+// FunctionalOptions configures FunctionalFold (Section V). The three
+// booleans match the configuration column of Table III: input reordering
+// (r/nr), state minimization (m/nm), and the state encoding (nat/1hot).
+type FunctionalOptions struct {
+	// Reorder enables BDD symmetric-sifting input reordering during pin
+	// scheduling.
+	Reorder bool
+	// Minimize runs MeMin-style exact state minimization on the folded
+	// FSM before encoding.
+	Minimize bool
+	// StateEnc selects natural binary or one-hot state encoding.
+	StateEnc Encoding
+	// MaxStates aborts time-frame folding once the total state count
+	// passes this bound (0 means 20000), mirroring the paper's timeout
+	// behavior.
+	MaxStates int
+	// NodeBudget bounds the BDD manager size (0 means 4,000,000 nodes).
+	NodeBudget int
+	// Timeout bounds pin scheduling plus FSM construction (0 = none),
+	// like the paper's 300-second limit.
+	Timeout time.Duration
+	// MinOpts bounds the minimization step.
+	MinOpts fsm.MinimizeOptions
+}
+
+// DefaultFunctionalOptions returns the configuration used by the
+// experiment harness: reordering on, minimization on, one-hot encoding.
+func DefaultFunctionalOptions() FunctionalOptions {
+	return FunctionalOptions{
+		Reorder:  true,
+		Minimize: true,
+		StateEnc: OneHot,
+		MinOpts:  fsm.DefaultMinimizeOptions(),
+	}
+}
+
+// FunctionalFold folds g by T frames with the functional method of
+// Section V: pin scheduling, FSM construction via time-frame folding
+// (BDD cut decomposition), optional exact state minimization, and state
+// encoding. The returned Result's States/StatesMin report the FSM sizes
+// before and after minimization (including the don't-care final state, as
+// the paper counts it); StatesMin is -1 when minimization was disabled or
+// aborted.
+func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error) {
+	if err := validateFoldArgs(g, T); err != nil {
+		return nil, err
+	}
+	if T == 1 {
+		return identityResult(g), nil
+	}
+	if opt.MaxStates <= 0 {
+		opt.MaxStates = 20000
+	}
+	if opt.NodeBudget <= 0 {
+		opt.NodeBudget = 4000000
+	}
+	start := time.Now()
+	expired := func() bool { return opt.Timeout > 0 && time.Since(start) > opt.Timeout }
+
+	sched, err := PinSchedule(g, T, ScheduleOptions{Reorder: opt.Reorder, NodeBudget: opt.NodeBudget, Timeout: opt.Timeout})
+	if err != nil {
+		return nil, err
+	}
+	machine, states, err := TimeFrameFold(g, sched, opt.MaxStates, opt.NodeBudget, func() bool { return expired() })
+	if err != nil {
+		return nil, err
+	}
+
+	statesMin := -1
+	if opt.Minimize {
+		if mm, merr := fsm.Minimize(machine, opt.MinOpts); merr == nil {
+			machine = mm
+			statesMin = mm.NumStates()
+		} else {
+			return nil, fmt.Errorf("core: state minimization failed: %w", merr)
+		}
+	}
+
+	enc := fsm.NaturalBinary
+	if opt.StateEnc == OneHot {
+		enc = fsm.OneHotState
+	}
+	circuit, err := fsm.Encode(machine, enc)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Seq:       circuit,
+		T:         T,
+		InSched:   sched.InSlot,
+		OutSched:  sched.OutSlot,
+		States:    states,
+		StatesMin: statesMin,
+	}, nil
+}
+
+// TimeFrameFold constructs the minimal per-frame FSM of the scheduled
+// circuit: states at frame t are the distinct tuples of residual output
+// functions (BDD cofactor classes) after consuming the first t input
+// groups — the hyper-function cut decomposition of TFF. It returns the
+// machine (final don't-care state elided, transitions into it marked
+// DontCare) and the total state count including the don't-care state.
+func TimeFrameFold(g *aig.Graph, sched *Schedule, maxStates, nodeBudget int, expired func() bool) (*fsm.Machine, int, error) {
+	T, m := sched.T, sched.M
+	n := g.NumPIs()
+
+	// Folding manager: variable t*m+j is input pin j during frame t.
+	fmgr := bdd.New(T * m)
+	varOfPI := make([]int, n)
+	for i := range varOfPI {
+		varOfPI[i] = sched.SlotOfPI[i]
+	}
+	roots := make([]aig.Lit, g.NumPOs())
+	for i := range roots {
+		roots[i] = g.PO(i)
+	}
+	poBDD, err := buildOutputBDDs(g, fmgr, varOfPI, roots, nodeBudget)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// poList[t]: outputs still pending after frame t, ordered by
+	// (frame, pin). State tuples at frame t align with poList[t].
+	poList := make([][]int, T)
+	for t := 0; t < T; t++ {
+		for tt := t; tt < T; tt++ {
+			for _, w := range sched.OutSlot[tt] {
+				if w >= 0 {
+					poList[t] = append(poList[t], w)
+				}
+			}
+		}
+	}
+	pinOf := make([]int, g.NumPOs())
+	for t := 0; t < T; t++ {
+		for k, w := range sched.OutSlot[t] {
+			if w >= 0 {
+				pinOf[w] = k
+			}
+		}
+	}
+	mOut := len(sched.OutSlot[0])
+
+	// Common input-variable manager for the machine's conditions.
+	cmgr := bdd.New(m)
+
+	type state struct {
+		comps []bdd.Node
+	}
+	keyOf := func(comps []bdd.Node) string {
+		b := make([]byte, 0, len(comps)*4)
+		for _, c := range comps {
+			b = append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+		}
+		return string(b)
+	}
+
+	// The initial state's tuple is aligned with poList[0] (frame-major
+	// output order), not PO-index order.
+	initComps := make([]bdd.Node, len(poList[0]))
+	for i, w := range poList[0] {
+		initComps[i] = poBDD[w]
+	}
+	var trans [][]fsm.Transition
+	totalStates := 0
+	cur := []state{{comps: initComps}}
+	trans = append(trans, nil)
+	totalStates = 1
+	curBase := 0 // global id of cur[0]
+
+	decompMemo := make(map[[2]int][]decomposition)
+	decompose := func(f bdd.Node, cut int) []decomposition {
+		k := [2]int{int(f), cut}
+		if d, ok := decompMemo[k]; ok {
+			return d
+		}
+		d := decomposeAtCut(fmgr, f, cut)
+		decompMemo[k] = d
+		return d
+	}
+
+	for t := 0; t < T; t++ {
+		if expired() {
+			return nil, 0, fmt.Errorf("core: time-frame folding timeout at frame %d", t+1)
+		}
+		cut := (t + 1) * m
+		varMap := make(map[int]int, m)
+		for j := 0; j < m; j++ {
+			varMap[t*m+j] = j
+		}
+		nextIndex := make(map[string]int)
+		var nextStates []state
+		nextBase := curBase + len(cur)
+
+		for si, st := range cur {
+			if si%64 == 0 && expired() {
+				return nil, 0, fmt.Errorf("core: time-frame folding timeout at frame %d", t+1)
+			}
+			type cell struct {
+				cond bdd.Node
+				outs []fsm.Tri
+				next []bdd.Node
+			}
+			cells := []cell{{cond: bdd.True, outs: makeX(mOut)}}
+			for ci, w := range poList[t] {
+				branches := decompose(st.comps[ci], cut)
+				emit := sched.FrameOfPO[w] == t // output produced this frame
+				if len(cells)*len(branches) > 64 && expired() {
+					return nil, 0, fmt.Errorf("core: time-frame folding timeout at frame %d", t+1)
+				}
+				var refined []cell
+				for _, c := range cells {
+					for _, br := range branches {
+						nc := fmgr.And(c.cond, br.cond)
+						if nc == bdd.False {
+							continue
+						}
+						cellOuts := c.outs
+						cellNext := c.next
+						if emit {
+							cellOuts = append([]fsm.Tri(nil), c.outs...)
+							switch br.leaf {
+							case bdd.True:
+								cellOuts[pinOf[w]] = fsm.One
+							case bdd.False:
+								cellOuts[pinOf[w]] = fsm.Zero
+							default:
+								return nil, 0, fmt.Errorf("core: output %d not terminal at its frame", w)
+							}
+						} else {
+							cellNext = append(append([]bdd.Node(nil), c.next...), br.leaf)
+						}
+						refined = append(refined, cell{cond: nc, outs: cellOuts, next: cellNext})
+					}
+				}
+				cells = refined
+				if len(cells) > 4*maxStates {
+					return nil, 0, fmt.Errorf("core: transition refinement exceeds bound at frame %d", t+1)
+				}
+				if nodeBudget > 0 && fmgr.NumNodes() > nodeBudget {
+					return nil, 0, errBudget
+				}
+			}
+			for _, c := range cells {
+				dst := fsm.DontCare
+				if t+1 < T {
+					k := keyOf(c.next)
+					id, ok := nextIndex[k]
+					if !ok {
+						id = len(nextStates)
+						nextIndex[k] = id
+						nextStates = append(nextStates, state{comps: c.next})
+					}
+					dst = nextBase + id
+				}
+				cond := fmgr.Translate(cmgr, c.cond, varMap)
+				trans[curBase+si] = append(trans[curBase+si], fsm.Transition{
+					Cond: cond, Out: c.outs, Dst: dst,
+				})
+			}
+		}
+		if t+1 < T {
+			totalStates += len(nextStates)
+			if totalStates > maxStates {
+				return nil, 0, fmt.Errorf("core: state count exceeds %d at frame %d", maxStates, t+1)
+			}
+			for range nextStates {
+				trans = append(trans, nil)
+			}
+			curBase = nextBase
+			cur = nextStates
+		}
+	}
+	totalStates++ // the don't-care destination state s_*^T
+
+	machine := &fsm.Machine{
+		Mgr:        cmgr,
+		NumInputs:  m,
+		NumOutputs: mOut,
+		Initial:    0,
+		Trans:      trans,
+	}
+	return machine, totalStates, nil
+}
+
+func makeX(n int) []fsm.Tri {
+	out := make([]fsm.Tri, n)
+	for i := range out {
+		out[i] = fsm.X
+	}
+	return out
+}

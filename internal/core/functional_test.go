@@ -1,0 +1,224 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"circuitfold/internal/core"
+	"circuitfold/internal/eqcheck"
+)
+
+func TestPinScheduleAdder3MatchesPaperExample2(t *testing.T) {
+	g := adder3()
+	s, err := core.PinSchedule(g, 3, core.ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M != 2 {
+		t.Fatalf("m = %d, want 2", s.M)
+	}
+	// Example 2: Y1={s0,null}, Y2={s1,null}, Y3={s2,cout};
+	// X1={a0,b0}, X2={a1,b1}, X3={a2,b2}.
+	wantOut := [][]int{{0, -1}, {1, -1}, {2, 3}}
+	for ti := range wantOut {
+		for k := range wantOut[ti] {
+			if s.OutSlot[ti][k] != wantOut[ti][k] {
+				t.Fatalf("OutSlot = %v, want %v", s.OutSlot, wantOut)
+			}
+		}
+	}
+	for ti := 0; ti < 3; ti++ {
+		got := map[int]bool{s.InSlot[ti][0]: true, s.InSlot[ti][1]: true}
+		if !got[2*ti] || !got[2*ti+1] {
+			t.Fatalf("InSlot frame %d = %v, want {a%d,b%d}", ti, s.InSlot[ti], ti, ti)
+		}
+	}
+}
+
+func TestPinScheduleSupportProperty(t *testing.T) {
+	// Scheduling invariant: each output's support is scheduled in frames
+	// no later than the output itself.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := randomCircuit(rng, 120, 8+rng.Intn(12), 6)
+		T := 2 + rng.Intn(4)
+		for _, reorder := range []bool{false, true} {
+			s, err := core.PinSchedule(g, T, core.ScheduleOptions{Reorder: reorder})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sup := g.SupportSets()
+			for w := 0; w < g.NumPOs(); w++ {
+				for _, u := range sup[w] {
+					if s.SlotOfPI[u]/s.M > s.FrameOfPO[w] {
+						t.Fatalf("trial %d (r=%v): PO %d at frame %d but PI %d at frame %d",
+							trial, reorder, w, s.FrameOfPO[w], u, s.SlotOfPI[u]/s.M)
+					}
+				}
+			}
+			// Every PI appears in exactly one slot.
+			seen := make(map[int]bool)
+			for _, row := range s.InSlot {
+				for _, u := range row {
+					if u >= 0 {
+						if seen[u] {
+							t.Fatalf("PI %d scheduled twice", u)
+						}
+						seen[u] = true
+					}
+				}
+			}
+			if len(seen) != g.NumPIs() {
+				t.Fatalf("schedule covers %d of %d PIs", len(seen), g.NumPIs())
+			}
+		}
+	}
+}
+
+func TestFunctionalAdder3MatchesPaperExample3(t *testing.T) {
+	g := adder3()
+	opt := core.DefaultFunctionalOptions()
+	opt.Reorder = false
+	opt.Minimize = false
+	r, err := core.FunctionalFold(g, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 6a: 6 states including the don't-care state.
+	if r.States != 6 {
+		t.Fatalf("states = %d, want 6", r.States)
+	}
+	if r.InputPins() != 2 || r.OutputPins() != 2 {
+		t.Fatalf("pins = %d/%d, want 2/2", r.InputPins(), r.OutputPins())
+	}
+	if err := eqcheck.VerifyFold(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := eqcheck.VerifyFoldByUnrolling(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFunctionalAdder3MinimizesToCarrySaveAdder(t *testing.T) {
+	g := adder3()
+	opt := core.DefaultFunctionalOptions()
+	opt.Minimize = true
+	opt.StateEnc = core.Binary
+	r, err := core.FunctionalFold(g, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 6b: the FSM minimizes to 2 states (a carry-save adder),
+	// which natural-binary encoding realizes with a single flip-flop.
+	if r.StatesMin != 2 {
+		t.Fatalf("minimized states = %d, want 2", r.StatesMin)
+	}
+	if r.FlipFlops() != 1 {
+		t.Fatalf("flip-flops = %d, want 1", r.FlipFlops())
+	}
+	if err := eqcheck.VerifyFold(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFunctionalAllConfigurations(t *testing.T) {
+	g := adder3()
+	for _, reorder := range []bool{false, true} {
+		for _, minimize := range []bool{false, true} {
+			for _, enc := range []core.Encoding{core.Binary, core.OneHot} {
+				opt := core.DefaultFunctionalOptions()
+				opt.Reorder = reorder
+				opt.Minimize = minimize
+				opt.StateEnc = enc
+				r, err := core.FunctionalFold(g, 3, opt)
+				if err != nil {
+					t.Fatalf("r=%v m=%v enc=%v: %v", reorder, minimize, enc, err)
+				}
+				if err := eqcheck.VerifyFold(g, r, 0, 1); err != nil {
+					t.Fatalf("r=%v m=%v enc=%v: %v", reorder, minimize, enc, err)
+				}
+			}
+		}
+	}
+}
+
+func TestFunctionalRandomCircuitsCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		pis := 4 + rng.Intn(6)
+		g := randomCircuit(rng, 60, pis, 4)
+		T := 2 + rng.Intn(3)
+		if T > pis {
+			T = pis
+		}
+		opt := core.DefaultFunctionalOptions()
+		opt.Reorder = trial%2 == 0
+		opt.Minimize = trial%3 != 0
+		if trial%4 == 0 {
+			opt.StateEnc = core.Binary
+		}
+		r, err := core.FunctionalFold(g, T, opt)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := eqcheck.VerifyFold(g, r, 0, int64(trial)); err != nil {
+			t.Fatalf("trial %d (T=%d): %v", trial, T, err)
+		}
+		if err := eqcheck.VerifyFoldByUnrolling(g, r, 0, int64(trial)); err != nil {
+			t.Fatalf("trial %d unroll: %v", trial, err)
+		}
+	}
+}
+
+func TestFunctionalWiderCircuitRandomVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomCircuit(rng, 150, 24, 8)
+	for _, T := range []int{2, 4} {
+		opt := core.DefaultFunctionalOptions()
+		opt.Minimize = false
+		r, err := core.FunctionalFold(g, T, opt)
+		if err != nil {
+			t.Fatalf("T=%d: %v", T, err)
+		}
+		if err := eqcheck.VerifyFold(g, r, 300, 5); err != nil {
+			t.Fatalf("T=%d: %v", T, err)
+		}
+	}
+}
+
+func TestFunctionalStateCapAborts(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := randomCircuit(rng, 300, 24, 10)
+	opt := core.DefaultFunctionalOptions()
+	opt.Minimize = false
+	opt.MaxStates = 2
+	if _, err := core.FunctionalFold(g, 4, opt); err == nil {
+		t.Fatal("expected state-cap abort")
+	}
+}
+
+func TestFunctionalBeatsStructuralOnAdders(t *testing.T) {
+	// The paper's headline: the functional method needs far fewer
+	// flip-flops than the structural one on arithmetic circuits.
+	g := adderCircuit(8) // 8-bit interleaved ripple adder
+	sr, err := core.StructuralFold(g, 8, core.StructuralOptions{Counter: core.OneHot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultFunctionalOptions()
+	opt.StateEnc = core.Binary
+	fr, err := core.FunctionalFold(g, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.StatesMin != 2 {
+		t.Fatalf("adder FSM should minimize to 2 states, got %d", fr.StatesMin)
+	}
+	if fr.FlipFlops() >= sr.FlipFlops() {
+		t.Fatalf("functional (%d FF) should beat structural (%d FF)",
+			fr.FlipFlops(), sr.FlipFlops())
+	}
+	if err := eqcheck.VerifyFold(g, fr, 500, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/fsm"
+	"circuitfold/internal/seq"
+)
+
+// HybridOptions configures HybridFold.
+type HybridOptions struct {
+	// Counter encodes the structural remainder's frame counter.
+	Counter Encoding
+	// StateEnc encodes the functional clusters' states.
+	StateEnc Encoding
+	// Minimize runs MeMin on each cluster FSM.
+	Minimize bool
+	// MaxClusterOutputs caps the outputs grouped into one functional
+	// cluster (0 means 32).
+	MaxClusterOutputs int
+	// MaxStates bounds each cluster's time-frame folding (0 means 2000).
+	MaxStates int
+	// ClusterTimeout bounds each cluster's folding work (0 means 5s).
+	ClusterTimeout time.Duration
+	// MinOpts bounds per-cluster state minimization.
+	MinOpts fsm.MinimizeOptions
+}
+
+// DefaultHybridOptions returns the settings used by the benchmarks.
+func DefaultHybridOptions() HybridOptions {
+	return HybridOptions{
+		Counter:  Binary,
+		StateEnc: OneHot,
+		Minimize: true,
+		// Each transition's output vector distinguishes states, so wide
+		// clusters blow up the per-frame refinement exactly like the
+		// paper's functional timeouts at small T; small clusters keep
+		// every piece tractable.
+		MaxClusterOutputs: 8,
+		MaxStates:         2000,
+		ClusterTimeout:    2 * time.Second,
+		MinOpts:           fsm.DefaultMinimizeOptions(),
+	}
+}
+
+// HybridFold combines the two methods, the future work named in the
+// paper's conclusion: outputs are clustered by shared structural
+// support, each cluster is folded functionally (time-frame folding on
+// the cluster's cone under the shared natural input schedule), and
+// clusters whose folding exceeds its budget fall back to one common
+// structural fold. All parts share the same ceil(n/T) input pins and one
+// frame alignment, so the merged circuit is a valid fold of the whole
+// circuit — scalable like the structural method, with the functional
+// method's optimality wherever it is affordable.
+func HybridFold(g *aig.Graph, T int, opt HybridOptions) (*Result, error) {
+	if err := validateFoldArgs(g, T); err != nil {
+		return nil, err
+	}
+	if T == 1 {
+		return identityResult(g), nil
+	}
+	if opt.MaxClusterOutputs <= 0 {
+		opt.MaxClusterOutputs = 32
+	}
+	if opt.MaxStates <= 0 {
+		opt.MaxStates = 2000
+	}
+	if opt.ClusterTimeout <= 0 {
+		opt.ClusterTimeout = 5 * time.Second
+	}
+	n := g.NumPIs()
+	m := ceilDiv(n, T)
+
+	clusters := clusterOutputs(g, opt.MaxClusterOutputs)
+
+	type part struct {
+		c        *seq.Circuit
+		outSched [][]int // per frame, global PO indices (-1 null)
+	}
+	var parts []part
+	var structuralPOs []int
+
+	for _, cluster := range clusters {
+		p, err := foldClusterFunctionally(g, T, m, cluster, opt)
+		if err != nil {
+			structuralPOs = append(structuralPOs, cluster...)
+			continue
+		}
+		parts = append(parts, part{p.c, p.outSched})
+	}
+	if len(structuralPOs) > 0 {
+		sub := extractCone(g, structuralPOs)
+		sr, err := StructuralFold(sub, T, StructuralOptions{Counter: opt.Counter})
+		if err != nil {
+			return nil, err
+		}
+		sched := make([][]int, T)
+		for t := range sched {
+			row := make([]int, len(sr.OutSched[t]))
+			for k, local := range sr.OutSched[t] {
+				if local < 0 {
+					row[k] = -1
+				} else {
+					row[k] = structuralPOs[local]
+				}
+			}
+			sched[t] = row
+		}
+		parts = append(parts, part{sr.Seq, sched})
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: hybrid fold produced no parts")
+	}
+
+	// Merge the parts over shared input pins.
+	merged := aig.New()
+	pins := make([]aig.Lit, m)
+	for j := range pins {
+		pins[j] = merged.PI(pinName("x", j))
+	}
+	// All flip-flop pseudo-inputs, part by part.
+	ffIns := make([][]aig.Lit, len(parts))
+	for pi, p := range parts {
+		ffIns[pi] = make([]aig.Lit, p.c.NumLatches())
+		for i := range ffIns[pi] {
+			ffIns[pi][i] = merged.PI("")
+		}
+	}
+	var next []aig.Lit
+	var init []bool
+	outSched := make([][]int, T)
+	for pi, p := range parts {
+		piMap := make([]aig.Lit, 0, p.c.G.NumPIs())
+		piMap = append(piMap, pins...)
+		piMap = append(piMap, ffIns[pi]...)
+		roots := make([]aig.Lit, 0, p.c.G.NumPOs()+p.c.NumLatches())
+		for i := 0; i < p.c.G.NumPOs(); i++ {
+			roots = append(roots, p.c.G.PO(i))
+		}
+		roots = append(roots, p.c.Next...)
+		mapped := aig.Transfer(merged, p.c.G, piMap, roots)
+		for i := 0; i < p.c.G.NumPOs(); i++ {
+			merged.AddPO(mapped[i], "")
+		}
+		next = append(next, mapped[p.c.G.NumPOs():]...)
+		init = append(init, p.c.Init...)
+		for t := 0; t < T; t++ {
+			outSched[t] = append(outSched[t], p.outSched[t]...)
+		}
+	}
+	for i := 0; i < merged.NumPOs(); i++ {
+		merged.SetPOName(i, pinName("y", i))
+	}
+
+	inSched := make([][]int, T)
+	for t := 0; t < T; t++ {
+		row := make([]int, m)
+		for j := 0; j < m; j++ {
+			src := t*m + j
+			if src >= n {
+				src = -1
+			}
+			row[j] = src
+		}
+		inSched[t] = row
+	}
+	return &Result{
+		Seq:       &seq.Circuit{G: merged, NumInputs: m, Next: next, Init: init},
+		T:         T,
+		InSched:   inSched,
+		OutSched:  outSched,
+		States:    -1,
+		StatesMin: -1,
+	}, nil
+}
+
+// clusterOutputs groups the primary outputs into connected components of
+// the support-sharing graph, splitting oversized components.
+func clusterOutputs(g *aig.Graph, maxSize int) [][]int {
+	supports := g.SupportSets()
+	parent := make([]int, g.NumPOs())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Outputs sharing any input belong together.
+	lastUser := make(map[int]int)
+	for o := 0; o < g.NumPOs(); o++ {
+		for _, u := range supports[o] {
+			if prev, ok := lastUser[u]; ok {
+				union(prev, o)
+			}
+			lastUser[u] = o
+		}
+	}
+	byRoot := map[int][]int{}
+	for o := 0; o < g.NumPOs(); o++ {
+		r := find(o)
+		byRoot[r] = append(byRoot[r], o)
+	}
+	var clusters [][]int
+	for o := 0; o < g.NumPOs(); o++ { // deterministic order
+		if find(o) != o {
+			continue
+		}
+		comp := byRoot[o]
+		for len(comp) > maxSize {
+			clusters = append(clusters, comp[:maxSize])
+			comp = comp[maxSize:]
+		}
+		clusters = append(clusters, comp)
+	}
+	return clusters
+}
+
+// extractCone builds a sub-circuit with the same primary inputs as g but
+// only the selected outputs.
+func extractCone(g *aig.Graph, pos []int) *aig.Graph {
+	sub := aig.New()
+	piMap := make([]aig.Lit, g.NumPIs())
+	for i := range piMap {
+		piMap[i] = sub.PI(g.PIName(i))
+	}
+	roots := make([]aig.Lit, len(pos))
+	for i, o := range pos {
+		roots[i] = g.PO(o)
+	}
+	outs := aig.Transfer(sub, g, piMap, roots)
+	for i, o := range outs {
+		sub.AddPO(o, g.POName(pos[i]))
+	}
+	return sub
+}
+
+type clusterFold struct {
+	c        *seq.Circuit
+	outSched [][]int
+}
+
+// foldClusterFunctionally runs time-frame folding on one output cluster
+// under the shared natural input schedule.
+func foldClusterFunctionally(g *aig.Graph, T, m int, cluster []int, opt HybridOptions) (*clusterFold, error) {
+	sub := extractCone(g, cluster)
+	supports := sub.SupportSets()
+	n := g.NumPIs()
+
+	// Natural schedule shared with the structural remainder: input i is
+	// on pin i%m during frame i/m; each output runs in the earliest
+	// frame its support allows.
+	sched := &Schedule{T: T, M: m, SlotOfPI: make([]int, n), FrameOfPO: make([]int, len(cluster))}
+	for i := 0; i < n; i++ {
+		sched.SlotOfPI[i] = i
+	}
+	sched.InSlot = make([][]int, T)
+	for t := 0; t < T; t++ {
+		row := make([]int, m)
+		for j := 0; j < m; j++ {
+			src := t*m + j
+			if src >= n {
+				src = -1
+			}
+			row[j] = src
+		}
+		sched.InSlot[t] = row
+	}
+	outFrames := make([][]int, T)
+	for o := range cluster {
+		frame := 0
+		for _, u := range supports[o] {
+			if f := u / m; f > frame {
+				frame = f
+			}
+		}
+		sched.FrameOfPO[o] = frame
+		outFrames[frame] = append(outFrames[frame], o)
+	}
+	mOut := 0
+	for _, fr := range outFrames {
+		if len(fr) > mOut {
+			mOut = len(fr)
+		}
+	}
+	sched.OutSlot = make([][]int, T)
+	for t := 0; t < T; t++ {
+		row := make([]int, mOut)
+		copy(row, outFrames[t])
+		for k := len(outFrames[t]); k < mOut; k++ {
+			row[k] = -1
+		}
+		sched.OutSlot[t] = row
+	}
+
+	start := time.Now()
+	expired := func() bool { return time.Since(start) > opt.ClusterTimeout }
+	machine, _, err := TimeFrameFold(sub, sched, opt.MaxStates, 2000000, expired)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Minimize {
+		mo := opt.MinOpts
+		if mo.Timeout <= 0 || mo.Timeout > opt.ClusterTimeout {
+			mo.Timeout = opt.ClusterTimeout
+		}
+		if mo.MaxAtoms <= 0 || mo.MaxAtoms > 512 {
+			mo.MaxAtoms = 512
+		}
+		if mm, merr := fsm.Minimize(machine, mo); merr == nil {
+			machine = mm
+		}
+	}
+	enc := fsm.NaturalBinary
+	if opt.StateEnc == OneHot {
+		enc = fsm.OneHotState
+	}
+	circuit, err := fsm.Encode(machine, enc)
+	if err != nil {
+		return nil, err
+	}
+	// Globalize the output schedule.
+	outSched := make([][]int, T)
+	for t := 0; t < T; t++ {
+		row := make([]int, mOut)
+		for k, local := range sched.OutSlot[t] {
+			if local < 0 {
+				row[k] = -1
+			} else {
+				row[k] = cluster[local]
+			}
+		}
+		outSched[t] = row
+	}
+	return &clusterFold{c: circuit, outSched: outSched}, nil
+}

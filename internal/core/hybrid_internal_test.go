@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"circuitfold/internal/aig"
+)
+
+func TestClusterOutputsComponents(t *testing.T) {
+	// Three disjoint cones plus one pair sharing an input.
+	g := aig.New()
+	a := g.PI("a")
+	b := g.PI("b")
+	c := g.PI("c")
+	d := g.PI("d")
+	g.AddPO(g.And(a, b), "y0")      // shares a,b
+	g.AddPO(g.Or(a, b.Not()), "y1") // shares a,b with y0
+	g.AddPO(c, "y2")                // alone
+	g.AddPO(d.Not(), "y3")          // alone
+	clusters := clusterOutputs(g, 8)
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %v, want 3 components", clusters)
+	}
+	var first []int
+	for _, cl := range clusters {
+		if len(cl) == 2 {
+			first = append([]int(nil), cl...)
+		}
+	}
+	sort.Ints(first)
+	if len(first) != 2 || first[0] != 0 || first[1] != 1 {
+		t.Fatalf("shared-support outputs not clustered together: %v", clusters)
+	}
+}
+
+func TestClusterOutputsSplitsOversized(t *testing.T) {
+	g := aig.New()
+	x := g.PI("x")
+	for i := 0; i < 10; i++ {
+		g.AddPO(x.NotIf(i%2 == 0), "")
+	}
+	clusters := clusterOutputs(g, 3)
+	for _, cl := range clusters {
+		if len(cl) > 3 {
+			t.Fatalf("cluster exceeds cap: %v", cl)
+		}
+	}
+	total := 0
+	for _, cl := range clusters {
+		total += len(cl)
+	}
+	if total != 10 {
+		t.Fatalf("outputs lost: %d", total)
+	}
+}
+
+func TestExtractConePreservesInterfaceAndFunction(t *testing.T) {
+	g := aig.New()
+	a := g.PI("a")
+	b := g.PI("b")
+	c := g.PI("c")
+	g.AddPO(g.And(a, b), "y0")
+	g.AddPO(g.Xor(b, c), "y1")
+	sub := extractCone(g, []int{1})
+	if sub.NumPIs() != 3 || sub.NumPOs() != 1 {
+		t.Fatalf("interface wrong: %d/%d", sub.NumPIs(), sub.NumPOs())
+	}
+	for v := uint64(0); v < 8; v++ {
+		if sub.EvalUint(v)[0] != g.EvalUint(v)[1] {
+			t.Fatalf("cone differs at %d", v)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/core"
+	"circuitfold/internal/eqcheck"
+)
+
+// stripedCircuit builds pos independent output cones over disjoint input
+// stripes — the ideal case for hybrid clustering.
+func stripedCircuit(pis, pos int) *aig.Graph {
+	g := aig.New()
+	ins := make([]aig.Lit, pis)
+	for i := range ins {
+		ins[i] = g.PI("")
+	}
+	per := pis / pos
+	for o := 0; o < pos; o++ {
+		stripe := ins[o*per : (o+1)*per]
+		acc := stripe[0]
+		for _, x := range stripe[1:] {
+			acc = g.Xor(acc, g.And(acc, x).Not())
+		}
+		g.AddPO(acc, "")
+	}
+	return g
+}
+
+func TestHybridFoldAdder3(t *testing.T) {
+	g := adder3()
+	r, err := core.HybridFold(g, 3, core.DefaultHybridOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InputPins() != 2 {
+		t.Fatalf("input pins = %d, want 2", r.InputPins())
+	}
+	if err := eqcheck.VerifyFold(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := eqcheck.VerifyFoldByUnrolling(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridFoldStripedClusters(t *testing.T) {
+	g := stripedCircuit(12, 4)
+	r, err := core.HybridFold(g, 4, core.DefaultHybridOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eqcheck.VerifyFold(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridFallsBackToStructural(t *testing.T) {
+	// With a zero state budget every cluster falls back; the result must
+	// still be a correct fold (pure structural).
+	g := adder3()
+	opt := core.DefaultHybridOptions()
+	opt.MaxStates = 1
+	opt.ClusterTimeout = time.Nanosecond
+	r, err := core.HybridFold(g, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eqcheck.VerifyFold(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 12; trial++ {
+		pis := 4 + rng.Intn(8)
+		g := randomCircuit(rng, 70, pis, 5)
+		T := 2 + rng.Intn(3)
+		if T > pis {
+			T = pis
+		}
+		opt := core.DefaultHybridOptions()
+		opt.MaxClusterOutputs = 1 + rng.Intn(4)
+		opt.Minimize = trial%2 == 0
+		if trial%3 == 0 {
+			opt.StateEnc = core.Binary
+		}
+		r, err := core.HybridFold(g, T, opt)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := eqcheck.VerifyFold(g, r, 0, int64(trial)); err != nil {
+			t.Fatalf("trial %d (T=%d): %v", trial, T, err)
+		}
+		if err := eqcheck.VerifyFoldByUnrolling(g, r, 0, int64(trial)); err != nil {
+			t.Fatalf("trial %d unroll: %v", trial, err)
+		}
+	}
+}
+
+func TestHybridBeatsStructuralOnSeparableCircuit(t *testing.T) {
+	// Striped cones fold into tiny per-cluster FSMs; the hybrid should
+	// use far fewer flip-flops than the pure structural fold.
+	g := stripedCircuit(32, 4)
+	opt := core.DefaultHybridOptions()
+	opt.StateEnc = core.Binary
+	hr, err := core.HybridFold(g, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := core.StructuralFold(g, 8, core.StructuralOptions{Counter: core.Binary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eqcheck.VerifyFold(g, hr, 400, 3); err != nil {
+		t.Fatal(err)
+	}
+	if hr.FlipFlops() >= sr.FlipFlops() {
+		t.Fatalf("hybrid FFs (%d) should beat structural (%d)", hr.FlipFlops(), sr.FlipFlops())
+	}
+}
+
+func TestHybridT1Identity(t *testing.T) {
+	g := adder3()
+	r, err := core.HybridFold(g, 1, core.DefaultHybridOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T != 1 || r.FlipFlops() != 0 {
+		t.Fatalf("identity hybrid wrong: T=%d FF=%d", r.T, r.FlipFlops())
+	}
+}
+
+func TestHybridErrors(t *testing.T) {
+	g := adder3()
+	if _, err := core.HybridFold(g, 0, core.DefaultHybridOptions()); err == nil {
+		t.Fatal("T=0 should fail")
+	}
+	if _, err := core.HybridFold(g, 100, core.DefaultHybridOptions()); err == nil {
+		t.Fatal("T > n should fail")
+	}
+}

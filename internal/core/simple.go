@@ -1,0 +1,114 @@
+package core
+
+import (
+	"circuitfold/internal/aig"
+	"circuitfold/internal/seq"
+)
+
+// SimpleFold implements the baseline of Section VI: the inputs of the
+// first T-1 frames are buffered in load-enabled flip-flops and the entire
+// combinational circuit is evaluated in the last frame, producing all
+// outputs at once. The number of output pins stays at the original PO
+// count, and the flip-flop count is (T-1)*ceil(n/T) for the buffers plus
+// a one-hot frame counter.
+func SimpleFold(g *aig.Graph, T int) (*Result, error) {
+	if err := validateFoldArgs(g, T); err != nil {
+		return nil, err
+	}
+	if T == 1 {
+		return identityResult(g), nil
+	}
+	n := g.NumPIs()
+	m := ceilDiv(n, T)
+
+	cs := aig.New()
+	pins := make([]aig.Lit, m)
+	for j := range pins {
+		pins[j] = cs.PI(pinName("x", j))
+	}
+	// Buffer registers for frames 1..T-1 (frame T's inputs come straight
+	// from the pins).
+	buf := make([][]aig.Lit, T-1)
+	for t := range buf {
+		buf[t] = make([]aig.Lit, m)
+		for j := range buf[t] {
+			buf[t][j] = cs.PI("")
+		}
+	}
+	// One-hot frame counter.
+	sr := make([]aig.Lit, T)
+	for i := range sr {
+		sr[i] = cs.PI("")
+	}
+
+	// The original circuit evaluates on buffered inputs (frames < T) and
+	// live pins (frame T).
+	piMap := make([]aig.Lit, n)
+	for i := 0; i < n; i++ {
+		t, j := i/m, i%m
+		if t == T-1 {
+			piMap[i] = pins[j]
+		} else {
+			piMap[i] = buf[t][j]
+		}
+	}
+	roots := make([]aig.Lit, g.NumPOs())
+	for i := range roots {
+		roots[i] = g.PO(i)
+	}
+	outs := aig.Transfer(cs, g, piMap, roots)
+	for i, o := range outs {
+		cs.AddPO(o, g.POName(i))
+	}
+
+	// Register next-state: buffers load from the pins during their frame
+	// and hold otherwise; the counter rotates.
+	next := make([]aig.Lit, 0, (T-1)*m+T)
+	init := make([]bool, 0, (T-1)*m+T)
+	for t := range buf {
+		for j := range buf[t] {
+			next = append(next, cs.Mux(sr[t], pins[j], buf[t][j]))
+			init = append(init, false)
+		}
+	}
+	for i := 0; i < T; i++ {
+		next = append(next, sr[(i+T-1)%T])
+		init = append(init, i == 0)
+	}
+
+	inSched := make([][]int, T)
+	outSched := make([][]int, T)
+	for t := 0; t < T; t++ {
+		row := make([]int, m)
+		for j := 0; j < m; j++ {
+			src := t*m + j
+			if src >= n {
+				src = -1
+			}
+			row[j] = src
+		}
+		inSched[t] = row
+		if t == T-1 {
+			outRow := make([]int, g.NumPOs())
+			for i := range outRow {
+				outRow[i] = i
+			}
+			outSched[t] = outRow
+		} else {
+			outRow := make([]int, g.NumPOs())
+			for i := range outRow {
+				outRow[i] = -1
+			}
+			outSched[t] = outRow
+		}
+	}
+
+	return &Result{
+		Seq:       &seq.Circuit{G: cs, NumInputs: m, Next: next, Init: init},
+		T:         T,
+		InSched:   inSched,
+		OutSched:  outSched,
+		States:    T,
+		StatesMin: -1,
+	}, nil
+}

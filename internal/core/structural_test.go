@@ -1,0 +1,297 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/core"
+	"circuitfold/internal/eqcheck"
+)
+
+// adder3 builds the paper's running example (Fig. 4): a 3-bit ripple
+// adder with inputs interleaved as a0,b0,a1,b1,a2,b2 so that the natural
+// input groups for T=3 are {a0,b0},{a1,b1},{a2,b2}.
+func adder3() *aig.Graph {
+	g := aig.New()
+	var a, b [3]aig.Lit
+	for i := 0; i < 3; i++ {
+		a[i] = g.PI("a" + string(rune('0'+i)))
+		b[i] = g.PI("b" + string(rune('0'+i)))
+	}
+	carry := aig.Const0
+	for i := 0; i < 3; i++ {
+		s := g.Xor(g.Xor(a[i], b[i]), carry)
+		carry = g.Or(g.And(a[i], b[i]), g.And(carry, g.Xor(a[i], b[i])))
+		g.AddPO(s, "s"+string(rune('0'+i)))
+	}
+	g.AddPO(carry, "cout")
+	return g
+}
+
+func TestStructuralAdder3MatchesPaperExample(t *testing.T) {
+	g := adder3()
+	r, err := core.StructuralFold(g, 3, core.StructuralOptions{Counter: core.OneHot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 1: 2 inputs, 2 outputs, 5 flip-flops (2 data + 3 shift).
+	if r.InputPins() != 2 {
+		t.Fatalf("input pins = %d, want 2", r.InputPins())
+	}
+	if r.OutputPins() != 2 {
+		t.Fatalf("output pins = %d, want 2", r.OutputPins())
+	}
+	if r.FlipFlops() != 5 {
+		t.Fatalf("flip-flops = %d, want 5", r.FlipFlops())
+	}
+	// Output schedule: Y1={s0,null}, Y2={s1,null}, Y3={s2,cout}.
+	want := [][]int{{0, -1}, {1, -1}, {2, 3}}
+	for ti := range want {
+		for k := range want[ti] {
+			if r.OutSched[ti][k] != want[ti][k] {
+				t.Fatalf("OutSched = %v, want %v", r.OutSched, want)
+			}
+		}
+	}
+	if err := eqcheck.VerifyFold(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := eqcheck.VerifyFoldByUnrolling(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructuralBinaryCounter(t *testing.T) {
+	g := adder3()
+	r, err := core.StructuralFold(g, 3, core.StructuralOptions{Counter: core.Binary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 data FFs + ceil(log2 3) = 2 counter bits.
+	if r.FlipFlops() != 4 {
+		t.Fatalf("flip-flops = %d, want 4", r.FlipFlops())
+	}
+	if err := eqcheck.VerifyFold(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructuralFoldT1Identity(t *testing.T) {
+	g := adder3()
+	r, err := core.StructuralFold(g, 1, core.StructuralOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T != 1 || r.FlipFlops() != 0 || r.InputPins() != 6 {
+		t.Fatalf("identity fold wrong: %+v", r)
+	}
+	if err := eqcheck.VerifyFold(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructuralFoldErrors(t *testing.T) {
+	g := adder3()
+	if _, err := core.StructuralFold(g, 0, core.StructuralOptions{}); err == nil {
+		t.Fatal("T=0 should fail")
+	}
+	if _, err := core.StructuralFold(g, 7, core.StructuralOptions{}); err == nil {
+		t.Fatal("T > n should fail")
+	}
+	empty := aig.New()
+	if _, err := core.StructuralFold(empty, 1, core.StructuralOptions{}); err == nil {
+		t.Fatal("no-input circuit should fail")
+	}
+}
+
+func TestStructuralPinCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		pis := 5 + rng.Intn(20)
+		g := randomCircuit(rng, 60, pis, 6)
+		for _, T := range []int{2, 3, 4} {
+			if T > pis {
+				continue
+			}
+			r, err := core.StructuralFold(g, T, core.StructuralOptions{Counter: core.OneHot})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantM := (pis + T - 1) / T
+			if r.InputPins() != wantM {
+				t.Fatalf("pis=%d T=%d: m=%d want %d", pis, T, r.InputPins(), wantM)
+			}
+			if len(r.InSched) != T || len(r.OutSched) != T {
+				t.Fatalf("schedule frames wrong")
+			}
+			// Every original PI appears exactly once in the schedule.
+			seen := make(map[int]int)
+			for _, row := range r.InSched {
+				for _, src := range row {
+					if src >= 0 {
+						seen[src]++
+					}
+				}
+			}
+			if len(seen) != pis {
+				t.Fatalf("schedule covers %d of %d inputs", len(seen), pis)
+			}
+			for src, cnt := range seen {
+				if cnt != 1 {
+					t.Fatalf("input %d scheduled %d times", src, cnt)
+				}
+			}
+		}
+	}
+}
+
+func TestStructuralRandomCircuitsCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		pis := 4 + rng.Intn(8) // small enough for exhaustive checking
+		g := randomCircuit(rng, 80, pis, 5)
+		T := 2 + rng.Intn(3)
+		if T > pis {
+			T = pis
+		}
+		enc := core.OneHot
+		if trial%2 == 0 {
+			enc = core.Binary
+		}
+		r, err := core.StructuralFold(g, T, core.StructuralOptions{Counter: enc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eqcheck.VerifyFold(g, r, 0, int64(trial)); err != nil {
+			t.Fatalf("trial %d (T=%d, %v): %v", trial, T, enc, err)
+		}
+		if err := eqcheck.VerifyFoldByUnrolling(g, r, 0, int64(trial)); err != nil {
+			t.Fatalf("trial %d unroll (T=%d): %v", trial, T, err)
+		}
+	}
+}
+
+func TestStructuralWideCircuitRandomVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomCircuit(rng, 400, 48, 20)
+	for _, T := range []int{2, 4, 8} {
+		r, err := core.StructuralFold(g, T, core.StructuralOptions{Counter: core.OneHot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eqcheck.VerifyFold(g, r, 200, 7); err != nil {
+			t.Fatalf("T=%d: %v", T, err)
+		}
+	}
+}
+
+func TestSimpleFoldAdder3(t *testing.T) {
+	g := adder3()
+	r, err := core.SimpleFold(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (T-1)*m = 4 buffers + 3 one-hot counter bits.
+	if r.FlipFlops() != 7 {
+		t.Fatalf("flip-flops = %d, want 7", r.FlipFlops())
+	}
+	// All outputs appear in the last frame; output pin count = #PO.
+	if r.OutputPins() != 4 {
+		t.Fatalf("output pins = %d, want 4", r.OutputPins())
+	}
+	for k, dst := range r.OutSched[2] {
+		if dst != k {
+			t.Fatalf("last-frame schedule wrong: %v", r.OutSched[2])
+		}
+	}
+	if err := eqcheck.VerifyFold(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := eqcheck.VerifyFoldByUnrolling(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimpleFoldRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		pis := 4 + rng.Intn(8)
+		g := randomCircuit(rng, 60, pis, 4)
+		T := 2 + rng.Intn(3)
+		if T > pis {
+			T = pis
+		}
+		r, err := core.SimpleFold(g, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFF := (T-1)*((pis+T-1)/T) + T
+		if r.FlipFlops() != wantFF {
+			t.Fatalf("trial %d: FF=%d want %d", trial, r.FlipFlops(), wantFF)
+		}
+		if err := eqcheck.VerifyFold(g, r, 0, int64(trial)); err != nil {
+			t.Fatalf("trial %d (T=%d): %v", trial, T, err)
+		}
+	}
+}
+
+func TestExecuteScheduleRoundTrip(t *testing.T) {
+	g := adder3()
+	r, err := core.StructuralFold(g, 3, core.StructuralOptions{Counter: core.OneHot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []bool{true, true, false, true, true, false} // a=101b?, interleaved
+	frames := r.ScheduleInputs(in)
+	if len(frames) != 3 || len(frames[0]) != 2 {
+		t.Fatalf("frames shape wrong: %v", frames)
+	}
+	if frames[0][0] != in[0] || frames[2][1] != in[5] {
+		t.Fatalf("schedule content wrong: %v", frames)
+	}
+	out := r.Execute(in)
+	want := g.Eval(in)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("execute differs at output %d", i)
+		}
+	}
+}
+
+// randomCircuit builds a deterministic random combinational AIG.
+func randomCircuit(rng *rand.Rand, ands, pis, pos int) *aig.Graph {
+	g := aig.New()
+	lits := []aig.Lit{aig.Const1}
+	for i := 0; i < pis; i++ {
+		lits = append(lits, g.PI(""))
+	}
+	for i := 0; i < ands; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, g.And(a, b))
+	}
+	for i := 0; i < pos; i++ {
+		g.AddPO(lits[len(lits)-1-rng.Intn(len(lits)/2)].NotIf(rng.Intn(2) == 0), "")
+	}
+	return g
+}
+
+// adderCircuit builds a w-bit ripple-carry adder with interleaved inputs
+// a0,b0,a1,b1,... and outputs s0..s(w-1),cout.
+func adderCircuit(w int) *aig.Graph {
+	g := aig.New()
+	a := make([]aig.Lit, w)
+	b := make([]aig.Lit, w)
+	for i := 0; i < w; i++ {
+		a[i] = g.PI("")
+		b[i] = g.PI("")
+	}
+	carry := aig.Const0
+	for i := 0; i < w; i++ {
+		g.AddPO(g.Xor(g.Xor(a[i], b[i]), carry), "")
+		carry = g.Or(g.And(a[i], b[i]), g.And(carry, g.Xor(a[i], b[i])))
+	}
+	g.AddPO(carry, "cout")
+	return g
+}

@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"circuitfold/internal/core"
+	"circuitfold/internal/eqcheck"
+	"circuitfold/internal/gen"
+)
+
+// TestTableIIICircuitsFoldCorrectly folds every Table III benchmark with
+// both methods at T=8 and word-verifies the results against the original
+// circuits — the correctness backbone behind the reported comparisons.
+func TestTableIIICircuitsFoldCorrectly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-suite verification skipped in -short mode")
+	}
+	for _, name := range []string{"64-adder", "arbiter", "e64", "i2", "i3", "i4", "i6", "i7"} {
+		g := gen.MustBuild(name)
+		sr, err := core.StructuralFold(g, 8, core.StructuralOptions{Counter: core.Binary})
+		if err != nil {
+			t.Fatalf("%s structural: %v", name, err)
+		}
+		if err := eqcheck.VerifyFoldWords(g, sr, 8, 1); err != nil {
+			t.Fatalf("%s structural: %v", name, err)
+		}
+		opt := core.DefaultFunctionalOptions()
+		opt.Minimize = false
+		opt.Timeout = 10 * time.Second
+		opt.MaxStates = 2000
+		fr, err := core.FunctionalFold(g, 8, opt)
+		if err != nil {
+			continue // budget-bound, like the paper's "-" entries
+		}
+		if err := eqcheck.VerifyFoldWords(g, fr, 8, 1); err != nil {
+			t.Fatalf("%s functional: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package eqcheck verifies circuit equivalence: random-simulation and SAT
+// based combinational equivalence checking (CEC), and the fold-specific
+// check of the paper's problem statement — that unrolling a folded
+// circuit by T frames reproduces the original combinational circuit under
+// the pin schedule.
+package eqcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/core"
+	"circuitfold/internal/sat"
+	"circuitfold/internal/seq"
+)
+
+// SimEquivalent checks input-output equivalence of two combinational
+// circuits with the same interface using `rounds` rounds of 64-way random
+// simulation. It can only disprove equivalence.
+func SimEquivalent(a, b *aig.Graph, rounds int, seed int64) bool {
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		return false
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]uint64, a.NumPIs())
+	for r := 0; r < rounds; r++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		oa := a.SimWords(in)
+		ob := b.SimWords(in)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SATEquivalent proves or disproves equivalence of two combinational
+// circuits with identical interfaces by checking each output pair's miter
+// with SAT. budget bounds conflicts per output; it returns sat.Unknown if
+// any query is inconclusive.
+func SATEquivalent(a, b *aig.Graph, budget int64) sat.Status {
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		return sat.Unsat // trivially inequivalent interfaces
+	}
+	// Build a joint miter graph.
+	m := aig.New()
+	piMap := make([]aig.Lit, a.NumPIs())
+	for i := range piMap {
+		piMap[i] = m.PI("")
+	}
+	rootsA := make([]aig.Lit, a.NumPOs())
+	for i := range rootsA {
+		rootsA[i] = a.PO(i)
+	}
+	rootsB := make([]aig.Lit, b.NumPOs())
+	for i := range rootsB {
+		rootsB[i] = b.PO(i)
+	}
+	oa := aig.Transfer(m, a, piMap, rootsA)
+	ob := aig.Transfer(m, b, piMap, rootsB)
+	diffs := make([]aig.Lit, len(oa))
+	for i := range oa {
+		diffs[i] = m.Xor(oa[i], ob[i])
+	}
+	solver := sat.New()
+	solver.SetBudget(budget)
+	cnf := m.ToCNF(solver, diffs)
+	for _, d := range diffs {
+		if d == aig.Const0 {
+			continue
+		}
+		if d == aig.Const1 {
+			return sat.Sat // structurally different constant outputs
+		}
+		switch solver.Solve(cnf.LitFor(d)) {
+		case sat.Sat:
+			return sat.Sat // counterexample: not equivalent
+		case sat.Unknown:
+			return sat.Unknown
+		}
+	}
+	return sat.Unsat // all miters UNSAT: equivalent
+}
+
+// VerifyFold checks that the folded circuit is a correct time
+// multiplexing of the original combinational circuit g: executing the
+// fold on a full input assignment reproduces g's outputs. Exhaustive for
+// small input counts, random otherwise. It returns nil or a descriptive
+// error with a counterexample.
+func VerifyFold(g *aig.Graph, r *core.Result, randomTrials int, seed int64) error {
+	n := g.NumPIs()
+	check := func(in []bool) error {
+		want := g.Eval(in)
+		got := r.Execute(in)
+		if len(got) < len(want) {
+			return fmt.Errorf("eqcheck: fold produced %d outputs, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("eqcheck: output %d differs on input %v: fold=%v circuit=%v",
+					i, in, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	if n <= 12 {
+		in := make([]bool, n)
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			for i := 0; i < n; i++ {
+				in[i] = v>>uint(i)&1 == 1
+			}
+			if err := check(in); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]bool, n)
+	for trial := 0; trial < randomTrials; trial++ {
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		if err := check(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyFoldByUnrolling checks the problem-statement form directly:
+// time-frame expanding the folded circuit by T yields a combinational
+// circuit equivalent to g under the pin schedule. The unrolled circuit's
+// scheduled output positions are compared against g by random (or
+// exhaustive, when small) simulation.
+func VerifyFoldByUnrolling(g *aig.Graph, r *core.Result, randomTrials int, seed int64) error {
+	u := r.Seq.Unroll(r.T)
+	n := g.NumPIs()
+	mOut := r.Seq.NumOutputs()
+
+	check := func(in []bool) error {
+		want := g.Eval(in)
+		// Build the unrolled input vector (frame-major).
+		flat := make([]bool, 0, r.T*r.Seq.NumInputs)
+		for _, row := range r.ScheduleInputs(in) {
+			flat = append(flat, row...)
+		}
+		uo := u.Eval(flat)
+		for t, row := range r.OutSched {
+			for k, dst := range row {
+				if dst < 0 {
+					continue
+				}
+				if uo[t*mOut+k] != want[dst] {
+					return fmt.Errorf("eqcheck: unrolled output (frame %d, pin %d) for PO %d differs on %v",
+						t, k, dst, in)
+				}
+			}
+		}
+		return nil
+	}
+	if n <= 12 {
+		in := make([]bool, n)
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			for i := 0; i < n; i++ {
+				in[i] = v>>uint(i)&1 == 1
+			}
+			if err := check(in); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]bool, n)
+	for trial := 0; trial < randomTrials; trial++ {
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		if err := check(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeqEquivalentBounded checks bounded input-output equivalence of two
+// sequential circuits with identical interfaces: both are unrolled T
+// frames from their initial states and the unrollings are compared with
+// SAT. It returns sat.Unsat when equivalent within the bound, sat.Sat
+// with inequivalence, and sat.Unknown when the budget ran out.
+func SeqEquivalentBounded(a, b *seq.Circuit, T int, budget int64) sat.Status {
+	if a.NumInputs != b.NumInputs || a.NumOutputs() != b.NumOutputs() {
+		return sat.Sat
+	}
+	return SATEquivalent(a.Unroll(T), b.Unroll(T), budget)
+}
+
+// VerifyFoldWords is the word-parallel version of VerifyFold: each round
+// drives 64 random input vectors through both the original circuit and
+// the folded execution at once. rounds*64 vectors total.
+func VerifyFoldWords(g *aig.Graph, r *core.Result, rounds int, seed int64) error {
+	n := g.NumPIs()
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]uint64, n)
+	m := r.Seq.NumInputs
+	for round := 0; round < rounds; round++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		want := g.SimWords(in)
+		// Schedule the input words over the frames.
+		stream := make([][]uint64, r.T)
+		for t := range stream {
+			row := make([]uint64, m)
+			for j, src := range r.InSched[t] {
+				if src >= 0 {
+					row[j] = in[src]
+				}
+			}
+			stream[t] = row
+		}
+		frames := r.Seq.SimulateWords(stream)
+		for t, sched := range r.OutSched {
+			for k, dst := range sched {
+				if dst < 0 {
+					continue
+				}
+				if frames[t][k] != want[dst] {
+					bit := bitsDiffer(frames[t][k], want[dst])
+					return fmt.Errorf("eqcheck: output %d differs (round %d, lane %d)", dst, round, bit)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// bitsDiffer returns the index of the lowest differing bit.
+func bitsDiffer(a, b uint64) int {
+	d := a ^ b
+	i := 0
+	for d&1 == 0 {
+		d >>= 1
+		i++
+	}
+	return i
+}

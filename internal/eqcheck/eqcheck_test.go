@@ -1,0 +1,163 @@
+package eqcheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/core"
+	"circuitfold/internal/sat"
+)
+
+func randomGraph(rng *rand.Rand, ands, pis, pos int) *aig.Graph {
+	g := aig.New()
+	lits := []aig.Lit{aig.Const1}
+	for i := 0; i < pis; i++ {
+		lits = append(lits, g.PI(""))
+	}
+	for i := 0; i < ands; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, g.And(a, b))
+	}
+	for i := 0; i < pos; i++ {
+		g.AddPO(lits[len(lits)-1-rng.Intn(ands)].NotIf(rng.Intn(2) == 0), "")
+	}
+	return g
+}
+
+func TestSimEquivalentDetectsEqualAndDifferent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 50, 8, 4)
+	h := g.Cleanup()
+	if !SimEquivalent(g, h, 16, 7) {
+		t.Fatal("cleanup copy should be equivalent")
+	}
+	h.SetPO(0, h.PO(0).Not())
+	if SimEquivalent(g, h, 16, 7) {
+		t.Fatal("negated output should be caught")
+	}
+	// Interface mismatch is inequivalent by definition.
+	k := randomGraph(rng, 10, 7, 4)
+	if SimEquivalent(g, k, 4, 7) {
+		t.Fatal("different interfaces should not be equivalent")
+	}
+}
+
+func TestSATEquivalentProves(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 40, 7, 3)
+		h := g.Balance()
+		if got := SATEquivalent(g, h, 0); got != sat.Unsat {
+			t.Fatalf("trial %d: balance should be equivalence-preserving, got %v", trial, got)
+		}
+		h2 := g.Cleanup()
+		h2.SetPO(1, h2.PO(1).Not())
+		if got := SATEquivalent(g, h2, 0); got != sat.Sat {
+			t.Fatalf("trial %d: mutation should be caught, got %v", trial, got)
+		}
+	}
+}
+
+func TestSATEquivalentConstantDifference(t *testing.T) {
+	g := aig.New()
+	a := g.PI("a")
+	g.AddPO(g.And(a, a.Not()), "z") // constant 0
+	h := aig.New()
+	b := h.PI("a")
+	h.AddPO(h.Or(b, b.Not()), "z") // constant 1
+	if got := SATEquivalent(g, h, 0); got != sat.Sat {
+		t.Fatalf("constant 0 vs 1 should differ, got %v", got)
+	}
+	h2 := aig.New()
+	c := h2.PI("a")
+	h2.AddPO(h2.And(c, c.Not()), "z")
+	if got := SATEquivalent(g, h2, 0); got != sat.Unsat {
+		t.Fatalf("constant 0 vs 0 should match, got %v", got)
+	}
+}
+
+func TestVerifyFoldCatchesCorruption(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(3)), 60, 6, 4)
+	r, err := core.StructuralFold(g, 2, core.StructuralOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFold(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one output pin of the folded circuit.
+	r.Seq.G.SetPO(0, r.Seq.G.PO(0).Not())
+	if VerifyFold(g, r, 0, 1) == nil {
+		t.Fatal("corrupted fold should fail verification")
+	}
+}
+
+func TestVerifyFoldByUnrollingCatchesCorruption(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(4)), 60, 6, 4)
+	r, err := core.StructuralFold(g, 3, core.StructuralOptions{Counter: core.OneHot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFoldByUnrolling(g, r, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	r.Seq.G.SetPO(0, r.Seq.G.PO(0).Not())
+	if VerifyFoldByUnrolling(g, r, 0, 1) == nil {
+		t.Fatal("corrupted fold should fail unrolling verification")
+	}
+}
+
+func TestVerifyFoldRandomPathOnWideCircuit(t *testing.T) {
+	// Wide circuits exercise the random-vector path (n > 12).
+	g := randomGraph(rand.New(rand.NewSource(5)), 150, 30, 8)
+	r, err := core.StructuralFold(g, 3, core.StructuralOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFold(g, r, 100, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFoldByUnrolling(g, r, 50, 11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqEquivalentBounded(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(6)), 50, 6, 3)
+	r1, err := core.StructuralFold(g, 3, core.StructuralOptions{Counter: core.Binary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.StructuralFold(g, 3, core.StructuralOptions{Counter: core.OneHot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary- and one-hot-counter folds of the same circuit behave the
+	// same for T frames.
+	if got := SeqEquivalentBounded(r1.Seq, r2.Seq, 3, 0); got != sat.Unsat {
+		t.Fatalf("counter encodings should be equivalent within the bound, got %v", got)
+	}
+	// Corrupt one: detectable.
+	r2.Seq.G.SetPO(0, r2.Seq.G.PO(0).Not())
+	if got := SeqEquivalentBounded(r1.Seq, r2.Seq, 3, 0); got != sat.Sat {
+		t.Fatalf("corruption should be caught, got %v", got)
+	}
+}
+
+func TestVerifyFoldWordsMatchesScalar(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(7)), 120, 20, 6)
+	r, err := core.StructuralFold(g, 4, core.StructuralOptions{Counter: core.OneHot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFoldWords(g, r, 16, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Corruption is caught.
+	r.Seq.G.SetPO(0, r.Seq.G.PO(0).Not())
+	if VerifyFoldWords(g, r, 16, 3) == nil {
+		t.Fatal("corrupted fold should fail word verification")
+	}
+}

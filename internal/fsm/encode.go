@@ -1,0 +1,245 @@
+package fsm
+
+import (
+	"fmt"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/bdd"
+	"circuitfold/internal/seq"
+)
+
+// StateEncoding selects the state-assignment style of Section V-C.
+type StateEncoding int
+
+// Encodings.
+const (
+	// NaturalBinary uses ceil(log2 |S|) state bits.
+	NaturalBinary StateEncoding = iota
+	// OneHotState uses |S| state bits, one per state.
+	OneHotState
+)
+
+func (e StateEncoding) String() string {
+	if e == OneHotState {
+		return "1hot"
+	}
+	return "nat"
+}
+
+// encodeNodeBudget caps the BDD built during logic synthesis; beyond it
+// Encode falls back to direct sum-of-products construction.
+var encodeNodeBudget = 3000000
+
+// Encode synthesizes the machine into a sequential circuit with
+// NumInputs input pins and NumOutputs output pins. Every next-state and
+// output function is built as one BDD over the state bits and inputs and
+// then converted to AND-inverter logic, which collapses redundancy the
+// way a logic synthesis flow would; on BDD blowup it falls back to a
+// direct sum-of-products over the transitions. Unspecified outputs and
+// don't-care successors are resolved to 0, the cheapest completion.
+func Encode(m *Machine, enc StateEncoding) (*seq.Circuit, error) {
+	S := m.NumStates()
+	if S == 0 {
+		return nil, fmt.Errorf("fsm: cannot encode empty machine")
+	}
+	g := aig.New()
+	ins := make([]aig.Lit, m.NumInputs)
+	for i := range ins {
+		ins[i] = g.PI(fmt.Sprintf("x%d", i))
+	}
+
+	var bits int
+	switch enc {
+	case OneHotState:
+		bits = S
+	case NaturalBinary:
+		bits = 1
+		for 1<<uint(bits) < S {
+			bits++
+		}
+	default:
+		return nil, fmt.Errorf("fsm: unknown encoding %d", enc)
+	}
+	ffs := make([]aig.Lit, bits)
+	for i := range ffs {
+		ffs[i] = g.PI("")
+	}
+	code := make([][]bool, S)
+	for s := 0; s < S; s++ {
+		code[s] = make([]bool, bits)
+		if enc == OneHotState {
+			code[s][s] = true
+		} else {
+			for b := 0; b < bits; b++ {
+				code[s][b] = s>>uint(b)&1 == 1
+			}
+		}
+	}
+
+	next, outs, ok := encodeViaBDD(m, g, ins, ffs, code, bits, enc)
+	if !ok {
+		next, outs = encodeViaSOP(m, g, ins, ffs, code, bits, enc)
+	}
+	for o, lit := range outs {
+		g.AddPO(lit, fmt.Sprintf("y%d", o))
+	}
+	init := make([]bool, bits)
+	copy(init, code[m.Initial])
+	return &seq.Circuit{G: g, NumInputs: m.NumInputs, Next: next, Init: init}, nil
+}
+
+// encodeViaBDD builds each target function as a BDD over [state bits |
+// inputs] and converts it to AIG logic. It reports ok=false if the
+// working manager exceeds the node budget.
+func encodeViaBDD(m *Machine, g *aig.Graph, ins, ffs []aig.Lit, code [][]bool, bits int, enc StateEncoding) (next []aig.Lit, outs []aig.Lit, ok bool) {
+	bm := bdd.New(bits + m.NumInputs)
+	varMap := make(map[int]int, m.NumInputs)
+	for j := 0; j < m.NumInputs; j++ {
+		varMap[j] = bits + j
+	}
+	condMemo := make(map[bdd.Node]bdd.Node)
+	cond := func(c bdd.Node) bdd.Node {
+		if r, hit := condMemo[c]; hit {
+			return r
+		}
+		r := m.Mgr.Translate(bm, c, varMap)
+		condMemo[c] = r
+		return r
+	}
+	cube := make([]bdd.Node, m.NumStates())
+	for s := range cube {
+		if enc == OneHotState {
+			// Under the one-hot invariant the off bits are redundant;
+			// using only the hot bit keeps the BDDs linear in |S|.
+			cube[s] = bm.Var(s)
+			continue
+		}
+		c := bdd.True
+		for b := 0; b < bits; b++ {
+			v := bm.Var(b)
+			if !code[s][b] {
+				v = bm.NVar(b)
+			}
+			c = bm.And(c, v)
+		}
+		cube[s] = c
+	}
+
+	nextF := make([]bdd.Node, bits)
+	outF := make([]bdd.Node, m.NumOutputs)
+	for i := range nextF {
+		nextF[i] = bdd.False
+	}
+	for i := range outF {
+		outF[i] = bdd.False
+	}
+	for s := 0; s < m.NumStates(); s++ {
+		for _, tr := range m.Trans[s] {
+			fire := bm.And(cube[s], cond(tr.Cond))
+			if bm.NumNodes() > encodeNodeBudget {
+				return nil, nil, false
+			}
+			if tr.Dst != DontCare {
+				for b := 0; b < bits; b++ {
+					if code[tr.Dst][b] {
+						nextF[b] = bm.Or(nextF[b], fire)
+					}
+				}
+			}
+			for o, v := range tr.Out {
+				if v == One {
+					outF[o] = bm.Or(outF[o], fire)
+				}
+			}
+			if bm.NumNodes() > encodeNodeBudget {
+				return nil, nil, false
+			}
+		}
+	}
+
+	vars := make([]aig.Lit, bits+m.NumInputs)
+	copy(vars, ffs)
+	copy(vars[bits:], ins)
+	conv := newBddToAig(bm, g, vars)
+	next = make([]aig.Lit, bits)
+	for b := range next {
+		next[b] = conv.lit(nextF[b])
+	}
+	outs = make([]aig.Lit, m.NumOutputs)
+	for o := range outs {
+		outs[o] = conv.lit(outF[o])
+	}
+	return next, outs, true
+}
+
+// encodeViaSOP is the fallback: a sum of products over the transitions,
+// with condition BDDs converted to logic individually.
+func encodeViaSOP(m *Machine, g *aig.Graph, ins, ffs []aig.Lit, code [][]bool, bits int, enc StateEncoding) (next []aig.Lit, outs []aig.Lit) {
+	stateIs := make([]aig.Lit, m.NumStates())
+	for s := range stateIs {
+		if enc == OneHotState {
+			stateIs[s] = ffs[s]
+			continue
+		}
+		terms := make([]aig.Lit, bits)
+		for b := 0; b < bits; b++ {
+			terms[b] = ffs[b].NotIf(!code[s][b])
+		}
+		stateIs[s] = g.AndN(terms...)
+	}
+	conv := newBddToAig(m.Mgr, g, ins)
+	nextTerms := make([][]aig.Lit, bits)
+	outTerms := make([][]aig.Lit, m.NumOutputs)
+	for s := 0; s < m.NumStates(); s++ {
+		for _, tr := range m.Trans[s] {
+			fire := g.And(stateIs[s], conv.lit(tr.Cond))
+			if tr.Dst != DontCare {
+				for b := 0; b < bits; b++ {
+					if code[tr.Dst][b] {
+						nextTerms[b] = append(nextTerms[b], fire)
+					}
+				}
+			}
+			for o, v := range tr.Out {
+				if v == One {
+					outTerms[o] = append(outTerms[o], fire)
+				}
+			}
+		}
+	}
+	next = make([]aig.Lit, bits)
+	for b := range next {
+		next[b] = g.OrN(nextTerms[b]...)
+	}
+	outs = make([]aig.Lit, m.NumOutputs)
+	for o := range outs {
+		outs[o] = g.OrN(outTerms[o]...)
+	}
+	return next, outs
+}
+
+// bddToAig converts BDD functions into AIG literals, sharing logic
+// across calls.
+type bddToAig struct {
+	mgr  *bdd.Manager
+	g    *aig.Graph
+	vars []aig.Lit
+	memo map[bdd.Node]aig.Lit
+}
+
+func newBddToAig(mgr *bdd.Manager, g *aig.Graph, vars []aig.Lit) *bddToAig {
+	return &bddToAig{mgr: mgr, g: g, vars: vars,
+		memo: map[bdd.Node]aig.Lit{bdd.False: aig.Const0, bdd.True: aig.Const1}}
+}
+
+func (c *bddToAig) lit(f bdd.Node) aig.Lit {
+	if l, ok := c.memo[f]; ok {
+		return l
+	}
+	v := c.mgr.TopVar(f)
+	hi := c.lit(c.mgr.Hi(f))
+	lo := c.lit(c.mgr.Lo(f))
+	l := c.g.Mux(c.vars[v], hi, lo)
+	c.memo[f] = l
+	return l
+}

@@ -1,0 +1,10 @@
+package fsm
+
+// SetEncodeNodeBudgetForTest overrides the BDD budget of Encode so tests
+// can force the sum-of-products fallback path; it returns a restore
+// function.
+func SetEncodeNodeBudgetForTest(n int) func() {
+	old := encodeNodeBudget
+	encodeNodeBudget = n
+	return func() { encodeNodeBudget = old }
+}

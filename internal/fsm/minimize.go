@@ -1,0 +1,371 @@
+package fsm
+
+import (
+	"fmt"
+	"time"
+
+	"circuitfold/internal/bdd"
+	"circuitfold/internal/sat"
+)
+
+// MinimizeOptions bounds the exact minimization, mirroring the paper's
+// 300-second MeMin timeout: work beyond any bound aborts with an error
+// (reported as "-" in the tables).
+type MinimizeOptions struct {
+	// MaxAtoms bounds the explicit input-partition size.
+	MaxAtoms int
+	// ConflictBudget bounds each SAT solve; 0 means unlimited.
+	ConflictBudget int64
+	// Timeout bounds the total wall-clock time; 0 means unlimited.
+	Timeout time.Duration
+	// MaxClasses bounds the number of classes tried before giving up.
+	MaxClasses int
+	// MaxStates skips minimization of machines above this size (0 means
+	// 400); the paper's large instances also time out and run "nm".
+	MaxStates int
+}
+
+// DefaultMinimizeOptions returns the bounds used by the experiment
+// harness.
+func DefaultMinimizeOptions() MinimizeOptions {
+	return MinimizeOptions{MaxAtoms: 2048, ConflictBudget: 500000, Timeout: 30 * time.Second, MaxStates: 400}
+}
+
+// Minimize performs SAT-based exact minimization of the incompletely
+// specified machine in the style of MeMin: it computes pairwise state
+// compatibility, derives a lower bound from a greedy clique of mutually
+// incompatible states, and searches for the smallest closed cover of
+// compatible classes by solving a sequence of SAT instances. It returns
+// the minimized machine. The result covers the original behavior: on any
+// input sequence, wherever the original machine's output is specified the
+// minimized machine agrees.
+func Minimize(m *Machine, opt MinimizeOptions) (*Machine, error) {
+	start := time.Now()
+	deadline := func() bool {
+		return opt.Timeout > 0 && time.Since(start) > opt.Timeout
+	}
+	if opt.MaxAtoms <= 0 {
+		opt.MaxAtoms = 2048
+	}
+	n := m.NumStates()
+	if n == 0 {
+		return nil, fmt.Errorf("fsm: empty machine")
+	}
+	if opt.MaxStates > 0 && n > opt.MaxStates {
+		return nil, fmt.Errorf("fsm: %d states exceeds minimization bound %d", n, opt.MaxStates)
+	}
+	atoms, err := m.Atoms(opt.MaxAtoms)
+	if err != nil {
+		return nil, err
+	}
+	na := len(atoms)
+
+	// Explicit behavior tables per state and atom. Atoms refine every
+	// condition, so one representative minterm per atom decides which
+	// transition (if any) the whole atom takes — far cheaper than BDD
+	// intersections per (state, atom, transition) triple.
+	reps := make([][]bool, na)
+	for a, atom := range atoms {
+		rep, ok := m.Mgr.AnySat(atom)
+		if !ok {
+			return nil, fmt.Errorf("fsm: empty atom in partition")
+		}
+		reps[a] = rep
+	}
+	succ := make([][]int, n)
+	outs := make([][][]Tri, n)
+	for s := 0; s < n; s++ {
+		succ[s] = make([]int, na)
+		outs[s] = make([][]Tri, na)
+		for a := range succ[s] {
+			succ[s][a] = DontCare
+			if tr, ok := m.Lookup(s, reps[a]); ok {
+				succ[s][a] = tr.Dst
+				outs[s][a] = tr.Out
+			}
+		}
+	}
+
+	// Pairwise incompatibility fixpoint.
+	incompat := make([][]bool, n)
+	for i := range incompat {
+		incompat[i] = make([]bool, n)
+	}
+	for s := 0; s < n; s++ {
+		for t := s + 1; t < n; t++ {
+			for a := 0; a < na; a++ {
+				if conflictingOutputs(outs[s][a], outs[t][a]) {
+					incompat[s][t], incompat[t][s] = true, true
+					break
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < n; s++ {
+			for t := s + 1; t < n; t++ {
+				if incompat[s][t] {
+					continue
+				}
+				for a := 0; a < na; a++ {
+					u, v := succ[s][a], succ[t][a]
+					if u != DontCare && v != DontCare && incompat[u][v] {
+						incompat[s][t], incompat[t][s] = true, true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		if deadline() {
+			return nil, fmt.Errorf("fsm: minimization timeout during compatibility analysis")
+		}
+	}
+
+	// Greedy clique of mutually incompatible states: a lower bound on the
+	// class count and a partial solution for symmetry breaking.
+	deg := make([]int, n)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if incompat[s][t] {
+				deg[s]++
+			}
+		}
+	}
+	var clique []int
+	for {
+		best, bestDeg := -1, -1
+		for s := 0; s < n; s++ {
+			ok := true
+			for _, c := range clique {
+				if !incompat[s][c] {
+					ok = false
+					break
+				}
+			}
+			if ok && deg[s] > bestDeg {
+				best, bestDeg = s, deg[s]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		clique = append(clique, best)
+		deg[best] = -2 // do not pick twice
+	}
+	lower := len(clique)
+	if lower == 0 {
+		lower = 1
+	}
+
+	maxK := n
+	if opt.MaxClasses > 0 && opt.MaxClasses < maxK {
+		maxK = opt.MaxClasses
+	}
+	for k := lower; k <= maxK; k++ {
+		if deadline() {
+			return nil, fmt.Errorf("fsm: minimization timeout at k=%d", k)
+		}
+		mm, status := trySolve(m, atoms, succ, outs, incompat, clique, k, opt)
+		switch status {
+		case sat.Sat:
+			return mm, nil
+		case sat.Unknown:
+			return nil, fmt.Errorf("fsm: SAT budget exhausted at k=%d", k)
+		}
+	}
+	return nil, fmt.Errorf("fsm: no solution up to %d classes", maxK)
+}
+
+// conflictingOutputs reports whether two output rows disagree on a
+// commonly specified position. Unspecified rows (nil) never conflict.
+func conflictingOutputs(a, b []Tri) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	for i := range a {
+		if a[i] != X && b[i] != X && a[i] != b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// trySolve encodes "a closed cover with k classes exists" into SAT and
+// extracts the minimized machine when satisfiable.
+func trySolve(m *Machine, atoms []bdd.Node, succ [][]int, outs [][][]Tri,
+	incompat [][]bool, clique []int, k int, opt MinimizeOptions) (*Machine, sat.Status) {
+	n := m.NumStates()
+	na := len(atoms)
+	s2 := sat.New()
+	if opt.ConflictBudget > 0 {
+		s2.SetBudget(opt.ConflictBudget)
+	}
+	// mem[s][i]: state s belongs to class i.
+	mem := make([][]int, n)
+	for s := range mem {
+		mem[s] = make([]int, k)
+		for i := range mem[s] {
+			mem[s][i] = s2.NewVar()
+		}
+	}
+	// nxt[i][a][j]: the successor class of class i under atom a is j.
+	nxt := make([][][]int, k)
+	for i := range nxt {
+		nxt[i] = make([][]int, na)
+		for a := range nxt[i] {
+			nxt[i][a] = make([]int, k)
+			for j := range nxt[i][a] {
+				nxt[i][a][j] = s2.NewVar()
+			}
+		}
+	}
+	pos := func(v int) sat.Lit { return sat.MkLit(v, false) }
+	neg := func(v int) sat.Lit { return sat.MkLit(v, true) }
+
+	// Symmetry breaking: clique states are pinned to distinct classes.
+	for c, s := range clique {
+		if c >= k {
+			break
+		}
+		s2.AddClause(pos(mem[s][c]))
+		for i := 0; i < k; i++ {
+			if i != c {
+				s2.AddClause(neg(mem[s][i]))
+			}
+		}
+	}
+	// Covering: every state is in some class.
+	for s := 0; s < n; s++ {
+		cl := make([]sat.Lit, k)
+		for i := 0; i < k; i++ {
+			cl[i] = pos(mem[s][i])
+		}
+		s2.AddClause(cl...)
+	}
+	// Consistency: incompatible states never share a class.
+	for s := 0; s < n; s++ {
+		for t := s + 1; t < n; t++ {
+			if !incompat[s][t] {
+				continue
+			}
+			for i := 0; i < k; i++ {
+				s2.AddClause(neg(mem[s][i]), neg(mem[t][i]))
+			}
+		}
+	}
+	// Closure: if state s (with a defined successor under atom a) is in
+	// class i, and class i maps atom a to class j, then succ(s,a) is in
+	// class j. Each (i,a) maps somewhere.
+	for i := 0; i < k; i++ {
+		for a := 0; a < na; a++ {
+			cl := make([]sat.Lit, k)
+			for j := 0; j < k; j++ {
+				cl[j] = pos(nxt[i][a][j])
+			}
+			s2.AddClause(cl...)
+			for s := 0; s < n; s++ {
+				if succ[s][a] == DontCare {
+					continue
+				}
+				for j := 0; j < k; j++ {
+					s2.AddClause(neg(mem[s][i]), neg(nxt[i][a][j]), pos(mem[succ[s][a]][j]))
+				}
+			}
+		}
+	}
+
+	status := s2.Solve()
+	if status != sat.Sat {
+		return nil, status
+	}
+
+	// Extract the minimized machine.
+	members := make([][]int, k)
+	for s := 0; s < n; s++ {
+		for i := 0; i < k; i++ {
+			if s2.Value(mem[s][i]) {
+				members[i] = append(members[i], s)
+			}
+		}
+	}
+	initial := -1
+	for i := 0; i < k; i++ {
+		for _, s := range members[i] {
+			if s == m.Initial {
+				initial = i
+				break
+			}
+		}
+		if initial >= 0 {
+			break
+		}
+	}
+	trans := make([][]Transition, k)
+	for i := 0; i < k; i++ {
+		// Group atoms by (joined outputs, successor class).
+		type beh struct {
+			key string
+			out []Tri
+			dst int
+			cnd bdd.Node
+		}
+		var behs []beh
+		index := make(map[string]int)
+		for a := 0; a < na; a++ {
+			out := make([]Tri, m.NumOutputs)
+			for o := range out {
+				out[o] = X
+			}
+			specified := false
+			for _, s := range members[i] {
+				if outs[s][a] == nil {
+					continue
+				}
+				for o, v := range outs[s][a] {
+					if v != X {
+						out[o] = v
+						specified = true
+					}
+				}
+			}
+			dst := DontCare
+			anySucc := false
+			for _, s := range members[i] {
+				if succ[s][a] != DontCare {
+					anySucc = true
+					break
+				}
+			}
+			if anySucc {
+				for j := 0; j < k; j++ {
+					if s2.Value(nxt[i][a][j]) {
+						dst = j
+						break
+					}
+				}
+			}
+			if !specified && dst == DontCare {
+				continue // fully unspecified: leave uncovered
+			}
+			key := fmt.Sprint(out, dst)
+			if bi, ok := index[key]; ok {
+				behs[bi].cnd = m.Mgr.Or(behs[bi].cnd, atoms[a])
+			} else {
+				index[key] = len(behs)
+				behs = append(behs, beh{key: key, out: out, dst: dst, cnd: atoms[a]})
+			}
+		}
+		for _, b := range behs {
+			trans[i] = append(trans[i], Transition{Cond: b.cnd, Out: b.out, Dst: b.dst})
+		}
+	}
+	return &Machine{
+		Mgr:        m.Mgr,
+		NumInputs:  m.NumInputs,
+		NumOutputs: m.NumOutputs,
+		Initial:    initial,
+		Trans:      trans,
+	}, sat.Sat
+}

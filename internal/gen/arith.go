@@ -1,0 +1,313 @@
+package gen
+
+import "circuitfold/internal/aig"
+
+func init() {
+	register("adder3", 6, 4,
+		"3-bit ripple-carry adder, the paper's running example (Fig. 4)",
+		func() *aig.Graph { return rippleAdder(3) })
+	register("64-adder", 128, 65,
+		"64-bit ripple-carry adder (Adder benchmark family)",
+		func() *aig.Graph { return rippleAdder(64) })
+	register("128-adder", 256, 129,
+		"128-bit ripple-carry adder (Adder benchmark family)",
+		func() *aig.Graph { return rippleAdder(128) })
+	register("C7552", 207, 108,
+		"34-bit adder/magnitude comparator with parity network (ISCAS'85 C7552 stand-in)",
+		buildC7552)
+	register("max", 512, 130,
+		"maximum of four 128-bit operands plus 2-bit argmax (EPFL max stand-in)",
+		buildMax)
+	register("voter", 1001, 1,
+		"majority of 1001 inputs: popcount adder tree and threshold compare (EPFL voter stand-in)",
+		buildVoter)
+	register("hyp", 256, 128,
+		"sqrt(a^2+b^2) over 128-bit operands: two array squarers, adder, non-restoring sqrt (EPFL hyp stand-in)",
+		buildHyp)
+}
+
+// rippleAdder builds a w-bit ripple-carry adder with inputs interleaved
+// a0,b0,a1,b1,... (so folding groups align with bit slices) and outputs
+// s0..s(w-1), cout.
+func rippleAdder(w int) *aig.Graph {
+	g := aig.New()
+	a := make([]aig.Lit, w)
+	b := make([]aig.Lit, w)
+	for i := 0; i < w; i++ {
+		a[i] = g.PI("a" + itoa(i))
+		b[i] = g.PI("b" + itoa(i))
+	}
+	carry := aig.Const0
+	for i := 0; i < w; i++ {
+		g.AddPO(g.Xor(g.Xor(a[i], b[i]), carry), "s"+itoa(i))
+		carry = g.Or(g.And(a[i], b[i]), g.And(carry, g.Xor(a[i], b[i])))
+	}
+	g.AddPO(carry, "cout")
+	return g
+}
+
+// adderLits adds two equal-width vectors inside g, returning sum and
+// carry.
+func adderLits(g *aig.Graph, a, b []aig.Lit, cin aig.Lit) ([]aig.Lit, aig.Lit) {
+	return g.Adder(a, b, cin)
+}
+
+// buildC7552 combines a 34-bit adder, a magnitude comparator and parity
+// trees, consuming 207 inputs and producing 108 outputs.
+func buildC7552() *aig.Graph {
+	g := aig.New()
+	pi := make([]aig.Lit, 207)
+	for i := range pi {
+		pi[i] = g.PI("x" + itoa(i))
+	}
+	a := pi[0:34]
+	b := pi[34:68]
+	cin := pi[68]
+	sum, cout := adderLits(g, a, b, cin)
+	for i, s := range sum {
+		g.AddPO(s, "sum"+itoa(i)) // 34 outputs
+	}
+	g.AddPO(cout, "cout") // 1
+
+	// Magnitude comparator a < b.
+	lt := aig.Const0
+	for i := 0; i < 34; i++ {
+		eq := g.Xnor(a[i], b[i])
+		lt = g.Or(g.And(a[i].Not(), b[i]), g.And(eq, lt))
+	}
+	g.AddPO(lt, "lt") // 1
+
+	// Masked XOR network over the remaining inputs.
+	rest := pi[69:]
+	for k := 0; k < 64; k++ { // 64 outputs
+		x := rest[(2*k)%len(rest)]
+		y := rest[(2*k+37)%len(rest)]
+		zz := rest[(3*k+11)%len(rest)]
+		g.AddPO(g.Xor(g.And(x, y), zz), "m"+itoa(k))
+	}
+	// Parity trees over input stripes.
+	for k := 0; k < 8; k++ { // 8 outputs
+		var xs []aig.Lit
+		for i := k; i < len(rest); i += 8 {
+			xs = append(xs, rest[i])
+		}
+		g.AddPO(g.XorN(xs...), "p"+itoa(k))
+	}
+	return g
+}
+
+// buildMax computes the maximum of four 128-bit operands and a 2-bit
+// index of the winner.
+func buildMax() *aig.Graph {
+	g := aig.New()
+	ops := make([][]aig.Lit, 4)
+	for o := range ops {
+		ops[o] = make([]aig.Lit, 128)
+		for i := range ops[o] {
+			ops[o][i] = g.PI("op" + itoa(o) + "_" + itoa(i))
+		}
+	}
+	// geq(a, b): a >= b, MSB-first magnitude comparison.
+	geq := func(a, b []aig.Lit) aig.Lit {
+		ge := aig.Const1
+		for i := 0; i < len(a); i++ { // LSB to MSB accumulation
+			eq := g.Xnor(a[i], b[i])
+			gt := g.And(a[i], b[i].Not())
+			ge = g.Or(gt, g.And(eq, ge))
+		}
+		return ge
+	}
+	mux := func(s aig.Lit, a, b []aig.Lit) []aig.Lit {
+		out := make([]aig.Lit, len(a))
+		for i := range a {
+			out[i] = g.Mux(s, a[i], b[i])
+		}
+		return out
+	}
+	s01 := geq(ops[0], ops[1])
+	m01 := mux(s01, ops[0], ops[1])
+	s23 := geq(ops[2], ops[3])
+	m23 := mux(s23, ops[2], ops[3])
+	sf := geq(m01, m23)
+	mf := mux(sf, m01, m23)
+	for i, l := range mf {
+		g.AddPO(l, "max"+itoa(i)) // 128 outputs
+	}
+	// 2-bit index: idx1 = winner came from {2,3}; idx0 = lower of pair.
+	idx1 := sf.Not()
+	idx0 := g.Mux(sf, s01.Not(), s23.Not())
+	g.AddPO(idx1, "idx1")
+	g.AddPO(idx0, "idx0")
+	return g
+}
+
+// buildVoter outputs 1 iff more than half of its 1001 inputs are 1,
+// computed by a popcount adder tree and a threshold comparison.
+func buildVoter() *aig.Graph {
+	g := aig.New()
+	ins := make([]aig.Lit, 1001)
+	for i := range ins {
+		ins[i] = g.PI("v" + itoa(i))
+	}
+	// Reduce with full adders: counts as little-endian bit vectors.
+	vecs := make([][]aig.Lit, len(ins))
+	for i, l := range ins {
+		vecs[i] = []aig.Lit{l}
+	}
+	for len(vecs) > 1 {
+		var next [][]aig.Lit
+		for i := 0; i+1 < len(vecs); i += 2 {
+			next = append(next, addVectors(g, vecs[i], vecs[i+1]))
+		}
+		if len(vecs)%2 == 1 {
+			next = append(next, vecs[len(vecs)-1])
+		}
+		vecs = next
+	}
+	count := vecs[0] // 0..1001, width set by the reduction tree
+	// count >= 501 <=> count + (2^w - 501) overflows w bits.
+	bias := (1 << uint(len(count))) - 501
+	carry := aig.Const0
+	for i := 0; i < len(count); i++ {
+		bit := aig.Const0
+		if bias>>uint(i)&1 == 1 {
+			bit = aig.Const1
+		}
+		carry = g.Or(g.And(count[i], bit), g.And(carry, g.Xor(count[i], bit)))
+	}
+	g.AddPO(carry, "maj")
+	return g
+}
+
+// addVectors adds two little-endian bit vectors of possibly different
+// widths.
+func addVectors(g *aig.Graph, a, b []aig.Lit) []aig.Lit {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	bb := make([]aig.Lit, len(a))
+	copy(bb, b)
+	for i := len(b); i < len(a); i++ {
+		bb[i] = aig.Const0
+	}
+	sum, carry := g.Adder(a, bb, aig.Const0)
+	return append(sum, carry)
+}
+
+// mulVectors builds a multiplier of a*b: partial products summed with a
+// balanced adder tree (widths stay small near the leaves, keeping the
+// node count near the practical minimum for ripple-based reduction).
+func mulVectors(g *aig.Graph, a, b []aig.Lit) []aig.Lit {
+	vecs := make([][]aig.Lit, 0, len(b))
+	for i := range b {
+		pp := make([]aig.Lit, i+len(a))
+		for k := 0; k < i; k++ {
+			pp[k] = aig.Const0
+		}
+		for j := range a {
+			pp[i+j] = g.And(a[j], b[i])
+		}
+		vecs = append(vecs, pp)
+	}
+	for len(vecs) > 1 {
+		var next [][]aig.Lit
+		for i := 0; i+1 < len(vecs); i += 2 {
+			next = append(next, addVectors(g, vecs[i], vecs[i+1]))
+		}
+		if len(vecs)%2 == 1 {
+			next = append(next, vecs[len(vecs)-1])
+		}
+		vecs = next
+	}
+	return vecs[0]
+}
+
+// buildHyp computes floor(sqrt(a^2+b^2)) for 128-bit a and b: two array
+// squarers, a wide adder, and a restoring square root, mirroring the EPFL
+// hyp benchmark's structure (the real netlist uses the same blocks).
+func buildHyp() *aig.Graph {
+	g := aig.New()
+	a := make([]aig.Lit, 128)
+	b := make([]aig.Lit, 128)
+	for i := range a {
+		a[i] = g.PI("a" + itoa(i))
+	}
+	for i := range b {
+		b[i] = g.PI("b" + itoa(i))
+	}
+	aa := mulVectors(g, a, a) // 256 bits
+	bb := mulVectors(g, b, b)
+	s := addVectors(g, aa, bb) // 257 bits; the top bit is dropped below
+	root := isqrt(g, s[:256], 128)
+	for i, l := range root {
+		g.AddPO(l, "r"+itoa(i))
+	}
+	return g
+}
+
+// isqrt computes the integer square root of the little-endian 2*outBits
+// wide vector x with the classic restoring bit-serial algorithm: two
+// radicand bits are shifted into the remainder per step, and the trial
+// subtraction's carry-out decides each result bit. Each step touches only
+// an (outBits+2)-wide remainder.
+func isqrt(g *aig.Graph, x []aig.Lit, outBits int) []aig.Lit {
+	w := outBits + 2
+	r := make([]aig.Lit, w) // remainder
+	for i := range r {
+		r[i] = aig.Const0
+	}
+	q := make([]aig.Lit, outBits) // result, little-endian
+	for i := range q {
+		q[i] = aig.Const0
+	}
+	for bit := outBits - 1; bit >= 0; bit-- {
+		// r = r<<2 | x[2bit+1] x[2bit]
+		nr := make([]aig.Lit, w)
+		nr[0] = x[2*bit]
+		nr[1] = x[2*bit+1]
+		copy(nr[2:], r[:w-2])
+		// t = Qpartial<<2 | 1, where Qpartial holds the already decided
+		// high result bits q[bit+1..] as its low bits.
+		t := make([]aig.Lit, w)
+		for i := range t {
+			t[i] = aig.Const0
+		}
+		t[0] = aig.Const1
+		for k, src := 2, bit+1; src < outBits && k < w; k, src = k+1, src+1 {
+			t[k] = q[src]
+		}
+		// d = nr - t; the adder's carry-out is 1 iff nr >= t.
+		nt := make([]aig.Lit, w)
+		for i := range t {
+			nt[i] = t[i].Not()
+		}
+		d, ok := g.Adder(nr, nt, aig.Const1)
+		for i := range r {
+			r[i] = g.Mux(ok, d[i], nr[i])
+		}
+		q[bit] = ok
+	}
+	return q
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b [12]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		p--
+		b[p] = '-'
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,326 @@
+package gen
+
+import (
+	"testing"
+
+	"circuitfold/internal/aig"
+)
+
+func TestRegistryCompleteAndConsistent(t *testing.T) {
+	names := Names()
+	if len(names) != 28 { // 27 benchmarks + adder3
+		t.Fatalf("registry has %d circuits, want 28", len(names))
+	}
+	if names[0] != "adder3" {
+		t.Fatalf("first name = %q", names[0])
+	}
+	for _, n := range names {
+		info, err := Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Description == "" {
+			t.Fatalf("%s: missing description", n)
+		}
+	}
+	if _, err := Lookup("nonesuch"); err == nil {
+		t.Fatal("lookup of unknown name should fail")
+	}
+	if _, err := Build("nonesuch"); err == nil {
+		t.Fatal("build of unknown name should fail")
+	}
+}
+
+// smallSuite lists the circuits cheap enough to rebuild in every test.
+var smallSuite = []string{
+	"adder3", "64-adder", "128-adder", "apex2", "arbiter", "C7552",
+	"des", "e64", "g216", "i2", "i3", "i4", "i6", "i7", "i10", "toolarge",
+}
+
+func TestPinCountsMatchTableI(t *testing.T) {
+	want := map[string][2]int{
+		"adder3": {6, 4}, "64-adder": {128, 65}, "128-adder": {256, 129},
+		"apex2": {38, 3}, "arbiter": {256, 1}, "b14_C": {276, 299},
+		"b15_C": {484, 519}, "b17_C": {380, 3}, "b20_C": {521, 512},
+		"b21_C": {521, 512}, "b22_C": {766, 757}, "C7552": {207, 108},
+		"des": {256, 245}, "e64": {65, 65}, "g216": {216, 216},
+		"g625": {625, 625}, "g1296": {1296, 1296}, "hyp": {256, 128},
+		"i2": {201, 1}, "i3": {132, 6}, "i4": {192, 6}, "i6": {138, 67},
+		"i7": {199, 67}, "i10": {257, 224}, "max": {512, 130},
+		"memctrl": {1204, 1231}, "toolarge": {38, 3}, "voter": {1001, 1},
+	}
+	for name, w := range want {
+		info, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.PIs != w[0] || info.POs != w[1] {
+			t.Fatalf("%s: registered %d/%d, want %d/%d", name, info.PIs, info.POs, w[0], w[1])
+		}
+	}
+}
+
+func TestBuildSmallSuite(t *testing.T) {
+	for _, name := range smallSuite {
+		g, err := Build(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumAnds() == 0 {
+			t.Fatalf("%s: empty circuit", name)
+		}
+	}
+}
+
+func TestBuildLargeSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large circuits skipped in -short mode")
+	}
+	for _, name := range []string{"b14_C", "b15_C", "b20_C", "b21_C", "b22_C", "memctrl", "g625", "g1296", "max", "voter", "hyp"} {
+		g, err := Build(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumAnds() < 100 {
+			t.Fatalf("%s: suspiciously small (%d ANDs)", name, g.NumAnds())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range []string{"apex2", "b14_C", "i10", "des"} {
+		a := MustBuild(name)
+		b := MustBuild(name)
+		if a.NumAnds() != b.NumAnds() || a.NumPIs() != b.NumPIs() {
+			t.Fatalf("%s: builds differ structurally", name)
+		}
+		in := make([]uint64, a.NumPIs())
+		for i := range in {
+			in[i] = uint64(i)*0x9e3779b97f4a7c15 + 12345
+		}
+		oa, ob := a.SimWords(in), b.SimWords(in)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("%s: builds differ functionally at output %d", name, i)
+			}
+		}
+	}
+}
+
+func TestAdderFunctional(t *testing.T) {
+	g := MustBuild("adder3")
+	// a = 5 (a0=1,a1=0,a2=1), b = 6 (b0=0,b1=1,b2=1): 5 + 6 = 11 = 1011.
+	in := []bool{true, false, false, true, true, true} // a0,b0,a1,b1,a2,b2
+	out := g.Eval(in)
+	want := []bool{true, true, false, true} // s0=1, s1=1, s2=0, cout=1
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("adder3 output %d = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestVoterFunctional(t *testing.T) {
+	g := MustBuild("voter")
+	in := make([]bool, 1001)
+	for i := 0; i < 500; i++ {
+		in[i*2] = true // 500 ones: not a majority
+	}
+	if g.Eval(in)[0] {
+		t.Fatal("500 of 1001 should not be a majority")
+	}
+	in[1] = true // 501 ones
+	if !g.Eval(in)[0] {
+		t.Fatal("501 of 1001 should be a majority")
+	}
+}
+
+func TestE64Priority(t *testing.T) {
+	g := MustBuild("e64")
+	in := make([]bool, 65)
+	in[5], in[17] = true, true
+	out := g.Eval(in)
+	for i := 0; i < 64; i++ {
+		if out[i] != (i == 5) {
+			t.Fatalf("e64 output %d wrong", i)
+		}
+	}
+	if out[64] {
+		t.Fatal("none flag should be low")
+	}
+	out = g.Eval(make([]bool, 65))
+	if !out[64] {
+		t.Fatal("none flag should be high with no requests")
+	}
+}
+
+func TestArbiterFunctional(t *testing.T) {
+	g := MustBuild("arbiter")
+	in := make([]bool, 256)
+	in[7], in[12] = true, true // first request at odd index 7
+	if g.Eval(in)[0] {
+		t.Fatal("grant at odd index should output 0")
+	}
+	in[4] = true // now first request at even index 4
+	if !g.Eval(in)[0] {
+		t.Fatal("grant at even index should output 1")
+	}
+}
+
+func TestI2Functional(t *testing.T) {
+	g := MustBuild("i2")
+	in := make([]bool, 201)
+	if g.Eval(in)[0] {
+		t.Fatal("all-zero input should give 0")
+	}
+	in[200] = true
+	if !g.Eval(in)[0] {
+		t.Fatal("direct input should set the output")
+	}
+	in[200] = false
+	in[10], in[11] = true, true
+	if !g.Eval(in)[0] {
+		t.Fatal("a full pair should set the output")
+	}
+	in[11] = false
+	if g.Eval(in)[0] {
+		t.Fatal("half a pair should not set the output")
+	}
+}
+
+func TestMulVectorsSmall(t *testing.T) {
+	g := aig.New()
+	a := []aig.Lit{g.PI(""), g.PI(""), g.PI("")}
+	b := []aig.Lit{g.PI(""), g.PI(""), g.PI("")}
+	prod := mulVectors(g, a, b)
+	for _, p := range prod {
+		g.AddPO(p, "")
+	}
+	for av := uint64(0); av < 8; av++ {
+		for bv := uint64(0); bv < 8; bv++ {
+			out := g.EvalUint(av | bv<<3)
+			var got uint64
+			for i, o := range out {
+				if o {
+					got |= 1 << uint(i)
+				}
+			}
+			if got != av*bv {
+				t.Fatalf("%d*%d = %d, want %d", av, bv, got, av*bv)
+			}
+		}
+	}
+}
+
+func TestIsqrtSmall(t *testing.T) {
+	g := aig.New()
+	x := make([]aig.Lit, 8)
+	for i := range x {
+		x[i] = g.PI("")
+	}
+	root := isqrt(g, x, 4)
+	for _, r := range root {
+		g.AddPO(r, "")
+	}
+	for v := uint64(0); v < 256; v++ {
+		out := g.EvalUint(v)
+		var got uint64
+		for i, o := range out {
+			if o {
+				got |= 1 << uint(i)
+			}
+		}
+		want := uint64(0)
+		for want*want <= v {
+			want++
+		}
+		want--
+		if got != want {
+			t.Fatalf("isqrt(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := MustBuild("g216")
+	// Like the LEKO originals, every output depends on the full input
+	// (each mixes in the bottom-right cell).
+	sup := g.SupportSets()
+	for o := 0; o < g.NumPOs(); o += 43 {
+		if len(sup[o]) != 216 {
+			t.Fatalf("output %d support = %d, want 216", o, len(sup[o]))
+		}
+	}
+}
+
+func TestStripesSupportsDisjoint(t *testing.T) {
+	g := MustBuild("i3")
+	sup := g.SupportSets()
+	seen := map[int]int{}
+	for o := range sup {
+		for _, u := range sup[o] {
+			if prev, ok := seen[u]; ok {
+				t.Fatalf("input %d in supports of outputs %d and %d", u, prev, o)
+			}
+			seen[u] = o
+		}
+	}
+}
+
+func TestApex2FoldsToFewStates(t *testing.T) {
+	// The stand-in's defining property: the folded FSM stays at a few
+	// hundred states (the original apex2 shows 127-474 in the paper),
+	// not the exponential blowup random cones exhibit.
+	g := MustBuild("apex2")
+	sup := g.SupportSets()
+	for o := range sup {
+		if len(sup[o]) < 30 {
+			t.Fatalf("output %d support only %d inputs; apex2 outputs are wide", o, len(sup[o]))
+		}
+	}
+}
+
+func TestC7552AdderSlice(t *testing.T) {
+	g := MustBuild("C7552")
+	// sum outputs 0..34 compute a[0..33] + b[0..33] + cin.
+	in := make([]bool, 207)
+	in[0] = true  // a = 1
+	in[34] = true // b = 1
+	out := g.Eval(in)
+	if out[0] || !out[1] {
+		t.Fatalf("1+1 should be 2: s0=%v s1=%v", out[0], out[1])
+	}
+	in[68] = true // cin
+	out = g.Eval(in)
+	if !out[0] || !out[1] {
+		t.Fatalf("1+1+1 should be 3: s0=%v s1=%v", out[0], out[1])
+	}
+	// Outputs: sum bits 0..34 (incl. carry column), cout at 34, lt at 35.
+	in = make([]bool, 207)
+	in[34+5] = true // b = 32, a = 0
+	if !g.Eval(in)[35] {
+		t.Fatal("0 < 32 should set lt")
+	}
+	in[5] = true // a = 32 too: not less-than
+	if g.Eval(in)[35] {
+		t.Fatal("32 < 32 should clear lt")
+	}
+}
+
+func TestMaxFunctional(t *testing.T) {
+	g := MustBuild("max")
+	in := make([]bool, 512)
+	// op1 = 5, op2 = 9, others 0.
+	in[128+0], in[128+2] = true, true // op1 = 5
+	in[256+0], in[256+3] = true, true // op2 = 9
+	out := g.Eval(in)
+	got := 0
+	for i := 0; i < 8; i++ {
+		if out[i] {
+			got |= 1 << i
+		}
+	}
+	if got != 9 {
+		t.Fatalf("max(0,5,9,0) low bits = %d, want 9", got)
+	}
+}

@@ -1,0 +1,187 @@
+package gen
+
+import "circuitfold/internal/aig"
+
+func init() {
+	register("g216", 216, 216,
+		"12x18 LEKO-style grid, cell = f(west, north, local input)",
+		func() *aig.Graph { return grid(12, 18) })
+	register("g625", 625, 625,
+		"25x25 LEKO-style grid",
+		func() *aig.Graph { return grid(25, 25) })
+	register("g1296", 1296, 1296,
+		"36x36 LEKO-style grid",
+		func() *aig.Graph { return grid(36, 36) })
+	register("e64", 65, 65,
+		"priority one-hot chain: y_i = x_i and no earlier request (MCNC e64 stand-in)",
+		buildE64)
+	register("arbiter", 256, 1,
+		"priority arbiter reduced to one output (reduced EPFL arbiter stand-in)",
+		buildArbiter)
+	register("i2", 201, 1,
+		"wide OR of input pairs (MCNC i2 stand-in)",
+		buildI2)
+	register("i3", 132, 6,
+		"six OR-of-AND stripes (MCNC i3 stand-in)",
+		func() *aig.Graph { return stripes(132, 6, false) })
+	register("i4", 192, 6,
+		"six XOR-of-AND stripes (MCNC i4 stand-in)",
+		func() *aig.Graph { return stripes(192, 6, true) })
+	register("i6", 138, 67,
+		"67 one-LUT output functions over sliding input windows (MCNC i6 stand-in)",
+		func() *aig.Graph { return narrow(138, 67, false) })
+	register("i7", 199, 67,
+		"67 one-LUT output functions over wider sliding windows (MCNC i7 stand-in)",
+		func() *aig.Graph { return narrow(199, 67, true) })
+}
+
+// grid builds an r x c grid where cell(i,j) combines its west and north
+// neighbors with a dedicated primary input; every cell value is also a
+// primary output. This mirrors the LEKO/LEKU "G" examples.
+func grid(r, c int) *aig.Graph {
+	g := aig.New()
+	ins := make([][]aig.Lit, r)
+	for i := 0; i < r; i++ {
+		ins[i] = make([]aig.Lit, c)
+		for j := 0; j < c; j++ {
+			ins[i][j] = g.PI("x" + itoa(i) + "_" + itoa(j))
+		}
+	}
+	cell := make([][]aig.Lit, r)
+	for i := 0; i < r; i++ {
+		cell[i] = make([]aig.Lit, c)
+		for j := 0; j < c; j++ {
+			west, north := aig.Const0, aig.Const0
+			if j > 0 {
+				west = cell[i][j-1]
+			}
+			if i > 0 {
+				north = cell[i-1][j]
+			}
+			x := ins[i][j]
+			// Majority-like mixing keeps the grid's value dependent on
+			// the full north-west quadrant.
+			cell[i][j] = g.Xor(x, g.Or(g.And(west, north.Not()), g.And(west.Not(), north)))
+		}
+	}
+	// Every output mixes in the bottom-right cell, which depends on all
+	// inputs — like the LEKO originals, no output is ready before the
+	// whole input has arrived.
+	last := cell[r-1][c-1]
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out := g.Xor(cell[i][j], last)
+			if i == r-1 && j == c-1 {
+				out = last
+			}
+			g.AddPO(out, "y"+itoa(i)+"_"+itoa(j))
+		}
+	}
+	return g
+}
+
+// buildE64: y_i = x_i AND none of x_0..x_{i-1}; y_64 = no request at all.
+// The prefix structure folds into a tiny FSM, like the PLA original.
+func buildE64() *aig.Graph {
+	g := aig.New()
+	ins := make([]aig.Lit, 65)
+	for i := range ins {
+		ins[i] = g.PI("x" + itoa(i))
+	}
+	none := aig.Const1
+	for i := 0; i < 64; i++ {
+		g.AddPO(g.And(ins[i], none), "y"+itoa(i))
+		none = g.And(none, ins[i].Not())
+	}
+	g.AddPO(none, "none")
+	return g
+}
+
+// buildArbiter grants to the highest-priority requester and reports
+// whether the grant index is even — a single-output prefix computation.
+func buildArbiter() *aig.Graph {
+	g := aig.New()
+	ins := make([]aig.Lit, 256)
+	for i := range ins {
+		ins[i] = g.PI("req" + itoa(i))
+	}
+	none := aig.Const1
+	even := aig.Const0
+	for i := 0; i < 256; i++ {
+		grant := g.And(ins[i], none)
+		if i%2 == 0 {
+			even = g.Or(even, grant)
+		}
+		none = g.And(none, ins[i].Not())
+	}
+	g.AddPO(even, "grantEven")
+	return g
+}
+
+// buildI2: OR over 100 input pairs plus a direct input.
+func buildI2() *aig.Graph {
+	g := aig.New()
+	ins := make([]aig.Lit, 201)
+	for i := range ins {
+		ins[i] = g.PI("x" + itoa(i))
+	}
+	var terms []aig.Lit
+	for i := 0; i+1 < 200; i += 2 {
+		terms = append(terms, g.And(ins[i], ins[i+1]))
+	}
+	terms = append(terms, ins[200])
+	g.AddPO(g.OrN(terms...), "f")
+	return g
+}
+
+// stripes builds `pos` outputs, each reducing its own stripe of inputs
+// with OR-of-ANDs (or XOR-of-ANDs when xor is set).
+func stripes(pis, pos int, xor bool) *aig.Graph {
+	g := aig.New()
+	ins := make([]aig.Lit, pis)
+	for i := range ins {
+		ins[i] = g.PI("x" + itoa(i))
+	}
+	per := pis / pos
+	for o := 0; o < pos; o++ {
+		stripe := ins[o*per : (o+1)*per]
+		var terms []aig.Lit
+		for i := 0; i+1 < len(stripe); i += 2 {
+			terms = append(terms, g.And(stripe[i], stripe[i+1]))
+		}
+		var out aig.Lit
+		if xor {
+			out = g.XorN(terms...)
+		} else {
+			out = g.OrN(terms...)
+		}
+		g.AddPO(out, "y"+itoa(o))
+	}
+	return g
+}
+
+// narrow builds one small function per output over a sliding window of
+// contiguous inputs, so each output needs one LUT (like MCNC i6/i7 where
+// #LUT equals #PO) and the folded FSM stays small: a window never spans
+// more than one frame boundary.
+func narrow(pis, pos int, deeper bool) *aig.Graph {
+	g := aig.New()
+	ins := make([]aig.Lit, pis)
+	for i := range ins {
+		ins[i] = g.PI("x" + itoa(i))
+	}
+	stride := pis / pos
+	for o := 0; o < pos; o++ {
+		base := o * stride
+		a := ins[base]
+		b := ins[base+1]
+		c := ins[(base+2)%pis]
+		out := g.Xor(a, g.And(b, c))
+		if deeper {
+			d := ins[(base+3)%pis]
+			out = g.Or(g.And(out, d), g.And(a, d.Not()))
+		}
+		g.AddPO(out, "y"+itoa(o))
+	}
+	return g
+}

@@ -1,0 +1,355 @@
+package gen
+
+import "circuitfold/internal/aig"
+
+func init() {
+	register("apex2", 38, 3,
+		"popcount-predicate cones over 38 inputs (MCNC apex2 stand-in: folds to a few hundred FSM states like the original)",
+		buildApex2)
+	register("toolarge", 38, 3,
+		"weighted-sum predicate cones over 38 inputs (LEKO/LEKU toolarge stand-in)",
+		buildToolarge)
+	register("b17_C", 380, 3,
+		"three deep mixed cones over 380 inputs (reduced ITC'99 b17 stand-in)",
+		buildB17)
+	register("b14_C", 276, 299,
+		"structured control/datapath mix (ITC'99 b14 combinational core stand-in)",
+		func() *aig.Graph { return mixed(1014, 276, 299, 3900) })
+	register("b15_C", 484, 519,
+		"structured control/datapath mix (ITC'99 b15 combinational core stand-in)",
+		func() *aig.Graph { return mixed(1015, 484, 519, 6800) })
+	register("b20_C", 521, 512,
+		"structured control/datapath mix (ITC'99 b20 combinational core stand-in)",
+		func() *aig.Graph { return mixed(1020, 521, 512, 8200) })
+	register("b21_C", 521, 512,
+		"structured control/datapath mix (ITC'99 b21 combinational core stand-in)",
+		func() *aig.Graph { return mixed(1021, 521, 512, 8250) })
+	register("b22_C", 766, 757,
+		"structured control/datapath mix (ITC'99 b22 combinational core stand-in)",
+		func() *aig.Graph { return mixed(1022, 766, 757, 12350) })
+	register("memctrl", 1204, 1231,
+		"wide control-dominated mix (EPFL mem_ctrl stand-in)",
+		func() *aig.Graph { return mixed(1099, 1204, 1231, 15900) })
+	register("des", 256, 245,
+		"xor/mux substitution-permutation rounds (MCNC des stand-in)",
+		buildDes)
+	register("i10", 257, 224,
+		"mixed-depth datapath with staggered output supports (MCNC i10 stand-in)",
+		buildI10)
+}
+
+// plaCones builds `pos` sum-of-products cones over shared inputs: each
+// cone is an OR of `terms` cubes of `width` literals drawn from a local
+// window of the inputs. Like the MCNC two-level originals, the cubes
+// have locality — without it the folded FSM's prefix-class count
+// explodes far past what the real PLAs exhibit.
+func plaCones(seed uint64, pis, pos, terms, width int) *aig.Graph {
+	rng := newRand(seed)
+	g := aig.New()
+	ins := make([]aig.Lit, pis)
+	for i := range ins {
+		ins[i] = g.PI("x" + itoa(i))
+	}
+	window := width + 5
+	for o := 0; o < pos; o++ {
+		var ors []aig.Lit
+		for t := 0; t < terms; t++ {
+			start := rng.intn(pis)
+			lits := make([]aig.Lit, width)
+			for k := range lits {
+				lits[k] = ins[(start+rng.intn(window))%pis].NotIf(rng.bit())
+			}
+			ors = append(ors, g.AndN(lits...))
+		}
+		g.AddPO(g.OrN(ors...), "f"+itoa(o))
+	}
+	return g
+}
+
+// buildApex2 computes three predicates of the input popcount through
+// differently shaped adder trees (one per output, so the cones stay
+// separate like the PLA cones of the original). When folded, the
+// residual classes track the running count — a few hundred FSM states,
+// the regime the paper reports for apex2.
+func buildApex2() *aig.Graph {
+	g := aig.New()
+	ins := make([]aig.Lit, 38)
+	for i := range ins {
+		ins[i] = g.PI("x" + itoa(i))
+	}
+	// Three tree shapes: adjacent pairs, strided pairs, halves.
+	count1 := popcount(g, ins, func(i int) int { return i })
+	count2 := popcount(g, ins, func(i int) int { return (i*7 + 3) % 38 })
+	count3 := popcount(g, ins, func(i int) int { return (i*11 + 17) % 38 })
+	g.AddPO(greaterThan(g, count1, 19), "gt19")
+	g.AddPO(modEquals(g, count2, 5, 3), "mod5eq3")
+	g.AddPO(g.Xor(count3[0], count3[1]), "lowbits")
+	return g
+}
+
+// buildToolarge is a denser variant: predicates on a {1,2}-weighted sum.
+func buildToolarge() *aig.Graph {
+	g := aig.New()
+	ins := make([]aig.Lit, 38)
+	for i := range ins {
+		ins[i] = g.PI("x" + itoa(i))
+	}
+	weighted := func(perm func(int) int) []aig.Lit {
+		vecs := make([][]aig.Lit, len(ins))
+		for i := range ins {
+			x := ins[perm(i)]
+			if perm(i)%2 == 1 {
+				vecs[i] = []aig.Lit{aig.Const0, x} // weight 2
+			} else {
+				vecs[i] = []aig.Lit{x}
+			}
+		}
+		return reduceVectors(g, vecs)
+	}
+	s1 := weighted(func(i int) int { return i })
+	s2 := weighted(func(i int) int { return (i*5 + 9) % 38 })
+	s3 := weighted(func(i int) int { return (i*13 + 1) % 38 })
+	g.AddPO(greaterThan(g, s1, 28), "gt28")
+	g.AddPO(modEquals(g, s2, 3, 1), "mod3eq1")
+	g.AddPO(modEquals(g, s3, 7, 2), "mod7eq2")
+	return g
+}
+
+// popcount sums the permuted inputs with a balanced adder tree.
+func popcount(g *aig.Graph, ins []aig.Lit, perm func(int) int) []aig.Lit {
+	vecs := make([][]aig.Lit, len(ins))
+	for i := range ins {
+		vecs[i] = []aig.Lit{ins[perm(i)]}
+	}
+	return reduceVectors(g, vecs)
+}
+
+// reduceVectors adds bit vectors pairwise until one remains.
+func reduceVectors(g *aig.Graph, vecs [][]aig.Lit) []aig.Lit {
+	for len(vecs) > 1 {
+		var next [][]aig.Lit
+		for i := 0; i+1 < len(vecs); i += 2 {
+			next = append(next, addVectors(g, vecs[i], vecs[i+1]))
+		}
+		if len(vecs)%2 == 1 {
+			next = append(next, vecs[len(vecs)-1])
+		}
+		vecs = next
+	}
+	return vecs[0]
+}
+
+// greaterThan builds (value > bound) for a little-endian vector.
+func greaterThan(g *aig.Graph, v []aig.Lit, bound int) aig.Lit {
+	gt := aig.Const0
+	for i := 0; i < len(v); i++ {
+		b := aig.Const0
+		if bound>>uint(i)&1 == 1 {
+			b = aig.Const1
+		}
+		gt = g.Or(g.And(v[i], b.Not()), g.And(g.Xnor(v[i], b), gt))
+	}
+	return gt
+}
+
+// modEquals builds (value mod m == r) by selecting the residue class
+// with a comparison chain over the (small) value range.
+func modEquals(g *aig.Graph, v []aig.Lit, m, r int) aig.Lit {
+	max := 1 << uint(len(v))
+	if max > 128 {
+		max = 128
+	}
+	var hits []aig.Lit
+	for val := r; val < max; val += m {
+		term := aig.Const1
+		for i := 0; i < len(v); i++ {
+			bit := v[i]
+			if val>>uint(i)&1 == 0 {
+				bit = bit.Not()
+			}
+			term = g.And(term, bit)
+		}
+		hits = append(hits, term)
+	}
+	return g.OrN(hits...)
+}
+
+// buildB17 makes three deep cones with large but staggered supports.
+func buildB17() *aig.Graph {
+	rng := newRand(1017)
+	g := aig.New()
+	ins := make([]aig.Lit, 380)
+	for i := range ins {
+		ins[i] = g.PI("x" + itoa(i))
+	}
+	for o := 0; o < 3; o++ {
+		// Alternating AND/XOR reduction over a shuffled slice of inputs,
+		// with cross links.
+		pool := append([]aig.Lit(nil), ins...)
+		for len(pool) > 1 {
+			var next []aig.Lit
+			for i := 0; i+1 < len(pool); i += 2 {
+				a, b := pool[i], pool[i+1].NotIf(rng.bit())
+				if rng.intn(3) == 0 {
+					next = append(next, g.Xor(a, b))
+				} else {
+					next = append(next, g.And(a, b.NotIf(rng.bit())))
+				}
+			}
+			if len(pool)%2 == 1 {
+				next = append(next, pool[len(pool)-1])
+			}
+			pool = next
+		}
+		g.AddPO(pool[0], "f"+itoa(o))
+	}
+	return g
+}
+
+// mixed composes datapath and control blocks over the inputs until the
+// target AND count is reached, then taps outputs from the produced
+// signals. It stands in for the ITC'99 combinational cores.
+func mixed(seed uint64, pis, pos, targetAnds int) *aig.Graph {
+	rng := newRand(seed)
+	g := aig.New()
+	ins := make([]aig.Lit, pis)
+	for i := range ins {
+		ins[i] = g.PI("x" + itoa(i))
+	}
+	pool := append([]aig.Lit(nil), ins...)
+	var produced []aig.Lit
+	grab := func(n int) []aig.Lit {
+		out := make([]aig.Lit, n)
+		for i := range out {
+			out[i] = rng.pick(pool)
+		}
+		return out
+	}
+	for g.NumAnds() < targetAnds {
+		switch rng.intn(5) {
+		case 0: // small ripple adder
+			w := 4 + rng.intn(12)
+			sum, c := g.Adder(grab(w), grab(w), aig.Const0)
+			produced = append(produced, sum...)
+			produced = append(produced, c)
+			pool = append(pool, sum...)
+		case 1: // equality comparator
+			w := 4 + rng.intn(12)
+			a, b := grab(w), grab(w)
+			var eqs []aig.Lit
+			for i := 0; i < w; i++ {
+				eqs = append(eqs, g.Xnor(a[i], b[i]))
+			}
+			e := g.AndN(eqs...)
+			produced = append(produced, e)
+			pool = append(pool, e)
+		case 2: // xor tree
+			w := 6 + rng.intn(16)
+			x := g.XorN(grab(w)...)
+			produced = append(produced, x)
+			pool = append(pool, x)
+		case 3: // mux chain
+			w := 4 + rng.intn(8)
+			sel := grab(w)
+			data := grab(w + 1)
+			acc := data[0]
+			for i := 0; i < w; i++ {
+				acc = g.Mux(sel[i], data[i+1], acc)
+			}
+			produced = append(produced, acc)
+			pool = append(pool, acc)
+		default: // and-or cone
+			var terms []aig.Lit
+			for t := 0; t < 3+rng.intn(5); t++ {
+				terms = append(terms, g.AndN(grab(2+rng.intn(3))...))
+			}
+			c := g.OrN(terms...)
+			produced = append(produced, c)
+			pool = append(pool, c)
+		}
+	}
+	for o := 0; o < pos; o++ {
+		g.AddPO(produced[rng.intn(len(produced))].NotIf(rng.bit()), "y"+itoa(o))
+	}
+	return g
+}
+
+// buildDes builds substitution-permutation rounds: 4 rounds of keyed
+// xor, 6-input s-box-like mixing, and a fixed permutation.
+func buildDes() *aig.Graph {
+	rng := newRand(1042)
+	g := aig.New()
+	ins := make([]aig.Lit, 256)
+	for i := range ins {
+		ins[i] = g.PI("x" + itoa(i))
+	}
+	state := append([]aig.Lit(nil), ins[:192]...)
+	key := ins[192:]
+	for round := 0; round < 4; round++ {
+		// Key mixing.
+		for i := range state {
+			state[i] = g.Xor(state[i], key[(i+round*13)%len(key)])
+		}
+		// S-box-ish nonlinear layer on 6-bit groups.
+		next := make([]aig.Lit, len(state))
+		for i := 0; i < len(state); i += 6 {
+			grp := state[i : i+6]
+			for j := 0; j < 6; j++ {
+				a := grp[j]
+				b := grp[(j+1)%6]
+				c := grp[(j+2)%6]
+				next[i+j] = g.Xor(a, g.Or(b, c.Not()))
+			}
+		}
+		// Permutation.
+		perm := make([]aig.Lit, len(next))
+		for i := range next {
+			perm[(i*97+round*31)%len(next)] = next[i]
+		}
+		state = perm
+		_ = rng
+	}
+	for i := 0; i < 245; i++ {
+		g.AddPO(state[i%len(state)].NotIf(i >= len(state)), "y"+itoa(i))
+	}
+	return g
+}
+
+// buildI10 combines shallow and deep blocks so output supports are
+// staggered like MCNC i10 (some outputs ready early, most late).
+func buildI10() *aig.Graph {
+	rng := newRand(1010)
+	g := aig.New()
+	ins := make([]aig.Lit, 257)
+	for i := range ins {
+		ins[i] = g.PI("x" + itoa(i))
+	}
+	var outs []aig.Lit
+	// 44 shallow outputs over the first half of the inputs: under T=2
+	// structural folding (m=129) these are ready in the first frame,
+	// reproducing the case study's 44/180 output split.
+	for k := 0; k < 44; k++ {
+		a := ins[(3*k)%128]
+		b := ins[(3*k+1)%128]
+		c := ins[(3*k+2)%128]
+		outs = append(outs, g.Or(g.And(a, b), g.Xor(b.Not(), c)))
+	}
+	// 64 adder-based outputs over second-half slices.
+	sum, cout := g.Adder(ins[129:192], ins[192:255], ins[255])
+	outs = append(outs, sum...)
+	outs = append(outs, cout)
+	// Remaining outputs: xor/and cones spanning both halves.
+	for k := len(outs); k < 224; k++ {
+		w := 5 + rng.intn(9)
+		lits := make([]aig.Lit, w)
+		for j := range lits {
+			lits[j] = ins[(k*7+j*29)%257].NotIf(rng.bit())
+		}
+		lits[0] = ins[129+(k*5)%128] // anchor in the second half
+		outs = append(outs, g.Xor(g.XorN(lits[:w/2]...), g.AndN(lits[w/2:]...)))
+	}
+	for i, o := range outs {
+		g.AddPO(o, "y"+itoa(i))
+	}
+	return g
+}

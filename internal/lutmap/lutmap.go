@@ -1,0 +1,323 @@
+// Package lutmap implements K-input LUT technology mapping for AIGs using
+// priority-cut enumeration with area-flow-based cut selection and a
+// global-view area recovery pass. It stands in for ABC's "if -K 6" mapper,
+// which the paper uses to report 6-LUT counts.
+package lutmap
+
+import (
+	"sort"
+
+	"circuitfold/internal/aig"
+)
+
+// Options controls the mapper.
+type Options struct {
+	K        int // LUT input count (paper: 6)
+	CutLimit int // priority cuts kept per node
+	Rounds   int // area recovery rounds after the initial mapping
+}
+
+// DefaultOptions returns the configuration used throughout the
+// experiments: 6-input LUTs, 8 priority cuts, 2 recovery rounds.
+func DefaultOptions() Options { return Options{K: 6, CutLimit: 8, Rounds: 2} }
+
+// Mapping is the result of technology mapping.
+type Mapping struct {
+	// LUTs is the number of LUTs in the cover.
+	LUTs int
+	// Depth is the depth of the LUT network.
+	Depth int
+	// Roots lists the AIG nodes implemented as LUT outputs.
+	Roots []int
+	// CutOf gives the chosen leaf set for each mapped node.
+	CutOf map[int][]int32
+}
+
+type cut struct {
+	leaves []int32
+	flow   float64
+	depth  int
+}
+
+// Map maps g onto K-input LUTs and returns the cover. Primary outputs
+// that are constants or direct (possibly inverted) primary inputs cost no
+// LUTs, matching standard mapper accounting.
+func Map(g *aig.Graph, opt Options) *Mapping {
+	if opt.K < 2 {
+		panic("lutmap: K must be >= 2")
+	}
+	if opt.CutLimit < 1 {
+		opt.CutLimit = 8
+	}
+	n := g.NumNodes()
+	fanout := g.FanoutCounts()
+	est := make([]float64, n)
+	for i := range est {
+		est[i] = float64(fanout[i])
+		if est[i] < 1 {
+			est[i] = 1
+		}
+	}
+
+	cuts := make([][]cut, n)
+	bestIdx := make([]int, n)
+	flow := make([]float64, n)
+	depth := make([]int, n)
+
+	// computeBest picks the implementing cut of a node; the trivial cut
+	// (the node as its own leaf) exists only for parent merging and is
+	// never an implementation, which its +Inf flow guarantees.
+	computeBest := func(id int) {
+		best := 0
+		for i := 1; i < len(cuts[id]); i++ {
+			c, b := cuts[id][i], cuts[id][best]
+			if c.flow < b.flow || (c.flow == b.flow && (c.depth < b.depth ||
+				(c.depth == b.depth && len(c.leaves) < len(b.leaves)))) {
+				best = i
+			}
+		}
+		bestIdx[id] = best
+		flow[id] = cuts[id][best].flow
+		depth[id] = cuts[id][best].depth
+	}
+
+	evalCut := func(leaves []int32) (float64, int) {
+		f := 1.0
+		d := 0
+		for _, l := range leaves {
+			if g.IsAnd(int(l)) {
+				f += flow[l] // best flow of the leaf
+				if depth[l] > d {
+					d = depth[l]
+				}
+			}
+		}
+		return f, d + 1
+	}
+
+	enumerate := func(id int) {
+		f0, f1 := g.Fanins(id)
+		c0 := nodeCuts(cuts, f0.Node())
+		c1 := nodeCuts(cuts, f1.Node())
+		var out []cut
+		for _, a := range c0 {
+			for _, b := range c1 {
+				leaves := mergeLeaves(a.leaves, b.leaves, opt.K)
+				if leaves == nil {
+					continue
+				}
+				fl, d := evalCut(leaves)
+				fl /= est[id]
+				out = append(out, cut{leaves: leaves, flow: fl, depth: d})
+			}
+		}
+		out = pruneCuts(out, opt.CutLimit)
+		// The trivial cut is kept last so parents can use the node as a
+		// leaf; its flow is +Inf so computeBest never selects it.
+		out = append(out, cut{leaves: []int32{int32(id)}, flow: inf})
+		cuts[id] = out
+		computeBest(id)
+	}
+
+	for id := 1; id < n; id++ {
+		if g.IsAnd(id) {
+			enumerate(id)
+		}
+	}
+
+	// Area recovery: re-evaluate flows with fanout estimates taken from
+	// the previous cover's actual references. Rounds can oscillate, so
+	// the best cover seen overall is kept.
+	mapped := selectCover(g, cuts, bestIdx)
+	bestMapped := append([]int(nil), mapped...)
+	bestChoice := append([]int(nil), bestIdx...)
+	for r := 0; r < opt.Rounds; r++ {
+		refs := coverRefs(g, cuts, bestIdx, mapped)
+		for i := range est {
+			if refs[i] > 0 {
+				est[i] = float64(refs[i])
+			} else {
+				est[i] = float64(fanout[i])
+				if est[i] < 1 {
+					est[i] = 1
+				}
+			}
+		}
+		for id := 1; id < n; id++ {
+			if !g.IsAnd(id) {
+				continue
+			}
+			for ci := range cuts[id] {
+				c := &cuts[id][ci]
+				if len(c.leaves) == 1 && int(c.leaves[0]) == id {
+					continue // trivial cut stays at +Inf
+				}
+				fl, d := 1.0, 0
+				for _, l := range c.leaves {
+					if g.IsAnd(int(l)) {
+						fl += flow[l]
+						if depth[l] > d {
+							d = depth[l]
+						}
+					}
+				}
+				c.flow = fl / est[id]
+				c.depth = d + 1
+			}
+			computeBest(id)
+		}
+		mapped = selectCover(g, cuts, bestIdx)
+		if len(mapped) < len(bestMapped) {
+			bestMapped = append(bestMapped[:0], mapped...)
+			bestChoice = append(bestChoice[:0], bestIdx...)
+		}
+	}
+
+	m := &Mapping{CutOf: make(map[int][]int32)}
+	maxDepth := 0
+	for _, id := range bestMapped {
+		m.Roots = append(m.Roots, id)
+		m.CutOf[id] = cuts[id][bestChoice[id]].leaves
+		if d := cuts[id][bestChoice[id]].depth; d > maxDepth {
+			maxDepth = d
+		}
+	}
+	sort.Ints(m.Roots)
+	m.LUTs = len(m.Roots)
+	m.Depth = maxDepth
+	return m
+}
+
+// inf is a flow value no real cut can reach.
+const inf = 1e300
+
+// nodeCuts returns the cut list of a node; PIs and the constant have only
+// the trivial cut.
+func nodeCuts(cuts [][]cut, id int) []cut {
+	if cuts[id] == nil {
+		cuts[id] = []cut{{leaves: []int32{int32(id)}}}
+	}
+	return cuts[id]
+}
+
+// mergeLeaves unions two sorted leaf sets, returning nil if the result
+// exceeds k.
+func mergeLeaves(a, b []int32, k int) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i == len(a):
+			out = append(out, b[j])
+			j++
+		case j == len(b):
+			out = append(out, a[i])
+			i++
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+		if len(out) > k {
+			return nil
+		}
+	}
+	return out
+}
+
+// pruneCuts removes duplicate and dominated cuts and keeps the best limit
+// cuts by (flow, size).
+func pruneCuts(cs []cut, limit int) []cut {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].flow != cs[j].flow {
+			return cs[i].flow < cs[j].flow
+		}
+		return len(cs[i].leaves) < len(cs[j].leaves)
+	})
+	var out []cut
+	for _, c := range cs {
+		dominated := false
+		for _, o := range out {
+			if leavesSubset(o.leaves, c.leaves) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+			if len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// leavesSubset reports whether a (sorted) is a subset of b (sorted).
+func leavesSubset(a, b []int32) bool {
+	i := 0
+	for _, x := range b {
+		if i < len(a) && a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// selectCover chooses the cover implied by each node's best cut, starting
+// from the PO drivers.
+func selectCover(g *aig.Graph, cuts [][]cut, bestIdx []int) []int {
+	var mapped []int
+	inCover := make(map[int]bool)
+	var need []int
+	for i := 0; i < g.NumPOs(); i++ {
+		id := g.PO(i).Node()
+		if g.IsAnd(id) {
+			need = append(need, id)
+		}
+	}
+	for len(need) > 0 {
+		id := need[len(need)-1]
+		need = need[:len(need)-1]
+		if inCover[id] {
+			continue
+		}
+		inCover[id] = true
+		mapped = append(mapped, id)
+		for _, l := range cuts[id][bestIdx[id]].leaves {
+			if int(l) != id && g.IsAnd(int(l)) {
+				need = append(need, int(l))
+			}
+		}
+	}
+	return mapped
+}
+
+// coverRefs counts how many times each node is referenced by the current
+// cover: as a leaf of a chosen cut or as a PO driver.
+func coverRefs(g *aig.Graph, cuts [][]cut, bestIdx []int, mapped []int) []int {
+	refs := make([]int, g.NumNodes())
+	for i := 0; i < g.NumPOs(); i++ {
+		refs[g.PO(i).Node()]++
+	}
+	for _, id := range mapped {
+		for _, l := range cuts[id][bestIdx[id]].leaves {
+			refs[l]++
+		}
+	}
+	return refs
+}
+
+// Count returns just the number of K-input LUTs after mapping g, the
+// metric reported throughout the paper's tables.
+func Count(g *aig.Graph, k int) int {
+	opt := DefaultOptions()
+	opt.K = k
+	return Map(g, opt).LUTs
+}

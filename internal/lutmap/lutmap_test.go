@@ -1,0 +1,242 @@
+package lutmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"circuitfold/internal/aig"
+)
+
+func TestSingleAnd(t *testing.T) {
+	g := aig.New()
+	a := g.PI("a")
+	b := g.PI("b")
+	g.AddPO(g.And(a, b), "y")
+	m := Map(g, DefaultOptions())
+	if m.LUTs != 1 || m.Depth != 1 {
+		t.Fatalf("single AND: %d LUTs depth %d", m.LUTs, m.Depth)
+	}
+}
+
+func TestPassThroughAndConstantsAreFree(t *testing.T) {
+	g := aig.New()
+	a := g.PI("a")
+	g.AddPO(a, "y0")
+	g.AddPO(a.Not(), "y1")
+	g.AddPO(aig.Const1, "y2")
+	m := Map(g, DefaultOptions())
+	if m.LUTs != 0 {
+		t.Fatalf("wires/constants should cost 0 LUTs, got %d", m.LUTs)
+	}
+}
+
+func TestSixInputConeFitsOneLUT(t *testing.T) {
+	g := aig.New()
+	var ins []aig.Lit
+	for i := 0; i < 6; i++ {
+		ins = append(ins, g.PI(""))
+	}
+	g.AddPO(g.AndN(ins...), "y")
+	m := Map(g, DefaultOptions())
+	if m.LUTs != 1 {
+		t.Fatalf("6-input AND should be 1 LUT, got %d", m.LUTs)
+	}
+	// 7 inputs needs 2 LUTs.
+	g2 := aig.New()
+	ins = nil
+	for i := 0; i < 7; i++ {
+		ins = append(ins, g2.PI(""))
+	}
+	g2.AddPO(g2.AndN(ins...), "y")
+	m2 := Map(g2, DefaultOptions())
+	if m2.LUTs != 2 {
+		t.Fatalf("7-input AND should be 2 LUTs, got %d", m2.LUTs)
+	}
+}
+
+func TestSmallerKNeedsMoreLUTs(t *testing.T) {
+	g := aig.New()
+	var ins []aig.Lit
+	for i := 0; i < 16; i++ {
+		ins = append(ins, g.PI(""))
+	}
+	g.AddPO(g.XorN(ins...), "y")
+	l6 := Count(g, 6)
+	l4 := Count(g, 4)
+	l2 := Count(g, 2)
+	if !(l6 <= l4 && l4 <= l2) {
+		t.Fatalf("monotonicity violated: K6=%d K4=%d K2=%d", l6, l4, l2)
+	}
+	if l2 != 15 {
+		t.Fatalf("2-LUT count of 16-xor = %d, want 15", l2)
+	}
+}
+
+// checkLegal verifies that the mapping is a legal cover of g.
+func checkLegal(t *testing.T, g *aig.Graph, m *Mapping, k int) {
+	t.Helper()
+	mapped := make(map[int]bool)
+	for _, id := range m.Roots {
+		mapped[id] = true
+	}
+	// Every AND-driven PO must be mapped.
+	for i := 0; i < g.NumPOs(); i++ {
+		id := g.PO(i).Node()
+		if g.IsAnd(id) && !mapped[id] {
+			t.Fatalf("PO %d driver %d not mapped", i, id)
+		}
+	}
+	for _, id := range m.Roots {
+		leaves := m.CutOf[id]
+		if len(leaves) > k {
+			t.Fatalf("node %d cut has %d leaves > K=%d", id, len(leaves), k)
+		}
+		inLeaves := make(map[int]bool)
+		for _, l := range leaves {
+			inLeaves[int(l)] = true
+			if g.IsAnd(int(l)) && !mapped[int(l)] {
+				t.Fatalf("leaf %d of node %d not mapped", l, id)
+			}
+			if int(l) == id {
+				t.Fatalf("node %d uses itself as a leaf", id)
+			}
+		}
+		// The cut must cover the cone: walking fanins from id must stop
+		// at leaves before reaching PIs.
+		var walk func(x int) bool
+		walk = func(x int) bool {
+			if inLeaves[x] {
+				return true
+			}
+			if !g.IsAnd(x) {
+				return false // fell through to a PI or constant
+			}
+			f0, f1 := g.Fanins(x)
+			return walk(f0.Node()) && walk(f1.Node())
+		}
+		f0, f1 := g.Fanins(id)
+		if !(walk(f0.Node()) && walk(f1.Node())) {
+			t.Fatalf("cut of node %d does not cover its cone", id)
+		}
+	}
+}
+
+func TestMappingLegalityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 150, 12, 8)
+		for _, k := range []int{2, 4, 6} {
+			opt := DefaultOptions()
+			opt.K = k
+			m := Map(g, opt)
+			checkLegal(t, g, m, k)
+		}
+	}
+}
+
+func TestAdderMapping(t *testing.T) {
+	g := aig.New()
+	var a, b []aig.Lit
+	for i := 0; i < 8; i++ {
+		a = append(a, g.PI(""))
+	}
+	for i := 0; i < 8; i++ {
+		b = append(b, g.PI(""))
+	}
+	sum, cout := g.Adder(a, b, aig.Const0)
+	for _, s := range sum {
+		g.AddPO(s, "")
+	}
+	g.AddPO(cout, "c")
+	m := Map(g, DefaultOptions())
+	checkLegal(t, g, m, 6)
+	// An 8-bit ripple adder has ~40 AIG nodes; 6-LUT mapping should do
+	// far better than one LUT per node.
+	if m.LUTs >= g.NumAnds() {
+		t.Fatalf("mapping (%d LUTs) no better than node count (%d)", m.LUTs, g.NumAnds())
+	}
+	if m.LUTs > 16 {
+		t.Fatalf("8-bit adder mapped to %d LUTs, expected <= 16", m.LUTs)
+	}
+}
+
+func TestAreaRecoveryDoesNotHurt(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 200, 14, 10)
+		opt := DefaultOptions()
+		opt.Rounds = 0
+		l0 := Map(g, opt).LUTs
+		opt.Rounds = 2
+		l2 := Map(g, opt).LUTs
+		if l2 > l0 {
+			t.Fatalf("area recovery regressed: %d -> %d", l0, l2)
+		}
+	}
+}
+
+func TestEmptyAndTrivialGraphs(t *testing.T) {
+	g := aig.New()
+	m := Map(g, DefaultOptions())
+	if m.LUTs != 0 {
+		t.Fatalf("empty graph mapped to %d LUTs", m.LUTs)
+	}
+	g.PI("a")
+	m = Map(g, DefaultOptions())
+	if m.LUTs != 0 {
+		t.Fatalf("inputs-only graph mapped to %d LUTs", m.LUTs)
+	}
+}
+
+func randomGraph(rng *rand.Rand, ands, pis, pos int) *aig.Graph {
+	g := aig.New()
+	lits := []aig.Lit{aig.Const1}
+	for i := 0; i < pis; i++ {
+		lits = append(lits, g.PI(""))
+	}
+	for i := 0; i < ands; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, g.And(a, b))
+	}
+	for i := 0; i < pos; i++ {
+		g.AddPO(lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0), "")
+	}
+	return g
+}
+
+func TestQuickMappingLegality(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 60, 8, 5)
+		m := Map(g, DefaultOptions())
+		mapped := make(map[int]bool)
+		for _, id := range m.Roots {
+			mapped[id] = true
+		}
+		for _, id := range m.Roots {
+			leaves := m.CutOf[id]
+			if len(leaves) > 6 {
+				return false
+			}
+			for _, l := range leaves {
+				if int(l) == id {
+					return false
+				}
+				if g.IsAnd(int(l)) && !mapped[int(l)] {
+					return false
+				}
+			}
+		}
+		for i := 0; i < g.NumPOs(); i++ {
+			if id := g.PO(i).Node(); g.IsAnd(id) && !mapped[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

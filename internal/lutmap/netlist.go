@@ -1,0 +1,153 @@
+package lutmap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"circuitfold/internal/aig"
+)
+
+// WriteMappedBLIF writes the LUT cover of a combinational circuit as a
+// BLIF netlist with one K-input .names table per LUT. Truth tables are
+// derived by simulating each LUT's cone over all leaf assignments (a
+// single 64-bit word covers K <= 6).
+func WriteMappedBLIF(w io.Writer, g *aig.Graph, m *Mapping, model string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n.inputs", model)
+	for i := 0; i < g.NumPIs(); i++ {
+		fmt.Fprintf(bw, " %s", safeName(g.PIName(i)))
+	}
+	fmt.Fprint(bw, "\n.outputs")
+	for i := 0; i < g.NumPOs(); i++ {
+		fmt.Fprintf(bw, " %s", safeName(g.POName(i)))
+	}
+	fmt.Fprintln(bw)
+
+	sigName := func(id int) string {
+		if pi := g.PIIndex(id); pi >= 0 {
+			return safeName(g.PIName(pi))
+		}
+		return fmt.Sprintf("l%d", id)
+	}
+
+	for _, id := range m.Roots {
+		leaves := m.CutOf[id]
+		k := len(leaves)
+		if k > 6 {
+			return fmt.Errorf("lutmap: cut of node %d has %d leaves; table export supports K <= 6", id, k)
+		}
+		tt, err := cutTruthTable(g, id, leaves)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, ".names")
+		for _, l := range leaves {
+			fmt.Fprintf(bw, " %s", sigName(int(l)))
+		}
+		fmt.Fprintf(bw, " l%d\n", id)
+		rows := 0
+		for v := 0; v < 1<<uint(k); v++ {
+			if tt>>uint(v)&1 == 1 {
+				for b := 0; b < k; b++ {
+					if v>>uint(b)&1 == 1 {
+						fmt.Fprint(bw, "1")
+					} else {
+						fmt.Fprint(bw, "0")
+					}
+				}
+				fmt.Fprintln(bw, " 1")
+				rows++
+			}
+		}
+		if rows == 0 {
+			// Constant-0 LUT: empty table (no on-set rows). The .names
+			// header above already declared the output.
+		}
+	}
+	// Output drivers (with inversions folded into a buffer table).
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		name := safeName(g.POName(i))
+		switch {
+		case po == aig.Const0:
+			fmt.Fprintf(bw, ".names %s\n", name)
+		case po == aig.Const1:
+			fmt.Fprintf(bw, ".names %s\n1\n", name)
+		case po.Compl():
+			fmt.Fprintf(bw, ".names %s %s\n0 1\n", sigName(po.Node()), name)
+		default:
+			fmt.Fprintf(bw, ".names %s %s\n1 1\n", sigName(po.Node()), name)
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// cutTruthTable evaluates the function of node id in terms of its cut
+// leaves: bit v of the result is the node's value when leaf j carries
+// bit j of v. Leaves get the standard simulation patterns so one 64-bit
+// word covers up to 6 leaves.
+func cutTruthTable(g *aig.Graph, id int, leaves []int32) (uint64, error) {
+	patterns := [6]uint64{
+		0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC, 0xF0F0F0F0F0F0F0F0,
+		0xFF00FF00FF00FF00, 0xFFFF0000FFFF0000, 0xFFFFFFFF00000000,
+	}
+	vals := map[int]uint64{0: 0}
+	for j, l := range leaves {
+		vals[int(l)] = patterns[j]
+	}
+	var eval func(n int) (uint64, error)
+	eval = func(n int) (uint64, error) {
+		if v, ok := vals[n]; ok {
+			return v, nil
+		}
+		if !g.IsAnd(n) {
+			return 0, fmt.Errorf("lutmap: cone of node %d escapes its cut at node %d", id, n)
+		}
+		f0, f1 := g.Fanins(n)
+		v0, err := eval(f0.Node())
+		if err != nil {
+			return 0, err
+		}
+		if f0.Compl() {
+			v0 = ^v0
+		}
+		v1, err := eval(f1.Node())
+		if err != nil {
+			return 0, err
+		}
+		if f1.Compl() {
+			v1 = ^v1
+		}
+		v := v0 & v1
+		vals[n] = v
+		return v, nil
+	}
+	word, err := eval(id)
+	if err != nil {
+		return 0, err
+	}
+	// Mask to the 2^k relevant minterms.
+	k := len(leaves)
+	if k < 6 {
+		word &= 1<<(1<<uint(k)) - 1
+	}
+	return word, nil
+}
+
+func safeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '=', '#':
+			out = append(out, '_')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

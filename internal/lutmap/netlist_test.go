@@ -1,0 +1,88 @@
+package lutmap_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/cio"
+	"circuitfold/internal/lutmap"
+)
+
+func randomGraph(rng *rand.Rand, ands, pis, pos int) *aig.Graph {
+	g := aig.New()
+	lits := []aig.Lit{aig.Const1}
+	for i := 0; i < pis; i++ {
+		lits = append(lits, g.PI(""))
+	}
+	for i := 0; i < ands; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, g.And(a, b))
+	}
+	for i := 0; i < pos; i++ {
+		g.AddPO(lits[len(lits)-1-rng.Intn(ands/2)].NotIf(rng.Intn(2) == 0), "")
+	}
+	return g
+}
+
+// TestMappedBLIFRoundTrip maps random circuits to 6-LUTs, writes the
+// mapped netlist, reads it back through the BLIF parser and checks
+// functional equivalence with the original AIG.
+func TestMappedBLIFRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(rng, 100, 10, 6)
+		for _, k := range []int{4, 6} {
+			opt := lutmap.DefaultOptions()
+			opt.K = k
+			m := lutmap.Map(g, opt)
+			var buf bytes.Buffer
+			if err := lutmap.WriteMappedBLIF(&buf, g, m, "mapped"); err != nil {
+				t.Fatalf("trial %d K=%d: %v", trial, k, err)
+			}
+			back, err := cio.ReadBLIF(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("trial %d K=%d: %v\n%s", trial, k, err, buf.String())
+			}
+			if back.NumInputs != g.NumPIs() || back.NumOutputs() != g.NumPOs() {
+				t.Fatal("interface lost")
+			}
+			for v := 0; v < 200; v++ {
+				in := make([]bool, g.NumPIs())
+				for i := range in {
+					in[i] = rng.Intn(2) == 1
+				}
+				want := g.Eval(in)
+				got, _ := back.Step(nil, in)
+				for o := range want {
+					if got[o] != want[o] {
+						t.Fatalf("trial %d K=%d: output %d differs", trial, k, o)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMappedBLIFConstantOutputs(t *testing.T) {
+	g := aig.New()
+	a := g.PI("a")
+	g.AddPO(aig.Const1, "one")
+	g.AddPO(aig.Const0, "zero")
+	g.AddPO(a.Not(), "na")
+	m := lutmap.Map(g, lutmap.DefaultOptions())
+	var buf bytes.Buffer
+	if err := lutmap.WriteMappedBLIF(&buf, g, m, "consts"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cio.ReadBLIF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := back.Step(nil, []bool{false})
+	if !out[0] || out[1] || !out[2] {
+		t.Fatalf("constants wrong: %v", out)
+	}
+}

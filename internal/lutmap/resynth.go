@@ -1,0 +1,188 @@
+package lutmap
+
+import (
+	"circuitfold/internal/aig"
+)
+
+// Cube is one product term over up to 6 variables: Mask selects the
+// variables that appear, Val their phases.
+type Cube struct {
+	Mask uint8
+	Val  uint8
+}
+
+// varMaskTT[i] is the truth table (over 6 variables) of variable i.
+var varMaskTT = [6]uint64{
+	0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC, 0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00, 0xFFFF0000FFFF0000, 0xFFFFFFFF00000000,
+}
+
+// fullTT returns the all-ones table over k variables.
+func fullTT(k int) uint64 {
+	if k >= 6 {
+		return ^uint64(0)
+	}
+	return 1<<(1<<uint(k)) - 1
+}
+
+// cofactorTT returns the negative and positive cofactors of tt with
+// respect to variable v, each expanded back over all variables.
+func cofactorTT(tt uint64, v int) (lo, hi uint64) {
+	m := varMaskTT[v]
+	shift := uint(1) << uint(v)
+	hi = tt & m
+	hi |= hi >> shift
+	lo = tt & ^m
+	lo |= lo << shift
+	return lo, hi
+}
+
+// cubeTT evaluates a cube's truth table over k variables.
+func cubeTT(c Cube, k int) uint64 {
+	tt := fullTT(k)
+	for v := 0; v < k; v++ {
+		if c.Mask>>uint(v)&1 == 0 {
+			continue
+		}
+		if c.Val>>uint(v)&1 == 1 {
+			tt &= varMaskTT[v]
+		} else {
+			tt &= ^varMaskTT[v]
+		}
+	}
+	return tt
+}
+
+// ISOP computes an irredundant sum-of-products cover of any function f
+// with on-set L and upper bound U (L ⊆ f ⊆ U), by the Minato-Morreale
+// recursion over k <= 6 variables. The don't-care set U \ L is exploited
+// to shrink the cover.
+func ISOP(lower, upper uint64, k int) []Cube {
+	full := fullTT(k)
+	lower &= full
+	upper &= full
+	cubes, _ := isopRec(lower, upper, k-1, k)
+	return cubes
+}
+
+// isopRec returns the cover and its truth table.
+func isopRec(l, u uint64, topVar, k int) ([]Cube, uint64) {
+	if l == 0 {
+		return nil, 0
+	}
+	if u == fullTT(k) {
+		return []Cube{{}}, fullTT(k) // tautology cube
+	}
+	// Find the highest variable both cofactors actually depend on.
+	v := topVar
+	for v >= 0 {
+		l0, l1 := cofactorTT(l, v)
+		u0, u1 := cofactorTT(u, v)
+		if l0 != l1 || u0 != u1 {
+			break
+		}
+		v--
+	}
+	if v < 0 {
+		// Function is constant over the remaining variables; l != 0 and
+		// u != full cannot both hold for a constant, so u must be full
+		// on this subspace — handled above. Be safe:
+		return []Cube{{}}, fullTT(k)
+	}
+	l0, l1 := cofactorTT(l, v)
+	u0, u1 := cofactorTT(u, v)
+
+	c0, f0 := isopRec(l0&^u1, u0, v-1, k)
+	c1, f1 := isopRec(l1&^u0, u1, v-1, k)
+	lstar := (l0 &^ f0) | (l1 &^ f1)
+	cs, fs := isopRec(lstar, u0&u1, v-1, k)
+
+	nvTT := ^varMaskTT[v]
+	vTT := varMaskTT[v]
+	var out []Cube
+	res := fs
+	for _, c := range c0 {
+		c.Mask |= 1 << uint(v)
+		out = append(out, c)
+	}
+	res |= f0 & nvTT
+	for _, c := range c1 {
+		c.Mask |= 1 << uint(v)
+		c.Val |= 1 << uint(v)
+		out = append(out, c)
+	}
+	res |= f1 & vTT
+	out = append(out, cs...)
+	return out, res & fullTT(k)
+}
+
+// Resynthesize maps g onto K<=6 LUTs and rebuilds every LUT from an
+// irredundant sum-of-products of its cut function — the classic
+// "map-then-refactor" resynthesis. The smaller of the original (cleaned)
+// and the rebuilt graph is returned.
+func Resynthesize(g *aig.Graph, k int) (*aig.Graph, error) {
+	if k > 6 {
+		k = 6
+	}
+	opt := DefaultOptions()
+	opt.K = k
+	m := Map(g, opt)
+
+	ng := aig.New()
+	newLit := make(map[int]aig.Lit, len(m.Roots))
+	newLit[0] = aig.Const0
+	for i := 0; i < g.NumPIs(); i++ {
+		newLit[g.PILit(i).Node()] = ng.PI(g.PIName(i))
+	}
+	for _, id := range m.Roots { // topo order (Roots is sorted by id)
+		leaves := m.CutOf[id]
+		tt, err := cutTruthTable(g, id, leaves)
+		if err != nil {
+			return nil, err
+		}
+		kk := len(leaves)
+		leafLits := make([]aig.Lit, kk)
+		for j, l := range leaves {
+			leafLits[j] = newLit[int(l)]
+		}
+		// Build from whichever of tt / ~tt has the smaller cover.
+		cubesP := ISOP(tt, tt, kk)
+		cubesN := ISOP(^tt&fullTT(kk), ^tt&fullTT(kk), kk)
+		neg := len(cubesN) < len(cubesP)
+		cubes := cubesP
+		if neg {
+			cubes = cubesN
+		}
+		terms := make([]aig.Lit, len(cubes))
+		for ci, c := range cubes {
+			term := aig.Const1
+			for v := 0; v < kk; v++ {
+				if c.Mask>>uint(v)&1 == 0 {
+					continue
+				}
+				term = ng.And(term, leafLits[v].NotIf(c.Val>>uint(v)&1 == 0))
+			}
+			terms[ci] = term
+		}
+		lit := ng.OrN(terms...)
+		if neg {
+			lit = lit.Not()
+		}
+		newLit[id] = lit
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		base, ok := newLit[po.Node()]
+		if !ok {
+			// PO driven by an unmapped node (possible only for constants
+			// or PIs, which are in the map) — defensive fallback.
+			base = aig.Const0
+		}
+		ng.AddPO(base.NotIf(po.Compl()), g.POName(i))
+	}
+	clean := g.Cleanup()
+	if ng.NumAnds() < clean.NumAnds() {
+		return ng.Cleanup(), nil
+	}
+	return clean, nil
+}

@@ -1,0 +1,156 @@
+package lutmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"circuitfold/internal/aig"
+)
+
+// evalCubes computes the truth table a cube cover represents.
+func evalCubes(cubes []Cube, k int) uint64 {
+	var tt uint64
+	for _, c := range cubes {
+		tt |= cubeTT(c, k)
+	}
+	return tt & fullTT(k)
+}
+
+func TestCofactorTT(t *testing.T) {
+	// tt = x0 over 2 vars: 0b1010.
+	lo, hi := cofactorTT(0xA&fullTT(2), 0)
+	if hi != fullTT(2) || lo != 0 {
+		t.Fatalf("cofactors of x0: lo=%x hi=%x", lo, hi)
+	}
+	// tt = x1: cofactor on x0 leaves it unchanged.
+	lo, hi = cofactorTT(0xC&fullTT(2), 0)
+	if lo != 0xC || hi != 0xC {
+		t.Fatalf("cofactors of x1 wrt x0: lo=%x hi=%x", lo, hi)
+	}
+}
+
+func TestISOPExactCovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for k := 1; k <= 6; k++ {
+		for trial := 0; trial < 200; trial++ {
+			tt := rng.Uint64() & fullTT(k)
+			cubes := ISOP(tt, tt, k)
+			if got := evalCubes(cubes, k); got != tt {
+				t.Fatalf("k=%d tt=%x: cover=%x", k, tt, got)
+			}
+		}
+	}
+}
+
+func TestISOPConstants(t *testing.T) {
+	if cubes := ISOP(0, 0, 4); len(cubes) != 0 {
+		t.Fatalf("cover of 0 should be empty: %v", cubes)
+	}
+	cubes := ISOP(fullTT(4), fullTT(4), 4)
+	if evalCubes(cubes, 4) != fullTT(4) {
+		t.Fatal("cover of 1 wrong")
+	}
+	if len(cubes) != 1 || cubes[0].Mask != 0 {
+		t.Fatalf("tautology should be one empty cube: %v", cubes)
+	}
+}
+
+func TestISOPDontCaresShrinkCover(t *testing.T) {
+	// on = x0&x1, dc everywhere x0 is false: cover can be just "x1".
+	k := 2
+	on := uint64(0x8) // x0 & x1
+	up := on | 0x5    // plus don't-cares where x0=0
+	cubes := ISOP(on, up, k)
+	got := evalCubes(cubes, k)
+	if got&on != on {
+		t.Fatal("on-set not covered")
+	}
+	if got&^up != 0 {
+		t.Fatal("cover leaves the upper bound")
+	}
+	exact := ISOP(on, on, k)
+	if len(cubes) > len(exact) {
+		t.Fatalf("don't-cares grew the cover: %d > %d", len(cubes), len(exact))
+	}
+}
+
+func TestQuickISOPWithDontCares(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(6)
+		on := rng.Uint64() & fullTT(k)
+		dc := rng.Uint64() & fullTT(k) &^ on
+		cubes := ISOP(on, on|dc, k)
+		got := evalCubes(cubes, k)
+		return got&on == on && got&^(on|dc) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResynthesizePreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(rng, 120, 10, 6)
+		n, err := Resynthesize(g, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.NumAnds() > g.Cleanup().NumAnds() {
+			t.Fatalf("resynthesis grew the graph: %d -> %d", g.Cleanup().NumAnds(), n.NumAnds())
+		}
+		for v := 0; v < 300; v++ {
+			in := make([]bool, g.NumPIs())
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			a := g.Eval(in)
+			b := n.Eval(in)
+			for o := range a {
+				if a[o] != b[o] {
+					t.Fatalf("trial %d: resynthesis changed output %d", trial, o)
+				}
+			}
+		}
+	}
+}
+
+func TestResynthesizeImprovesRedundantLogic(t *testing.T) {
+	// A deliberately redundant structure: (a&b) | (a&!b) == a, times 8.
+	g := aig.New()
+	a := g.PI("a")
+	b := g.PI("b")
+	var outs []aig.Lit
+	for i := 0; i < 8; i++ {
+		c := g.PI("")
+		redundant := g.Or(g.And(a, b), g.And(a, b.Not()))
+		outs = append(outs, g.And(redundant, c))
+	}
+	for _, o := range outs {
+		g.AddPO(o, "")
+	}
+	n, err := Resynthesize(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumAnds() >= g.NumAnds() {
+		t.Fatalf("resynthesis missed the redundancy: %d -> %d", g.NumAnds(), n.NumAnds())
+	}
+}
+
+func TestResynthesizeConstantsAndWires(t *testing.T) {
+	g := aig.New()
+	a := g.PI("a")
+	g.AddPO(a.Not(), "na")
+	g.AddPO(aig.Const1, "one")
+	n, err := Resynthesize(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := n.Eval([]bool{false})
+	if !out[0] || !out[1] {
+		t.Fatalf("wires/constants wrong: %v", out)
+	}
+}

@@ -1,0 +1,398 @@
+// Package part implements Fiduccia–Mattheyses (FM) hypergraph
+// bipartitioning, the classic algorithm behind the multi-FPGA
+// partitioning flows the paper positions circuit folding against: a
+// partitioned design's cut nets are the inter-chip signals that TDM (and
+// folding) must squeeze through the pin budget.
+package part
+
+import (
+	"fmt"
+	"math/rand"
+
+	"circuitfold/internal/aig"
+)
+
+// Hypergraph is a cell/net incidence structure. Net i connects the cells
+// in Nets[i]; every cell has unit weight.
+type Hypergraph struct {
+	NumCells int
+	Nets     [][]int
+	// pins[c] lists the nets incident to cell c (built lazily).
+	pins [][]int
+}
+
+// Pins returns the nets incident to each cell.
+func (h *Hypergraph) Pins() [][]int {
+	if h.pins == nil {
+		h.pins = make([][]int, h.NumCells)
+		for ni, net := range h.Nets {
+			for _, c := range net {
+				h.pins[c] = append(h.pins[c], ni)
+			}
+		}
+	}
+	return h.pins
+}
+
+// FromAIG converts a circuit into a hypergraph: one cell per AND node
+// and per primary input, one net per signal (driver plus its fanouts).
+// cellOf maps AIG node id to cell index.
+func FromAIG(g *aig.Graph) (*Hypergraph, []int) {
+	cellOf := make([]int, g.NumNodes())
+	for i := range cellOf {
+		cellOf[i] = -1
+	}
+	cells := 0
+	for id := 1; id < g.NumNodes(); id++ {
+		if g.IsPI(id) || g.IsAnd(id) {
+			cellOf[id] = cells
+			cells++
+		}
+	}
+	// Net per driver: driver cell + fanout cells.
+	netOf := map[int][]int{}
+	addPin := func(driver, sink int) {
+		if cellOf[driver] < 0 || driver == 0 {
+			return
+		}
+		if len(netOf[driver]) == 0 {
+			netOf[driver] = append(netOf[driver], cellOf[driver])
+		}
+		if sink >= 0 {
+			netOf[driver] = append(netOf[driver], sink)
+		}
+	}
+	for id := 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		addPin(f0.Node(), cellOf[id])
+		addPin(f1.Node(), cellOf[id])
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		addPin(g.PO(i).Node(), -1)
+	}
+	h := &Hypergraph{NumCells: cells}
+	for id := 1; id < g.NumNodes(); id++ {
+		if net, ok := netOf[id]; ok && len(net) > 1 {
+			h.Nets = append(h.Nets, dedupe(net))
+		}
+	}
+	return h, cellOf
+}
+
+func dedupe(xs []int) []int {
+	seen := map[int]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Bipartition assigns each cell a side; Cut is the number of nets with
+// cells on both sides.
+type Bipartition struct {
+	Side []bool
+	Cut  int
+}
+
+// CutNets counts the nets spanning both sides.
+func (h *Hypergraph) CutNets(side []bool) int {
+	cut := 0
+	for _, net := range h.Nets {
+		has0, has1 := false, false
+		for _, c := range net {
+			if side[c] {
+				has1 = true
+			} else {
+				has0 = true
+			}
+		}
+		if has0 && has1 {
+			cut++
+		}
+	}
+	return cut
+}
+
+// Options configures the FM partitioner.
+type Options struct {
+	// Balance is the maximum allowed fraction of cells on one side
+	// (e.g. 0.55 allows a 55/45 split). Values <= 0.5 default to 0.55.
+	Balance float64
+	// Passes is the number of FM improvement passes (0 means 8).
+	Passes int
+	// Restarts is the number of random initial partitions tried, keeping
+	// the best final cut (0 means 4).
+	Restarts int
+	// Seed makes the initial random partitions reproducible.
+	Seed int64
+}
+
+// FM bipartitions the hypergraph with the Fiduccia–Mattheyses heuristic:
+// starting from random balanced partitions (multi-start), each pass
+// tentatively moves every cell once in gain order (bucket lists,
+// balance-respecting) and rolls back to the best prefix; the best final
+// cut over all restarts wins.
+func FM(h *Hypergraph, opt Options) *Bipartition {
+	if opt.Restarts <= 0 {
+		opt.Restarts = 4
+	}
+	var best *Bipartition
+	for r := 0; r < opt.Restarts; r++ {
+		bp := fmOnce(h, opt, opt.Seed+int64(r)*7919)
+		if best == nil || bp.Cut < best.Cut {
+			best = bp
+		}
+	}
+	return best
+}
+
+func fmOnce(h *Hypergraph, opt Options, seed int64) *Bipartition {
+	if opt.Balance <= 0.5 {
+		opt.Balance = 0.55
+	}
+	if opt.Passes <= 0 {
+		opt.Passes = 8
+	}
+	n := h.NumCells
+	if n == 0 {
+		return &Bipartition{Side: nil, Cut: 0}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := make([]bool, n)
+	perm := rng.Perm(n)
+	for i, c := range perm {
+		side[c] = i%2 == 1
+	}
+	pins := h.Pins()
+	maxSide := int(opt.Balance * float64(n))
+	if maxSide < (n+1)/2 {
+		maxSide = (n + 1) / 2
+	}
+
+	maxGain := 0
+	for _, ps := range pins {
+		if len(ps) > maxGain {
+			maxGain = len(ps)
+		}
+	}
+
+	for pass := 0; pass < opt.Passes; pass++ {
+		// Net side counts.
+		cnt := make([][2]int, len(h.Nets))
+		for ni, net := range h.Nets {
+			for _, c := range net {
+				if side[c] {
+					cnt[ni][1]++
+				} else {
+					cnt[ni][0]++
+				}
+			}
+		}
+		sideCount := [2]int{}
+		for _, s := range side {
+			if s {
+				sideCount[1]++
+			} else {
+				sideCount[0]++
+			}
+		}
+		gain := make([]int, n)
+		for c := 0; c < n; c++ {
+			gain[c] = cellGain(h, cnt, side, c, pins)
+		}
+		// Gain buckets with lazy deletion.
+		buckets := make([][]int, 2*maxGain+1)
+		inBucket := make([]int, n)
+		push := func(c int) {
+			gi := gain[c] + maxGain
+			buckets[gi] = append(buckets[gi], c)
+			inBucket[c] = gi
+		}
+		for c := 0; c < n; c++ {
+			push(c)
+		}
+		locked := make([]bool, n)
+
+		type move struct {
+			cell int
+			gain int
+		}
+		var moves []move
+		cum, bestCum, bestIdx := 0, 0, -1
+		for len(moves) < n {
+			// Pick the highest-gain unlocked, balance-legal cell.
+			// Balance-blocked candidates are kept in their bucket: they
+			// may become legal after later moves.
+			cell := -1
+			for gi := len(buckets) - 1; gi >= 0 && cell < 0; gi-- {
+				b := buckets[gi]
+				var blocked []int
+				for len(b) > 0 {
+					cand := b[len(b)-1]
+					b = b[:len(b)-1]
+					if locked[cand] || inBucket[cand] != gi {
+						continue
+					}
+					from := 0
+					if side[cand] {
+						from = 1
+					}
+					to := 1 - from
+					if sideCount[to]+1 > maxSide {
+						blocked = append(blocked, cand)
+						continue
+					}
+					cell = cand
+					break
+				}
+				buckets[gi] = append(b, blocked...)
+			}
+			if cell < 0 {
+				break
+			}
+			// Apply the move and update neighbor gains.
+			from := 0
+			if side[cell] {
+				from = 1
+			}
+			to := 1 - from
+			moves = append(moves, move{cell, gain[cell]})
+			cum += gain[cell]
+			locked[cell] = true
+			side[cell] = !side[cell]
+			sideCount[from]--
+			sideCount[to]++
+			for _, ni := range pins[cell] {
+				cnt[ni][from]--
+				cnt[ni][to]++
+			}
+			for _, ni := range pins[cell] {
+				for _, c := range h.Nets[ni] {
+					if locked[c] {
+						continue
+					}
+					g := cellGain(h, cnt, side, c, pins)
+					if g != gain[c] {
+						gain[c] = g
+						push(c)
+					}
+				}
+			}
+			if cum > bestCum {
+				bestCum, bestIdx = cum, len(moves)-1
+			}
+		}
+		// Roll back past the best prefix.
+		for i := len(moves) - 1; i > bestIdx; i-- {
+			side[moves[i].cell] = !side[moves[i].cell]
+		}
+		if bestCum <= 0 {
+			break // no improvement this pass
+		}
+	}
+	return &Bipartition{Side: side, Cut: h.CutNets(side)}
+}
+
+// cellGain computes the FM gain of moving cell c to the other side.
+func cellGain(h *Hypergraph, cnt [][2]int, side []bool, c int, pins [][]int) int {
+	from := 0
+	if side[c] {
+		from = 1
+	}
+	to := 1 - from
+	g := 0
+	for _, ni := range pins[c] {
+		if cnt[ni][from] == 1 {
+			g++ // moving c uncuts this net
+		}
+		if cnt[ni][to] == 0 {
+			g-- // moving c cuts this net
+		}
+	}
+	return g
+}
+
+// PartitionCircuit partitions an AIG across two FPGAs and reports the
+// inter-chip signal count: the cut nets of an FM bipartition.
+func PartitionCircuit(g *aig.Graph, opt Options) (*Bipartition, *Hypergraph, error) {
+	if g.NumNodes() <= 1 {
+		return nil, nil, fmt.Errorf("part: empty circuit")
+	}
+	h, _ := FromAIG(g)
+	return FM(h, opt), h, nil
+}
+
+// KWay partitions the hypergraph into k parts by recursive bisection.
+// Part[c] is the part index of cell c; the returned cut is the number of
+// nets spanning more than one part.
+func KWay(h *Hypergraph, k int, opt Options) ([]int, int) {
+	parts := make([]int, h.NumCells)
+	if k <= 1 || h.NumCells == 0 {
+		return parts, 0
+	}
+	var bisect func(cells []int, base, k int, seed int64)
+	bisect = func(cells []int, base, k int, seed int64) {
+		if k <= 1 || len(cells) <= 1 {
+			for _, c := range cells {
+				parts[c] = base
+			}
+			return
+		}
+		// Project the hypergraph onto this cell subset.
+		idx := make(map[int]int, len(cells))
+		for i, c := range cells {
+			idx[c] = i
+		}
+		sub := &Hypergraph{NumCells: len(cells)}
+		for _, net := range h.Nets {
+			var local []int
+			for _, c := range net {
+				if i, ok := idx[c]; ok {
+					local = append(local, i)
+				}
+			}
+			if len(local) > 1 {
+				sub.Nets = append(sub.Nets, local)
+			}
+		}
+		o := opt
+		o.Seed = seed
+		bp := FM(sub, o)
+		var left, right []int
+		for i, c := range cells {
+			if bp.Side[i] {
+				right = append(right, c)
+			} else {
+				left = append(left, c)
+			}
+		}
+		kl := k / 2
+		kr := k - kl
+		bisect(left, base, kl, seed*2+1)
+		bisect(right, base+kl, kr, seed*2+2)
+	}
+	all := make([]int, h.NumCells)
+	for i := range all {
+		all[i] = i
+	}
+	bisect(all, 0, k, opt.Seed+1)
+
+	cut := 0
+	for _, net := range h.Nets {
+		first := parts[net[0]]
+		for _, c := range net[1:] {
+			if parts[c] != first {
+				cut++
+				break
+			}
+		}
+	}
+	return parts, cut
+}

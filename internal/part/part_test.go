@@ -1,0 +1,176 @@
+package part
+
+import (
+	"math/rand"
+	"testing"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/gen"
+)
+
+func TestFromAIG(t *testing.T) {
+	g := aig.New()
+	a := g.PI("a")
+	b := g.PI("b")
+	x := g.And(a, b)
+	y := g.And(x, a.Not())
+	g.AddPO(y, "y")
+	h, cellOf := FromAIG(g)
+	// Cells: 2 PIs + 2 ANDs.
+	if h.NumCells != 4 {
+		t.Fatalf("cells = %d, want 4", h.NumCells)
+	}
+	// Nets: a (drives x and y), b (drives x), x (drives y). y drives
+	// only the PO, so its net has one cell and is dropped.
+	if len(h.Nets) != 3 {
+		t.Fatalf("nets = %d, want 3", len(h.Nets))
+	}
+	if cellOf[x.Node()] < 0 || cellOf[y.Node()] < 0 {
+		t.Fatal("AND cells unmapped")
+	}
+}
+
+func TestCutNets(t *testing.T) {
+	h := &Hypergraph{NumCells: 4, Nets: [][]int{{0, 1}, {2, 3}, {0, 3}}}
+	side := []bool{false, false, true, true}
+	if got := h.CutNets(side); got != 1 {
+		t.Fatalf("cut = %d, want 1", got)
+	}
+	side = []bool{false, true, false, true}
+	if got := h.CutNets(side); got != 3 {
+		t.Fatalf("cut = %d, want 3", got)
+	}
+}
+
+func TestFMFindsObviousPartition(t *testing.T) {
+	// Two 20-cell cliques joined by a single net: the optimal cut is 1.
+	h := &Hypergraph{NumCells: 40}
+	for i := 0; i < 19; i++ {
+		h.Nets = append(h.Nets, []int{i, i + 1})
+		h.Nets = append(h.Nets, []int{20 + i, 21 + i})
+	}
+	h.Nets = append(h.Nets, []int{19, 20})
+	bp := FM(h, Options{Seed: 1})
+	if bp.Cut != 1 {
+		t.Fatalf("cut = %d, want 1", bp.Cut)
+	}
+	// Balance respected.
+	c := 0
+	for _, s := range bp.Side {
+		if s {
+			c++
+		}
+	}
+	if c < 18 || c > 22 {
+		t.Fatalf("unbalanced: %d/40", c)
+	}
+}
+
+func TestFMImprovesOverRandom(t *testing.T) {
+	g := gen.MustBuild("i10")
+	h, _ := FromAIG(g)
+	rng := rand.New(rand.NewSource(3))
+	side := make([]bool, h.NumCells)
+	for i := range side {
+		side[i] = rng.Intn(2) == 1
+	}
+	randomCut := h.CutNets(side)
+	bp := FM(h, Options{Seed: 3})
+	if bp.Cut >= randomCut {
+		t.Fatalf("FM cut %d not better than random %d", bp.Cut, randomCut)
+	}
+	if got := h.CutNets(bp.Side); got != bp.Cut {
+		t.Fatalf("reported cut %d != recount %d", bp.Cut, got)
+	}
+}
+
+func TestFMBalanceBound(t *testing.T) {
+	g := gen.MustBuild("e64")
+	h, _ := FromAIG(g)
+	for _, bal := range []float64{0.51, 0.6, 0.7} {
+		bp := FM(h, Options{Balance: bal, Seed: 7})
+		c := 0
+		for _, s := range bp.Side {
+			if s {
+				c++
+			}
+		}
+		max := int(bal*float64(h.NumCells)) + 1
+		if c > max || h.NumCells-c > max {
+			t.Fatalf("balance %.2f violated: %d/%d", bal, c, h.NumCells)
+		}
+	}
+}
+
+func TestFMDeterministicPerSeed(t *testing.T) {
+	g := gen.MustBuild("i3")
+	h, _ := FromAIG(g)
+	a := FM(h, Options{Seed: 11})
+	b := FM(h, Options{Seed: 11})
+	if a.Cut != b.Cut {
+		t.Fatalf("same seed, different cuts: %d vs %d", a.Cut, b.Cut)
+	}
+}
+
+func TestPartitionCircuit(t *testing.T) {
+	g := gen.MustBuild("b14_C")
+	bp, h, err := PartitionCircuit(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Cut <= 0 || bp.Cut >= len(h.Nets) {
+		t.Fatalf("implausible cut %d of %d nets", bp.Cut, len(h.Nets))
+	}
+	if _, _, err := PartitionCircuit(aig.New(), Options{}); err == nil {
+		t.Fatal("empty circuit should fail")
+	}
+}
+
+func TestKWayPartition(t *testing.T) {
+	g := gen.MustBuild("b14_C")
+	h, _ := FromAIG(g)
+	for _, k := range []int{2, 3, 4} {
+		parts, cut := KWay(h, k, Options{Seed: 9})
+		used := map[int]bool{}
+		counts := map[int]int{}
+		for _, p := range parts {
+			if p < 0 || p >= k {
+				t.Fatalf("part %d out of range for k=%d", p, k)
+			}
+			used[p] = true
+			counts[p]++
+		}
+		if len(used) != k {
+			t.Fatalf("k=%d: only %d parts used", k, len(used))
+		}
+		// No part dominates excessively (recursive bisection balance).
+		for p, c := range counts {
+			if c > h.NumCells*3/4 {
+				t.Fatalf("k=%d: part %d holds %d of %d cells", k, p, c, h.NumCells)
+			}
+		}
+		if cut <= 0 || cut >= len(h.Nets) {
+			t.Fatalf("k=%d: implausible cut %d", k, cut)
+		}
+	}
+	// k=1 is a no-op with zero cut.
+	parts, cut := KWay(h, 1, Options{})
+	if cut != 0 {
+		t.Fatalf("k=1 cut = %d", cut)
+	}
+	for _, p := range parts {
+		if p != 0 {
+			t.Fatal("k=1 must place everything in part 0")
+		}
+	}
+}
+
+func TestKWayMoreCutThanBisection(t *testing.T) {
+	g := gen.MustBuild("i10")
+	h, _ := FromAIG(g)
+	_, cut2 := KWay(h, 2, Options{Seed: 2})
+	_, cut4 := KWay(h, 4, Options{Seed: 2})
+	if cut4 < cut2 {
+		t.Fatalf("4-way cut %d unexpectedly below 2-way cut %d", cut4, cut2)
+	}
+}

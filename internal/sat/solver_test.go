@@ -1,0 +1,466 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lit(v int) Lit  { return MkLit(v, false) }
+func nlit(v int) Lit { return MkLit(v, true) }
+
+func TestLitBasics(t *testing.T) {
+	l := MkLit(4, true)
+	if l.Var() != 4 || !l.Neg() {
+		t.Fatalf("MkLit(4,true) = %v", l)
+	}
+	if n := l.Not(); n.Var() != 4 || n.Neg() {
+		t.Fatalf("Not = %v", n)
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(lit(a), lit(b))
+	s.AddClause(nlit(a))
+	if s.Solve() != Sat {
+		t.Fatal("expected SAT")
+	}
+	if s.Value(a) || !s.Value(b) {
+		t.Fatalf("model wrong: a=%v b=%v", s.Value(a), s.Value(b))
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(lit(a))
+	if ok := s.AddClause(nlit(a)); ok {
+		t.Fatal("AddClause should report conflict")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause() {
+		t.Fatal("empty clause should be a conflict")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	if !s.AddClause(lit(a), nlit(a)) {
+		t.Fatal("tautology rejected")
+	}
+	if !s.AddClause(lit(b), lit(b), lit(b)) {
+		t.Fatal("duplicate-literal clause rejected")
+	}
+	if s.Solve() != Sat || !s.Value(b) {
+		t.Fatal("expected SAT with b=true")
+	}
+}
+
+func TestXorChainSat(t *testing.T) {
+	// x0 xor x1 xor ... xor x9 = 1, encoded pairwise with aux vars.
+	s := New()
+	n := 10
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	acc := vars[0]
+	for i := 1; i < n; i++ {
+		nxt := s.NewVar()
+		addXor(s, nxt, acc, vars[i])
+		acc = nxt
+	}
+	s.AddClause(lit(acc))
+	if s.Solve() != Sat {
+		t.Fatal("expected SAT")
+	}
+	parity := false
+	for _, v := range vars {
+		parity = parity != s.Value(v)
+	}
+	if !parity {
+		t.Fatal("model violates parity constraint")
+	}
+}
+
+// addXor encodes o <-> a xor b.
+func addXor(s *Solver, o, a, b int) {
+	s.AddClause(nlit(o), lit(a), lit(b))
+	s.AddClause(nlit(o), nlit(a), nlit(b))
+	s.AddClause(lit(o), lit(a), nlit(b))
+	s.AddClause(lit(o), nlit(a), lit(b))
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons into n holes; classic UNSAT family.
+	for _, n := range []int{3, 4, 5} {
+		s := New()
+		p := make([][]int, n+1)
+		for i := range p {
+			p[i] = make([]int, n)
+			for j := range p[i] {
+				p[i][j] = s.NewVar()
+			}
+		}
+		for i := 0; i <= n; i++ {
+			cl := make([]Lit, n)
+			for j := 0; j < n; j++ {
+				cl[j] = lit(p[i][j])
+			}
+			s.AddClause(cl...)
+		}
+		for j := 0; j < n; j++ {
+			for i1 := 0; i1 <= n; i1++ {
+				for i2 := i1 + 1; i2 <= n; i2++ {
+					s.AddClause(nlit(p[i1][j]), nlit(p[i2][j]))
+				}
+			}
+		}
+		if s.Solve() != Unsat {
+			t.Fatalf("PHP(%d,%d) should be UNSAT", n+1, n)
+		}
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// A 5-cycle is 3-colorable but not 2-colorable.
+	color := func(k int) Status {
+		s := New()
+		v := make([][]int, 5)
+		for i := range v {
+			v[i] = make([]int, k)
+			for c := range v[i] {
+				v[i][c] = s.NewVar()
+			}
+			cl := make([]Lit, k)
+			for c := 0; c < k; c++ {
+				cl[c] = lit(v[i][c])
+			}
+			s.AddClause(cl...)
+		}
+		for i := 0; i < 5; i++ {
+			j := (i + 1) % 5
+			for c := 0; c < k; c++ {
+				s.AddClause(nlit(v[i][c]), nlit(v[j][c]))
+			}
+		}
+		return s.Solve()
+	}
+	if color(2) != Unsat {
+		t.Fatal("5-cycle should not be 2-colorable")
+	}
+	if color(3) != Sat {
+		t.Fatal("5-cycle should be 3-colorable")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	c := s.NewVar()
+	s.AddClause(nlit(a), lit(b))
+	s.AddClause(nlit(b), lit(c))
+	if s.Solve(lit(a), nlit(c)) != Unsat {
+		t.Fatal("a & !c should be UNSAT under a->b->c")
+	}
+	if s.Solve(lit(a)) != Sat {
+		t.Fatal("a alone should be SAT")
+	}
+	if !s.Value(a) || !s.Value(b) || !s.Value(c) {
+		t.Fatal("model must satisfy implications under assumption a")
+	}
+	// Solver remains reusable after an assumption-UNSAT call.
+	if s.Solve(nlit(a)) != Sat {
+		t.Fatal("!a should be SAT")
+	}
+}
+
+func TestAssumptionConflictingWithUnit(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(lit(a))
+	if s.Solve(nlit(a)) != Unsat {
+		t.Fatal("assumption contradicting a unit must be UNSAT")
+	}
+	if s.Solve(lit(a)) != Sat {
+		t.Fatal("consistent assumption must be SAT")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("solver must remain usable")
+	}
+}
+
+func TestBudgetReturnsUnknown(t *testing.T) {
+	s := New()
+	n := 8
+	p := make([][]int, n+1)
+	for i := range p {
+		p[i] = make([]int, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		cl := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			cl[j] = lit(p[i][j])
+		}
+		s.AddClause(cl...)
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				s.AddClause(nlit(p[i1][j]), nlit(p[i2][j]))
+			}
+		}
+	}
+	s.SetBudget(10)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("tiny budget on PHP(9,8): got %v, want UNKNOWN", got)
+	}
+	s.SetBudget(0)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("unlimited budget: got %v, want UNSAT", got)
+	}
+}
+
+// bruteForce checks satisfiability of a CNF over nVars by enumeration.
+func bruteForce(nVars int, cnf [][]Lit) bool {
+	for m := uint64(0); m < 1<<uint(nVars); m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				val := m>>uint(l.Var())&1 == 1
+				if l.Neg() {
+					val = !val
+				}
+				if val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3CNFAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 300; trial++ {
+		nVars := 4 + rng.Intn(9) // 4..12
+		nCls := 2 + rng.Intn(nVars*5)
+		cnf := make([][]Lit, nCls)
+		for i := range cnf {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 1)
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		addOK := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				addOK = false
+				break
+			}
+		}
+		want := bruteForce(nVars, cnf)
+		if !addOK {
+			if want {
+				t.Fatalf("trial %d: AddClause claimed conflict on satisfiable CNF", trial)
+			}
+			continue
+		}
+		got := s.Solve()
+		if want && got != Sat {
+			t.Fatalf("trial %d: want SAT got %v", trial, got)
+		}
+		if !want && got != Unsat {
+			t.Fatalf("trial %d: want UNSAT got %v", trial, got)
+		}
+		if got == Sat {
+			// Verify the model satisfies the CNF.
+			for ci, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					if s.ValueLit(l) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: model violates clause %d", trial, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickRandomCNF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(8)
+		nCls := 1 + rng.Intn(30)
+		cnf := make([][]Lit, nCls)
+		for i := range cnf {
+			k := 1 + rng.Intn(4)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 1)
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		ok := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				ok = false
+				break
+			}
+		}
+		want := bruteForce(nVars, cnf)
+		if !ok {
+			return !want
+		}
+		return (s.Solve() == Sat) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalGrowth(t *testing.T) {
+	// Add constraints between Solve calls and check monotone behavior.
+	s := New()
+	v := make([]int, 6)
+	for i := range v {
+		v[i] = s.NewVar()
+	}
+	for i := 0; i+1 < len(v); i++ {
+		s.AddClause(nlit(v[i]), lit(v[i+1]))
+	}
+	if s.Solve(lit(v[0])) != Sat {
+		t.Fatal("chain should be SAT")
+	}
+	for i := 1; i < len(v); i++ {
+		if !s.Value(v[i]) {
+			t.Fatalf("v[%d] must be true", i)
+		}
+	}
+	s.AddClause(nlit(v[len(v)-1]))
+	if s.Solve(lit(v[0])) != Unsat {
+		t.Fatal("chain with falsified head should be UNSAT under v0")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("still SAT without assumptions")
+	}
+	if s.Value(v[0]) {
+		t.Fatal("v0 must be false now")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Fatal("Status strings wrong")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestSolveTwiceStable(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(lit(a), lit(b))
+	if s.Solve() != Sat || s.Solve() != Sat {
+		t.Fatal("repeated Solve should stay SAT")
+	}
+	if s.NumVars() != 2 {
+		t.Fatalf("NumVars = %d", s.NumVars())
+	}
+	if s.Stats.Decisions == 0 && s.Stats.Propagations == 0 {
+		t.Fatal("stats not accumulated")
+	}
+	m := s.Model()
+	if len(m) != 2 || !(m[0] || m[1]) {
+		t.Fatalf("model wrong: %v", m)
+	}
+}
+
+func TestHardRandomKSATStress(t *testing.T) {
+	// Near the 3-SAT phase transition (ratio ~4.26): exercises restarts
+	// and clause DB reduction; verified against brute force.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		nVars := 14
+		nCls := int(4.26 * float64(nVars))
+		cnf := make([][]Lit, nCls)
+		for i := range cnf {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 1)
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		ok := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				ok = false
+				break
+			}
+		}
+		want := bruteForce(nVars, cnf)
+		if !ok {
+			if want {
+				t.Fatal("AddClause rejected satisfiable CNF")
+			}
+			continue
+		}
+		got := s.Solve()
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: got %v want sat=%v", trial, got, want)
+		}
+	}
+}

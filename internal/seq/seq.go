@@ -1,0 +1,303 @@
+// Package seq represents sequential circuits as a combinational AIG plus
+// flip-flops, and provides the two operations the paper's formulation is
+// built on: cycle-accurate simulation and time-frame expansion
+// (unrolling), the inverse of circuit folding.
+package seq
+
+import (
+	"fmt"
+
+	"circuitfold/internal/aig"
+)
+
+// Circuit is a sequential circuit. The combinational core G has
+// NumInputs + len(Next) primary inputs: the first NumInputs are the real
+// primary inputs, the rest are the flip-flop outputs (pseudo inputs, in
+// flip-flop order). G's primary outputs are the circuit's primary
+// outputs; Next[i] is the literal in G driving flip-flop i's input.
+type Circuit struct {
+	G         *aig.Graph
+	NumInputs int
+	Next      []aig.Lit
+	Init      []bool // initial flip-flop values; len == len(Next)
+}
+
+// NumLatches returns the number of flip-flops.
+func (c *Circuit) NumLatches() int { return len(c.Next) }
+
+// NumOutputs returns the number of primary outputs.
+func (c *Circuit) NumOutputs() int { return c.G.NumPOs() }
+
+// Validate checks internal consistency.
+func (c *Circuit) Validate() error {
+	if c.G.NumPIs() != c.NumInputs+len(c.Next) {
+		return fmt.Errorf("seq: core has %d PIs, want %d inputs + %d latches",
+			c.G.NumPIs(), c.NumInputs, len(c.Next))
+	}
+	if len(c.Init) != len(c.Next) {
+		return fmt.Errorf("seq: %d init values for %d latches", len(c.Init), len(c.Next))
+	}
+	for i, n := range c.Next {
+		if n.Node() >= c.G.NumNodes() {
+			return fmt.Errorf("seq: next-state literal %d out of range", i)
+		}
+	}
+	return nil
+}
+
+// Combinational wraps a combinational AIG as a latch-free Circuit.
+func Combinational(g *aig.Graph) *Circuit {
+	return &Circuit{G: g, NumInputs: g.NumPIs()}
+}
+
+// Step evaluates one clock cycle: given the current state and the inputs
+// of this cycle, it returns the outputs and the next state.
+func (c *Circuit) Step(state []bool, inputs []bool) (outputs, next []bool) {
+	if len(inputs) != c.NumInputs || len(state) != len(c.Next) {
+		panic("seq: Step width mismatch")
+	}
+	in := make([]bool, 0, len(inputs)+len(state))
+	in = append(in, inputs...)
+	in = append(in, state...)
+	words := make([]uint64, len(in))
+	for i, b := range in {
+		if b {
+			words[i] = 1
+		}
+	}
+	vals := make([]uint64, c.G.NumNodes())
+	simInto(c.G, vals, words)
+	outputs = make([]bool, c.G.NumPOs())
+	for i := 0; i < c.G.NumPOs(); i++ {
+		outputs[i] = litVal(vals, c.G.PO(i))
+	}
+	next = make([]bool, len(c.Next))
+	for i, n := range c.Next {
+		next[i] = litVal(vals, n)
+	}
+	return outputs, next
+}
+
+func litVal(vals []uint64, l aig.Lit) bool {
+	v := vals[l.Node()]&1 == 1
+	if l.Compl() {
+		v = !v
+	}
+	return v
+}
+
+// simInto performs single-bit (word) simulation of g given PI words.
+func simInto(g *aig.Graph, vals []uint64, in []uint64) {
+	for i := 0; i < g.NumPIs(); i++ {
+		vals[g.PILit(i).Node()] = in[i]
+	}
+	for id := 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		v0 := vals[f0.Node()]
+		if f0.Compl() {
+			v0 = ^v0
+		}
+		v1 := vals[f1.Node()]
+		if f1.Compl() {
+			v1 = ^v1
+		}
+		vals[id] = v0 & v1
+	}
+}
+
+// Simulate runs the circuit from its initial state over the input stream
+// and returns the output stream.
+func (c *Circuit) Simulate(stream [][]bool) [][]bool {
+	state := append([]bool(nil), c.Init...)
+	out := make([][]bool, len(stream))
+	for t, in := range stream {
+		out[t], state = c.Step(state, in)
+	}
+	return out
+}
+
+// Unroll expands the circuit by T time-frames into a combinational AIG:
+// the result has T * NumInputs primary inputs (frame-major: all of frame
+// 1, then frame 2, ...) and T * NumOutputs primary outputs, with latch
+// outputs of frame t feeding latch inputs of frame t+1 and frame 1 seeded
+// by the initial state. This is the paper's time-frame expansion.
+func (c *Circuit) Unroll(T int) *aig.Graph {
+	u := aig.New()
+	state := make([]aig.Lit, len(c.Next))
+	for i, b := range c.Init {
+		state[i] = aig.Const0
+		if b {
+			state[i] = aig.Const1
+		}
+	}
+	roots := make([]aig.Lit, 0, c.G.NumPOs()+len(c.Next))
+	for i := 0; i < c.G.NumPOs(); i++ {
+		roots = append(roots, c.G.PO(i))
+	}
+	roots = append(roots, c.Next...)
+	for t := 1; t <= T; t++ {
+		piMap := make([]aig.Lit, 0, c.G.NumPIs())
+		for i := 0; i < c.NumInputs; i++ {
+			piMap = append(piMap, u.PI(fmt.Sprintf("%s@%d", c.G.PIName(i), t)))
+		}
+		piMap = append(piMap, state...)
+		mapped := aig.Transfer(u, c.G, piMap, roots)
+		for i := 0; i < c.G.NumPOs(); i++ {
+			u.AddPO(mapped[i], fmt.Sprintf("%s@%d", c.G.POName(i), t))
+		}
+		copy(state, mapped[c.G.NumPOs():])
+	}
+	return u
+}
+
+// String summarizes the circuit.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("seq{in:%d out:%d ff:%d and:%d}",
+		c.NumInputs, c.NumOutputs(), len(c.Next), c.G.NumAnds())
+}
+
+// Transform rewrites the combinational core with f (e.g. optimization
+// passes), keeping the latch structure intact: next-state functions are
+// temporarily exposed as extra primary outputs so the rewrite preserves
+// them, then stripped back out.
+func (c *Circuit) Transform(f func(*aig.Graph) *aig.Graph) *Circuit {
+	work := c.G.Copy()
+	for i, n := range c.Next {
+		work.AddPO(n, fmt.Sprintf("__next%d", i))
+	}
+	opt := f(work)
+	nOut := c.G.NumPOs()
+	g := aig.New()
+	piMap := make([]aig.Lit, opt.NumPIs())
+	for i := range piMap {
+		piMap[i] = g.PI(opt.PIName(i))
+	}
+	roots := make([]aig.Lit, opt.NumPOs())
+	for i := range roots {
+		roots[i] = opt.PO(i)
+	}
+	outs := aig.Transfer(g, opt, piMap, roots)
+	for i := 0; i < nOut; i++ {
+		g.AddPO(outs[i], opt.POName(i))
+	}
+	next := append([]aig.Lit(nil), outs[nOut:]...)
+	return &Circuit{G: g, NumInputs: c.NumInputs, Next: next, Init: append([]bool(nil), c.Init...)}
+}
+
+// StepWords evaluates one clock cycle on 64 independent streams at once:
+// bit k of every word belongs to stream k. state and inputs hold one
+// word per flip-flop / input; the returned slices hold one word per
+// output / flip-flop.
+func (c *Circuit) StepWords(state, inputs []uint64) (outputs, next []uint64) {
+	if len(inputs) != c.NumInputs || len(state) != len(c.Next) {
+		panic("seq: StepWords width mismatch")
+	}
+	in := make([]uint64, 0, len(inputs)+len(state))
+	in = append(in, inputs...)
+	in = append(in, state...)
+	vals := make([]uint64, c.G.NumNodes())
+	simInto(c.G, vals, in)
+	outputs = make([]uint64, c.G.NumPOs())
+	for i := 0; i < c.G.NumPOs(); i++ {
+		v := vals[c.G.PO(i).Node()]
+		if c.G.PO(i).Compl() {
+			v = ^v
+		}
+		outputs[i] = v
+	}
+	next = make([]uint64, len(c.Next))
+	for i, n := range c.Next {
+		v := vals[n.Node()]
+		if n.Compl() {
+			v = ^v
+		}
+		next[i] = v
+	}
+	return outputs, next
+}
+
+// SimulateWords runs 64 independent streams from the initial state.
+// stream[t][i] is the word of input i at cycle t.
+func (c *Circuit) SimulateWords(stream [][]uint64) [][]uint64 {
+	state := make([]uint64, len(c.Next))
+	for i, b := range c.Init {
+		if b {
+			state[i] = ^uint64(0)
+		}
+	}
+	out := make([][]uint64, len(stream))
+	for t, in := range stream {
+		out[t], state = c.StepWords(state, in)
+	}
+	return out
+}
+
+// DedupeLatches merges flip-flops whose next-state literal and initial
+// value coincide: such registers always hold identical values, so their
+// outputs are interchangeable. Folding and synthesis can create such
+// duplicates (e.g. when structural hashing merges the logic feeding two
+// register chains). The pass iterates to a fixpoint because merging one
+// stage can make the next stage's inputs coincide.
+func (c *Circuit) DedupeLatches() *Circuit {
+	cur := c
+	for {
+		type key struct {
+			next aig.Lit
+			init bool
+		}
+		rep := make(map[key]int)
+		merge := make([]int, cur.NumLatches()) // latch -> representative
+		distinct := 0
+		for i, n := range cur.Next {
+			k := key{n, cur.Init[i]}
+			if r, ok := rep[k]; ok {
+				merge[i] = r
+			} else {
+				rep[k] = i
+				merge[i] = i
+				distinct++
+			}
+		}
+		if distinct == cur.NumLatches() {
+			return cur
+		}
+		// Rebuild with merged pseudo-inputs.
+		g := aig.New()
+		piMap := make([]aig.Lit, cur.G.NumPIs())
+		for i := 0; i < cur.NumInputs; i++ {
+			piMap[i] = g.PI(cur.G.PIName(i))
+		}
+		newIndex := make([]int, cur.NumLatches())
+		var next []aig.Lit
+		var init []bool
+		for i := 0; i < cur.NumLatches(); i++ {
+			if merge[i] == i {
+				newIndex[i] = len(next)
+				piMap[cur.NumInputs+i] = g.PI("")
+				next = append(next, 0) // filled below
+				init = append(init, cur.Init[i])
+			}
+		}
+		for i := 0; i < cur.NumLatches(); i++ {
+			piMap[cur.NumInputs+i] = piMap[cur.NumInputs+merge[i]]
+		}
+		roots := make([]aig.Lit, 0, cur.G.NumPOs()+len(next))
+		for i := 0; i < cur.G.NumPOs(); i++ {
+			roots = append(roots, cur.G.PO(i))
+		}
+		for i := 0; i < cur.NumLatches(); i++ {
+			if merge[i] == i {
+				roots = append(roots, cur.Next[i])
+			}
+		}
+		mapped := aig.Transfer(g, cur.G, piMap, roots)
+		for i := 0; i < cur.G.NumPOs(); i++ {
+			g.AddPO(mapped[i], cur.G.POName(i))
+		}
+		copy(next, mapped[cur.G.NumPOs():])
+		cur = &Circuit{G: g, NumInputs: cur.NumInputs, Next: next, Init: init}
+	}
+}

@@ -1,0 +1,384 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"circuitfold/internal/aig"
+)
+
+// counterCircuit builds a 2-bit counter with an enable input; outputs the
+// two state bits.
+func counterCircuit() *Circuit {
+	g := aig.New()
+	en := g.PI("en")
+	s0 := g.PI("s0")
+	s1 := g.PI("s1")
+	n0 := g.Xor(s0, en)
+	n1 := g.Xor(s1, g.And(s0, en))
+	g.AddPO(s0, "q0")
+	g.AddPO(s1, "q1")
+	return &Circuit{G: g, NumInputs: 1, Next: []aig.Lit{n0, n1}, Init: []bool{false, false}}
+}
+
+func TestValidate(t *testing.T) {
+	c := counterCircuit()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Circuit{G: c.G, NumInputs: 2, Next: c.Next, Init: c.Init}
+	if bad.Validate() == nil {
+		t.Fatal("expected validation error for wrong input count")
+	}
+	bad2 := &Circuit{G: c.G, NumInputs: 1, Next: c.Next, Init: []bool{false}}
+	if bad2.Validate() == nil {
+		t.Fatal("expected validation error for init length")
+	}
+}
+
+func TestCounterSimulate(t *testing.T) {
+	c := counterCircuit()
+	// Enable for 5 cycles: outputs show the PREVIOUS state (Mealy read of
+	// current state), counting 0,1,2,3,0.
+	stream := [][]bool{{true}, {true}, {true}, {true}, {true}}
+	out := c.Simulate(stream)
+	want := []int{0, 1, 2, 3, 0}
+	for t_, o := range out {
+		got := 0
+		if o[0] {
+			got |= 1
+		}
+		if o[1] {
+			got |= 2
+		}
+		if got != want[t_] {
+			t.Fatalf("cycle %d: count=%d want %d", t_, got, want[t_])
+		}
+	}
+	// With enable low, state holds.
+	out = c.Simulate([][]bool{{true}, {false}, {false}})
+	if out[2][0] != true || out[2][1] != false {
+		t.Fatalf("state did not hold: %v", out[2])
+	}
+}
+
+func TestStepWidthPanics(t *testing.T) {
+	c := counterCircuit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width mismatch")
+		}
+	}()
+	c.Step([]bool{false}, []bool{true})
+}
+
+func TestCombinationalWrapper(t *testing.T) {
+	g := aig.New()
+	a := g.PI("a")
+	b := g.PI("b")
+	g.AddPO(g.And(a, b), "y")
+	c := Combinational(g)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLatches() != 0 || c.NumOutputs() != 1 {
+		t.Fatal("wrapper wrong")
+	}
+	out, next := c.Step(nil, []bool{true, true})
+	if !out[0] || len(next) != 0 {
+		t.Fatal("combinational step wrong")
+	}
+}
+
+func TestUnrollMatchesSimulation(t *testing.T) {
+	c := counterCircuit()
+	rng := rand.New(rand.NewSource(9))
+	for _, T := range []int{1, 2, 3, 5, 8} {
+		u := c.Unroll(T)
+		if u.NumPIs() != T*c.NumInputs || u.NumPOs() != T*c.NumOutputs() {
+			t.Fatalf("T=%d: unrolled io %d/%d", T, u.NumPIs(), u.NumPOs())
+		}
+		for trial := 0; trial < 20; trial++ {
+			stream := make([][]bool, T)
+			flat := make([]bool, 0, T)
+			for i := range stream {
+				v := rng.Intn(2) == 1
+				stream[i] = []bool{v}
+				flat = append(flat, v)
+			}
+			seqOut := c.Simulate(stream)
+			combOut := u.Eval(flat)
+			for tt := 0; tt < T; tt++ {
+				for o := 0; o < c.NumOutputs(); o++ {
+					if combOut[tt*c.NumOutputs()+o] != seqOut[tt][o] {
+						t.Fatalf("T=%d trial %d: frame %d output %d differs", T, trial, tt, o)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnrollInitialState(t *testing.T) {
+	c := counterCircuit()
+	c.Init = []bool{true, false} // start at 1
+	u := c.Unroll(1)
+	out := u.Eval([]bool{false})
+	if !out[0] || out[1] {
+		t.Fatalf("initial state not honored: %v", out)
+	}
+}
+
+func TestUnrollNamesCarryFrames(t *testing.T) {
+	c := counterCircuit()
+	u := c.Unroll(2)
+	if u.PIName(0) != "en@1" || u.PIName(1) != "en@2" {
+		t.Fatalf("PI names: %q %q", u.PIName(0), u.PIName(1))
+	}
+	if u.POName(0) != "q0@1" || u.POName(3) != "q1@2" {
+		t.Fatalf("PO names: %q %q", u.POName(0), u.POName(3))
+	}
+}
+
+func TestRandomSequentialUnroll(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 10; trial++ {
+		c := randomSeq(rng, 3, 2, 2, 25)
+		T := 1 + rng.Intn(4)
+		u := c.Unroll(T)
+		for v := 0; v < 30; v++ {
+			stream := make([][]bool, T)
+			var flat []bool
+			for i := range stream {
+				row := make([]bool, c.NumInputs)
+				for j := range row {
+					row[j] = rng.Intn(2) == 1
+				}
+				stream[i] = row
+				flat = append(flat, row...)
+			}
+			seqOut := c.Simulate(stream)
+			combOut := u.Eval(flat)
+			k := 0
+			for tt := 0; tt < T; tt++ {
+				for o := 0; o < c.NumOutputs(); o++ {
+					if combOut[k] != seqOut[tt][o] {
+						t.Fatalf("trial %d: mismatch frame %d out %d", trial, tt, o)
+					}
+					k++
+				}
+			}
+		}
+	}
+}
+
+// randomSeq builds a random sequential circuit.
+func randomSeq(rng *rand.Rand, ins, outs, ffs, ands int) *Circuit {
+	g := aig.New()
+	var lits []aig.Lit
+	for i := 0; i < ins+ffs; i++ {
+		lits = append(lits, g.PI(""))
+	}
+	for i := 0; i < ands; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, g.And(a, b))
+	}
+	for i := 0; i < outs; i++ {
+		g.AddPO(lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0), "")
+	}
+	next := make([]aig.Lit, ffs)
+	init := make([]bool, ffs)
+	for i := range next {
+		next[i] = lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		init[i] = rng.Intn(2) == 1
+	}
+	return &Circuit{G: g, NumInputs: ins, Next: next, Init: init}
+}
+
+func TestStepWordsMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	c := randomSeq(rng, 3, 2, 2, 30)
+	for trial := 0; trial < 10; trial++ {
+		stream := make([][]uint64, 6)
+		for t_ := range stream {
+			row := make([]uint64, c.NumInputs)
+			for i := range row {
+				row[i] = rng.Uint64()
+			}
+			stream[t_] = row
+		}
+		wordOut := c.SimulateWords(stream)
+		// Compare lanes 0, 17 and 63 against scalar simulation.
+		for _, lane := range []uint{0, 17, 63} {
+			scalar := make([][]bool, len(stream))
+			for t_ := range stream {
+				row := make([]bool, c.NumInputs)
+				for i := range row {
+					row[i] = stream[t_][i]>>lane&1 == 1
+				}
+				scalar[t_] = row
+			}
+			want := c.Simulate(scalar)
+			for t_ := range want {
+				for o := range want[t_] {
+					got := wordOut[t_][o]>>lane&1 == 1
+					if got != want[t_][o] {
+						t.Fatalf("lane %d cycle %d output %d differs", lane, t_, o)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStepWordsPanicsOnWidth(t *testing.T) {
+	c := counterCircuit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.StepWords([]uint64{0}, []uint64{0, 0})
+}
+
+func TestTransformPreservesBehavior(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		c := randomSeq(rng, 3, 3, 3, 50)
+		opt := c.Transform(func(g *aig.Graph) *aig.Graph { return g.Optimize() })
+		if err := opt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 20; v++ {
+			stream := make([][]bool, 6)
+			for i := range stream {
+				row := make([]bool, c.NumInputs)
+				for j := range row {
+					row[j] = rng.Intn(2) == 1
+				}
+				stream[i] = row
+			}
+			a := c.Simulate(stream)
+			b := opt.Simulate(stream)
+			for i := range a {
+				for o := range a[i] {
+					if a[i][o] != b[i][o] {
+						t.Fatalf("trial %d: transform changed behavior at step %d", trial, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStringSummaries(t *testing.T) {
+	c := counterCircuit()
+	if s := c.String(); s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestDedupeLatches(t *testing.T) {
+	// Two latch chains fed by the same signal collapse into one.
+	g := aig.New()
+	x := g.PI("x")
+	s1 := g.PI("")
+	s2 := g.PI("")
+	t1 := g.PI("")
+	t2 := g.PI("")
+	g.AddPO(g.Xor(t1, t2), "y") // xor of identical chains == 0
+	c := &Circuit{
+		G:         g,
+		NumInputs: 1,
+		Next:      []aig.Lit{x, x, s1, s2},
+		Init:      []bool{false, false, false, false},
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := c.DedupeLatches()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumLatches() != 2 {
+		t.Fatalf("latches = %d, want 2 (one chain)", d.NumLatches())
+	}
+	// Behavior preserved.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		stream := make([][]bool, 6)
+		for i := range stream {
+			stream[i] = []bool{rng.Intn(2) == 1}
+		}
+		a := c.Simulate(stream)
+		b := d.Simulate(stream)
+		for i := range a {
+			if a[i][0] != b[i][0] {
+				t.Fatalf("dedupe changed behavior at step %d", i)
+			}
+		}
+	}
+}
+
+func TestDedupeLatchesRespectsInit(t *testing.T) {
+	// Same next function but different init values must NOT merge.
+	g := aig.New()
+	x := g.PI("x")
+	s1 := g.PI("")
+	s2 := g.PI("")
+	g.AddPO(g.Xor(s1, s2), "y")
+	c := &Circuit{G: g, NumInputs: 1, Next: []aig.Lit{x, x}, Init: []bool{false, true}}
+	d := c.DedupeLatches()
+	if d.NumLatches() != 2 {
+		t.Fatalf("latches with different init merged: %d", d.NumLatches())
+	}
+	out := d.Simulate([][]bool{{false}})
+	if !out[0][0] {
+		t.Fatal("initial-state difference lost")
+	}
+}
+
+func TestDedupeLatchesOnStructuralFoldChain(t *testing.T) {
+	// A no-duplicate circuit is returned unchanged (fixpoint reached
+	// immediately).
+	c := counterCircuit()
+	d := c.DedupeLatches()
+	if d.NumLatches() != c.NumLatches() {
+		t.Fatal("spurious merge")
+	}
+}
+
+func TestQuickUnrollEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomSeq(rng, 2, 2, 2, 20)
+		T := 1 + rng.Intn(3)
+		u := c.Unroll(T)
+		for v := 0; v < 10; v++ {
+			stream := make([][]bool, T)
+			var flat []bool
+			for i := range stream {
+				row := []bool{rng.Intn(2) == 1, rng.Intn(2) == 1}
+				stream[i] = row
+				flat = append(flat, row...)
+			}
+			so := c.Simulate(stream)
+			co := u.Eval(flat)
+			k := 0
+			for tt := 0; tt < T; tt++ {
+				for o := 0; o < 2; o++ {
+					if co[k] != so[tt][o] {
+						return false
+					}
+					k++
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package tdm models inter-FPGA I/O transmission: classic time-division
+// multiplexing (Figure 1 of the paper) and the I/O-cycle latency analysis
+// of Section VI used in the i10 case study. Circuit folding and TDM are
+// orthogonal; this package lets both be expressed in one cycle model.
+package tdm
+
+import (
+	"fmt"
+
+	"circuitfold/internal/core"
+)
+
+// Link is an inter-chip I/O link: Pins physical pins, multiplexed with
+// TDM ratio Ratio (Ratio signals per pin per system clock; the I/O clock
+// runs Ratio times faster than the system clock).
+type Link struct {
+	Pins  int
+	Ratio int
+}
+
+// SignalsPerSystemCycle returns the effective logical signal capacity of
+// one system clock period.
+func (l Link) SignalsPerSystemCycle() int { return l.Pins * l.Ratio }
+
+// IOCyclesToTransmit returns the number of I/O clock cycles needed to
+// move `signals` logical signals across the link (each I/O cycle carries
+// Pins signals).
+func (l Link) IOCyclesToTransmit(signals int) int {
+	if signals <= 0 {
+		return 0
+	}
+	return (signals + l.Pins - 1) / l.Pins
+}
+
+// TransmitSchedule lists, slot by slot, which logical signal index each
+// pin carries in each I/O cycle — the wave-shaped multiplexing picture of
+// Figure 1. Entry [c][p] is the signal on pin p during I/O cycle c, or -1
+// for an idle slot.
+func (l Link) TransmitSchedule(signals int) [][]int {
+	cycles := l.IOCyclesToTransmit(signals)
+	out := make([][]int, cycles)
+	s := 0
+	for c := range out {
+		row := make([]int, l.Pins)
+		for p := range row {
+			if s < signals {
+				row[p] = s
+				s++
+			} else {
+				row[p] = -1
+			}
+		}
+		out[c] = row
+	}
+	return out
+}
+
+// CyclePlan describes one I/O cycle of a folded execution: how many input
+// and output signals it carries.
+type CyclePlan struct {
+	Inputs  int
+	Outputs int
+}
+
+// Total returns the signals transmitted in this cycle.
+func (c CyclePlan) Total() int { return c.Inputs + c.Outputs }
+
+// UnfoldedCycles is the baseline of the case study: without folding, all
+// inputs are streamed in first and all outputs streamed out after the
+// (single-cycle) evaluation, so the I/O cycle count is
+// ceil(nIn/pins) + ceil(nOut/pins).
+func UnfoldedCycles(nIn, nOut, pins int) int {
+	return Link{Pins: pins, Ratio: 1}.IOCyclesToTransmit(nIn) +
+		Link{Pins: pins, Ratio: 1}.IOCyclesToTransmit(nOut)
+}
+
+// FoldedCycles computes the I/O cycle count of executing a folded circuit
+// over a pins-wide link under the paper's assumptions (TDM ratio 1, logic
+// evaluates within a cycle): cycle t carries frame t's inputs, and
+// outputs become transmittable one cycle after their frame, filling
+// whatever capacity inputs leave free. It returns the total cycle count
+// and the per-cycle plan.
+func FoldedCycles(r *core.Result, pins int) (int, []CyclePlan, error) {
+	inPerFrame := make([]int, r.T)
+	for t, row := range r.InSched {
+		for _, src := range row {
+			if src >= 0 {
+				inPerFrame[t]++
+			}
+		}
+		if inPerFrame[t] > pins {
+			return 0, nil, fmt.Errorf("tdm: frame %d needs %d input pins, link has %d", t, inPerFrame[t], pins)
+		}
+	}
+	outPerFrame := make([]int, r.T)
+	for t, row := range r.OutSched {
+		for _, dst := range row {
+			if dst >= 0 {
+				outPerFrame[t]++
+			}
+		}
+	}
+	var plan []CyclePlan
+	pendingOut := 0
+	for t := 0; t < r.T; t++ {
+		c := CyclePlan{Inputs: inPerFrame[t]}
+		free := pins - c.Inputs
+		if pendingOut > 0 && free > 0 {
+			n := pendingOut
+			if n > free {
+				n = free
+			}
+			c.Outputs = n
+			pendingOut -= n
+		}
+		plan = append(plan, c)
+		pendingOut += outPerFrame[t] // ready for transmission next cycle
+	}
+	for pendingOut > 0 {
+		n := pendingOut
+		if n > pins {
+			n = pins
+		}
+		plan = append(plan, CyclePlan{Outputs: n})
+		pendingOut -= n
+	}
+	return len(plan), plan, nil
+}
+
+// Reduction returns the relative cycle reduction of folded versus
+// unfolded execution, e.g. 0.25 for the paper's i10 case study.
+func Reduction(unfolded, folded int) float64 {
+	if unfolded == 0 {
+		return 0
+	}
+	return float64(unfolded-folded) / float64(unfolded)
+}

@@ -1,0 +1,193 @@
+package tdm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"circuitfold/internal/core"
+	"circuitfold/internal/gen"
+)
+
+func TestLinkBasics(t *testing.T) {
+	l := Link{Pins: 4, Ratio: 4}
+	if l.SignalsPerSystemCycle() != 16 {
+		t.Fatalf("capacity = %d", l.SignalsPerSystemCycle())
+	}
+	if l.IOCyclesToTransmit(0) != 0 || l.IOCyclesToTransmit(4) != 1 || l.IOCyclesToTransmit(5) != 2 {
+		t.Fatal("IOCyclesToTransmit wrong")
+	}
+}
+
+func TestTransmitScheduleFigure1(t *testing.T) {
+	// Figure 1: ratio 4 means 4 signals share one pin over 4 I/O cycles.
+	l := Link{Pins: 2, Ratio: 4}
+	sched := l.TransmitSchedule(8)
+	if len(sched) != 4 {
+		t.Fatalf("cycles = %d, want 4", len(sched))
+	}
+	seen := make(map[int]bool)
+	for _, row := range sched {
+		if len(row) != 2 {
+			t.Fatalf("row width = %d", len(row))
+		}
+		for _, s := range row {
+			if s >= 0 {
+				if seen[s] {
+					t.Fatalf("signal %d transmitted twice", s)
+				}
+				seen[s] = true
+			}
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("transmitted %d signals, want 8", len(seen))
+	}
+	// Idle slots appear when signals don't fill the schedule.
+	sched = l.TransmitSchedule(5)
+	idle := 0
+	for _, row := range sched {
+		for _, s := range row {
+			if s < 0 {
+				idle++
+			}
+		}
+	}
+	if idle != 1 {
+		t.Fatalf("idle slots = %d, want 1", idle)
+	}
+}
+
+func TestUnfoldedCyclesI10(t *testing.T) {
+	// Paper: i10 without folding needs 4 I/O cycles at 200 pins:
+	// 200 + 57 inputs, then 200 + 24 outputs.
+	if got := UnfoldedCycles(257, 224, 200); got != 4 {
+		t.Fatalf("unfolded cycles = %d, want 4", got)
+	}
+}
+
+func TestFoldedCyclesI10CaseStudy(t *testing.T) {
+	// Paper's case study: i10 folded by 2 gives 129 inputs per frame with
+	// 44 outputs in frame 1 and 180 in frame 2; at 200 pins the overall
+	// execution takes 3 cycles (129 | 129+44 | 180), a 25% reduction.
+	g := gen.MustBuild("i10")
+	r, err := core.StructuralFold(g, 2, core.StructuralOptions{Counter: core.Binary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InputPins() != 129 {
+		t.Fatalf("input pins = %d, want 129", r.InputPins())
+	}
+	out1, out2 := 0, 0
+	for _, dst := range r.OutSched[0] {
+		if dst >= 0 {
+			out1++
+		}
+	}
+	for _, dst := range r.OutSched[1] {
+		if dst >= 0 {
+			out2++
+		}
+	}
+	if out1 != 44 || out2 != 180 {
+		t.Fatalf("output split = %d/%d, want 44/180", out1, out2)
+	}
+	cycles, plan, err := FoldedCycles(r, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 3 {
+		t.Fatalf("folded cycles = %d, want 3", cycles)
+	}
+	// The paper's text counts 129 inputs in both cycles; 257 inputs split
+	// as 129 + 128 live signals (the second frame pads one dummy pin).
+	want := []CyclePlan{{Inputs: 129}, {Inputs: 128, Outputs: 44}, {Outputs: 180}}
+	for i := range want {
+		if plan[i] != want[i] {
+			t.Fatalf("cycle %d plan = %+v, want %+v", i, plan[i], want[i])
+		}
+	}
+	if red := Reduction(4, cycles); red != 0.25 {
+		t.Fatalf("reduction = %v, want 0.25", red)
+	}
+}
+
+func TestFoldedCyclesCapacityOverflow(t *testing.T) {
+	g := gen.MustBuild("adder3")
+	r, err := core.StructuralFold(g, 3, core.StructuralOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := FoldedCycles(r, 1); err == nil {
+		t.Fatal("expected error when frame inputs exceed link pins")
+	}
+	cycles, _, err := FoldedCycles(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 input frames fill both pins, so all 4 outputs (1+1+2 per frame)
+	// drain in 2 extra cycles.
+	if cycles != 5 {
+		t.Fatalf("cycles = %d, want 5", cycles)
+	}
+}
+
+func TestOutputBacklogSpillsAcrossCycles(t *testing.T) {
+	g := gen.MustBuild("e64") // 65 in, 65 out
+	r, err := core.StructuralFold(g, 5, core.StructuralOptions{Counter: core.Binary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, plan, err := FoldedCycles(r, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range plan {
+		if c.Total() > 14 {
+			t.Fatalf("cycle exceeds capacity: %+v", c)
+		}
+		total += c.Outputs
+	}
+	if total != 65 {
+		t.Fatalf("transmitted %d outputs, want 65", total)
+	}
+	if cycles < 6 {
+		t.Fatalf("cycles = %d, expected backlog to extend execution", cycles)
+	}
+}
+
+func TestQuickCycleMonotonicity(t *testing.T) {
+	check := func(nIn, nOut, pins uint8) bool {
+		p := int(pins%200) + 1
+		a := UnfoldedCycles(int(nIn), int(nOut), p)
+		b := UnfoldedCycles(int(nIn)+1, int(nOut), p)
+		c := UnfoldedCycles(int(nIn), int(nOut), p+1)
+		// More signals never need fewer cycles; more pins never more.
+		return b >= a && c <= a && a >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransmitScheduleCovers(t *testing.T) {
+	check := func(pins, ratio, signals uint8) bool {
+		l := Link{Pins: int(pins%30) + 1, Ratio: int(ratio%8) + 1}
+		n := int(signals % 100)
+		seen := map[int]bool{}
+		for _, row := range l.TransmitSchedule(n) {
+			for _, s := range row {
+				if s >= 0 {
+					if seen[s] {
+						return false
+					}
+					seen[s] = true
+				}
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
