@@ -1,0 +1,36 @@
+# Tier-1 verification plus the extended race/vet gate, and the sweeping
+# engine's benchmark artifact.
+
+GO ?= go
+
+.PHONY: build test verify race vet bench bench-go clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The engine's concurrent packages run under the race detector: the
+# parallel simulation kernel and solver shards spawn goroutines even on a
+# single-CPU host, so this catches data races regardless of GOMAXPROCS.
+race:
+	$(GO) test -race ./internal/aig/... ./internal/sat/...
+
+# verify = tier-1 (build + test) plus vet and the race gate.
+verify: build test vet race
+
+# bench emits BENCH_sweep.json: ns/op, SAT calls, merges, conflicts for
+# the sweeping configurations (see cmd/bench).
+bench:
+	$(GO) run ./cmd/bench -out BENCH_sweep.json
+
+# bench-go runs the Go benchmark suite for the sweeping engine.
+bench-go:
+	$(GO) test . -run XXX -bench 'BenchmarkSweep|BenchmarkSimWordsW' -benchmem
+
+clean:
+	rm -f BENCH_sweep.json

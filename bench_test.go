@@ -10,9 +10,13 @@ package circuitfold
 // they run one regeneration per b.N iteration.
 
 import (
+	"fmt"
 	"io"
+	"math/rand"
+	"runtime"
 	"testing"
 
+	"circuitfold/internal/aig"
 	"circuitfold/internal/bdd"
 	"circuitfold/internal/core"
 	"circuitfold/internal/exp"
@@ -419,4 +423,75 @@ func BenchmarkMeMin(b *testing.B) {
 			b.Fatalf("states = %d", mm.NumStates())
 		}
 	}
+}
+
+// --- sweeping engine benches --------------------------------------------
+
+// sweepBenchGraph is the shared workload of the BenchmarkSweep* family: a
+// mid-size random circuit with enough internal sharing for the sweep to
+// find real merges.
+func sweepBenchGraph() *Circuit {
+	return gen.Random(1234, 48, 16, 4000)
+}
+
+// BenchmarkSweepWorkers measures the parallel counterexample-guided sweep
+// at 1 worker and at GOMAXPROCS workers. The swept result is identical in
+// both configurations; on a single-CPU host the two variants necessarily
+// time alike (see EXPERIMENTS.md).
+func BenchmarkSweepWorkers(b *testing.B) {
+	g := sweepBenchGraph()
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		opt := aig.DefaultSweepOptions()
+		opt.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var st *aig.SweepStats
+			for i := 0; i < b.N; i++ {
+				_, st = g.SweepWithStats(opt)
+			}
+			b.ReportMetric(float64(st.SATCalls), "sat-calls")
+			b.ReportMetric(float64(st.Merges), "merges")
+		})
+	}
+}
+
+// BenchmarkSweepCEX measures the counterexample-refinement loop against
+// the no-refinement baseline on a narrow one-word pattern pool, where
+// simulation aliasing makes refinement matter most.
+func BenchmarkSweepCEX(b *testing.B) {
+	g := sweepBenchGraph()
+	for _, cex := range []int{0, 8} {
+		opt := aig.DefaultSweepOptions()
+		opt.Words = 1
+		opt.MaxCEXRounds = cex
+		b.Run(fmt.Sprintf("cexRounds=%d", cex), func(b *testing.B) {
+			var st *aig.SweepStats
+			for i := 0; i < b.N; i++ {
+				_, st = g.SweepWithStats(opt)
+			}
+			b.ReportMetric(float64(st.SATCalls), "sat-calls")
+			b.ReportMetric(float64(st.CEXPatterns), "cex-patterns")
+			b.ReportMetric(float64(st.Merges), "merges")
+		})
+	}
+}
+
+// BenchmarkSimWordsW measures the levelized multi-word simulation kernel
+// in vector throughput (64*W assignments per graph pass).
+func BenchmarkSimWordsW(b *testing.B) {
+	g := sweepBenchGraph()
+	const W = 8
+	rng := rand.New(rand.NewSource(5))
+	in := make([][]uint64, g.NumPIs())
+	for i := range in {
+		in[i] = make([]uint64, W)
+		for w := range in[i] {
+			in[i][w] = rng.Uint64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SimWordsW(in, W)
+	}
+	vecsPerOp := float64(64 * W)
+	b.ReportMetric(vecsPerOp*float64(b.N)/b.Elapsed().Seconds(), "vectors/s")
 }

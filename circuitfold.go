@@ -189,9 +189,27 @@ func VerifyByUnrolling(g *Circuit, r *Result, randomTrials int) error {
 	return eqcheck.VerifyFoldByUnrolling(g, r, randomTrials, 1)
 }
 
+// SweepOptions configures the SAT sweeping engine: simulation width,
+// worker count, counterexample-refinement rounds, conflict budgets.
+type SweepOptions = aig.SweepOptions
+
+// SweepStats reports the work a sweep did (queries, SAT calls, merges,
+// counterexample rounds, solver statistics).
+type SweepStats = aig.SweepStats
+
+// DefaultSweepOptions returns the sweeping configuration used by
+// Optimize: 8 simulation words, GOMAXPROCS workers, counterexample
+// refinement on.
+func DefaultSweepOptions() SweepOptions { return aig.DefaultSweepOptions() }
+
 // Optimize runs the synthesis pipeline (strash, balance, SAT sweep) used
 // before reporting circuit sizes.
 func Optimize(g *Circuit) *Circuit { return g.Optimize() }
+
+// OptimizeWith is Optimize with explicit sweeping options — e.g. to pin
+// the worker count, widen simulation, or disable counterexample-guided
+// refinement (MaxCEXRounds: 0).
+func OptimizeWith(g *Circuit, opt SweepOptions) *Circuit { return g.OptimizeWith(opt) }
 
 // LUTCount maps g onto k-input LUTs and returns the LUT count, the
 // area metric of the paper's tables (k = 6 there).

@@ -1,0 +1,154 @@
+// Command bench measures the SAT-sweeping engine and emits the results
+// as machine-readable JSON, so CI and EXPERIMENTS.md runs can track the
+// engine's speed and SAT-call counts over time.
+//
+// Usage:
+//
+//	bench [-out BENCH_sweep.json] [-reps 3] [-size 4000] [-seed 1234] [-tables]
+//
+// Four sweep configurations run on the same random workload:
+//
+//	workers=1   serial sweep, default pool width
+//	workers=N   GOMAXPROCS-worker sweep (identical result by design)
+//	cex on/off  one-word pool with and without counterexample refinement
+//
+// -tables additionally times a Table I/II regeneration (the harness paths
+// whose runtime the sweep dominates) and appends those runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/exp"
+	"circuitfold/internal/gen"
+)
+
+// Run is one measured sweep configuration.
+type Run struct {
+	Name      string  `json:"name"`
+	Workers   int     `json:"workers"`
+	Words     int     `json:"words"`
+	CEXRounds int     `json:"cex_rounds"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	SATCalls  int64   `json:"sat_calls"`
+	Merges    int     `json:"merges"`
+	Conflicts int64   `json:"conflicts"`
+	Ands      int     `json:"ands_after"`
+}
+
+// Report is the BENCH_sweep.json schema.
+type Report struct {
+	Date                string  `json:"date"`
+	GoMaxProcs          int     `json:"gomaxprocs"`
+	CircuitAnds         int     `json:"circuit_ands"`
+	Runs                []Run   `json:"runs"`
+	SpeedupWorkers      float64 `json:"speedup_workers"`       // workers=1 time / workers=N time
+	SATCallReductionCEX float64 `json:"satcall_reduction_cex"` // cex-off calls / cex-on calls
+}
+
+func measure(g *aig.Graph, name string, opt aig.SweepOptions, reps int) Run {
+	if reps < 1 {
+		reps = 1
+	}
+	var best time.Duration
+	var st *aig.SweepStats
+	var ng *aig.Graph
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		ng, st = g.SweepWithStats(opt)
+		if d := time.Since(start); r == 0 || d < best {
+			best = d
+		}
+	}
+	workers := opt.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return Run{
+		Name:      name,
+		Workers:   workers,
+		Words:     opt.Words,
+		CEXRounds: opt.MaxCEXRounds,
+		NsPerOp:   float64(best.Nanoseconds()),
+		SATCalls:  st.SATCalls,
+		Merges:    st.Merges,
+		Conflicts: st.Solver.Conflicts,
+		Ands:      ng.NumAnds(),
+	}
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
+		reps   = flag.Int("reps", 3, "repetitions per configuration (best time wins)")
+		size   = flag.Int("size", 4000, "workload size in AND nodes")
+		seed   = flag.Uint64("seed", 1234, "workload generator seed")
+		tables = flag.Bool("tables", false, "also time a Table I/II regeneration")
+	)
+	flag.Parse()
+
+	g := gen.Random(*seed, 48, 16, *size)
+
+	serial := aig.DefaultSweepOptions()
+	serial.Workers = 1
+	parallel := aig.DefaultSweepOptions()
+	parallel.Workers = runtime.GOMAXPROCS(0)
+	cexOff := aig.DefaultSweepOptions()
+	cexOff.Words = 1
+	cexOff.MaxCEXRounds = 0
+	cexOn := aig.DefaultSweepOptions()
+	cexOn.Words = 1
+	cexOn.MaxCEXRounds = 8
+
+	rep := Report{
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		CircuitAnds: g.NumAnds(),
+	}
+	rep.Runs = append(rep.Runs,
+		measure(g, "sweep/workers=1", serial, *reps),
+		measure(g, fmt.Sprintf("sweep/workers=%d", parallel.Workers), parallel, *reps),
+		measure(g, "sweep/cex=off", cexOff, *reps),
+		measure(g, "sweep/cex=on", cexOn, *reps),
+	)
+	rep.SpeedupWorkers = rep.Runs[0].NsPerOp / rep.Runs[1].NsPerOp
+	rep.SATCallReductionCEX = float64(rep.Runs[2].SATCalls) / float64(rep.Runs[3].SATCalls)
+
+	if *tables {
+		start := time.Now()
+		if _, err := exp.Table1([]string{"64-adder", "apex2", "e64", "i10", "C7552"}); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: table1:", err)
+			os.Exit(1)
+		}
+		rep.Runs = append(rep.Runs, Run{Name: "table1/subset", NsPerOp: float64(time.Since(start).Nanoseconds())})
+		start = time.Now()
+		if _, err := exp.Table2(exp.PinLimit); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: table2:", err)
+			os.Exit(1)
+		}
+		rep.Runs = append(rep.Runs, Run{Name: "table2/full", NsPerOp: float64(time.Since(start).Nanoseconds())})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: workers speedup %.2fx, CEX SAT-call reduction %.2fx\n",
+		*out, rep.SpeedupWorkers, rep.SATCallReductionCEX)
+}

@@ -23,35 +23,92 @@ func (c *CNF) LitFor(l Lit) sat.Lit {
 // returns the node-to-variable map. The constant node is constrained to
 // false. Roots themselves are not asserted; use LitFor to constrain them.
 func (g *Graph) ToCNF(s *sat.Solver, roots []Lit) *CNF {
+	e := NewEncoder(g, s)
+	e.Var(0) // constant node is always available for equivalence queries
+	for _, r := range roots {
+		e.Var(r.Node())
+	}
 	c := &CNF{NodeVar: make([]int, g.NumNodes())}
 	for i := range c.NodeVar {
-		c.NodeVar[i] = -1
-	}
-	var encode func(id int) int
-	encode = func(id int) int {
-		if c.NodeVar[id] >= 0 {
-			return c.NodeVar[id]
-		}
-		v := s.NewVar()
-		c.NodeVar[id] = v
-		n := &g.nodes[id]
-		switch n.kind {
-		case kindConst:
-			s.AddClause(sat.MkLit(v, true))
-		case kindAnd:
-			a := sat.MkLit(encode(n.fan0.Node()), n.fan0.Compl())
-			b := sat.MkLit(encode(n.fan1.Node()), n.fan1.Compl())
-			o := sat.MkLit(v, false)
-			// o <-> a & b
-			s.AddClause(o.Not(), a)
-			s.AddClause(o.Not(), b)
-			s.AddClause(o, a.Not(), b.Not())
-		}
-		return v
-	}
-	encode(0) // constant node is always available for equivalence queries
-	for _, r := range roots {
-		encode(r.Node())
+		c.NodeVar[i] = int(e.nodeVar[i])
 	}
 	return c
+}
+
+// Encoder Tseitin-encodes node cones into a solver incrementally and
+// lazily: only the cone of each requested node is emitted, and nodes
+// shared between cones are encoded once. The SAT-sweeping engine keeps one
+// Encoder per solver shard so each equivalence query pays only for logic
+// no earlier query on that shard has touched (the cone-limited alternative
+// to encoding every primary-output cone up front).
+type Encoder struct {
+	g       *Graph
+	s       *sat.Solver
+	nodeVar []int32
+	stack   []int32 // reused DFS scratch
+}
+
+// NewEncoder returns an empty encoding of g bound to s.
+func NewEncoder(g *Graph, s *sat.Solver) *Encoder {
+	e := &Encoder{g: g, s: s, nodeVar: make([]int32, g.NumNodes())}
+	for i := range e.nodeVar {
+		e.nodeVar[i] = -1
+	}
+	return e
+}
+
+// Encoded reports whether node id already has a solver variable.
+func (e *Encoder) Encoded(id int) bool { return e.nodeVar[id] >= 0 }
+
+// Var returns the solver variable of node id, encoding its cone first if
+// necessary. The walk is iterative so deep cones cannot overflow the
+// stack.
+func (e *Encoder) Var(id int) int {
+	if v := e.nodeVar[id]; v >= 0 {
+		return int(v)
+	}
+	stack := append(e.stack[:0], int32(id))
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		if e.nodeVar[cur] >= 0 {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		n := &e.g.nodes[cur]
+		if n.kind == kindAnd {
+			f0, f1 := int32(n.fan0.Node()), int32(n.fan1.Node())
+			if e.nodeVar[f0] < 0 || e.nodeVar[f1] < 0 {
+				if e.nodeVar[f1] < 0 {
+					stack = append(stack, f1)
+				}
+				if e.nodeVar[f0] < 0 {
+					stack = append(stack, f0)
+				}
+				continue
+			}
+		}
+		v := e.s.NewVar()
+		e.nodeVar[cur] = int32(v)
+		switch n.kind {
+		case kindConst:
+			e.s.AddClause(sat.MkLit(v, true))
+		case kindAnd:
+			a := sat.MkLit(int(e.nodeVar[n.fan0.Node()]), n.fan0.Compl())
+			b := sat.MkLit(int(e.nodeVar[n.fan1.Node()]), n.fan1.Compl())
+			o := sat.MkLit(v, false)
+			// o <-> a & b
+			e.s.AddClause(o.Not(), a)
+			e.s.AddClause(o.Not(), b)
+			e.s.AddClause(o, a.Not(), b.Not())
+		}
+		stack = stack[:len(stack)-1]
+	}
+	e.stack = stack[:0]
+	return int(e.nodeVar[id])
+}
+
+// Lit translates an AIG literal into a solver literal, encoding its cone
+// on first use.
+func (e *Encoder) Lit(l Lit) sat.Lit {
+	return sat.MkLit(e.Var(l.Node()), l.Compl())
 }

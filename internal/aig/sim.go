@@ -1,6 +1,10 @@
 package aig
 
-import "math/rand"
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
 
 // SimWords evaluates the graph on 64 input vectors at once. in holds one
 // 64-bit word per primary input (bit k of word i is the value of input i
@@ -41,6 +45,183 @@ func (g *Graph) simInto(vals []uint64, in []uint64) {
 				v1 = ^v1
 			}
 			vals[i] = v0 & v1
+		}
+	}
+}
+
+// SimWordsW evaluates the graph on W*64 input vectors at once using the
+// levelized parallel kernel. in holds one slice of at least W words per
+// primary input (bit k of in[i][w] is the value of input i in vector
+// w*64+k); the result holds one W-word slice per primary output. Work is
+// fanned out across GOMAXPROCS workers; results are identical to W
+// independent SimWords calls regardless of worker count.
+func (g *Graph) SimWordsW(in [][]uint64, W int) [][]uint64 {
+	if len(in) != len(g.pis) {
+		panic("aig: SimWordsW input width mismatch")
+	}
+	for i := range in {
+		if len(in[i]) < W {
+			panic("aig: SimWordsW input slice shorter than W")
+		}
+	}
+	e := newSimEngine(g, W, runtime.GOMAXPROCS(0))
+	e.run(in, W)
+	out := make([][]uint64, len(g.pos))
+	for i, po := range g.pos {
+		row := make([]uint64, W)
+		copy(row, e.sig(po.Node(), W))
+		if po.Compl() {
+			for w := range row {
+				row[w] = ^row[w]
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// simEngine is a reusable W-word levelized simulation kernel. The
+// topological level schedule is computed once at construction and the
+// value arena is allocated once, so repeated runs (the SAT-sweeping
+// refinement loop) do not allocate. Nodes on the same level have no
+// dependencies among themselves, so each level's node range is split
+// across workers.
+type simEngine struct {
+	g       *Graph
+	stride  int // words reserved per node in vals
+	workers int
+
+	order    []int32 // AND node ids grouped by level, ascending within a level
+	levelEnd []int32 // order[levelEnd[l-1]:levelEnd[l]] holds level l+1's ANDs
+
+	vals []uint64 // NumNodes*stride scratch arena
+}
+
+// newSimEngine builds a kernel for graphs simulated with up to maxWords
+// words per node.
+func newSimEngine(g *Graph, maxWords, workers int) *simEngine {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &simEngine{g: g, stride: maxWords, workers: workers}
+	// Counting sort of the AND nodes by level. Levels are maintained
+	// incrementally by And(), so no traversal is needed.
+	maxLevel := 0
+	numAnds := 0
+	for id := 1; id < len(g.nodes); id++ {
+		if g.nodes[id].kind != kindAnd {
+			continue
+		}
+		numAnds++
+		if l := int(g.nodes[id].level); l > maxLevel {
+			maxLevel = l
+		}
+	}
+	counts := make([]int32, maxLevel+1)
+	for id := 1; id < len(g.nodes); id++ {
+		if g.nodes[id].kind == kindAnd {
+			counts[g.nodes[id].level]++
+		}
+	}
+	e.levelEnd = make([]int32, 0, maxLevel)
+	pos := make([]int32, maxLevel+1)
+	total := int32(0)
+	for l := 1; l <= maxLevel; l++ {
+		pos[l] = total
+		total += counts[l]
+		e.levelEnd = append(e.levelEnd, total)
+	}
+	e.order = make([]int32, numAnds)
+	for id := 1; id < len(g.nodes); id++ {
+		if g.nodes[id].kind == kindAnd {
+			l := g.nodes[id].level
+			e.order[pos[l]] = int32(id)
+			pos[l]++
+		}
+	}
+	e.vals = make([]uint64, len(g.nodes)*maxWords)
+	return e
+}
+
+// sig returns the first w value words of node id from the arena.
+func (e *simEngine) sig(id, w int) []uint64 {
+	return e.vals[id*e.stride : id*e.stride+w]
+}
+
+// run evaluates words [0, w) for every node. in[i] supplies the words of
+// primary input i.
+func (e *simEngine) run(in [][]uint64, w int) { e.extend(in, 0, w) }
+
+// extend evaluates only the word range [from, to) for every node, leaving
+// earlier words untouched. The refinement loop uses this to simulate newly
+// appended counterexample patterns without recomputing the whole pool.
+func (e *simEngine) extend(in [][]uint64, from, to int) {
+	if to > e.stride {
+		panic("aig: simEngine word range exceeds arena stride")
+	}
+	for w := from; w < to; w++ {
+		e.vals[w] = 0 // constant node
+	}
+	for i, pid := range e.g.pis {
+		copy(e.vals[pid*e.stride+from:pid*e.stride+to], in[i][from:to])
+	}
+	prev := int32(0)
+	for _, end := range e.levelEnd {
+		e.runLevel(e.order[prev:end], from, to)
+		prev = end
+	}
+}
+
+// runLevel evaluates one level's AND nodes, splitting the range across
+// workers when it is large enough to amortize the goroutine overhead.
+func (e *simEngine) runLevel(ids []int32, from, to int) {
+	if e.workers <= 1 || len(ids) < 4*e.workers {
+		e.evalRange(ids, from, to)
+		return
+	}
+	chunk := (len(ids) + e.workers - 1) / e.workers
+	var wg sync.WaitGroup
+	for start := 0; start < len(ids); start += chunk {
+		end := start + chunk
+		if end > len(ids) {
+			end = len(ids)
+		}
+		wg.Add(1)
+		go func(part []int32) {
+			defer wg.Done()
+			e.evalRange(part, from, to)
+		}(ids[start:end])
+	}
+	wg.Wait()
+}
+
+// evalRange evaluates words [from, to) of the given AND nodes. The four
+// complement combinations are split into dedicated loops so the inner
+// word loop carries no branches.
+func (e *simEngine) evalRange(ids []int32, from, to int) {
+	stride := e.stride
+	for _, id := range ids {
+		n := &e.g.nodes[id]
+		dst := e.vals[int(id)*stride+from : int(id)*stride+to]
+		s0 := e.vals[n.fan0.Node()*stride+from : n.fan0.Node()*stride+to]
+		s1 := e.vals[n.fan1.Node()*stride+from : n.fan1.Node()*stride+to]
+		switch {
+		case !n.fan0.Compl() && !n.fan1.Compl():
+			for w := range dst {
+				dst[w] = s0[w] & s1[w]
+			}
+		case n.fan0.Compl() && !n.fan1.Compl():
+			for w := range dst {
+				dst[w] = ^s0[w] & s1[w]
+			}
+		case !n.fan0.Compl() && n.fan1.Compl():
+			for w := range dst {
+				dst[w] = s0[w] & ^s1[w]
+			}
+		default:
+			for w := range dst {
+				dst[w] = ^s0[w] & ^s1[w]
+			}
 		}
 	}
 }

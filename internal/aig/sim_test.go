@@ -1,0 +1,174 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// packExhaustive builds the W-word input pool enumerating all 2^pis
+// assignments: bit k of in[i][w] is bit i of the vector index w*64+k.
+func packExhaustive(pis int) ([][]uint64, int) {
+	vectors := 1 << uint(pis)
+	W := (vectors + 63) / 64
+	in := make([][]uint64, pis)
+	for i := range in {
+		in[i] = make([]uint64, W)
+		for v := 0; v < vectors; v++ {
+			if v>>uint(i)&1 == 1 {
+				in[i][v/64] |= 1 << (uint(v) % 64)
+			}
+		}
+	}
+	return in, W
+}
+
+func TestSimWordsWMatchesEvalExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		pis := 4 + rng.Intn(5) // 4..8 inputs: 16..256 vectors, W up to 4
+		g := randomGraph(rng, 20+rng.Intn(60), pis, 1+rng.Intn(4))
+		in, W := packExhaustive(pis)
+		got := g.SimWordsW(in, W)
+		vec := make([]bool, pis)
+		for v := 0; v < 1<<uint(pis); v++ {
+			for i := range vec {
+				vec[i] = v>>uint(i)&1 == 1
+			}
+			want := g.Eval(vec)
+			for o := range want {
+				bit := got[o][v/64]>>(uint(v)%64)&1 == 1
+				if bit != want[o] {
+					t.Fatalf("trial %d: output %d differs from Eval on vector %d", trial, o, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSimWordsWConstantsAndComplementedPOs(t *testing.T) {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	g.AddPO(Const0, "zero")
+	g.AddPO(Const1, "one")
+	g.AddPO(g.And(a, a.Not()), "contradiction") // strashes to Const0
+	g.AddPO(g.And(a, b).Not(), "nand")
+	g.AddPO(a.Not(), "nota")
+	in := [][]uint64{{0xF0F0, 0xAAAA}, {0xFF00, 0xCCCC}}
+	out := g.SimWordsW(in, 2)
+	wants := [][]uint64{
+		{0, 0},
+		{^uint64(0), ^uint64(0)},
+		{0, 0},
+		{^(in[0][0] & in[1][0]), ^(in[0][1] & in[1][1])},
+		{^in[0][0], ^in[0][1]},
+	}
+	for o, want := range wants {
+		for w := range want {
+			if out[o][w] != want[w] {
+				t.Fatalf("PO %d word %d = %#x, want %#x", o, w, out[o][w], want[w])
+			}
+		}
+	}
+}
+
+func TestSimWordsWMatchesSimWordsPerWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 300, 16, 8)
+	const W = 5
+	in := make([][]uint64, g.NumPIs())
+	for i := range in {
+		in[i] = make([]uint64, W)
+		for w := range in[i] {
+			in[i][w] = rng.Uint64()
+		}
+	}
+	got := g.SimWordsW(in, W)
+	col := make([]uint64, g.NumPIs())
+	for w := 0; w < W; w++ {
+		for i := range col {
+			col[i] = in[i][w]
+		}
+		want := g.SimWords(col)
+		for o := range want {
+			if got[o][w] != want[o] {
+				t.Fatalf("word %d output %d: got %#x want %#x", w, o, got[o][w], want[o])
+			}
+		}
+	}
+}
+
+// wideGraph builds a graph with wide levels so runLevel actually splits
+// work across workers (each level has >> 4*workers AND nodes).
+func wideGraph(rng *rand.Rand, pis, width, depth int) *Graph {
+	g := New()
+	layer := make([]Lit, pis)
+	for i := range layer {
+		layer[i] = g.PI("")
+	}
+	for d := 0; d < depth; d++ {
+		next := make([]Lit, width)
+		for j := range next {
+			a := layer[rng.Intn(len(layer))].NotIf(rng.Intn(2) == 0)
+			b := layer[rng.Intn(len(layer))].NotIf(rng.Intn(2) == 0)
+			next[j] = g.And(a, b)
+		}
+		layer = next
+	}
+	for j := 0; j < 8; j++ {
+		g.AddPO(layer[rng.Intn(len(layer))].NotIf(rng.Intn(2) == 0), "")
+	}
+	return g
+}
+
+// TestSimEngineWorkersAgree drives the engine with several worker counts
+// over a wide graph and checks bit-identical arenas. Run under -race this
+// also exercises the concurrent level evaluation for data races even on a
+// single-CPU host, since the goroutines are spawned regardless.
+func TestSimEngineWorkersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := wideGraph(rng, 24, 120, 6)
+	const W = 4
+	in := make([][]uint64, g.NumPIs())
+	for i := range in {
+		in[i] = make([]uint64, W)
+		for w := range in[i] {
+			in[i][w] = rng.Uint64()
+		}
+	}
+	ref := newSimEngine(g, W, 1)
+	ref.run(in, W)
+	for _, workers := range []int{2, 4, 8} {
+		e := newSimEngine(g, W, workers)
+		e.run(in, W)
+		for i := range e.vals {
+			if e.vals[i] != ref.vals[i] {
+				t.Fatalf("workers=%d: arena word %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestSimEngineExtendIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 200, 12, 4)
+	const W = 6
+	in := make([][]uint64, g.NumPIs())
+	for i := range in {
+		in[i] = make([]uint64, W)
+		for w := range in[i] {
+			in[i][w] = rng.Uint64()
+		}
+	}
+	full := newSimEngine(g, W, 1)
+	full.run(in, W)
+	inc := newSimEngine(g, W, 2)
+	inc.run(in, 2)
+	inc.extend(in, 2, 4) // words appended in two later batches
+	inc.extend(in, 4, W)
+	for i := range inc.vals {
+		if inc.vals[i] != full.vals[i] {
+			t.Fatalf("incremental extend diverges at arena word %d", i)
+		}
+	}
+}

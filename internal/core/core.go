@@ -124,6 +124,20 @@ func (r *Result) Execute(in []bool) []bool {
 	return r.CollectOutputs(r.Seq.Simulate(r.ScheduleInputs(in)))
 }
 
+// postOptimize optionally rewrites a fold's combinational core with the
+// cleanup/balance/SAT-sweep pipeline. Every folding method honors a
+// *aig.SweepOptions in its options struct through this helper, so the
+// sweeping engine's knobs (Workers, Words, MaxCEXRounds, ...) thread from
+// the top-level flows down to the folded circuits.
+func postOptimize(r *Result, opt *aig.SweepOptions) *Result {
+	if r == nil || opt == nil {
+		return r
+	}
+	o := *opt
+	r.Seq = r.Seq.Transform(func(g *aig.Graph) *aig.Graph { return g.OptimizeWith(o) })
+	return r
+}
+
 // ceilDiv returns ceil(a/b).
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 

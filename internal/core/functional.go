@@ -32,6 +32,10 @@ type FunctionalOptions struct {
 	Timeout time.Duration
 	// MinOpts bounds the minimization step.
 	MinOpts fsm.MinimizeOptions
+	// PostOptimize, when non-nil, runs the cleanup/balance/SAT-sweep
+	// pipeline with these settings on the folded circuit's combinational
+	// core before returning.
+	PostOptimize *aig.SweepOptions
 }
 
 // DefaultFunctionalOptions returns the configuration used by the
@@ -57,7 +61,7 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 		return nil, err
 	}
 	if T == 1 {
-		return identityResult(g), nil
+		return postOptimize(identityResult(g), opt.PostOptimize), nil
 	}
 	if opt.MaxStates <= 0 {
 		opt.MaxStates = 20000
@@ -95,14 +99,14 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	return postOptimize(&Result{
 		Seq:       circuit,
 		T:         T,
 		InSched:   sched.InSlot,
 		OutSched:  sched.OutSlot,
 		States:    states,
 		StatesMin: statesMin,
-	}, nil
+	}, opt.PostOptimize), nil
 }
 
 // TimeFrameFold constructs the minimal per-frame FSM of the scheduled

@@ -26,6 +26,10 @@ type HybridOptions struct {
 	ClusterTimeout time.Duration
 	// MinOpts bounds per-cluster state minimization.
 	MinOpts fsm.MinimizeOptions
+	// PostOptimize, when non-nil, runs the cleanup/balance/SAT-sweep
+	// pipeline with these settings on the merged circuit's combinational
+	// core before returning.
+	PostOptimize *aig.SweepOptions
 }
 
 // DefaultHybridOptions returns the settings used by the benchmarks.
@@ -59,7 +63,7 @@ func HybridFold(g *aig.Graph, T int, opt HybridOptions) (*Result, error) {
 		return nil, err
 	}
 	if T == 1 {
-		return identityResult(g), nil
+		return postOptimize(identityResult(g), opt.PostOptimize), nil
 	}
 	if opt.MaxClusterOutputs <= 0 {
 		opt.MaxClusterOutputs = 32
@@ -166,14 +170,14 @@ func HybridFold(g *aig.Graph, T int, opt HybridOptions) (*Result, error) {
 		}
 		inSched[t] = row
 	}
-	return &Result{
+	return postOptimize(&Result{
 		Seq:       &seq.Circuit{G: merged, NumInputs: m, Next: next, Init: init},
 		T:         T,
 		InSched:   inSched,
 		OutSched:  outSched,
 		States:    -1,
 		StatesMin: -1,
-	}, nil
+	}, opt.PostOptimize), nil
 }
 
 // clusterOutputs groups the primary outputs into connected components of

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"testing"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/core"
+	"circuitfold/internal/eqcheck"
+)
+
+func TestFoldWithPostOptimize(t *testing.T) {
+	g := adder3()
+	opt := aig.DefaultSweepOptions()
+	opt.Workers = 2
+
+	plain, err := core.StructuralFold(g, 3, core.StructuralOptions{Counter: core.Binary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swept, err := core.StructuralFold(g, 3, core.StructuralOptions{Counter: core.Binary, PostOptimize: &opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swept.Gates() > plain.Gates() {
+		t.Fatalf("post-optimize grew the fold: %d > %d gates", swept.Gates(), plain.Gates())
+	}
+	if err := eqcheck.VerifyFold(g, swept, 0, 1); err != nil {
+		t.Fatalf("post-optimized structural fold incorrect: %v", err)
+	}
+
+	fo := core.DefaultFunctionalOptions()
+	fo.PostOptimize = &opt
+	fr, err := core.FunctionalFold(g, 3, fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eqcheck.VerifyFold(g, fr, 0, 1); err != nil {
+		t.Fatalf("post-optimized functional fold incorrect: %v", err)
+	}
+
+	ho := core.DefaultHybridOptions()
+	ho.PostOptimize = &opt
+	hr, err := core.HybridFold(g, 3, ho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eqcheck.VerifyFold(g, hr, 0, 1); err != nil {
+		t.Fatalf("post-optimized hybrid fold incorrect: %v", err)
+	}
+}

@@ -13,6 +13,10 @@ type StructuralOptions struct {
 	// ceil(log2 T)-bit counter or a OneHot T-bit shift register
 	// (Section IV).
 	Counter Encoding
+	// PostOptimize, when non-nil, runs the cleanup/balance/SAT-sweep
+	// pipeline with these settings on the folded circuit's combinational
+	// core before returning.
+	PostOptimize *aig.SweepOptions
 }
 
 // StructuralFold folds the combinational circuit g by T time-frames using
@@ -26,7 +30,7 @@ func StructuralFold(g *aig.Graph, T int, opt StructuralOptions) (*Result, error)
 		return nil, err
 	}
 	if T == 1 {
-		return identityResult(g), nil
+		return postOptimize(identityResult(g), opt.PostOptimize), nil
 	}
 	n := g.NumPIs()
 	m := ceilDiv(n, T)
@@ -234,14 +238,14 @@ func StructuralFold(g *aig.Graph, T int, opt StructuralOptions) (*Result, error)
 		inSched[t] = row
 	}
 
-	return &Result{
+	return postOptimize(&Result{
 		Seq:       &seq.Circuit{G: cs, NumInputs: m, Next: next, Init: init},
 		T:         T,
 		InSched:   inSched,
 		OutSched:  outSched,
 		States:    T,
 		StatesMin: -1,
-	}, nil
+	}, opt.PostOptimize), nil
 }
 
 func pinName(prefix string, i int) string {

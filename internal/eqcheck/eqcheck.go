@@ -39,14 +39,36 @@ func SimEquivalent(a, b *aig.Graph, rounds int, seed int64) bool {
 	return true
 }
 
+// CECOptions configures SATEquivalentOpt.
+type CECOptions struct {
+	// Budget bounds SAT conflicts per output miter (0 = unlimited).
+	Budget int64
+	// Sweep, when non-nil, SAT-sweeps both circuits with these settings
+	// before building the miter. Sweeping merges internal equivalences so
+	// the final miter proofs are much easier on large circuits.
+	Sweep *aig.SweepOptions
+}
+
 // SATEquivalent proves or disproves equivalence of two combinational
 // circuits with identical interfaces by checking each output pair's miter
 // with SAT. budget bounds conflicts per output; it returns sat.Unknown if
 // any query is inconclusive.
 func SATEquivalent(a, b *aig.Graph, budget int64) sat.Status {
+	return SATEquivalentOpt(a, b, CECOptions{Budget: budget})
+}
+
+// SATEquivalentOpt is SATEquivalent with an optional sweeping
+// pre-processing pass (opt.Sweep). Sweeping preserves functional
+// equivalence, so the verdict applies to the original pair.
+func SATEquivalentOpt(a, b *aig.Graph, opt CECOptions) sat.Status {
 	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
 		return sat.Unsat // trivially inequivalent interfaces
 	}
+	if opt.Sweep != nil {
+		a = a.Sweep(*opt.Sweep)
+		b = b.Sweep(*opt.Sweep)
+	}
+	budget := opt.Budget
 	// Build a joint miter graph.
 	m := aig.New()
 	piMap := make([]aig.Lit, a.NumPIs())

@@ -161,3 +161,22 @@ func TestVerifyFoldWordsMatchesScalar(t *testing.T) {
 		t.Fatal("corrupted fold should fail word verification")
 	}
 }
+
+func TestSATEquivalentOptWithPreSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sweep := aig.DefaultSweepOptions()
+	sweep.Workers = 2
+	for trial := 0; trial < 5; trial++ {
+		g := randomGraph(rng, 60, 8, 3)
+		h := g.Balance()
+		opt := CECOptions{Sweep: &sweep}
+		if got := SATEquivalentOpt(g, h, opt); got != sat.Unsat {
+			t.Fatalf("trial %d: pre-swept CEC should prove equivalence, got %v", trial, got)
+		}
+		h2 := g.Cleanup()
+		h2.SetPO(0, h2.PO(0).Not())
+		if got := SATEquivalentOpt(g, h2, opt); got != sat.Sat {
+			t.Fatalf("trial %d: pre-swept CEC should catch mutation, got %v", trial, got)
+		}
+	}
+}

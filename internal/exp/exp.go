@@ -26,15 +26,18 @@ const PinLimit = 200
 const sweepSizeLimit = 20000
 
 // optimize runs the synthesis pipeline used before reporting sizes.
-// Compared with aig.Optimize's defaults, more simulation rounds prune
-// false equivalence candidates and a small SAT budget keeps the sweep
-// from dominating the harness runtime.
+// Compared with aig.Optimize's defaults, more simulation words prune
+// false equivalence candidates, counterexample refinement keeps the SAT
+// call count low, and a small per-query budget keeps the sweep from
+// dominating the harness runtime.
 func optimize(g *aig.Graph) *aig.Graph {
 	if g.NumAnds() > sweepSizeLimit {
 		return g.Cleanup().Balance()
 	}
 	return g.Cleanup().Balance().Sweep(aig.SweepOptions{
-		SimRounds:      16,
+		Words:          16,
+		Workers:        0, // GOMAXPROCS
+		MaxCEXRounds:   4,
 		ConflictBudget: 300,
 		Seed:           1,
 	})

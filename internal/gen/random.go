@@ -206,6 +206,14 @@ func buildB17() *aig.Graph {
 	return g
 }
 
+// Random builds a deterministic pseudo-random combinational circuit
+// with the given interface and approximate AND count. It is the mixed
+// datapath/control generator the named benchmarks use, exposed for
+// tests and benchmarks that need arbitrary-size inputs.
+func Random(seed uint64, pis, pos, ands int) *aig.Graph {
+	return mixed(seed, pis, pos, ands)
+}
+
 // mixed composes datapath and control blocks over the inputs until the
 // target AND count is reached, then taps outputs from the produced
 // signals. It stands in for the ITC'99 combinational cores.

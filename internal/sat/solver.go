@@ -94,15 +94,30 @@ type Solver struct {
 	numConflicts int64
 	budget       int64 // max conflicts per Solve; <=0 means unlimited
 
-	// Stats accumulates solver counters across Solve calls.
-	Stats struct {
-		Conflicts    int64
-		Decisions    int64
-		Propagations int64
-		Restarts     int64
-		Learnt       int64
-	}
+	stats Stats
 }
+
+// Stats holds cumulative solver counters, accumulated across Solve calls.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learnt       int64
+}
+
+// Add accumulates b into a; the sweep engine uses it to aggregate the
+// counters of its per-shard solvers.
+func (a *Stats) Add(b Stats) {
+	a.Conflicts += b.Conflicts
+	a.Decisions += b.Decisions
+	a.Propagations += b.Propagations
+	a.Restarts += b.Restarts
+	a.Learnt += b.Learnt
+}
+
+// Stats returns a snapshot of the solver's cumulative counters.
+func (s *Solver) Stats() Stats { return s.stats }
 
 // New returns an empty solver.
 func New() *Solver {
@@ -222,7 +237,7 @@ func (s *Solver) propagate() *clause {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is true
 		s.qhead++
-		s.Stats.Propagations++
+		s.stats.Propagations++
 		falseLit := p.Not()
 		ws := s.watches[falseLit]
 		j := 0
@@ -486,7 +501,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		confl := s.propagate()
 		if confl != nil {
 			s.numConflicts++
-			s.Stats.Conflicts++
+			s.stats.Conflicts++
 			conflictsSinceRestart++
 			if s.decisionLevel() == 0 {
 				s.ok = false
@@ -504,7 +519,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			} else {
 				c := &clause{lits: learnt, learnt: true, act: s.claInc}
 				s.learnts = append(s.learnts, c)
-				s.Stats.Learnt++
+				s.stats.Learnt++
 				s.attach(c)
 				s.uncheckedEnqueue(learnt[0], c)
 			}
@@ -520,7 +535,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			restart++
 			restartBudget = luby(restart) * 100
 			conflictsSinceRestart = 0
-			s.Stats.Restarts++
+			s.stats.Restarts++
 			s.cancelUntil(len(assumptions))
 			continue
 		}
@@ -552,7 +567,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			s.cancelUntil(0)
 			return Sat
 		}
-		s.Stats.Decisions++
+		s.stats.Decisions++
 		s.newDecisionLevel()
 		s.uncheckedEnqueue(MkLit(v, !s.phase[v]), nil)
 	}

@@ -416,7 +416,7 @@ func TestSolveTwiceStable(t *testing.T) {
 	if s.NumVars() != 2 {
 		t.Fatalf("NumVars = %d", s.NumVars())
 	}
-	if s.Stats.Decisions == 0 && s.Stats.Propagations == 0 {
+	if s.Stats().Decisions == 0 && s.Stats().Propagations == 0 {
 		t.Fatal("stats not accumulated")
 	}
 	m := s.Model()

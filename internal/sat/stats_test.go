@@ -1,0 +1,36 @@
+package sat
+
+import "testing"
+
+func TestStatsSnapshotAndAdd(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	// A small unsatisfiable core forces at least one conflict.
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, false), MkLit(b, true))
+	s.AddClause(MkLit(a, true), MkLit(c, false))
+	s.AddClause(MkLit(a, true), MkLit(c, true))
+	if s.Solve() != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+	st := s.Stats()
+	if st.Conflicts == 0 || st.Propagations == 0 {
+		t.Fatalf("stats not tracked: %+v", st)
+	}
+	snap := st
+	if s.Solve() != Unsat {
+		t.Fatal("expected UNSAT again")
+	}
+	// Stats() returns a snapshot: the earlier copy must not have moved.
+	if snap != st {
+		t.Fatal("Stats() snapshot aliases solver state")
+	}
+	var sum Stats
+	sum.Add(st)
+	sum.Add(st)
+	if sum.Conflicts != 2*st.Conflicts || sum.Propagations != 2*st.Propagations ||
+		sum.Decisions != 2*st.Decisions || sum.Restarts != 2*st.Restarts ||
+		sum.Learnt != 2*st.Learnt {
+		t.Fatalf("Add misbehaves: %+v vs %+v", sum, st)
+	}
+}
