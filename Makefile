@@ -23,14 +23,15 @@ race:
 # verify = tier-1 (build + test) plus vet and the race gate.
 verify: build test vet race
 
-# bench emits BENCH_sweep.json: ns/op, SAT calls, merges, conflicts for
-# the sweeping configurations (see cmd/bench).
+# bench emits BENCH_sweep.json (ns/op, SAT calls, merges, conflicts for
+# the sweeping configurations) and BENCH_pipeline.json (per-stage fold
+# timings for every benchmark circuit); see cmd/bench.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_sweep.json
+	$(GO) run ./cmd/bench -out BENCH_sweep.json -pipeout BENCH_pipeline.json
 
 # bench-go runs the Go benchmark suite for the sweeping engine.
 bench-go:
 	$(GO) test . -run XXX -bench 'BenchmarkSweep|BenchmarkSimWordsW' -benchmem
 
 clean:
-	rm -f BENCH_sweep.json
+	rm -f BENCH_sweep.json BENCH_pipeline.json

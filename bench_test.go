@@ -409,7 +409,7 @@ func BenchmarkMeMin(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	machine, _, err := core.TimeFrameFold(g, sched, 100, 0, func() bool { return false })
+	machine, _, err := core.TimeFrameFold(g, sched, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

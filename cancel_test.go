@@ -1,0 +1,173 @@
+package circuitfold_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"circuitfold"
+	"circuitfold/internal/gen"
+)
+
+// bigCircuit is a workload large enough that an unbounded fold takes
+// far longer than the deadlines used below.
+func bigCircuit() *circuitfold.Circuit {
+	return gen.Random(7, 256, 64, 20000)
+}
+
+// wantAborted asserts the typed-cancellation contract: err matches
+// sentinel and unwraps to a *PipelineError with a non-empty partial
+// stage trace.
+func wantAborted(t *testing.T, err, sentinel error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("fold should have aborted")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	var pe *circuitfold.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T (%v), want *PipelineError", err, err)
+	}
+	if pe.Report == nil || len(pe.Report.Stages) == 0 {
+		t.Fatalf("aborted fold must carry a partial trace, got %+v", pe.Report)
+	}
+	if pe.Report.Err == "" {
+		t.Fatal("partial report must record the error")
+	}
+}
+
+// checkNoGoroutineLeak polls until the goroutine count returns to
+// within slack of base, failing after a grace period.
+func checkNoGoroutineLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", base, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestFunctionalPreCancelledContext(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := circuitfold.DefaultOptions()
+	opt.Context = ctx
+	opt.Timeout = 0
+	_, err := circuitfold.Functional(bigCircuit(), 8, opt)
+	wantAborted(t, err, circuitfold.ErrCanceled)
+	checkNoGoroutineLeak(t, base)
+}
+
+func TestFunctionalMidRunDeadline(t *testing.T) {
+	// The acceptance scenario: a 1 ms deadline on a large random
+	// circuit must return a typed cancellation error promptly, with a
+	// non-empty partial stage trace.
+	base := runtime.NumGoroutine()
+	opt := circuitfold.DefaultOptions()
+	opt.Timeout = 0
+	opt.Budget = circuitfold.Budget{Wall: time.Millisecond}
+	start := time.Now()
+	_, err := circuitfold.Functional(bigCircuit(), 8, opt)
+	elapsed := time.Since(start)
+	wantAborted(t, err, circuitfold.ErrBudgetExceeded)
+	if elapsed > 10*time.Second {
+		t.Fatalf("abort took %v, want prompt", elapsed)
+	}
+	checkNoGoroutineLeak(t, base)
+}
+
+func TestHybridPreCancelledContext(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := circuitfold.DefaultOptions()
+	opt.Context = ctx
+	opt.Timeout = 0
+	_, err := circuitfold.Hybrid(bigCircuit(), 8, opt)
+	wantAborted(t, err, circuitfold.ErrCanceled)
+	checkNoGoroutineLeak(t, base)
+}
+
+func TestHybridMidRunDeadline(t *testing.T) {
+	base := runtime.NumGoroutine()
+	opt := circuitfold.DefaultOptions()
+	opt.Timeout = 0
+	opt.Budget = circuitfold.Budget{Wall: time.Millisecond}
+	_, err := circuitfold.Hybrid(bigCircuit(), 8, opt)
+	wantAborted(t, err, circuitfold.ErrBudgetExceeded)
+	checkNoGoroutineLeak(t, base)
+}
+
+func TestStructuralContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := circuitfold.DefaultOptions()
+	opt.Context = ctx
+	opt.Timeout = 0
+	_, err := circuitfold.Structural(bigCircuit(), 8, opt)
+	wantAborted(t, err, circuitfold.ErrCanceled)
+}
+
+func TestOptimizeContextCancelled(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := bigCircuit()
+	out, err := circuitfold.OptimizeContext(ctx, g, circuitfold.DefaultSweepOptions())
+	if !errors.Is(err, circuitfold.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// An interrupted sweep still yields a valid circuit.
+	if out == nil || out.NumPIs() != g.NumPIs() || out.NumPOs() != g.NumPOs() {
+		t.Fatalf("interrupted optimize returned an invalid circuit: %v", out)
+	}
+	checkNoGoroutineLeak(t, base)
+}
+
+func TestOptimizeBudgetDeadline(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := bigCircuit()
+	out, err := circuitfold.OptimizeBudget(nil, g, circuitfold.DefaultSweepOptions(),
+		circuitfold.Budget{Wall: time.Nanosecond})
+	if !errors.Is(err, circuitfold.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if out == nil || out.NumPOs() != g.NumPOs() {
+		t.Fatal("interrupted optimize returned an invalid circuit")
+	}
+	checkNoGoroutineLeak(t, base)
+}
+
+func TestTraceAttachedWhenRequested(t *testing.T) {
+	g := buildAdder3(t)
+	opt := circuitfold.DefaultOptions()
+	r, err := circuitfold.Functional(g, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Report == nil || len(r.Report.Stages) == 0 {
+		t.Fatal("Trace on: Result.Report must carry stages")
+	}
+	for _, name := range []string{"schedule", "tff", "minimize", "encode"} {
+		if r.Report.Stage(name) == nil {
+			t.Fatalf("missing stage %q in trace: %+v", name, r.Report.Stages)
+		}
+	}
+	opt.Trace = false
+	r, err = circuitfold.Functional(g, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Report != nil {
+		t.Fatal("Trace off: Result.Report must be nil")
+	}
+}

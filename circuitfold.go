@@ -39,6 +39,7 @@
 package circuitfold
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -51,6 +52,7 @@ import (
 	"circuitfold/internal/gen"
 	"circuitfold/internal/lutmap"
 	"circuitfold/internal/part"
+	"circuitfold/internal/pipeline"
 	"circuitfold/internal/seq"
 	"circuitfold/internal/tdm"
 )
@@ -93,6 +95,33 @@ const (
 	OneHot = core.OneHot
 )
 
+// Budget bounds a fold's resources: wall-clock time, BDD nodes, SAT
+// conflicts and FSM states. Zero fields mean "engine default".
+type Budget = pipeline.Budget
+
+// Report is the per-stage trace of a fold: stage names, timings and
+// size counters. It is attached to Result.Report when Options.Trace is
+// set, and to the error (via PipelineError) when a fold aborts.
+type Report = pipeline.Report
+
+// StageStats is one stage's entry in a Report.
+type StageStats = pipeline.StageStats
+
+// PipelineError is the typed error returned when a fold is cancelled
+// or exhausts its budget: it names the pipeline and stage and carries
+// the partial Report. Match the cause with errors.Is against
+// ErrCanceled / ErrBudgetExceeded, and extract it with errors.As.
+type PipelineError = pipeline.Error
+
+// Sentinel causes for aborted folds, matched with errors.Is.
+var (
+	// ErrBudgetExceeded reports an exhausted Budget (deadline, BDD
+	// nodes, SAT conflicts or state cap).
+	ErrBudgetExceeded = pipeline.ErrBudgetExceeded
+	// ErrCanceled reports a cancelled context.
+	ErrCanceled = pipeline.ErrCanceled
+)
+
 // NewCircuit returns an empty combinational circuit.
 func NewCircuit() *Circuit { return aig.New() }
 
@@ -111,14 +140,26 @@ type Options struct {
 	Minimize bool
 	// StateEnc selects the functional method's state encoding.
 	StateEnc Encoding
-	// Timeout bounds the functional method's scheduling and folding
-	// phases, like the paper's 300-second limit. Zero means no limit.
+	// Timeout bounds the fold's wall-clock time, like the paper's
+	// 300-second limit. Zero means no limit. It is shorthand for
+	// Budget.Wall and is ignored when Budget.Wall is set.
 	Timeout time.Duration
+	// Context cancels the fold mid-stage; nil means no cancellation.
+	// An aborted fold returns an error matching ErrCanceled that
+	// unwraps to a *PipelineError carrying the partial stage trace.
+	Context context.Context
+	// Budget bounds the fold's resources (wall clock, BDD nodes, SAT
+	// conflicts, FSM states). Zero fields use engine defaults; an
+	// exhausted budget aborts with an error matching ErrBudgetExceeded.
+	Budget Budget
+	// Trace attaches the per-stage Report to Result.Report. Errors
+	// always carry their partial trace regardless of Trace.
+	Trace bool
 }
 
 // DefaultOptions returns the configuration the paper's experiments
 // favor: binary frame counter, input reordering, state minimization,
-// one-hot state encoding, 30-second budget.
+// one-hot state encoding, 30-second budget, tracing on.
 func DefaultOptions() Options {
 	return Options{
 		Counter:  Binary,
@@ -126,13 +167,37 @@ func DefaultOptions() Options {
 		Minimize: true,
 		StateEnc: OneHot,
 		Timeout:  30 * time.Second,
+		Trace:    true,
 	}
+}
+
+// budget resolves the effective Budget, folding the legacy Timeout
+// shorthand into Budget.Wall.
+func (o Options) budget() Budget {
+	b := o.Budget
+	if b.Wall == 0 {
+		b.Wall = o.Timeout
+	}
+	return b
+}
+
+// finish strips the trace when it was not requested.
+func finish(r *Result, err error, trace bool) (*Result, error) {
+	if r != nil && !trace {
+		r.Report = nil
+	}
+	return r, err
 }
 
 // Structural folds g by T frames with the structural method of Section
 // IV.
 func Structural(g *Circuit, T int, opt Options) (*Result, error) {
-	return core.StructuralFold(g, T, core.StructuralOptions{Counter: opt.Counter})
+	r, err := core.StructuralFold(g, T, core.StructuralOptions{
+		Counter: opt.Counter,
+		Ctx:     opt.Context,
+		Budget:  opt.budget(),
+	})
+	return finish(r, err, opt.Trace)
 }
 
 // Functional folds g by T frames with the functional method of Section
@@ -142,11 +207,13 @@ func Functional(g *Circuit, T int, opt Options) (*Result, error) {
 	fo.Reorder = opt.Reorder
 	fo.Minimize = opt.Minimize
 	fo.StateEnc = opt.StateEnc
-	fo.Timeout = opt.Timeout
-	if opt.Timeout > 0 {
-		fo.MinOpts.Timeout = opt.Timeout
+	fo.Ctx = opt.Context
+	fo.Budget = opt.budget()
+	if fo.Budget.Wall > 0 {
+		fo.MinOpts.Timeout = fo.Budget.Wall
 	}
-	return core.FunctionalFold(g, T, fo)
+	r, err := core.FunctionalFold(g, T, fo)
+	return finish(r, err, opt.Trace)
 }
 
 // Simple folds g by T frames with the input-buffering baseline of
@@ -164,10 +231,18 @@ func Hybrid(g *Circuit, T int, opt Options) (*Result, error) {
 	ho.Counter = opt.Counter
 	ho.StateEnc = opt.StateEnc
 	ho.Minimize = opt.Minimize
-	if opt.Timeout > 0 {
+	ho.Ctx = opt.Context
+	b := opt.budget()
+	if b.MaxStates == 0 {
+		b.MaxStates = ho.Budget.MaxStates
+	}
+	ho.Budget = b
+	if opt.Timeout > 0 && opt.Budget.Wall == 0 {
+		// Legacy behavior: Timeout also bounds each cluster.
 		ho.ClusterTimeout = opt.Timeout
 	}
-	return core.HybridFold(g, T, ho)
+	r, err := core.HybridFold(g, T, ho)
+	return finish(r, err, opt.Trace)
 }
 
 // PinSchedule runs the paper's Algorithms 1 and 2 and returns the pin
@@ -210,6 +285,27 @@ func Optimize(g *Circuit) *Circuit { return g.Optimize() }
 // the worker count, widen simulation, or disable counterexample-guided
 // refinement (MaxCEXRounds: 0).
 func OptimizeWith(g *Circuit, opt SweepOptions) *Circuit { return g.OptimizeWith(opt) }
+
+// OptimizeContext is OptimizeWith under a context and budget: the sweep
+// polls the run between rounds and inside its SAT shards, so a
+// cancelled context or exhausted budget stops it promptly. The returned
+// circuit is always valid and equivalence-preserving — an interrupted
+// sweep keeps the merges proven so far — and err (matching ErrCanceled
+// or ErrBudgetExceeded) reports why it stopped early, nil when it ran
+// to completion.
+func OptimizeContext(ctx context.Context, g *Circuit, opt SweepOptions) (*Circuit, error) {
+	return OptimizeBudget(ctx, g, opt, Budget{})
+}
+
+// OptimizeBudget is OptimizeContext with an explicit resource budget.
+func OptimizeBudget(ctx context.Context, g *Circuit, opt SweepOptions, b Budget) (*Circuit, error) {
+	run := pipeline.NewRun(ctx, b)
+	if opt.Interrupt == nil {
+		opt.Interrupt = run.Check
+	}
+	out := g.OptimizeWith(opt)
+	return out, run.Check()
+}
 
 // LUTCount maps g onto k-input LUTs and returns the LUT count, the
 // area metric of the paper's tables (k = 6 there).

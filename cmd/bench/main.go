@@ -1,16 +1,22 @@
-// Command bench measures the SAT-sweeping engine and emits the results
-// as machine-readable JSON, so CI and EXPERIMENTS.md runs can track the
-// engine's speed and SAT-call counts over time.
+// Command bench measures the SAT-sweeping engine and the fold pipeline
+// and emits the results as machine-readable JSON, so CI and
+// EXPERIMENTS.md runs can track the engine's speed and SAT-call counts
+// over time.
 //
 // Usage:
 //
-//	bench [-out BENCH_sweep.json] [-reps 3] [-size 4000] [-seed 1234] [-tables]
+//	bench [-out BENCH_sweep.json] [-pipeout BENCH_pipeline.json]
+//	      [-reps 3] [-size 4000] [-seed 1234] [-tables]
 //
 // Four sweep configurations run on the same random workload:
 //
 //	workers=1   serial sweep, default pool width
 //	workers=N   GOMAXPROCS-worker sweep (identical result by design)
 //	cex on/off  one-word pool with and without counterexample refinement
+//
+// Alongside the sweep report, every benchmark circuit is folded
+// structurally through the pass pipeline and its per-stage trace
+// (schedule, synth timings and sizes) lands in BENCH_pipeline.json.
 //
 // -tables additionally times a Table I/II regeneration (the harness paths
 // whose runtime the sweep dominates) and appends those runs.
@@ -25,8 +31,10 @@ import (
 	"time"
 
 	"circuitfold/internal/aig"
+	"circuitfold/internal/core"
 	"circuitfold/internal/exp"
 	"circuitfold/internal/gen"
+	"circuitfold/internal/pipeline"
 )
 
 // Run is one measured sweep configuration.
@@ -50,6 +58,51 @@ type Report struct {
 	Runs                []Run   `json:"runs"`
 	SpeedupWorkers      float64 `json:"speedup_workers"`       // workers=1 time / workers=N time
 	SATCallReductionCEX float64 `json:"satcall_reduction_cex"` // cex-off calls / cex-on calls
+}
+
+// PipelineRun is one circuit's fold through the pass pipeline.
+type PipelineRun struct {
+	Circuit  string                `json:"circuit"`
+	Frames   int                   `json:"frames"`
+	Pipeline string                `json:"pipeline"`
+	TotalNs  int64                 `json:"total_ns"`
+	Stages   []pipeline.StageStats `json:"stages"`
+	Err      string                `json:"err,omitempty"`
+}
+
+// PipelineReport is the BENCH_pipeline.json schema.
+type PipelineReport struct {
+	Date string        `json:"date"`
+	Runs []PipelineRun `json:"runs"`
+}
+
+// foldPipelines folds every benchmark circuit structurally through the
+// pass pipeline and records the per-stage trace. The frame count is the
+// minimum that fits the circuit under a 200-pin budget, so wide
+// circuits fold deeper (mirroring the Table II setup).
+func foldPipelines() []PipelineRun {
+	var runs []PipelineRun
+	for _, name := range gen.Names() {
+		info, err := gen.Lookup(name)
+		if err != nil {
+			continue
+		}
+		T := exp.MinFrames(info.PIs, 200)
+		if T < 2 {
+			T = 2
+		}
+		g := gen.MustBuild(name)
+		pr := PipelineRun{Circuit: name, Frames: T, Pipeline: "structural"}
+		r, err := core.StructuralFold(g, T, core.StructuralOptions{Counter: core.Binary})
+		if err != nil {
+			pr.Err = err.Error()
+		} else if r.Report != nil {
+			pr.TotalNs = r.Report.Total.Nanoseconds()
+			pr.Stages = r.Report.Stages
+		}
+		runs = append(runs, pr)
+	}
+	return runs
 }
 
 func measure(g *aig.Graph, name string, opt aig.SweepOptions, reps int) Run {
@@ -85,11 +138,12 @@ func measure(g *aig.Graph, name string, opt aig.SweepOptions, reps int) Run {
 
 func main() {
 	var (
-		out    = flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
-		reps   = flag.Int("reps", 3, "repetitions per configuration (best time wins)")
-		size   = flag.Int("size", 4000, "workload size in AND nodes")
-		seed   = flag.Uint64("seed", 1234, "workload generator seed")
-		tables = flag.Bool("tables", false, "also time a Table I/II regeneration")
+		out     = flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
+		pipeout = flag.String("pipeout", "BENCH_pipeline.json", "per-stage fold timings JSON path (empty to skip)")
+		reps    = flag.Int("reps", 3, "repetitions per configuration (best time wins)")
+		size    = flag.Int("size", 4000, "workload size in AND nodes")
+		seed    = flag.Uint64("seed", 1234, "workload generator seed")
+		tables  = flag.Bool("tables", false, "also time a Table I/II regeneration")
 	)
 	flag.Parse()
 
@@ -143,12 +197,31 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: workers speedup %.2fx, CEX SAT-call reduction %.2fx\n",
+			*out, rep.SpeedupWorkers, rep.SATCallReductionCEX)
+	}
+
+	if *pipeout == "" {
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	prep := PipelineReport{
+		Date: time.Now().UTC().Format(time.RFC3339),
+		Runs: foldPipelines(),
+	}
+	pdata, err := json.MarshalIndent(prep, "", "  ")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: workers speedup %.2fx, CEX SAT-call reduction %.2fx\n",
-		*out, rep.SpeedupWorkers, rep.SATCallReductionCEX)
+	pdata = append(pdata, '\n')
+	if err := os.WriteFile(*pipeout, pdata, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: per-stage fold timings for %d circuits\n", *pipeout, len(prep.Runs))
 }

@@ -28,7 +28,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	machine, states, err := core.TimeFrameFold(g, sched, 1000, 0, func() bool { return false })
+	machine, states, err := core.TimeFrameFold(g, sched, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -43,6 +43,14 @@ type SweepOptions struct {
 	TotalConflictBudget int64
 	// Seed makes the random simulation reproducible.
 	Seed int64
+	// Interrupt, when non-nil, is polled between rounds and inside the
+	// shard solvers' search loops. A non-nil result aborts the sweep at
+	// the earliest safe point: in-flight queries resolve as Unknown
+	// (conservatively distinct) and the graph is rebuilt from the
+	// merges proven so far, so an interrupted sweep still returns a
+	// valid, equivalence-preserving result. The callback runs
+	// concurrently from worker goroutines and must be thread-safe.
+	Interrupt func() error
 }
 
 // DefaultSweepOptions returns the settings used by the optimization flow.
@@ -70,6 +78,7 @@ type SweepStats struct {
 	Disproved    int64
 	BudgetOut    int64
 	Merges       int
+	Interrupted  bool      // true when SweepOptions.Interrupt cut the sweep short
 	Solver       sat.Stats // aggregated over the solver shards
 }
 
@@ -197,6 +206,10 @@ func (g *Graph) SweepWithStats(opt SweepOptions) (*Graph, *SweepStats) {
 	var spentConflicts int64
 
 	for {
+		if opt.Interrupt != nil && opt.Interrupt() != nil {
+			st.Interrupted = true
+			break
+		}
 		// Build this round's queries deterministically: within each class
 		// (ascending member ids), a member is compared against the first
 		// representative it has not already been distinguished from;
@@ -270,6 +283,9 @@ func (g *Graph) SweepWithStats(opt SweepOptions) (*Graph, *SweepStats) {
 					if solvers[sh] == nil {
 						solvers[sh] = sat.New()
 						solvers[sh].SetBudget(opt.ConflictBudget)
+						if opt.Interrupt != nil {
+							solvers[sh].SetInterrupt(func() bool { return opt.Interrupt() != nil })
+						}
 						encoders[sh] = NewEncoder(g, solvers[sh])
 					}
 					solver, enc := solvers[sh], encoders[sh]

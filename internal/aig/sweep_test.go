@@ -1,9 +1,11 @@
 package aig
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -223,5 +225,41 @@ func TestSweepTotalConflictBudgetStops(t *testing.T) {
 	}
 	if !equivalentBySim(g, ng, 32) {
 		t.Fatal("budget-limited swept graph not equivalent")
+	}
+}
+
+func TestSweepInterruptImmediateStillValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomGraph(rng, 500, 14, 8)
+	stop := errors.New("stop")
+	opt := SweepOptions{Words: 1, Workers: 2, MaxCEXRounds: 4, ConflictBudget: 50, Seed: 7}
+	opt.Interrupt = func() error { return stop }
+	ng, st := g.SweepWithStats(opt)
+	if !st.Interrupted {
+		t.Fatalf("stats must record the interrupt: %+v", st)
+	}
+	if !equivalentBySim(g, ng, 64) {
+		t.Fatal("interrupted sweep broke equivalence")
+	}
+}
+
+func TestSweepInterruptMidRunKeepsProvenMerges(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := randomGraph(rng, 500, 14, 8)
+	stop := errors.New("stop")
+	var polls atomic.Int64
+	opt := SweepOptions{Words: 1, Workers: 2, MaxCEXRounds: 4, ConflictBudget: 50, Seed: 7}
+	opt.Interrupt = func() error {
+		if polls.Add(1) > 32 {
+			return stop
+		}
+		return nil
+	}
+	ng, _ := g.SweepWithStats(opt)
+	// Whether or not the interrupt fired before completion, the result
+	// must preserve the original function: merges proven before the stop
+	// are kept, unproven candidates are dropped.
+	if !equivalentBySim(g, ng, 64) {
+		t.Fatal("mid-run interrupted sweep broke equivalence")
 	}
 }

@@ -53,6 +53,20 @@ type Manager struct {
 	levelOfVar []int
 	opCache    map[opKey]Node
 	iteCache   map[iteKey]Node
+	interrupt  func() error // polled by the sifting loops; non-nil result aborts
+}
+
+// SetInterrupt installs a callback polled by the reordering loops
+// (Sift, SiftSymmetric). When it returns a non-nil error, sifting
+// stops early — parking any in-flight variable or block at its best
+// position so the order stays consistent — and returns the node count
+// reached so far. Callers that care about the reason re-check their
+// own budget after the sift returns. Pass nil to remove the hook.
+func (m *Manager) SetInterrupt(check func() error) { m.interrupt = check }
+
+// stopped reports whether the interrupt hook requests an abort.
+func (m *Manager) stopped() bool {
+	return m.interrupt != nil && m.interrupt() != nil
 }
 
 // New creates a manager with nVars variables, variable i initially at

@@ -102,6 +102,9 @@ func (m *Manager) Sift(roots []Node, loLevel, hiLevel int) int {
 	}
 	vars := m.varsByContribution(roots, loLevel, hiLevel)
 	for _, v := range vars {
+		if m.stopped() {
+			break
+		}
 		m.maybeGC(roots)
 		best = m.siftOne(roots, v, loLevel, hiLevel, best)
 	}
@@ -116,6 +119,9 @@ func (m *Manager) siftOne(roots []Node, v, loLevel, hiLevel, cur int) int {
 
 	tryRange := func(dir int) {
 		for m.levelOfVar[v]+dir >= loLevel && m.levelOfVar[v]+dir <= hiLevel {
+			if m.stopped() {
+				return // park at bestLevel below; order stays consistent
+			}
 			if dir > 0 {
 				m.SwapAdjacent(m.levelOfVar[v])
 			} else {
@@ -187,6 +193,14 @@ func (m *Manager) Symmetric(roots []Node, v, w int) bool {
 func (m *Manager) SymmetryGroups(roots []Node, loLevel, hiLevel int) [][]int {
 	var groups [][]int
 	for l := loLevel; l <= hiLevel && l < m.NumVars(); l++ {
+		if m.stopped() {
+			// Remaining variables become singleton groups, so the
+			// caller's block layout below stays well-defined.
+			for r := l; r <= hiLevel && r < m.NumVars(); r++ {
+				groups = append(groups, []int{m.varAtLevel[r]})
+			}
+			break
+		}
 		v := m.varAtLevel[l]
 		placed := false
 		for gi := range groups {
@@ -237,6 +251,9 @@ func (m *Manager) SiftSymmetric(roots []Node, loLevel, hiLevel int) int {
 	sort.SliceStable(order, func(a, b int) bool { return len(groups[order[a]]) > len(groups[order[b]]) })
 	best := m.NodeCount(roots...)
 	for _, gi := range order {
+		if m.stopped() {
+			break
+		}
 		m.maybeGC(roots)
 		best = m.siftBlock(roots, groups[gi], loLevel, hiLevel, best)
 	}
@@ -274,14 +291,14 @@ func (m *Manager) siftBlock(roots []Node, block []int, loLevel, hiLevel, cur int
 			m.SwapAdjacent(l)
 		}
 	}
-	for blockTop()+k-1 < hiLevel {
+	for blockTop()+k-1 < hiLevel && !m.stopped() {
 		moveDown()
 		m.maybeGC(roots)
 		if size := m.NodeCount(roots...); size < bestSize {
 			bestSize, bestTop = size, blockTop()
 		}
 	}
-	for blockTop() > loLevel {
+	for blockTop() > loLevel && !m.stopped() {
 		moveUp()
 		m.maybeGC(roots)
 		if size := m.NodeCount(roots...); size < bestSize {

@@ -5,20 +5,24 @@ import (
 
 	"circuitfold/internal/aig"
 	"circuitfold/internal/bdd"
+	"circuitfold/internal/pipeline"
 )
 
 // errBudget is returned when a BDD construction exceeds its node budget,
-// the library's analogue of the paper's 300-second timeout.
-var errBudget = fmt.Errorf("core: BDD node budget exceeded")
+// the library's analogue of the paper's 300-second timeout. It wraps
+// pipeline.ErrBudgetExceeded so callers match it with errors.Is.
+var errBudget = fmt.Errorf("core: BDD node budget exceeded: %w", pipeline.ErrBudgetExceeded)
 
 // buildOutputBDDs constructs BDDs for the given output literals of g in
 // mgr, mapping PI index i to manager variable varOfPI[i]. A varOfPI entry
 // of -1 marks an input that must not occur in the supports. The build
 // aborts with errBudget when the manager grows past nodeBudget (0 = no
-// limit).
-func buildOutputBDDs(g *aig.Graph, mgr *bdd.Manager, varOfPI []int, roots []aig.Lit, nodeBudget int) ([]bdd.Node, error) {
+// limit) and with the run's typed error when the run is cancelled or
+// past its deadline (nil run = never).
+func buildOutputBDDs(g *aig.Graph, mgr *bdd.Manager, varOfPI []int, roots []aig.Lit, nodeBudget int, run *pipeline.Run) ([]bdd.Node, error) {
 	memo := make(map[int]bdd.Node) // AIG node id -> BDD of its positive literal
 	memo[0] = bdd.False
+	built := 0
 	var build func(id int) (bdd.Node, error)
 	build = func(id int) (bdd.Node, error) {
 		if r, ok := memo[id]; ok {
@@ -50,6 +54,11 @@ func buildOutputBDDs(g *aig.Graph, mgr *bdd.Manager, varOfPI []int, roots []aig.
 			r = mgr.And(b0, b1)
 			if nodeBudget > 0 && mgr.NumNodes() > nodeBudget {
 				return bdd.False, errBudget
+			}
+			if built++; built&0xff == 0 {
+				if err := run.Check(); err != nil {
+					return bdd.False, fmt.Errorf("core: BDD construction aborted: %w", err)
+				}
 			}
 		}
 		memo[id] = r

@@ -19,8 +19,10 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"circuitfold/internal/aig"
+	"circuitfold/internal/pipeline"
 	"circuitfold/internal/seq"
 )
 
@@ -62,6 +64,9 @@ type Result struct {
 	// run or did not finish.
 	States    int
 	StatesMin int
+	// Report is the pass-pipeline trace of the fold: which stages ran,
+	// their durations, and their size/counter deltas.
+	Report *pipeline.Report
 }
 
 // InputPins returns the folded circuit's input pin count, m = ceil(n/T).
@@ -124,18 +129,59 @@ func (r *Result) Execute(in []bool) []bool {
 	return r.CollectOutputs(r.Seq.Simulate(r.ScheduleInputs(in)))
 }
 
-// postOptimize optionally rewrites a fold's combinational core with the
-// cleanup/balance/SAT-sweep pipeline. Every folding method honors a
-// *aig.SweepOptions in its options struct through this helper, so the
-// sweeping engine's knobs (Workers, Words, MaxCEXRounds, ...) thread from
-// the top-level flows down to the folded circuits.
-func postOptimize(r *Result, opt *aig.SweepOptions) *Result {
-	if r == nil || opt == nil {
-		return r
+// sweepStage builds the optional post-fold optimization stage: the
+// cleanup/balance/SAT-sweep pipeline over the fold's combinational
+// core. Every folding method honors a *aig.SweepOptions in its options
+// struct through this stage, so the sweeping engine's knobs (Workers,
+// Words, MaxCEXRounds, ...) thread from the top-level flows down to the
+// folded circuits. The stage reads the result through res so it can run
+// after an earlier stage has produced it, wires the run's cancellation
+// into the sweep engine, and charges the sweep's SAT conflicts to the
+// run.
+func sweepStage(res **Result, opt *aig.SweepOptions, run *pipeline.Run) pipeline.Stage {
+	return pipeline.Stage{Name: pipeline.StageSweep, Run: func(ss *pipeline.StageStats) error {
+		r := *res
+		o := *opt
+		if o.Interrupt == nil {
+			o.Interrupt = run.Check
+		}
+		ss.AndsIn = r.Seq.G.NumAnds()
+		r.Seq = r.Seq.Transform(func(g *aig.Graph) *aig.Graph {
+			ng, st := g.Cleanup().Balance().SweepWithStats(o)
+			run.AddConflicts(st.Solver.Conflicts)
+			ss.SATConflicts += st.Solver.Conflicts
+			return ng
+		})
+		ss.AndsOut = r.Seq.G.NumAnds()
+		return run.Check()
+	}}
+}
+
+// identityFold wraps a combinational circuit as a T=1 "fold" through a
+// one-stage pipeline, so even the degenerate case carries a trace.
+func identityFold(g *aig.Graph, run *pipeline.Run, name string, post *aig.SweepOptions) (*Result, error) {
+	var res *Result
+	stages := []pipeline.Stage{{Name: pipeline.StageSynth, Run: func(ss *pipeline.StageStats) error {
+		ss.AndsIn = g.NumAnds()
+		res = identityResult(g)
+		ss.AndsOut = res.Seq.G.NumAnds()
+		return nil
+	}}}
+	if post != nil {
+		stages = append(stages, sweepStage(&res, post, run))
 	}
-	o := *opt
-	r.Seq = r.Seq.Transform(func(g *aig.Graph) *aig.Graph { return g.OptimizeWith(o) })
-	return r
+	rep, err := pipeline.Execute(run, name, stages...)
+	if err != nil {
+		return nil, err
+	}
+	res.Report = rep
+	return res, nil
+}
+
+// pinName names input pin j ("x7") or output pin k ("y3"); the shared
+// helper every fold method uses for its pin interface.
+func pinName(prefix string, i int) string {
+	return prefix + strconv.Itoa(i)
 }
 
 // ceilDiv returns ceil(a/b).

@@ -1,12 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"circuitfold/internal/aig"
 	"circuitfold/internal/bdd"
 	"circuitfold/internal/fsm"
+	"circuitfold/internal/pipeline"
 )
 
 // FunctionalOptions configures FunctionalFold (Section V). The three
@@ -21,15 +22,13 @@ type FunctionalOptions struct {
 	Minimize bool
 	// StateEnc selects natural binary or one-hot state encoding.
 	StateEnc Encoding
-	// MaxStates aborts time-frame folding once the total state count
-	// passes this bound (0 means 20000), mirroring the paper's timeout
-	// behavior.
-	MaxStates int
-	// NodeBudget bounds the BDD manager size (0 means 4,000,000 nodes).
-	NodeBudget int
-	// Timeout bounds pin scheduling plus FSM construction (0 = none),
-	// like the paper's 300-second limit.
-	Timeout time.Duration
+	// Ctx cancels the fold mid-stage; nil means no cancellation.
+	Ctx context.Context
+	// Budget bounds the fold's resources. Zero fields fall back to the
+	// method defaults: 20000 states, 4,000,000 BDD nodes, no deadline.
+	// The paper's analogue is its 300-second limit on scheduling plus
+	// folding.
+	Budget pipeline.Budget
 	// MinOpts bounds the minimization step.
 	MinOpts fsm.MinimizeOptions
 	// PostOptimize, when non-nil, runs the cleanup/balance/SAT-sweep
@@ -50,63 +49,97 @@ func DefaultFunctionalOptions() FunctionalOptions {
 }
 
 // FunctionalFold folds g by T frames with the functional method of
-// Section V: pin scheduling, FSM construction via time-frame folding
-// (BDD cut decomposition), optional exact state minimization, and state
-// encoding. The returned Result's States/StatesMin report the FSM sizes
-// before and after minimization (including the don't-care final state, as
-// the paper counts it); StatesMin is -1 when minimization was disabled or
-// aborted.
+// Section V, composed as the pipeline schedule → tff → [minimize] →
+// encode → [sweep]: pin scheduling, FSM construction via time-frame
+// folding (BDD cut decomposition), optional exact state minimization,
+// and state encoding. The returned Result's States/StatesMin report the
+// FSM sizes before and after minimization (including the don't-care
+// final state, as the paper counts it); StatesMin is -1 when
+// minimization was disabled or aborted. Result.Report carries the
+// per-stage trace. A cancelled context or exhausted budget aborts
+// mid-stage with an error matching pipeline.ErrCanceled or
+// pipeline.ErrBudgetExceeded that carries the partial trace (unwrap to
+// *pipeline.Error).
 func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error) {
 	if err := validateFoldArgs(g, T); err != nil {
 		return nil, err
 	}
+	run := pipeline.NewRun(opt.Ctx, opt.Budget)
 	if T == 1 {
-		return postOptimize(identityResult(g), opt.PostOptimize), nil
-	}
-	if opt.MaxStates <= 0 {
-		opt.MaxStates = 20000
-	}
-	if opt.NodeBudget <= 0 {
-		opt.NodeBudget = 4000000
-	}
-	start := time.Now()
-	expired := func() bool { return opt.Timeout > 0 && time.Since(start) > opt.Timeout }
-
-	sched, err := PinSchedule(g, T, ScheduleOptions{Reorder: opt.Reorder, NodeBudget: opt.NodeBudget, Timeout: opt.Timeout})
-	if err != nil {
-		return nil, err
-	}
-	machine, states, err := TimeFrameFold(g, sched, opt.MaxStates, opt.NodeBudget, func() bool { return expired() })
-	if err != nil {
-		return nil, err
+		return identityFold(g, run, "functional", opt.PostOptimize)
 	}
 
-	statesMin := -1
+	var (
+		sched     *Schedule
+		machine   *fsm.Machine
+		states    int
+		statesMin = -1
+		res       *Result
+	)
+	stages := []pipeline.Stage{
+		{Name: pipeline.StageSchedule, Run: func(ss *pipeline.StageStats) error {
+			ss.AndsIn = g.NumAnds()
+			var err error
+			sched, err = PinScheduleRun(g, T, ScheduleOptions{Reorder: opt.Reorder}, run)
+			return err
+		}},
+		{Name: pipeline.StageTFF, Run: func(ss *pipeline.StageStats) error {
+			var err error
+			machine, states, err = TimeFrameFold(g, sched, run)
+			ss.StatesOut = states
+			return err
+		}},
+	}
 	if opt.Minimize {
-		if mm, merr := fsm.Minimize(machine, opt.MinOpts); merr == nil {
+		stages = append(stages, pipeline.Stage{Name: pipeline.StageMinimize, Run: func(ss *pipeline.StageStats) error {
+			ss.StatesIn = states
+			mo := opt.MinOpts
+			if mo.Stop == nil {
+				mo.Stop = run.Check
+			}
+			if rem, ok := run.Remaining(); ok && (mo.Timeout <= 0 || rem < mo.Timeout) {
+				mo.Timeout = rem
+			}
+			mm, merr := fsm.Minimize(machine, mo)
+			if merr != nil {
+				return fmt.Errorf("core: state minimization failed: %w", merr)
+			}
 			machine = mm
 			statesMin = mm.NumStates()
-		} else {
-			return nil, fmt.Errorf("core: state minimization failed: %w", merr)
+			ss.StatesOut = statesMin
+			return nil
+		}})
+	}
+	stages = append(stages, pipeline.Stage{Name: pipeline.StageEncode, Run: func(ss *pipeline.StageStats) error {
+		ss.StatesIn = machine.NumStates()
+		enc := fsm.NaturalBinary
+		if opt.StateEnc == OneHot {
+			enc = fsm.OneHotState
 		}
+		circuit, err := fsm.Encode(machine, enc)
+		if err != nil {
+			return err
+		}
+		ss.AndsOut = circuit.G.NumAnds()
+		res = &Result{
+			Seq:       circuit,
+			T:         T,
+			InSched:   sched.InSlot,
+			OutSched:  sched.OutSlot,
+			States:    states,
+			StatesMin: statesMin,
+		}
+		return nil
+	}})
+	if opt.PostOptimize != nil {
+		stages = append(stages, sweepStage(&res, opt.PostOptimize, run))
 	}
-
-	enc := fsm.NaturalBinary
-	if opt.StateEnc == OneHot {
-		enc = fsm.OneHotState
-	}
-	circuit, err := fsm.Encode(machine, enc)
+	rep, err := pipeline.Execute(run, "functional", stages...)
 	if err != nil {
 		return nil, err
 	}
-	return postOptimize(&Result{
-		Seq:       circuit,
-		T:         T,
-		InSched:   sched.InSlot,
-		OutSched:  sched.OutSlot,
-		States:    states,
-		StatesMin: statesMin,
-	}, opt.PostOptimize), nil
+	res.Report = rep
+	return res, nil
 }
 
 // TimeFrameFold constructs the minimal per-frame FSM of the scheduled
@@ -115,9 +148,17 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 // groups — the hyper-function cut decomposition of TFF. It returns the
 // machine (final don't-care state elided, transitions into it marked
 // DontCare) and the total state count including the don't-care state.
-func TimeFrameFold(g *aig.Graph, sched *Schedule, maxStates, nodeBudget int, expired func() bool) (*fsm.Machine, int, error) {
+//
+// The run bounds the construction: its state budget (default 20000)
+// and BDD node budget (default 4,000,000) abort with an error matching
+// pipeline.ErrBudgetExceeded, a cancelled context or elapsed deadline
+// with pipeline.ErrCanceled / pipeline.ErrBudgetExceeded. A nil run
+// applies the default caps with no deadline.
+func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machine, int, error) {
 	T, m := sched.T, sched.M
 	n := g.NumPIs()
+	maxStates := run.StateLimit(20000)
+	nodeBudget := run.NodeLimit(4000000)
 
 	// Folding manager: variable t*m+j is input pin j during frame t.
 	fmgr := bdd.New(T * m)
@@ -129,7 +170,7 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, maxStates, nodeBudget int, exp
 	for i := range roots {
 		roots[i] = g.PO(i)
 	}
-	poBDD, err := buildOutputBDDs(g, fmgr, varOfPI, roots, nodeBudget)
+	poBDD, err := buildOutputBDDs(g, fmgr, varOfPI, roots, nodeBudget, run)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -194,9 +235,12 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, maxStates, nodeBudget int, exp
 		return d
 	}
 
+	abort := func(t int, err error) (*fsm.Machine, int, error) {
+		return nil, 0, fmt.Errorf("core: time-frame folding aborted at frame %d: %w", t+1, err)
+	}
 	for t := 0; t < T; t++ {
-		if expired() {
-			return nil, 0, fmt.Errorf("core: time-frame folding timeout at frame %d", t+1)
+		if err := run.Check(); err != nil {
+			return abort(t, err)
 		}
 		cut := (t + 1) * m
 		varMap := make(map[int]int, m)
@@ -208,8 +252,10 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, maxStates, nodeBudget int, exp
 		nextBase := curBase + len(cur)
 
 		for si, st := range cur {
-			if si%64 == 0 && expired() {
-				return nil, 0, fmt.Errorf("core: time-frame folding timeout at frame %d", t+1)
+			if si%64 == 0 {
+				if err := run.Check(); err != nil {
+					return abort(t, err)
+				}
 			}
 			type cell struct {
 				cond bdd.Node
@@ -220,8 +266,10 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, maxStates, nodeBudget int, exp
 			for ci, w := range poList[t] {
 				branches := decompose(st.comps[ci], cut)
 				emit := sched.FrameOfPO[w] == t // output produced this frame
-				if len(cells)*len(branches) > 64 && expired() {
-					return nil, 0, fmt.Errorf("core: time-frame folding timeout at frame %d", t+1)
+				if len(cells)*len(branches) > 64 {
+					if err := run.Check(); err != nil {
+						return abort(t, err)
+					}
 				}
 				var refined []cell
 				for _, c := range cells {
@@ -250,7 +298,8 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, maxStates, nodeBudget int, exp
 				}
 				cells = refined
 				if len(cells) > 4*maxStates {
-					return nil, 0, fmt.Errorf("core: transition refinement exceeds bound at frame %d", t+1)
+					return nil, 0, fmt.Errorf("core: transition refinement exceeds bound %d at frame %d: %w",
+						4*maxStates, t+1, pipeline.ErrBudgetExceeded)
 				}
 				if nodeBudget > 0 && fmgr.NumNodes() > nodeBudget {
 					return nil, 0, errBudget
@@ -277,7 +326,8 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, maxStates, nodeBudget int, exp
 		if t+1 < T {
 			totalStates += len(nextStates)
 			if totalStates > maxStates {
-				return nil, 0, fmt.Errorf("core: state count exceeds %d at frame %d", maxStates, t+1)
+				return nil, 0, fmt.Errorf("core: state count exceeds %d at frame %d: %w",
+					maxStates, t+1, pipeline.ErrBudgetExceeded)
 			}
 			for range nextStates {
 				trans = append(trans, nil)

@@ -1,11 +1,13 @@
 package core_test
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"circuitfold/internal/core"
 	"circuitfold/internal/eqcheck"
+	"circuitfold/internal/pipeline"
 )
 
 func TestPinScheduleAdder3MatchesPaperExample2(t *testing.T) {
@@ -191,9 +193,11 @@ func TestFunctionalStateCapAborts(t *testing.T) {
 	g := randomCircuit(rng, 300, 24, 10)
 	opt := core.DefaultFunctionalOptions()
 	opt.Minimize = false
-	opt.MaxStates = 2
+	opt.Budget.MaxStates = 2
 	if _, err := core.FunctionalFold(g, 4, opt); err == nil {
 		t.Fatal("expected state-cap abort")
+	} else if !errors.Is(err, pipeline.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 	}
 }
 

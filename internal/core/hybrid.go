@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"circuitfold/internal/aig"
 	"circuitfold/internal/fsm"
+	"circuitfold/internal/pipeline"
 	"circuitfold/internal/seq"
 )
 
@@ -20,10 +22,15 @@ type HybridOptions struct {
 	// MaxClusterOutputs caps the outputs grouped into one functional
 	// cluster (0 means 32).
 	MaxClusterOutputs int
-	// MaxStates bounds each cluster's time-frame folding (0 means 2000).
-	MaxStates int
-	// ClusterTimeout bounds each cluster's folding work (0 means 5s).
+	// ClusterTimeout bounds each cluster's folding work (0 means 5s);
+	// the whole fold is additionally bounded by Budget.Wall.
 	ClusterTimeout time.Duration
+	// Ctx cancels the fold mid-stage; nil means no cancellation.
+	Ctx context.Context
+	// Budget bounds the fold's resources. Budget.MaxStates bounds each
+	// cluster's time-frame folding (0 means 2000); Budget.Wall bounds
+	// the whole fold.
+	Budget pipeline.Budget
 	// MinOpts bounds per-cluster state minimization.
 	MinOpts fsm.MinimizeOptions
 	// PostOptimize, when non-nil, runs the cleanup/balance/SAT-sweep
@@ -43,33 +50,35 @@ func DefaultHybridOptions() HybridOptions {
 		// paper's functional timeouts at small T; small clusters keep
 		// every piece tractable.
 		MaxClusterOutputs: 8,
-		MaxStates:         2000,
 		ClusterTimeout:    2 * time.Second,
+		Budget:            pipeline.Budget{MaxStates: 2000},
 		MinOpts:           fsm.DefaultMinimizeOptions(),
 	}
 }
 
 // HybridFold combines the two methods, the future work named in the
-// paper's conclusion: outputs are clustered by shared structural
-// support, each cluster is folded functionally (time-frame folding on
-// the cluster's cone under the shared natural input schedule), and
-// clusters whose folding exceeds its budget fall back to one common
-// structural fold. All parts share the same ceil(n/T) input pins and one
-// frame alignment, so the merged circuit is a valid fold of the whole
-// circuit — scalable like the structural method, with the functional
-// method's optimality wherever it is affordable.
+// paper's conclusion, composed as the pipeline schedule → tff → synth →
+// [sweep]: outputs are clustered by shared structural support
+// (schedule), each cluster is folded functionally under its own slice
+// of the budget (tff), and clusters whose folding exceeds that slice
+// fall back to one common structural fold that is then merged with the
+// functional parts over shared pins (synth). All parts share the same
+// ceil(n/T) input pins and one frame alignment, so the merged circuit
+// is a valid fold of the whole circuit — scalable like the structural
+// method, with the functional method's optimality wherever it is
+// affordable. Cancelling the context or exhausting Budget.Wall aborts
+// the whole fold; a single cluster running out of its own time slice
+// only demotes that cluster to the structural fallback.
 func HybridFold(g *aig.Graph, T int, opt HybridOptions) (*Result, error) {
 	if err := validateFoldArgs(g, T); err != nil {
 		return nil, err
 	}
+	run := pipeline.NewRun(opt.Ctx, opt.Budget)
 	if T == 1 {
-		return postOptimize(identityResult(g), opt.PostOptimize), nil
+		return identityFold(g, run, "hybrid", opt.PostOptimize)
 	}
 	if opt.MaxClusterOutputs <= 0 {
 		opt.MaxClusterOutputs = 32
-	}
-	if opt.MaxStates <= 0 {
-		opt.MaxStates = 2000
 	}
 	if opt.ClusterTimeout <= 0 {
 		opt.ClusterTimeout = 5 * time.Second
@@ -77,107 +86,150 @@ func HybridFold(g *aig.Graph, T int, opt HybridOptions) (*Result, error) {
 	n := g.NumPIs()
 	m := ceilDiv(n, T)
 
-	clusters := clusterOutputs(g, opt.MaxClusterOutputs)
-
 	type part struct {
 		c        *seq.Circuit
 		outSched [][]int // per frame, global PO indices (-1 null)
 	}
-	var parts []part
-	var structuralPOs []int
+	var (
+		clusters      [][]int
+		parts         []part
+		structuralPOs []int
+		res           *Result
+	)
+	stages := []pipeline.Stage{
+		{Name: pipeline.StageSchedule, Run: func(ss *pipeline.StageStats) error {
+			ss.AndsIn = g.NumAnds()
+			clusters = clusterOutputs(g, opt.MaxClusterOutputs)
+			return run.Check()
+		}},
+		{Name: pipeline.StageTFF, Run: func(ss *pipeline.StageStats) error {
+			for _, cluster := range clusters {
+				// Each cluster folds under its own child run: the cluster
+				// timeout clipped to the parent's remaining wall clock,
+				// with the shared state and node budgets.
+				wall := opt.ClusterTimeout
+				if rem, ok := run.Remaining(); ok && rem < wall {
+					wall = rem
+				}
+				crun := pipeline.NewRun(run.Context(), pipeline.Budget{
+					Wall:      wall,
+					BDDNodes:  run.NodeLimit(2000000),
+					MaxStates: run.StateLimit(2000),
+				})
+				p, err := foldClusterFunctionally(g, T, m, cluster, opt, crun)
+				if err != nil {
+					// The parent being cancelled or out of budget aborts
+					// the fold; a cluster merely out of its own slice
+					// falls back to the structural remainder.
+					if perr := run.Check(); perr != nil {
+						return perr
+					}
+					structuralPOs = append(structuralPOs, cluster...)
+					continue
+				}
+				parts = append(parts, part{p.c, p.outSched})
+				ss.StatesOut += p.states
+			}
+			return nil
+		}},
+		{Name: pipeline.StageSynth, Run: func(ss *pipeline.StageStats) error {
+			if len(structuralPOs) > 0 {
+				sub := extractCone(g, structuralPOs)
+				sr, err := structuralFoldRun(sub, T, StructuralOptions{Counter: opt.Counter}, run)
+				if err != nil {
+					return err
+				}
+				sched := make([][]int, T)
+				for t := range sched {
+					row := make([]int, len(sr.OutSched[t]))
+					for k, local := range sr.OutSched[t] {
+						if local < 0 {
+							row[k] = -1
+						} else {
+							row[k] = structuralPOs[local]
+						}
+					}
+					sched[t] = row
+				}
+				parts = append(parts, part{sr.Seq, sched})
+			}
+			if len(parts) == 0 {
+				return fmt.Errorf("core: hybrid fold produced no parts")
+			}
 
-	for _, cluster := range clusters {
-		p, err := foldClusterFunctionally(g, T, m, cluster, opt)
-		if err != nil {
-			structuralPOs = append(structuralPOs, cluster...)
-			continue
-		}
-		parts = append(parts, part{p.c, p.outSched})
-	}
-	if len(structuralPOs) > 0 {
-		sub := extractCone(g, structuralPOs)
-		sr, err := StructuralFold(sub, T, StructuralOptions{Counter: opt.Counter})
-		if err != nil {
-			return nil, err
-		}
-		sched := make([][]int, T)
-		for t := range sched {
-			row := make([]int, len(sr.OutSched[t]))
-			for k, local := range sr.OutSched[t] {
-				if local < 0 {
-					row[k] = -1
-				} else {
-					row[k] = structuralPOs[local]
+			// Merge the parts over shared input pins.
+			merged := aig.New()
+			pins := make([]aig.Lit, m)
+			for j := range pins {
+				pins[j] = merged.PI(pinName("x", j))
+			}
+			// All flip-flop pseudo-inputs, part by part.
+			ffIns := make([][]aig.Lit, len(parts))
+			for pi, p := range parts {
+				ffIns[pi] = make([]aig.Lit, p.c.NumLatches())
+				for i := range ffIns[pi] {
+					ffIns[pi][i] = merged.PI("")
 				}
 			}
-			sched[t] = row
-		}
-		parts = append(parts, part{sr.Seq, sched})
-	}
-	if len(parts) == 0 {
-		return nil, fmt.Errorf("core: hybrid fold produced no parts")
-	}
-
-	// Merge the parts over shared input pins.
-	merged := aig.New()
-	pins := make([]aig.Lit, m)
-	for j := range pins {
-		pins[j] = merged.PI(pinName("x", j))
-	}
-	// All flip-flop pseudo-inputs, part by part.
-	ffIns := make([][]aig.Lit, len(parts))
-	for pi, p := range parts {
-		ffIns[pi] = make([]aig.Lit, p.c.NumLatches())
-		for i := range ffIns[pi] {
-			ffIns[pi][i] = merged.PI("")
-		}
-	}
-	var next []aig.Lit
-	var init []bool
-	outSched := make([][]int, T)
-	for pi, p := range parts {
-		piMap := make([]aig.Lit, 0, p.c.G.NumPIs())
-		piMap = append(piMap, pins...)
-		piMap = append(piMap, ffIns[pi]...)
-		roots := make([]aig.Lit, 0, p.c.G.NumPOs()+p.c.NumLatches())
-		for i := 0; i < p.c.G.NumPOs(); i++ {
-			roots = append(roots, p.c.G.PO(i))
-		}
-		roots = append(roots, p.c.Next...)
-		mapped := aig.Transfer(merged, p.c.G, piMap, roots)
-		for i := 0; i < p.c.G.NumPOs(); i++ {
-			merged.AddPO(mapped[i], "")
-		}
-		next = append(next, mapped[p.c.G.NumPOs():]...)
-		init = append(init, p.c.Init...)
-		for t := 0; t < T; t++ {
-			outSched[t] = append(outSched[t], p.outSched[t]...)
-		}
-	}
-	for i := 0; i < merged.NumPOs(); i++ {
-		merged.SetPOName(i, pinName("y", i))
-	}
-
-	inSched := make([][]int, T)
-	for t := 0; t < T; t++ {
-		row := make([]int, m)
-		for j := 0; j < m; j++ {
-			src := t*m + j
-			if src >= n {
-				src = -1
+			var next []aig.Lit
+			var init []bool
+			outSched := make([][]int, T)
+			for pi, p := range parts {
+				piMap := make([]aig.Lit, 0, p.c.G.NumPIs())
+				piMap = append(piMap, pins...)
+				piMap = append(piMap, ffIns[pi]...)
+				roots := make([]aig.Lit, 0, p.c.G.NumPOs()+p.c.NumLatches())
+				for i := 0; i < p.c.G.NumPOs(); i++ {
+					roots = append(roots, p.c.G.PO(i))
+				}
+				roots = append(roots, p.c.Next...)
+				mapped := aig.Transfer(merged, p.c.G, piMap, roots)
+				for i := 0; i < p.c.G.NumPOs(); i++ {
+					merged.AddPO(mapped[i], "")
+				}
+				next = append(next, mapped[p.c.G.NumPOs():]...)
+				init = append(init, p.c.Init...)
+				for t := 0; t < T; t++ {
+					outSched[t] = append(outSched[t], p.outSched[t]...)
+				}
 			}
-			row[j] = src
-		}
-		inSched[t] = row
+			for i := 0; i < merged.NumPOs(); i++ {
+				merged.SetPOName(i, pinName("y", i))
+			}
+
+			inSched := make([][]int, T)
+			for t := 0; t < T; t++ {
+				row := make([]int, m)
+				for j := 0; j < m; j++ {
+					src := t*m + j
+					if src >= n {
+						src = -1
+					}
+					row[j] = src
+				}
+				inSched[t] = row
+			}
+			ss.AndsOut = merged.NumAnds()
+			res = &Result{
+				Seq:       &seq.Circuit{G: merged, NumInputs: m, Next: next, Init: init},
+				T:         T,
+				InSched:   inSched,
+				OutSched:  outSched,
+				States:    -1,
+				StatesMin: -1,
+			}
+			return nil
+		}},
 	}
-	return postOptimize(&Result{
-		Seq:       &seq.Circuit{G: merged, NumInputs: m, Next: next, Init: init},
-		T:         T,
-		InSched:   inSched,
-		OutSched:  outSched,
-		States:    -1,
-		StatesMin: -1,
-	}, opt.PostOptimize), nil
+	if opt.PostOptimize != nil {
+		stages = append(stages, sweepStage(&res, opt.PostOptimize, run))
+	}
+	rep, err := pipeline.Execute(run, "hybrid", stages...)
+	if err != nil {
+		return nil, err
+	}
+	res.Report = rep
+	return res, nil
 }
 
 // clusterOutputs groups the primary outputs into connected components of
@@ -250,11 +302,12 @@ func extractCone(g *aig.Graph, pos []int) *aig.Graph {
 type clusterFold struct {
 	c        *seq.Circuit
 	outSched [][]int
+	states   int
 }
 
 // foldClusterFunctionally runs time-frame folding on one output cluster
-// under the shared natural input schedule.
-func foldClusterFunctionally(g *aig.Graph, T, m int, cluster []int, opt HybridOptions) (*clusterFold, error) {
+// under the shared natural input schedule, bounded by the cluster's run.
+func foldClusterFunctionally(g *aig.Graph, T, m int, cluster []int, opt HybridOptions, run *pipeline.Run) (*clusterFold, error) {
 	sub := extractCone(g, cluster)
 	supports := sub.SupportSets()
 	n := g.NumPIs()
@@ -305,16 +358,17 @@ func foldClusterFunctionally(g *aig.Graph, T, m int, cluster []int, opt HybridOp
 		sched.OutSlot[t] = row
 	}
 
-	start := time.Now()
-	expired := func() bool { return time.Since(start) > opt.ClusterTimeout }
-	machine, _, err := TimeFrameFold(sub, sched, opt.MaxStates, 2000000, expired)
+	machine, states, err := TimeFrameFold(sub, sched, run)
 	if err != nil {
 		return nil, err
 	}
 	if opt.Minimize {
 		mo := opt.MinOpts
-		if mo.Timeout <= 0 || mo.Timeout > opt.ClusterTimeout {
-			mo.Timeout = opt.ClusterTimeout
+		if mo.Stop == nil {
+			mo.Stop = run.Check
+		}
+		if rem, ok := run.Remaining(); ok && (mo.Timeout <= 0 || rem < mo.Timeout) {
+			mo.Timeout = rem
 		}
 		if mo.MaxAtoms <= 0 || mo.MaxAtoms > 512 {
 			mo.MaxAtoms = 512
@@ -344,5 +398,5 @@ func foldClusterFunctionally(g *aig.Graph, T, m int, cluster []int, opt HybridOp
 		}
 		outSched[t] = row
 	}
-	return &clusterFold{c: circuit, outSched: outSched}, nil
+	return &clusterFold{c: circuit, outSched: outSched, states: states}, nil
 }

@@ -63,7 +63,7 @@ func TestHybridFallsBackToStructural(t *testing.T) {
 	// still be a correct fold (pure structural).
 	g := adder3()
 	opt := core.DefaultHybridOptions()
-	opt.MaxStates = 1
+	opt.Budget.MaxStates = 1
 	opt.ClusterTimeout = time.Nanosecond
 	r, err := core.HybridFold(g, 3, opt)
 	if err != nil {

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"circuitfold/internal/aig"
 	"circuitfold/internal/bdd"
+	"circuitfold/internal/pipeline"
 )
 
 // TestDecomposeAtCutReconstructs checks the defining property of the cut
@@ -109,7 +111,7 @@ func TestBuildOutputBDDsMatchesSimulation(t *testing.T) {
 		for i := range roots {
 			roots[i] = g.PO(i)
 		}
-		nodes, err := buildOutputBDDs(g, m, varOf, roots, 0)
+		nodes, err := buildOutputBDDs(g, m, varOf, roots, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,8 +142,10 @@ func TestBuildOutputBDDsBudget(t *testing.T) {
 	for i := range roots {
 		roots[i] = g.PO(i)
 	}
-	if _, err := buildOutputBDDs(g, m, varOf, roots, 8); err == nil {
+	if _, err := buildOutputBDDs(g, m, varOf, roots, 8, nil); err == nil {
 		t.Fatal("tiny node budget should abort")
+	} else if !errors.Is(err, pipeline.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 	}
 }
 
@@ -159,7 +163,7 @@ func TestTimeFrameFoldDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	machine, states, err := TimeFrameFold(g, sched, 100, 0, func() bool { return false })
+	machine, states, err := TimeFrameFold(g, sched, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,4 +233,35 @@ func randomAIG(rng *rand.Rand, ands, pis, pos int) *aig.Graph {
 		g.AddPO(lits[len(lits)-1-rng.Intn(ands/2)].NotIf(rng.Intn(2) == 0), "")
 	}
 	return g
+}
+
+func TestTimeFrameFoldStateCapTypedError(t *testing.T) {
+	// A 2-bit comparator folded by 2 frames needs 4 states (see
+	// TestTimeFrameFoldDirect); a 2-state budget must abort with
+	// ErrBudgetExceeded.
+	g := aig.New()
+	a0 := g.PI("a0")
+	b0 := g.PI("b0")
+	a1 := g.PI("a1")
+	b1 := g.PI("b1")
+	g.AddPO(g.And(g.Xnor(a0, b0), g.Xnor(a1, b1)), "eq")
+
+	sched, err := PinSchedule(g, 2, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := pipeline.NewRun(nil, pipeline.Budget{MaxStates: 2})
+	if _, _, err := TimeFrameFold(g, sched, run); err == nil {
+		t.Fatal("2-state cap should abort the fold")
+	} else if !errors.Is(err, pipeline.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+
+	// The same fold under a sufficient budget succeeds.
+	run = pipeline.NewRun(nil, pipeline.Budget{MaxStates: 10})
+	if _, states, err := TimeFrameFold(g, sched, run); err != nil {
+		t.Fatal(err)
+	} else if states != 4 {
+		t.Fatalf("states = %d, want 4", states)
+	}
 }

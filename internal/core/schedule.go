@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"circuitfold/internal/aig"
 	"circuitfold/internal/bdd"
+	"circuitfold/internal/pipeline"
 )
 
 // Schedule is a pin schedule for folding by T frames: which original
@@ -28,18 +28,13 @@ type Schedule struct {
 	SlotOfPI []int
 }
 
-// ScheduleOptions configures PinSchedule.
+// ScheduleOptions configures PinSchedule. Resource limits (BDD node
+// budget, wall clock) come from the pipeline.Run the schedule executes
+// under, not from this struct.
 type ScheduleOptions struct {
 	// Reorder enables the optional BDD symmetric-sifting reordering of
 	// each frame's fresh support (Algorithm 2, line 4; config "r"/"nr").
 	Reorder bool
-	// NodeBudget bounds the scheduling BDDs when Reorder is set.
-	NodeBudget int
-	// Timeout bounds the total reordering work; frames past the deadline
-	// keep their natural order (the schedule stays valid). Zero means no
-	// limit. The paper imposes one 300-second budget on pin scheduling
-	// and folding combined.
-	Timeout time.Duration
 	// MaxSiftNodes skips reordering a frame whose scheduling BDDs exceed
 	// this live-node count (sifting cost grows with it); 0 means 30000.
 	MaxSiftNodes int
@@ -52,8 +47,19 @@ type ScheduleOptions struct {
 // ascending support-size order into the earliest frame whose accumulated
 // support fits, then inputs are queued in first-use order (optionally
 // reordered per frame by symmetric sifting to shrink the scheduling BDDs)
-// and split evenly into T groups.
+// and split evenly into T groups. It runs without budgets; use
+// PinScheduleRun to bound the reordering work.
 func PinSchedule(g *aig.Graph, T int, opt ScheduleOptions) (*Schedule, error) {
+	return PinScheduleRun(g, T, opt, nil)
+}
+
+// PinScheduleRun is PinSchedule executing under a pipeline.Run: the
+// run's wall deadline and BDD node budget bound the per-frame
+// reordering work. Frames past the deadline keep their natural order —
+// the schedule stays valid — so a budget-bound schedule degrades
+// gracefully instead of failing; only a cancelled context aborts with
+// an error.
+func PinScheduleRun(g *aig.Graph, T int, opt ScheduleOptions, run *pipeline.Run) (*Schedule, error) {
 	if err := validateFoldArgs(g, T); err != nil {
 		return nil, err
 	}
@@ -65,8 +71,7 @@ func PinSchedule(g *aig.Graph, T int, opt ScheduleOptions) (*Schedule, error) {
 	if opt.MaxSiftVars <= 0 {
 		opt.MaxSiftVars = 32
 	}
-	start := time.Now()
-	expired := func() bool { return opt.Timeout > 0 && time.Since(start) > opt.Timeout }
+	expired := func() bool { return run.Stop() }
 	supports := g.SupportSets()
 
 	// Algorithm 1: OutputSchedule.
@@ -118,7 +123,7 @@ func PinSchedule(g *aig.Graph, T int, opt ScheduleOptions) (*Schedule, error) {
 		}
 		sort.Ints(xsup)
 		if opt.Reorder && len(xsup) > 1 && len(xsup) <= opt.MaxSiftVars && !expired() {
-			if reord, err := reorderFreshSupport(g, que, xsup, outFrames[t], opt.NodeBudget, opt.MaxSiftNodes); err == nil {
+			if reord, err := reorderFreshSupport(g, que, xsup, outFrames[t], opt.MaxSiftNodes, run); err == nil {
 				xsup = reord
 			}
 			// On budget exhaustion the unreordered order is kept; the
@@ -177,10 +182,14 @@ func PinSchedule(g *aig.Graph, T int, opt ScheduleOptions) (*Schedule, error) {
 // reorderFreshSupport implements Algorithm 2 line 4: it builds the BDDs
 // of this frame's outputs under the order [already-queued | fresh |
 // remaining], applies symmetric sifting restricted to the fresh block,
-// and returns the fresh inputs in their new level order.
-func reorderFreshSupport(g *aig.Graph, que []int, xsup []int, outs []int, nodeBudget, maxSiftNodes int) ([]int, error) {
+// and returns the fresh inputs in their new level order. The run bounds
+// the BDD size (default 4M nodes) and interrupts sifting mid-flight.
+func reorderFreshSupport(g *aig.Graph, que []int, xsup []int, outs []int, maxSiftNodes int, run *pipeline.Run) ([]int, error) {
 	n := g.NumPIs()
 	mgr := bdd.New(n)
+	if run != nil {
+		mgr.SetInterrupt(run.Check)
+	}
 	// Desired order: queued inputs first (frozen), then the fresh block,
 	// then everything else. Arranging the order on an empty manager is
 	// cheap: swaps touch no nodes.
@@ -217,7 +226,7 @@ func reorderFreshSupport(g *aig.Graph, que []int, xsup []int, outs []int, nodeBu
 	for i, w := range outs {
 		roots[i] = g.PO(w)
 	}
-	nodes, err := buildOutputBDDs(g, mgr, varOfPI, roots, nodeBudget)
+	nodes, err := buildOutputBDDs(g, mgr, varOfPI, roots, run.NodeLimit(4000000), run)
 	if err != nil {
 		return nil, err
 	}

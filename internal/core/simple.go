@@ -2,6 +2,7 @@ package core
 
 import (
 	"circuitfold/internal/aig"
+	"circuitfold/internal/pipeline"
 	"circuitfold/internal/seq"
 )
 
@@ -12,12 +13,44 @@ import (
 // count, and the flip-flop count is (T-1)*ceil(n/T) for the buffers plus
 // a one-hot frame counter.
 func SimpleFold(g *aig.Graph, T int) (*Result, error) {
+	return SimpleFoldRun(g, T, nil)
+}
+
+// SimpleFoldRun is SimpleFold executing under a pipeline.Run (nil means
+// no cancellation or budget), composed as the one-stage pipeline synth.
+// Result.Report carries the trace.
+func SimpleFoldRun(g *aig.Graph, T int, run *pipeline.Run) (*Result, error) {
 	if err := validateFoldArgs(g, T); err != nil {
 		return nil, err
 	}
-	if T == 1 {
-		return identityResult(g), nil
+	if run == nil {
+		run = pipeline.NewRun(nil, pipeline.Budget{})
 	}
+	if T == 1 {
+		return identityFold(g, run, "simple", nil)
+	}
+	var res *Result
+	rep, err := pipeline.Execute(run, "simple", pipeline.Stage{
+		Name: pipeline.StageSynth,
+		Run: func(ss *pipeline.StageStats) error {
+			ss.AndsIn = g.NumAnds()
+			var err error
+			res, err = simpleFoldSynth(g, T)
+			if err == nil {
+				ss.AndsOut = res.Seq.G.NumAnds()
+			}
+			return err
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Report = rep
+	return res, nil
+}
+
+// simpleFoldSynth builds the input-buffered fold.
+func simpleFoldSynth(g *aig.Graph, T int) (*Result, error) {
 	n := g.NumPIs()
 	m := ceilDiv(n, T)
 

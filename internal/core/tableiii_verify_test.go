@@ -27,8 +27,8 @@ func TestTableIIICircuitsFoldCorrectly(t *testing.T) {
 		}
 		opt := core.DefaultFunctionalOptions()
 		opt.Minimize = false
-		opt.Timeout = 10 * time.Second
-		opt.MaxStates = 2000
+		opt.Budget.Wall = 10 * time.Second
+		opt.Budget.MaxStates = 2000
 		fr, err := core.FunctionalFold(g, 8, opt)
 		if err != nil {
 			continue // budget-bound, like the paper's "-" entries

@@ -47,6 +47,10 @@ type CECOptions struct {
 	// before building the miter. Sweeping merges internal equivalences so
 	// the final miter proofs are much easier on large circuits.
 	Sweep *aig.SweepOptions
+	// Interrupt, when non-nil, is polled inside the miter solver's
+	// search loop and threaded into the sweep pre-pass; a non-nil
+	// result aborts the check with sat.Unknown.
+	Interrupt func() error
 }
 
 // SATEquivalent proves or disproves equivalence of two combinational
@@ -65,8 +69,12 @@ func SATEquivalentOpt(a, b *aig.Graph, opt CECOptions) sat.Status {
 		return sat.Unsat // trivially inequivalent interfaces
 	}
 	if opt.Sweep != nil {
-		a = a.Sweep(*opt.Sweep)
-		b = b.Sweep(*opt.Sweep)
+		sw := *opt.Sweep
+		if sw.Interrupt == nil {
+			sw.Interrupt = opt.Interrupt
+		}
+		a = a.Sweep(sw)
+		b = b.Sweep(sw)
 	}
 	budget := opt.Budget
 	// Build a joint miter graph.
@@ -91,8 +99,14 @@ func SATEquivalentOpt(a, b *aig.Graph, opt CECOptions) sat.Status {
 	}
 	solver := sat.New()
 	solver.SetBudget(budget)
+	if opt.Interrupt != nil {
+		solver.SetInterrupt(func() bool { return opt.Interrupt() != nil })
+	}
 	cnf := m.ToCNF(solver, diffs)
 	for _, d := range diffs {
+		if opt.Interrupt != nil && opt.Interrupt() != nil {
+			return sat.Unknown
+		}
 		if d == aig.Const0 {
 			continue
 		}

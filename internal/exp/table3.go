@@ -8,6 +8,7 @@ import (
 	"circuitfold/internal/core"
 	"circuitfold/internal/fsm"
 	"circuitfold/internal/gen"
+	"circuitfold/internal/pipeline"
 )
 
 // Table3Circuits lists the 11 benchmarks the paper compares the two
@@ -39,6 +40,9 @@ type Table3Row struct {
 	LUTRed, FFRed      float64
 	Config             string
 	Runtime            time.Duration
+	// Trace is the winning functional configuration's per-stage
+	// pipeline trace (schedule, tff; minimize when it was applied).
+	Trace *pipeline.Report
 }
 
 // StatesString renders the "#state" column, e.g. "32/2" or "474/-".
@@ -106,16 +110,35 @@ func Table3Entry(name string, T int, opt Table3Options) (Table3Row, error) {
 
 	// The schedule and time-frame folding are shared across the
 	// minimization and encoding variants of each reordering setting, so
-	// the 8-configuration sweep costs two TFF runs, not eight.
+	// the 8-configuration sweep costs two TFF runs, not eight. Each
+	// reordering setting executes schedule+tff as a pipeline under one
+	// budgeted run, so the per-stage timings land in the row's trace.
 	best := -1
 	for _, reorder := range []bool{true, false} {
-		start := time.Now()
-		sched, err := core.PinSchedule(g, T, core.ScheduleOptions{Reorder: reorder, NodeBudget: 4000000, Timeout: opt.Timeout})
-		if err != nil {
-			continue
-		}
-		expired := func() bool { return time.Since(start) > opt.Timeout }
-		machine, states, err := core.TimeFrameFold(g, sched, opt.MaxStates, 4000000, expired)
+		run := pipeline.NewRun(nil, pipeline.Budget{
+			Wall:      opt.Timeout,
+			BDDNodes:  4000000,
+			MaxStates: opt.MaxStates,
+		})
+		var (
+			sched   *core.Schedule
+			machine *fsm.Machine
+			states  int
+		)
+		rep, err := pipeline.Execute(run, "table3/functional",
+			pipeline.Stage{Name: pipeline.StageSchedule, Run: func(ss *pipeline.StageStats) error {
+				ss.AndsIn = g.NumAnds()
+				var serr error
+				sched, serr = core.PinScheduleRun(g, T, core.ScheduleOptions{Reorder: reorder}, run)
+				return serr
+			}},
+			pipeline.Stage{Name: pipeline.StageTFF, Run: func(ss *pipeline.StageStats) error {
+				var terr error
+				machine, states, terr = core.TimeFrameFold(g, sched, run)
+				ss.StatesOut = states
+				return terr
+			}},
+		)
 		if err != nil {
 			continue
 		}
@@ -124,7 +147,7 @@ func Table3Entry(name string, T int, opt Table3Options) (Table3Row, error) {
 			// treat it like the paper's timeouts.
 			continue
 		}
-		tffTime := time.Since(start)
+		tffTime := rep.Total
 
 		type variant struct {
 			machine   *fsm.Machine
@@ -140,6 +163,12 @@ func Table3Entry(name string, T int, opt Table3Options) (Table3Row, error) {
 			MaxStates:      400,
 		}); merr == nil {
 			variants = append(variants, variant{mm, mm.NumStates(), true})
+			rep.Stages = append(rep.Stages, pipeline.StageStats{
+				Name: pipeline.StageMinimize, Start: rep.Total,
+				Duration: time.Since(mstart),
+				StatesIn: states, StatesOut: mm.NumStates(),
+				AndsIn: -1, AndsOut: -1, BDDNodes: -1,
+			})
 		}
 		minTime := time.Since(mstart)
 
@@ -170,6 +199,7 @@ func Table3Entry(name string, T int, opt Table3Options) (Table3Row, error) {
 					if v.minimized {
 						row.Runtime += minTime
 					}
+					row.Trace = rep
 				}
 			}
 		}
@@ -199,13 +229,29 @@ func Table3(names []string, frames []int, opt Table3Options) ([]Table3Row, error
 				return nil, fmt.Errorf("%s T=%d: %w", name, T, err)
 			}
 			if opt.Progress != nil {
-				fmt.Fprintf(opt.Progress, "# %s T=%d done in %v (functional ok=%v)\n",
-					name, T, time.Since(start).Round(time.Millisecond), row.OK)
+				fmt.Fprintf(opt.Progress, "# %s T=%d done in %v (functional ok=%v)%s\n",
+					name, T, time.Since(start).Round(time.Millisecond), row.OK, stageTimings(row.Trace))
 			}
 			rows = append(rows, row)
 		}
 	}
 	return rows, nil
+}
+
+// stageTimings renders a report's per-stage durations for progress
+// lines, e.g. " [schedule 12ms, tff 340ms]".
+func stageTimings(rep *pipeline.Report) string {
+	if rep == nil || len(rep.Stages) == 0 {
+		return ""
+	}
+	s := " ["
+	for i, st := range rep.Stages {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %v", st.Name, st.Duration.Round(time.Millisecond))
+	}
+	return s + "]"
 }
 
 // reduction returns the percentage reduction of got versus base.

@@ -23,6 +23,10 @@ type MinimizeOptions struct {
 	// MaxStates skips minimization of machines above this size (0 means
 	// 400); the paper's large instances also time out and run "nm".
 	MaxStates int
+	// Stop, when non-nil, is polled during compatibility analysis and
+	// inside each SAT solve; a non-nil result aborts minimization with
+	// that error (typically pipeline.ErrCanceled/ErrBudgetExceeded).
+	Stop func() error
 }
 
 // DefaultMinimizeOptions returns the bounds used by the experiment
@@ -41,7 +45,14 @@ func DefaultMinimizeOptions() MinimizeOptions {
 // minimized machine agrees.
 func Minimize(m *Machine, opt MinimizeOptions) (*Machine, error) {
 	start := time.Now()
+	var stopErr error
 	deadline := func() bool {
+		if opt.Stop != nil {
+			if err := opt.Stop(); err != nil {
+				stopErr = err
+				return true
+			}
+		}
 		return opt.Timeout > 0 && time.Since(start) > opt.Timeout
 	}
 	if opt.MaxAtoms <= 0 {
@@ -119,6 +130,9 @@ func Minimize(m *Machine, opt MinimizeOptions) (*Machine, error) {
 			}
 		}
 		if deadline() {
+			if stopErr != nil {
+				return nil, fmt.Errorf("fsm: minimization stopped during compatibility analysis: %w", stopErr)
+			}
 			return nil, fmt.Errorf("fsm: minimization timeout during compatibility analysis")
 		}
 	}
@@ -165,6 +179,9 @@ func Minimize(m *Machine, opt MinimizeOptions) (*Machine, error) {
 	}
 	for k := lower; k <= maxK; k++ {
 		if deadline() {
+			if stopErr != nil {
+				return nil, fmt.Errorf("fsm: minimization stopped at k=%d: %w", k, stopErr)
+			}
 			return nil, fmt.Errorf("fsm: minimization timeout at k=%d", k)
 		}
 		mm, status := trySolve(m, atoms, succ, outs, incompat, clique, k, opt)
@@ -172,6 +189,11 @@ func Minimize(m *Machine, opt MinimizeOptions) (*Machine, error) {
 		case sat.Sat:
 			return mm, nil
 		case sat.Unknown:
+			if opt.Stop != nil {
+				if err := opt.Stop(); err != nil {
+					return nil, fmt.Errorf("fsm: minimization stopped at k=%d: %w", k, err)
+				}
+			}
 			return nil, fmt.Errorf("fsm: SAT budget exhausted at k=%d", k)
 		}
 	}
@@ -201,6 +223,9 @@ func trySolve(m *Machine, atoms []bdd.Node, succ [][]int, outs [][][]Tri,
 	s2 := sat.New()
 	if opt.ConflictBudget > 0 {
 		s2.SetBudget(opt.ConflictBudget)
+	}
+	if opt.Stop != nil {
+		s2.SetInterrupt(func() bool { return opt.Stop() != nil })
 	}
 	// mem[s][i]: state s belongs to class i.
 	mem := make([][]int, n)

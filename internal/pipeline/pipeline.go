@@ -1,0 +1,306 @@
+// Package pipeline is the pass-pipeline engine shared by every fold
+// method. A fold is expressed as a sequence of named Stages executed
+// over one Run, which carries the caller's context.Context, the
+// resource Budget (wall clock, BDD nodes, SAT conflicts, FSM states)
+// and the per-stage trace. Lower layers (BDD sifting, SAT search, the
+// sweep engine, FSM minimization) poll the Run through cheap interrupt
+// hooks, so cancelling the context or exhausting a budget aborts a fold
+// mid-stage with a typed error and a partial trace instead of running
+// to completion or truncating silently.
+//
+// The package depends only on the standard library so that every layer
+// of the tool (aig, bdd, sat, fsm, core, eqcheck, exp, the root API)
+// can import it without cycles.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors. Budget exhaustion (wall clock, nodes, conflicts,
+// states) yields ErrBudgetExceeded; an external context cancellation
+// yields ErrCanceled. Both are matched with errors.Is through the
+// *Error wrapper that Execute returns.
+var (
+	// ErrBudgetExceeded reports that a resource budget (wall-clock
+	// deadline, BDD node budget, SAT conflict budget, or FSM state
+	// cap) was exhausted mid-run.
+	ErrBudgetExceeded = errors.New("pipeline: budget exceeded")
+
+	// ErrCanceled reports that the run's context was cancelled.
+	ErrCanceled = errors.New("pipeline: canceled")
+)
+
+// Canonical stage names. Every fold method composes a subset of these.
+const (
+	StageSchedule = "schedule" // pin scheduling (Algorithms 1 and 2)
+	StageTFF      = "tff"      // time-frame folding to an ISFSM
+	StageMinimize = "minimize" // MeMin-style state minimization
+	StageEncode   = "encode"   // state encoding + next-state synthesis
+	StageSynth    = "synth"    // structural network construction
+	StageSweep    = "sweep"    // post-fold AIG optimization
+	StageVerify   = "verify"   // equivalence check of the fold
+)
+
+// Budget bounds the resources one Run may consume. Zero fields mean
+// "no limit here"; callers that want a default cap read it through
+// Run.StateLimit / Run.NodeLimit / Run.ConflictLimit.
+type Budget struct {
+	// Wall is the wall-clock allowance for the whole run. The
+	// deadline is fixed when the Run is created.
+	Wall time.Duration
+	// BDDNodes caps the live node count of any BDD manager working
+	// for the run.
+	BDDNodes int
+	// SATConflicts caps the total SAT conflicts across all solvers
+	// working for the run.
+	SATConflicts int64
+	// MaxStates caps the number of time-frame-folding states
+	// (per cluster, for the hybrid method).
+	MaxStates int
+}
+
+// StageStats is one entry of a Run's trace: what a stage did and how
+// long it took. Size fields are -1 when not applicable to the stage.
+type StageStats struct {
+	Name         string        `json:"name"`
+	Start        time.Duration `json:"start_ns"`    // offset from run start
+	Duration     time.Duration `json:"duration_ns"` //
+	AndsIn       int           `json:"ands_in"`     // AIG size entering the stage
+	AndsOut      int           `json:"ands_out"`    // AIG size leaving the stage
+	BDDNodes     int           `json:"bdd_nodes"`   // peak live BDD nodes seen
+	StatesIn     int           `json:"states_in"`   // FSM states entering
+	StatesOut    int           `json:"states_out"`  // FSM states leaving
+	SATConflicts int64         `json:"sat_conflicts"`
+	Err          string        `json:"err,omitempty"` // non-empty when the stage aborted
+}
+
+// Report is the observable outcome of a pipeline run: which stages ran
+// (possibly partially), in order, plus totals. It is attached to fold
+// results and serialized by cmd/bench.
+type Report struct {
+	Pipeline string        `json:"pipeline"`
+	Stages   []StageStats  `json:"stages"`
+	Total    time.Duration `json:"total_ns"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Stage looks up a stage's stats by name, or nil if it never ran.
+func (r *Report) Stage(name string) *StageStats {
+	if r == nil {
+		return nil
+	}
+	for i := range r.Stages {
+		if r.Stages[i].Name == name {
+			return &r.Stages[i]
+		}
+	}
+	return nil
+}
+
+// Error is the typed failure Execute returns: which pipeline and stage
+// aborted, the partial trace up to that point, and the underlying
+// cause (ErrBudgetExceeded, ErrCanceled, or a stage's own error).
+type Error struct {
+	Pipeline string
+	Stage    string
+	Report   *Report
+	Err      error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("pipeline %s: stage %s: %v", e.Pipeline, e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Run is the shared state a pipeline executes over: context, budget,
+// start time, and monotonically accumulated counters. A nil *Run is
+// valid everywhere and means "no context, no budget" — that keeps
+// low-level code free of nil checks.
+type Run struct {
+	ctx       context.Context
+	budget    Budget
+	start     time.Time
+	deadline  time.Time // zero when Budget.Wall == 0
+	conflicts atomic.Int64
+}
+
+// NewRun binds a context and budget into a Run. ctx may be nil.
+func NewRun(ctx context.Context, b Budget) *Run {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &Run{ctx: ctx, budget: b, start: time.Now()}
+	if b.Wall > 0 {
+		r.deadline = r.start.Add(b.Wall)
+	}
+	if cd, ok := ctx.Deadline(); ok && (r.deadline.IsZero() || cd.Before(r.deadline)) {
+		r.deadline = cd
+	}
+	return r
+}
+
+// Context returns the run's context (context.Background for a nil run).
+func (r *Run) Context() context.Context {
+	if r == nil || r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
+}
+
+// Budget returns the run's budget (the zero Budget for a nil run).
+func (r *Run) Budget() Budget {
+	if r == nil {
+		return Budget{}
+	}
+	return r.budget
+}
+
+// Check reports why the run must stop, or nil to keep going. Context
+// cancellation maps to ErrCanceled; an elapsed wall deadline or an
+// exhausted conflict budget map to ErrBudgetExceeded.
+func (r *Run) Check() error {
+	if r == nil {
+		return nil
+	}
+	select {
+	case <-r.ctx.Done():
+		return fmt.Errorf("%w: %v", ErrCanceled, context.Cause(r.ctx))
+	default:
+	}
+	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
+		return fmt.Errorf("%w: wall clock (%v)", ErrBudgetExceeded, r.budget.Wall)
+	}
+	if r.budget.SATConflicts > 0 && r.conflicts.Load() > r.budget.SATConflicts {
+		return fmt.Errorf("%w: SAT conflicts (%d)", ErrBudgetExceeded, r.budget.SATConflicts)
+	}
+	return nil
+}
+
+// Stop is Check as a boolean, for hot loops that only need yes/no
+// (e.g. the SAT solver's search loop).
+func (r *Run) Stop() bool { return r.Check() != nil }
+
+// CheckNodes is Check plus the BDD node budget: n is the manager's
+// current live node count.
+func (r *Run) CheckNodes(n int) error {
+	if err := r.Check(); err != nil {
+		return err
+	}
+	if r != nil && r.budget.BDDNodes > 0 && n > r.budget.BDDNodes {
+		return fmt.Errorf("%w: BDD nodes (%d > %d)", ErrBudgetExceeded, n, r.budget.BDDNodes)
+	}
+	return nil
+}
+
+// AddConflicts accumulates SAT conflicts spent on the run's behalf.
+func (r *Run) AddConflicts(n int64) {
+	if r != nil && n > 0 {
+		r.conflicts.Add(n)
+	}
+}
+
+// Conflicts returns the conflicts accumulated so far.
+func (r *Run) Conflicts() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.conflicts.Load()
+}
+
+// Elapsed returns the time since the run began.
+func (r *Run) Elapsed() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// Remaining returns the time left before the wall deadline, and whether
+// a deadline exists at all. A run past its deadline reports zero.
+func (r *Run) Remaining() (time.Duration, bool) {
+	if r == nil || r.deadline.IsZero() {
+		return 0, false
+	}
+	d := time.Until(r.deadline)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// StateLimit returns the FSM state cap, or def when the budget leaves
+// it unset.
+func (r *Run) StateLimit(def int) int {
+	if r == nil || r.budget.MaxStates <= 0 {
+		return def
+	}
+	return r.budget.MaxStates
+}
+
+// NodeLimit returns the BDD node cap, or def when unset.
+func (r *Run) NodeLimit(def int) int {
+	if r == nil || r.budget.BDDNodes <= 0 {
+		return def
+	}
+	return r.budget.BDDNodes
+}
+
+// ConflictLimit returns the SAT conflict cap, or def when unset.
+func (r *Run) ConflictLimit(def int64) int64 {
+	if r == nil || r.budget.SATConflicts <= 0 {
+		return def
+	}
+	return r.budget.SATConflicts
+}
+
+// Stage is one named step of a pipeline. Run receives the stage's own
+// stats record to fill in sizes and counters; duration and start are
+// recorded by Execute.
+type Stage struct {
+	Name string
+	Run  func(*StageStats) error
+}
+
+// Execute runs the stages in order over run, building the trace as it
+// goes. The first stage error (or a failed pre-stage Run.Check) stops
+// the pipeline; the returned *Error wraps the cause and carries the
+// partial Report, which is also returned directly so callers can attach
+// it to partial results. A pre-cancelled run still yields a one-entry
+// trace recording which stage refused to start.
+func Execute(run *Run, name string, stages ...Stage) (*Report, error) {
+	rep := &Report{Pipeline: name}
+	fail := func(stage string, err error) (*Report, error) {
+		rep.Total = run.Elapsed()
+		rep.Err = err.Error()
+		return rep, &Error{Pipeline: name, Stage: stage, Report: rep, Err: err}
+	}
+	for _, st := range stages {
+		ss := StageStats{
+			Name: st.Name, Start: run.Elapsed(),
+			AndsIn: -1, AndsOut: -1, BDDNodes: -1, StatesIn: -1, StatesOut: -1,
+		}
+		if err := run.Check(); err != nil {
+			ss.Err = err.Error()
+			rep.Stages = append(rep.Stages, ss)
+			return fail(st.Name, err)
+		}
+		err := st.Run(&ss)
+		ss.Duration = run.Elapsed() - ss.Start
+		if err != nil {
+			ss.Err = err.Error()
+		}
+		rep.Stages = append(rep.Stages, ss)
+		if err != nil {
+			return fail(st.Name, err)
+		}
+	}
+	rep.Total = run.Elapsed()
+	return rep, nil
+}

@@ -1,0 +1,155 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestExecuteRecordsStagesInOrder(t *testing.T) {
+	run := NewRun(nil, Budget{})
+	rep, err := Execute(run, "p",
+		Stage{Name: StageSchedule, Run: func(ss *StageStats) error { ss.AndsIn = 10; return nil }},
+		Stage{Name: StageSynth, Run: func(ss *StageStats) error { ss.AndsOut = 7; return nil }},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pipeline != "p" || len(rep.Stages) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Stages[0].Name != StageSchedule || rep.Stages[1].Name != StageSynth {
+		t.Fatalf("stage order = %q, %q", rep.Stages[0].Name, rep.Stages[1].Name)
+	}
+	if got := rep.Stage(StageSchedule); got == nil || got.AndsIn != 10 {
+		t.Fatalf("Stage(schedule) = %+v", got)
+	}
+	if rep.Stage("nope") != nil {
+		t.Fatal("lookup of unknown stage should be nil")
+	}
+	// Unfilled size fields stay -1, distinguishing "not applicable" from 0.
+	if rep.Stages[0].StatesOut != -1 || rep.Stages[1].AndsIn != -1 {
+		t.Fatalf("unfilled sizes not -1: %+v", rep.Stages)
+	}
+}
+
+func TestExecuteStageErrorCarriesPartialTrace(t *testing.T) {
+	boom := errors.New("boom")
+	run := NewRun(nil, Budget{})
+	rep, err := Execute(run, "p",
+		Stage{Name: StageSchedule, Run: func(*StageStats) error { return nil }},
+		Stage{Name: StageTFF, Run: func(*StageStats) error { return boom }},
+		Stage{Name: StageEncode, Run: func(*StageStats) error { t.Fatal("must not run"); return nil }},
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *Error", err)
+	}
+	if pe.Pipeline != "p" || pe.Stage != StageTFF {
+		t.Fatalf("error site = %s/%s", pe.Pipeline, pe.Stage)
+	}
+	if pe.Report != rep || len(rep.Stages) != 2 || rep.Stages[1].Err == "" || rep.Err == "" {
+		t.Fatalf("partial report = %+v", rep)
+	}
+}
+
+func TestExecutePreCancelledYieldsTrace(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run := NewRun(ctx, Budget{})
+	rep, err := Execute(run, "p",
+		Stage{Name: StageSchedule, Run: func(*StageStats) error { t.Fatal("must not run"); return nil }},
+	)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(rep.Stages) != 1 || rep.Stages[0].Name != StageSchedule || rep.Stages[0].Err == "" {
+		t.Fatalf("pre-cancelled trace = %+v", rep)
+	}
+}
+
+func TestRunWallDeadline(t *testing.T) {
+	run := NewRun(nil, Budget{Wall: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	if err := run.Check(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Check = %v, want ErrBudgetExceeded", err)
+	}
+	if !run.Stop() {
+		t.Fatal("Stop should be true past the deadline")
+	}
+	if rem, ok := run.Remaining(); !ok || rem != 0 {
+		t.Fatalf("Remaining = %v, %v", rem, ok)
+	}
+}
+
+func TestRunContextDeadlineTightensWall(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Millisecond))
+	defer cancel()
+	run := NewRun(ctx, Budget{Wall: time.Hour})
+	rem, ok := run.Remaining()
+	if !ok || rem > time.Second {
+		t.Fatalf("Remaining = %v, %v; context deadline should win", rem, ok)
+	}
+}
+
+func TestRunConflictBudget(t *testing.T) {
+	run := NewRun(nil, Budget{SATConflicts: 10})
+	run.AddConflicts(10)
+	if err := run.Check(); err != nil {
+		t.Fatalf("at the cap Check = %v, want nil", err)
+	}
+	run.AddConflicts(1)
+	if err := run.Check(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("past the cap Check = %v, want ErrBudgetExceeded", err)
+	}
+	if run.Conflicts() != 11 {
+		t.Fatalf("Conflicts = %d", run.Conflicts())
+	}
+}
+
+func TestRunCheckNodes(t *testing.T) {
+	run := NewRun(nil, Budget{BDDNodes: 100})
+	if err := run.CheckNodes(100); err != nil {
+		t.Fatalf("at the cap CheckNodes = %v", err)
+	}
+	if err := run.CheckNodes(101); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("past the cap CheckNodes = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestNilRunIsUnlimited(t *testing.T) {
+	var run *Run
+	if err := run.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if run.Stop() {
+		t.Fatal("nil run must not stop")
+	}
+	if err := run.CheckNodes(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	run.AddConflicts(5) // must not panic
+	if run.Conflicts() != 0 {
+		t.Fatal("nil run accumulates nothing")
+	}
+	if run.StateLimit(7) != 7 || run.NodeLimit(9) != 9 || run.ConflictLimit(3) != 3 {
+		t.Fatal("nil run must fall back to defaults")
+	}
+	if _, ok := run.Remaining(); ok {
+		t.Fatal("nil run has no deadline")
+	}
+	if run.Context() == nil {
+		t.Fatal("nil run context must not be nil")
+	}
+}
+
+func TestBudgetLimitsOverrideDefaults(t *testing.T) {
+	run := NewRun(nil, Budget{BDDNodes: 11, MaxStates: 22, SATConflicts: 33})
+	if run.NodeLimit(1) != 11 || run.StateLimit(1) != 22 || run.ConflictLimit(1) != 33 {
+		t.Fatalf("limits = %d/%d/%d", run.NodeLimit(1), run.StateLimit(1), run.ConflictLimit(1))
+	}
+}

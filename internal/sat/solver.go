@@ -92,7 +92,8 @@ type Solver struct {
 
 	ok           bool // false once UNSAT at level 0
 	numConflicts int64
-	budget       int64 // max conflicts per Solve; <=0 means unlimited
+	budget       int64       // max conflicts per Solve; <=0 means unlimited
+	interrupt    func() bool // polled during search; true aborts with Unknown
 
 	stats Stats
 }
@@ -147,6 +148,13 @@ func (s *Solver) NumVars() int { return len(s.assign) }
 // n <= 0 removes the limit. A Solve that exhausts the budget returns
 // Unknown.
 func (s *Solver) SetBudget(n int64) { s.budget = n }
+
+// SetInterrupt installs a callback polled during the search (at every
+// conflict and periodically between decisions). When it returns true
+// the current Solve call backtracks to level 0 and returns Unknown.
+// Pass nil to remove the hook. The callback must be cheap and safe to
+// call from the goroutine running Solve.
+func (s *Solver) SetInterrupt(f func() bool) { s.interrupt = f }
 
 func (s *Solver) value(l Lit) lbool {
 	v := s.assign[l.Var()]
@@ -528,6 +536,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				s.cancelUntil(0)
 				return Unknown
 			}
+			if s.interrupt != nil && s.interrupt() {
+				s.cancelUntil(0)
+				return Unknown
+			}
 			continue
 		}
 
@@ -568,6 +580,12 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return Sat
 		}
 		s.stats.Decisions++
+		// Conflict-free instances never reach the per-conflict
+		// interrupt check, so poll between decisions too.
+		if s.interrupt != nil && s.stats.Decisions&0xff == 0 && s.interrupt() {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		s.newDecisionLevel()
 		s.uncheckedEnqueue(MkLit(v, !s.phase[v]), nil)
 	}

@@ -464,3 +464,47 @@ func TestHardRandomKSATStress(t *testing.T) {
 		}
 	}
 }
+
+func TestSetInterruptReturnsUnknown(t *testing.T) {
+	// PHP(7,6) conflicts immediately and often, so an interrupted solver
+	// must give up with Unknown instead of completing the refutation.
+	build := func() *Solver {
+		n := 6
+		s := New()
+		p := make([][]int, n+1)
+		for i := range p {
+			p[i] = make([]int, n)
+			for j := range p[i] {
+				p[i][j] = s.NewVar()
+			}
+		}
+		for i := 0; i <= n; i++ {
+			cl := make([]Lit, n)
+			for j := 0; j < n; j++ {
+				cl[j] = lit(p[i][j])
+			}
+			s.AddClause(cl...)
+		}
+		for j := 0; j < n; j++ {
+			for i1 := 0; i1 <= n; i1++ {
+				for i2 := i1 + 1; i2 <= n; i2++ {
+					s.AddClause(nlit(p[i1][j]), nlit(p[i2][j]))
+				}
+			}
+		}
+		return s
+	}
+
+	s := build()
+	s.SetInterrupt(func() bool { return true })
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("interrupted Solve = %v, want Unknown", got)
+	}
+
+	// A non-firing interrupt must not change the verdict.
+	s = build()
+	s.SetInterrupt(func() bool { return false })
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve with idle interrupt = %v, want Unsat", got)
+	}
+}
