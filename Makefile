@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race vet bench bench-go clean
+.PHONY: build test verify race vet bench bench-go trace clean
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,13 @@ vet:
 # The engine's concurrent packages run under the race detector: the
 # parallel simulation kernel and solver shards spawn goroutines even on a
 # single-CPU host, so this catches data races regardless of GOMAXPROCS.
+# The observability layer and the pipeline's span plumbing are included
+# because spans and metrics are updated from worker goroutines; core runs
+# in -short mode (its full Table III verification takes minutes under the
+# race detector).
 race:
-	$(GO) test -race ./internal/aig/... ./internal/sat/...
+	$(GO) test -race ./internal/aig/... ./internal/sat/... ./internal/pipeline/... ./internal/obs/...
+	$(GO) test -race -short ./internal/core/...
 
 # verify = tier-1 (build + test) plus vet and the race gate.
 verify: build test vet race
@@ -33,5 +38,11 @@ bench:
 bench-go:
 	$(GO) test . -run XXX -bench 'BenchmarkSweep|BenchmarkSimWordsW' -benchmem
 
+# trace folds the paper's 64-adder (Table III, T=16) functionally and
+# structurally under the span tracer and writes trace.json — load it at
+# https://ui.perfetto.dev or chrome://tracing for the flame chart.
+trace:
+	$(GO) run ./cmd/bench -traceonly -tracefile trace.json -circuit 64-adder -frames 16
+
 clean:
-	rm -f BENCH_sweep.json BENCH_pipeline.json
+	rm -f BENCH_sweep.json BENCH_pipeline.json trace.json

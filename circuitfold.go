@@ -51,6 +51,7 @@ import (
 	"circuitfold/internal/fsm"
 	"circuitfold/internal/gen"
 	"circuitfold/internal/lutmap"
+	"circuitfold/internal/obs"
 	"circuitfold/internal/part"
 	"circuitfold/internal/pipeline"
 	"circuitfold/internal/seq"
@@ -107,6 +108,53 @@ type Report = pipeline.Report
 // StageStats is one stage's entry in a Report.
 type StageStats = pipeline.StageStats
 
+// Observer bundles the two observability channels a fold can feed: a
+// span Tracer and a Metrics registry. Either field may be nil; a nil
+// *Observer (the default) disables all instrumentation at zero cost.
+type Observer = obs.Observer
+
+// Tracer emits hierarchical spans to a TraceSink as Chrome trace_event
+// records. Open one per fold (or share one across folds) and hand it to
+// Options.Observer.
+type Tracer = obs.Tracer
+
+// TraceSink receives trace events from a Tracer.
+type TraceSink = obs.Sink
+
+// TraceBuffer is an in-memory TraceSink; WriteChromeTrace renders its
+// contents as a Perfetto-loadable Chrome trace JSON document.
+type TraceBuffer = obs.TraceBuffer
+
+// JSONLSink is a TraceSink that streams events as JSON Lines.
+type JSONLSink = obs.JSONLSink
+
+// TraceEvent is one Chrome trace_event record emitted by a Tracer.
+type TraceEvent = obs.Event
+
+// Metrics is a registry of named counters, gauges and histograms the
+// fold engines update (BDD live nodes, SAT conflicts, sweep merges,
+// FSM states, ...). See internal/obs for the metric name constants.
+type Metrics = obs.Registry
+
+// NewTracer returns a Tracer emitting to sink.
+func NewTracer(sink TraceSink) *Tracer { return obs.NewTracer(sink) }
+
+// NewTraceBuffer returns an empty in-memory trace sink.
+func NewTraceBuffer() *TraceBuffer { return obs.NewTraceBuffer() }
+
+// NewJSONLSink returns a sink streaming events to w as JSON Lines.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewMetrics returns an empty metrics registry. Metrics.Publish
+// exposes it through expvar for the net/http debug endpoint.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WriteChromeTrace writes events as a Chrome trace JSON document that
+// chrome://tracing and https://ui.perfetto.dev can load.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
 // PipelineError is the typed error returned when a fold is cancelled
 // or exhausts its budget: it names the pipeline and stage and carries
 // the partial Report. Match the cause with errors.Is against
@@ -155,6 +203,11 @@ type Options struct {
 	// Trace attaches the per-stage Report to Result.Report. Errors
 	// always carry their partial trace regardless of Trace.
 	Trace bool
+	// Observer, when non-nil, receives hierarchical span traces and
+	// live metrics from every stage of the fold (see Observer). Nil —
+	// the default — disables instrumentation entirely: the engines
+	// take nil-receiver fast paths and allocate nothing extra.
+	Observer *Observer
 }
 
 // DefaultOptions returns the configuration the paper's experiments
@@ -196,6 +249,7 @@ func Structural(g *Circuit, T int, opt Options) (*Result, error) {
 		Counter: opt.Counter,
 		Ctx:     opt.Context,
 		Budget:  opt.budget(),
+		Obs:     opt.Observer,
 	})
 	return finish(r, err, opt.Trace)
 }
@@ -209,6 +263,7 @@ func Functional(g *Circuit, T int, opt Options) (*Result, error) {
 	fo.StateEnc = opt.StateEnc
 	fo.Ctx = opt.Context
 	fo.Budget = opt.budget()
+	fo.Obs = opt.Observer
 	if fo.Budget.Wall > 0 {
 		fo.MinOpts.Timeout = fo.Budget.Wall
 	}
@@ -232,6 +287,7 @@ func Hybrid(g *Circuit, T int, opt Options) (*Result, error) {
 	ho.StateEnc = opt.StateEnc
 	ho.Minimize = opt.Minimize
 	ho.Ctx = opt.Context
+	ho.Obs = opt.Observer
 	b := opt.budget()
 	if b.MaxStates == 0 {
 		b.MaxStates = ho.Budget.MaxStates

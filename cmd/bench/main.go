@@ -7,6 +7,19 @@
 //
 //	bench [-out BENCH_sweep.json] [-pipeout BENCH_pipeline.json]
 //	      [-reps 3] [-size 4000] [-seed 1234] [-tables]
+//	      [-tracefile trace.json] [-circuit 64-adder] [-frames 16]
+//	      [-traceonly] [-http :6060]
+//
+// -tracefile folds one benchmark circuit (functionally and
+// structurally, both with a post-fold SAT sweep) under a span tracer
+// and writes the run as Chrome trace-event JSON that chrome://tracing
+// and https://ui.perfetto.dev load directly. -traceonly skips the
+// sweep and pipeline measurements and only produces the trace.
+//
+// -http serves expvar (/debug/vars, including the fold engines' live
+// metric registry) and net/http/pprof (/debug/pprof, where the sweep
+// worker goroutines carry stage/shard labels) for live introspection;
+// the process stays up after the work finishes until interrupted.
 //
 // Four sweep configurations run on the same random workload:
 //
@@ -26,6 +39,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"runtime"
 	"time"
@@ -34,6 +49,7 @@ import (
 	"circuitfold/internal/core"
 	"circuitfold/internal/exp"
 	"circuitfold/internal/gen"
+	"circuitfold/internal/obs"
 	"circuitfold/internal/pipeline"
 )
 
@@ -105,6 +121,60 @@ func foldPipelines() []PipelineRun {
 	return runs
 }
 
+// traceFold folds circuit by T frames under a span tracer and metrics
+// registry — functionally (reorder, exact minimization, one-hot
+// encoding) and structurally, both with a post-fold SAT sweep, so the
+// trace exercises every sub-stage span type: bdd.sift, tff.frame,
+// memin.iter/sat.solve, and sweep.round — and writes the combined
+// Chrome trace to path. The metrics registry is published through
+// expvar so a concurrent -http server exposes the live values. A fold
+// abort (budget, cancellation) still writes the partial trace.
+func traceFold(circuit string, T int, path string) error {
+	g, err := gen.Build(circuit)
+	if err != nil {
+		return err
+	}
+	buf := obs.NewTraceBuffer()
+	reg := obs.NewRegistry()
+	reg.Publish("circuitfold")
+	o := &obs.Observer{Tracer: obs.NewTracer(buf), Metrics: reg}
+
+	sweep := aig.DefaultSweepOptions()
+	fo := core.DefaultFunctionalOptions()
+	fo.Budget = pipeline.Budget{Wall: 2 * time.Minute}
+	fo.MinOpts.Timeout = fo.Budget.Wall
+	fo.PostOptimize = &sweep
+	fo.Obs = o
+	_, ferr := core.FunctionalFold(g, T, fo)
+
+	_, serr := core.StructuralFold(g, T, core.StructuralOptions{
+		Counter:      core.Binary,
+		Budget:       pipeline.Budget{Wall: 2 * time.Minute},
+		PostOptimize: &sweep,
+		Obs:          o,
+	})
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.WriteChromeTrace(f, buf.Events())
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("wrote %s: %d trace events (%s, T=%d)\n", path, buf.Len(), circuit, T)
+	if ferr != nil {
+		return fmt.Errorf("functional fold: %w", ferr)
+	}
+	if serr != nil {
+		return fmt.Errorf("structural fold: %w", serr)
+	}
+	return nil
+}
+
 func measure(g *aig.Graph, name string, opt aig.SweepOptions, reps int) Run {
 	if reps < 1 {
 		reps = 1
@@ -138,14 +208,39 @@ func measure(g *aig.Graph, name string, opt aig.SweepOptions, reps int) Run {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
-		pipeout = flag.String("pipeout", "BENCH_pipeline.json", "per-stage fold timings JSON path (empty to skip)")
-		reps    = flag.Int("reps", 3, "repetitions per configuration (best time wins)")
-		size    = flag.Int("size", 4000, "workload size in AND nodes")
-		seed    = flag.Uint64("seed", 1234, "workload generator seed")
-		tables  = flag.Bool("tables", false, "also time a Table I/II regeneration")
+		out       = flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
+		pipeout   = flag.String("pipeout", "BENCH_pipeline.json", "per-stage fold timings JSON path (empty to skip)")
+		reps      = flag.Int("reps", 3, "repetitions per configuration (best time wins)")
+		size      = flag.Int("size", 4000, "workload size in AND nodes")
+		seed      = flag.Uint64("seed", 1234, "workload generator seed")
+		tables    = flag.Bool("tables", false, "also time a Table I/II regeneration")
+		tracefile = flag.String("tracefile", "", "write a Chrome trace of one instrumented fold to this path")
+		circuit   = flag.String("circuit", "64-adder", "benchmark circuit to trace (-tracefile)")
+		frames    = flag.Int("frames", 16, "folding number for the traced fold (-tracefile)")
+		traceonly = flag.Bool("traceonly", false, "only produce the -tracefile trace, skip the measurements")
+		httpAddr  = flag.String("http", "", "serve expvar and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *httpAddr != "" {
+		go func() {
+			fmt.Printf("serving expvar and pprof on http://%s/debug/\n", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: http:", err)
+			}
+		}()
+	}
+
+	if *tracefile != "" {
+		if err := traceFold(*circuit, *frames, *tracefile); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceonly {
+		hold(*httpAddr)
+		return
+	}
 
 	g := gen.Random(*seed, 48, 16, *size)
 
@@ -207,6 +302,7 @@ func main() {
 	}
 
 	if *pipeout == "" {
+		hold(*httpAddr)
 		return
 	}
 	prep := PipelineReport{
@@ -224,4 +320,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s: per-stage fold timings for %d circuits\n", *pipeout, len(prep.Runs))
+	hold(*httpAddr)
+}
+
+// hold keeps the process alive when -http is serving, so the debug
+// endpoints stay inspectable after the measurements finish.
+func hold(addr string) {
+	if addr == "" {
+		return
+	}
+	fmt.Printf("done; still serving on http://%s/debug/ — interrupt to exit\n", addr)
+	select {}
 }

@@ -1,8 +1,10 @@
 package aig
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 )
 
@@ -95,6 +97,11 @@ type simEngine struct {
 	levelEnd []int32 // order[levelEnd[l-1]:levelEnd[l]] holds level l+1's ANDs
 
 	vals []uint64 // NumNodes*stride scratch arena
+
+	// labels, when non-nil, carries runtime/pprof goroutine labels the
+	// per-level workers run under, so live profiles attribute the
+	// simulation kernel to its pipeline stage.
+	labels context.Context
 }
 
 // newSimEngine builds a kernel for graphs simulated with up to maxWords
@@ -189,6 +196,9 @@ func (e *simEngine) runLevel(ids []int32, from, to int) {
 		wg.Add(1)
 		go func(part []int32) {
 			defer wg.Done()
+			if e.labels != nil {
+				pprof.SetGoroutineLabels(e.labels)
+			}
 			e.evalRange(part, from, to)
 		}(ids[start:end])
 	}

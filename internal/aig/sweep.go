@@ -1,12 +1,16 @@
 package aig
 
 import (
+	"context"
 	"encoding/binary"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"circuitfold/internal/obs"
 	"circuitfold/internal/sat"
 )
 
@@ -51,6 +55,19 @@ type SweepOptions struct {
 	// valid, equivalence-preserving result. The callback runs
 	// concurrently from worker goroutines and must be thread-safe.
 	Interrupt func() error
+	// Span, when non-nil, is the parent under which each proving round
+	// opens a "sweep.round" child span. Per-query SAT spans are
+	// deliberately not opened (a sweep issues thousands of queries);
+	// SAT work is visible through the Metrics counters instead.
+	Span *obs.Span
+	// Metrics, when non-nil, receives the sweep.* counters/gauges and
+	// the shard solvers' sat.* counters.
+	Metrics *obs.Registry
+	// Stage, when non-empty, labels the sweep's worker goroutines
+	// (runtime/pprof labels "stage", "sweep.shard"/"kernel") so live
+	// profiles attribute sweep and simulation work to the pipeline
+	// stage that triggered it.
+	Stage string
 }
 
 // DefaultSweepOptions returns the settings used by the optimization flow.
@@ -146,6 +163,12 @@ func (g *Graph) SweepWithStats(opt SweepOptions) (*Graph, *SweepStats) {
 	numNodes := g.NumNodes()
 	maxW := words + opt.MaxCEXRounds
 
+	// Resolved metrics (nil when opt.Metrics is nil; updates no-op).
+	mClasses := opt.Metrics.Gauge(obs.MSweepClasses)
+	mCEX := opt.Metrics.Counter(obs.MSweepCEXRounds)
+	mMerges := opt.Metrics.Counter(obs.MSweepMerges)
+	mCalls := opt.Metrics.Counter(obs.MSweepSATCalls)
+
 	// Random pattern pool: one word slice per PI, with room for the
 	// counterexample words appended by refinement rounds.
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -158,6 +181,10 @@ func (g *Graph) SweepWithStats(opt SweepOptions) (*Graph, *SweepStats) {
 		patterns[i] = p
 	}
 	eng := newSimEngine(g, maxW, workers)
+	if opt.Stage != "" {
+		eng.labels = pprof.WithLabels(context.Background(),
+			pprof.Labels("stage", opt.Stage, "kernel", "sim"))
+	}
 	eng.run(patterns, words)
 
 	// Only nodes in the PO cones are candidates; dangling logic is
@@ -183,6 +210,7 @@ func (g *Graph) SweepWithStats(opt SweepOptions) (*Graph, *SweepStats) {
 	}
 
 	classes := initialClasses(g, eng, words, compl, reach)
+	mClasses.Set(int64(len(classes)))
 
 	merged := make([]int32, numNodes)
 	for i := range merged {
@@ -255,6 +283,11 @@ func (g *Graph) SweepWithStats(opt SweepOptions) (*Graph, *SweepStats) {
 		}
 		st.Rounds++
 		st.Queries += int64(len(pending))
+		rsp := opt.Span.Child("sweep.round", "aig")
+		rsp.SetInt("round", int64(st.Rounds))
+		rsp.SetInt("queries", int64(len(pending)))
+		rsp.SetInt("classes", int64(len(classes)))
+		mergesBefore := st.Merges
 
 		// Distribute queries over the solver shards by member hash. The
 		// per-shard sequence depends only on the pending list, never on
@@ -280,11 +313,20 @@ func (g *Graph) SweepWithStats(opt SweepOptions) (*Graph, *SweepStats) {
 					if len(shardIdx[sh]) == 0 {
 						continue
 					}
+					if opt.Stage != "" {
+						pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+							pprof.Labels("stage", opt.Stage, "sweep.shard", strconv.Itoa(sh))))
+					}
 					if solvers[sh] == nil {
 						solvers[sh] = sat.New()
 						solvers[sh].SetBudget(opt.ConflictBudget)
 						if opt.Interrupt != nil {
 							solvers[sh].SetInterrupt(func() bool { return opt.Interrupt() != nil })
+						}
+						if opt.Metrics != nil {
+							// Metrics only: per-query spans would swamp
+							// the trace with thousands of events.
+							solvers[sh].SetObserver(nil, opt.Metrics)
 						}
 						encoders[sh] = NewEncoder(g, solvers[sh])
 					}
@@ -351,7 +393,14 @@ func (g *Graph) SweepWithStats(opt SweepOptions) (*Graph, *SweepStats) {
 			classes = refineClasses(classes, eng, w, compl, merged)
 			st.CEXRounds++
 			st.CEXPatterns += len(newCEX)
+			mCEX.Add(1)
 		}
+		mCalls.Add(satCalls)
+		mMerges.Add(int64(st.Merges - mergesBefore))
+		mClasses.Set(int64(len(classes)))
+		rsp.SetInt("merges", int64(st.Merges-mergesBefore))
+		rsp.SetInt("cex", int64(len(newCEX)))
+		rsp.End()
 		if opt.TotalConflictBudget > 0 && spentConflicts >= opt.TotalConflictBudget {
 			break
 		}

@@ -11,7 +11,11 @@
 // problem sizes of this library.
 package bdd
 
-import "fmt"
+import (
+	"fmt"
+
+	"circuitfold/internal/obs"
+)
 
 // Node identifies a BDD function within its Manager. The two terminals
 // are False and True.
@@ -54,6 +58,14 @@ type Manager struct {
 	opCache    map[opKey]Node
 	iteCache   map[iteKey]Node
 	interrupt  func() error // polled by the sifting loops; non-nil result aborts
+
+	// Observability hooks (all nil when unobserved; every use is
+	// nil-safe, so the unobserved cost is a single pointer test on the
+	// cold paths and nothing on the node-creation fast path).
+	span   *obs.Span    // parent for per-round sifting spans
+	mSwaps *obs.Counter // obs.MBDDReorderSwaps
+	mLive  *obs.Gauge   // obs.MBDDLiveNodes
+	mArena *obs.Gauge   // obs.MBDDArenaBytes
 }
 
 // SetInterrupt installs a callback polled by the reordering loops
@@ -67,6 +79,33 @@ func (m *Manager) SetInterrupt(check func() error) { m.interrupt = check }
 // stopped reports whether the interrupt hook requests an abort.
 func (m *Manager) stopped() bool {
 	return m.interrupt != nil && m.interrupt() != nil
+}
+
+// SetObserver attaches observability to the manager: sifting rounds
+// open "bdd.sift" child spans under span, and the manager keeps the
+// bdd.live_nodes / bdd.arena_bytes gauges and the bdd.reorder_swaps
+// counter of reg current. Either argument may be nil; a fully nil
+// observer restores the zero-overhead unobserved state.
+func (m *Manager) SetObserver(span *obs.Span, reg *obs.Registry) {
+	m.span = span
+	m.mSwaps = reg.Counter(obs.MBDDReorderSwaps)
+	m.mLive = reg.Gauge(obs.MBDDLiveNodes)
+	m.mArena = reg.Gauge(obs.MBDDArenaBytes)
+}
+
+// nodeRecBytes is the arena cost per node reported on bdd.arena_bytes.
+const nodeRecBytes = 12 // int32 level + two int32 children
+
+// noteSize refreshes the live-node and arena gauges; called from the
+// cold spots (GC, sift rounds) rather than mk so the fast path stays
+// untouched.
+func (m *Manager) noteSize() {
+	if m.mLive == nil {
+		return
+	}
+	n := int64(len(m.nodes))
+	m.mLive.Set(n)
+	m.mArena.Set(n * nodeRecBytes)
 }
 
 // New creates a manager with nVars variables, variable i initially at

@@ -10,6 +10,7 @@ func (m *Manager) SwapAdjacent(l int) {
 	if l < 0 || l+1 >= m.NumVars() {
 		panic("bdd: SwapAdjacent level out of range")
 	}
+	m.mSwaps.Add(1)
 	x := m.varAtLevel[l]
 	y := m.varAtLevel[l+1]
 
@@ -106,7 +107,12 @@ func (m *Manager) Sift(roots []Node, loLevel, hiLevel int) int {
 			break
 		}
 		m.maybeGC(roots)
+		sp := m.span.Child("bdd.sift", "bdd")
+		sp.SetInt("var", int64(v))
 		best = m.siftOne(roots, v, loLevel, hiLevel, best)
+		sp.SetInt("nodes", int64(best))
+		sp.End()
+		m.noteSize()
 	}
 	return best
 }
@@ -255,7 +261,13 @@ func (m *Manager) SiftSymmetric(roots []Node, loLevel, hiLevel int) int {
 			break
 		}
 		m.maybeGC(roots)
+		sp := m.span.Child("bdd.sift", "bdd")
+		sp.SetInt("block", int64(len(groups[gi])))
+		sp.SetInt("var", int64(groups[gi][0]))
 		best = m.siftBlock(roots, groups[gi], loLevel, hiLevel, best)
+		sp.SetInt("nodes", int64(best))
+		sp.End()
+		m.noteSize()
 	}
 	return best
 }
@@ -383,6 +395,10 @@ func (m *Manager) GC(roots []Node) int {
 	}
 	m.opCache = make(map[opKey]Node)
 	m.iteCache = make(map[iteKey]Node)
+	if m.mLive != nil {
+		m.mLive.Set(int64(len(live)) + 2) // live nodes + terminals
+		m.mArena.Set(int64(len(m.nodes)) * nodeRecBytes)
+	}
 	return len(live)
 }
 

@@ -56,6 +56,7 @@ func buildOutputBDDs(g *aig.Graph, mgr *bdd.Manager, varOfPI []int, roots []aig.
 				return bdd.False, errBudget
 			}
 			if built++; built&0xff == 0 {
+				run.NoteBDDNodes(mgr.NumNodes())
 				if err := run.Check(); err != nil {
 					return bdd.False, fmt.Errorf("core: BDD construction aborted: %w", err)
 				}

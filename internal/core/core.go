@@ -145,6 +145,15 @@ func sweepStage(res **Result, opt *aig.SweepOptions, run *pipeline.Run) pipeline
 		if o.Interrupt == nil {
 			o.Interrupt = run.Check
 		}
+		if o.Span == nil {
+			o.Span = run.Span() // the sweep stage's own span
+		}
+		if o.Metrics == nil {
+			o.Metrics = run.Metrics()
+		}
+		if o.Stage == "" && (o.Span != nil || o.Metrics != nil) {
+			o.Stage = pipeline.StageSweep
+		}
 		ss.AndsIn = r.Seq.G.NumAnds()
 		r.Seq = r.Seq.Transform(func(g *aig.Graph) *aig.Graph {
 			ng, st := g.Cleanup().Balance().SweepWithStats(o)

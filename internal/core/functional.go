@@ -7,6 +7,7 @@ import (
 	"circuitfold/internal/aig"
 	"circuitfold/internal/bdd"
 	"circuitfold/internal/fsm"
+	"circuitfold/internal/obs"
 	"circuitfold/internal/pipeline"
 )
 
@@ -35,6 +36,9 @@ type FunctionalOptions struct {
 	// pipeline with these settings on the folded circuit's combinational
 	// core before returning.
 	PostOptimize *aig.SweepOptions
+	// Obs, when non-nil, receives span traces and metrics for the whole
+	// fold (see internal/obs). Nil disables observability at zero cost.
+	Obs *obs.Observer
 }
 
 // DefaultFunctionalOptions returns the configuration used by the
@@ -64,7 +68,7 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 	if err := validateFoldArgs(g, T); err != nil {
 		return nil, err
 	}
-	run := pipeline.NewRun(opt.Ctx, opt.Budget)
+	run := pipeline.NewRunObserved(opt.Ctx, opt.Budget, opt.Obs)
 	if T == 1 {
 		return identityFold(g, run, "functional", opt.PostOptimize)
 	}
@@ -79,11 +83,14 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 	stages := []pipeline.Stage{
 		{Name: pipeline.StageSchedule, Run: func(ss *pipeline.StageStats) error {
 			ss.AndsIn = g.NumAnds()
+			ss.AndsOut = g.NumAnds() // scheduling never rewrites the graph
 			var err error
 			sched, err = PinScheduleRun(g, T, ScheduleOptions{Reorder: opt.Reorder}, run)
 			return err
 		}},
 		{Name: pipeline.StageTFF, Run: func(ss *pipeline.StageStats) error {
+			ss.AndsIn = g.NumAnds()
+			ss.StatesIn = 1
 			var err error
 			machine, states, err = TimeFrameFold(g, sched, run)
 			ss.StatesOut = states
@@ -96,6 +103,12 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 			mo := opt.MinOpts
 			if mo.Stop == nil {
 				mo.Stop = run.Check
+			}
+			if mo.Span == nil {
+				mo.Span = run.Span()
+			}
+			if mo.Metrics == nil {
+				mo.Metrics = run.Metrics()
 			}
 			if rem, ok := run.Remaining(); ok && (mo.Timeout <= 0 || rem < mo.Timeout) {
 				mo.Timeout = rem
@@ -162,6 +175,8 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 
 	// Folding manager: variable t*m+j is input pin j during frame t.
 	fmgr := bdd.New(T * m)
+	fmgr.SetObserver(run.Span(), run.Metrics())
+	mStates := run.Metrics().Gauge(obs.MFSMStates)
 	varOfPI := make([]int, n)
 	for i := range varOfPI {
 		varOfPI[i] = sched.SlotOfPI[i]
@@ -238,7 +253,16 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 	abort := func(t int, err error) (*fsm.Machine, int, error) {
 		return nil, 0, fmt.Errorf("core: time-frame folding aborted at frame %d: %w", t+1, err)
 	}
+	// One "tff.frame" span per frame (the cut-decomposition round).
+	// End is idempotent, so the deferred close only fires for a frame
+	// left in flight by an abort path.
+	var fsp *obs.Span
+	defer func() { fsp.End() }()
 	for t := 0; t < T; t++ {
+		fsp.End()
+		fsp = run.Span().Child("tff.frame", "core")
+		fsp.SetInt("frame", int64(t))
+		fsp.SetInt("states", int64(len(cur)))
 		if err := run.Check(); err != nil {
 			return abort(t, err)
 		}
@@ -334,9 +358,13 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 			}
 			curBase = nextBase
 			cur = nextStates
+			fsp.SetInt("next_states", int64(len(nextStates)))
 		}
+		run.NoteBDDNodes(fmgr.NumNodes())
+		mStates.Set(int64(totalStates))
 	}
 	totalStates++ // the don't-care destination state s_*^T
+	mStates.Set(int64(totalStates))
 
 	machine := &fsm.Machine{
 		Mgr:        cmgr,

@@ -7,6 +7,7 @@ import (
 
 	"circuitfold/internal/aig"
 	"circuitfold/internal/fsm"
+	"circuitfold/internal/obs"
 	"circuitfold/internal/pipeline"
 	"circuitfold/internal/seq"
 )
@@ -37,6 +38,9 @@ type HybridOptions struct {
 	// pipeline with these settings on the merged circuit's combinational
 	// core before returning.
 	PostOptimize *aig.SweepOptions
+	// Obs, when non-nil, receives span traces and metrics for the whole
+	// fold (see internal/obs). Nil disables observability at zero cost.
+	Obs *obs.Observer
 }
 
 // DefaultHybridOptions returns the settings used by the benchmarks.
@@ -73,7 +77,7 @@ func HybridFold(g *aig.Graph, T int, opt HybridOptions) (*Result, error) {
 	if err := validateFoldArgs(g, T); err != nil {
 		return nil, err
 	}
-	run := pipeline.NewRun(opt.Ctx, opt.Budget)
+	run := pipeline.NewRunObserved(opt.Ctx, opt.Budget, opt.Obs)
 	if T == 1 {
 		return identityFold(g, run, "hybrid", opt.PostOptimize)
 	}
@@ -103,7 +107,8 @@ func HybridFold(g *aig.Graph, T int, opt HybridOptions) (*Result, error) {
 			return run.Check()
 		}},
 		{Name: pipeline.StageTFF, Run: func(ss *pipeline.StageStats) error {
-			for _, cluster := range clusters {
+			ss.AndsIn = g.NumAnds()
+			for ci, cluster := range clusters {
 				// Each cluster folds under its own child run: the cluster
 				// timeout clipped to the parent's remaining wall clock,
 				// with the shared state and node budgets.
@@ -111,22 +116,32 @@ func HybridFold(g *aig.Graph, T int, opt HybridOptions) (*Result, error) {
 				if rem, ok := run.Remaining(); ok && rem < wall {
 					wall = rem
 				}
-				crun := pipeline.NewRun(run.Context(), pipeline.Budget{
+				csp := run.Span().Child("hybrid.cluster", "core")
+				csp.SetInt("cluster", int64(ci))
+				csp.SetInt("outputs", int64(len(cluster)))
+				crun := pipeline.NewRunObserved(run.Context(), pipeline.Budget{
 					Wall:      wall,
 					BDDNodes:  run.NodeLimit(2000000),
 					MaxStates: run.StateLimit(2000),
-				})
+				}, run.Observer())
+				crun.SetSpan(csp)
 				p, err := foldClusterFunctionally(g, T, m, cluster, opt, crun)
+				run.NoteBDDNodes(crun.BDDPeak())
 				if err != nil {
 					// The parent being cancelled or out of budget aborts
 					// the fold; a cluster merely out of its own slice
 					// falls back to the structural remainder.
+					csp.SetStr("result", "structural-fallback")
+					csp.End()
 					if perr := run.Check(); perr != nil {
 						return perr
 					}
 					structuralPOs = append(structuralPOs, cluster...)
 					continue
 				}
+				csp.SetStr("result", "functional")
+				csp.SetInt("states", int64(p.states))
+				csp.End()
 				parts = append(parts, part{p.c, p.outSched})
 				ss.StatesOut += p.states
 			}
@@ -366,6 +381,12 @@ func foldClusterFunctionally(g *aig.Graph, T, m int, cluster []int, opt HybridOp
 		mo := opt.MinOpts
 		if mo.Stop == nil {
 			mo.Stop = run.Check
+		}
+		if mo.Span == nil {
+			mo.Span = run.Span()
+		}
+		if mo.Metrics == nil {
+			mo.Metrics = run.Metrics()
 		}
 		if rem, ok := run.Remaining(); ok && (mo.Timeout <= 0 || rem < mo.Timeout) {
 			mo.Timeout = rem

@@ -189,6 +189,7 @@ func reorderFreshSupport(g *aig.Graph, que []int, xsup []int, outs []int, maxSif
 	mgr := bdd.New(n)
 	if run != nil {
 		mgr.SetInterrupt(run.Check)
+		mgr.SetObserver(run.Span(), run.Metrics())
 	}
 	// Desired order: queued inputs first (frozen), then the fresh block,
 	// then everything else. Arranging the order on an empty manager is
@@ -230,6 +231,7 @@ func reorderFreshSupport(g *aig.Graph, que []int, xsup []int, outs []int, maxSif
 	if err != nil {
 		return nil, err
 	}
+	run.NoteBDDNodes(mgr.NumNodes())
 	if live := mgr.NodeCount(nodes...); live > maxSiftNodes {
 		return nil, fmt.Errorf("core: scheduling BDDs too large to sift (%d nodes)", live)
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"circuitfold/internal/aig"
+	"circuitfold/internal/obs"
 	"circuitfold/internal/pipeline"
 	"circuitfold/internal/seq"
 )
@@ -24,6 +25,9 @@ type StructuralOptions struct {
 	// pipeline with these settings on the folded circuit's combinational
 	// core before returning.
 	PostOptimize *aig.SweepOptions
+	// Obs, when non-nil, receives span traces and metrics for the whole
+	// fold (see internal/obs). Nil disables observability at zero cost.
+	Obs *obs.Observer
 }
 
 // StructuralFold folds the combinational circuit g by T time-frames using
@@ -37,7 +41,7 @@ func StructuralFold(g *aig.Graph, T int, opt StructuralOptions) (*Result, error)
 	if err := validateFoldArgs(g, T); err != nil {
 		return nil, err
 	}
-	return structuralFoldRun(g, T, opt, pipeline.NewRun(opt.Ctx, opt.Budget))
+	return structuralFoldRun(g, T, opt, pipeline.NewRunObserved(opt.Ctx, opt.Budget, opt.Obs))
 }
 
 // structuralFoldRun is StructuralFold over an existing run, so the
@@ -60,6 +64,7 @@ func structuralFoldRun(g *aig.Graph, T int, opt StructuralOptions, run *pipeline
 	stages := []pipeline.Stage{
 		{Name: pipeline.StageSchedule, Run: func(ss *pipeline.StageStats) error {
 			ss.AndsIn = g.NumAnds()
+			ss.AndsOut = g.NumAnds() // scheduling never rewrites the graph
 			// Frame of every node: PIs get their group (1-based); an AND
 			// gets the max of its fanins; constants belong to frame 1.
 			layer = make([]int, g.NumNodes())
@@ -114,6 +119,7 @@ func structuralFoldRun(g *aig.Graph, T int, opt StructuralOptions, run *pipeline
 			return run.Check()
 		}},
 		{Name: pipeline.StageSynth, Run: func(ss *pipeline.StageStats) error {
+			ss.AndsIn = g.NumAnds()
 			cs := aig.New()
 			pins := make([]aig.Lit, m)
 			for j := range pins {

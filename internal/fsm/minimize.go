@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"circuitfold/internal/bdd"
+	"circuitfold/internal/obs"
 	"circuitfold/internal/sat"
 )
 
@@ -27,6 +28,13 @@ type MinimizeOptions struct {
 	// inside each SAT solve; a non-nil result aborts minimization with
 	// that error (typically pipeline.ErrCanceled/ErrBudgetExceeded).
 	Stop func() error
+	// Span, when non-nil, is the parent under which each class-count
+	// attempt opens a "memin.iter" child span (and its SAT solve a
+	// nested "sat.solve" span).
+	Span *obs.Span
+	// Metrics, when non-nil, receives the fsm.states gauge and the
+	// solver's sat.* counters.
+	Metrics *obs.Registry
 }
 
 // DefaultMinimizeOptions returns the bounds used by the experiment
@@ -65,6 +73,7 @@ func Minimize(m *Machine, opt MinimizeOptions) (*Machine, error) {
 	if opt.MaxStates > 0 && n > opt.MaxStates {
 		return nil, fmt.Errorf("fsm: %d states exceeds minimization bound %d", n, opt.MaxStates)
 	}
+	opt.Metrics.Gauge(obs.MFSMStates).Set(int64(n))
 	atoms, err := m.Atoms(opt.MaxAtoms)
 	if err != nil {
 		return nil, err
@@ -220,7 +229,15 @@ func trySolve(m *Machine, atoms []bdd.Node, succ [][]int, outs [][][]Tri,
 	incompat [][]bool, clique []int, k int, opt MinimizeOptions) (*Machine, sat.Status) {
 	n := m.NumStates()
 	na := len(atoms)
+	sp := opt.Span.Child("memin.iter", "fsm")
+	sp.SetInt("k", int64(k))
+	sp.SetInt("states", int64(n))
+	sp.SetInt("atoms", int64(na))
+	defer sp.End()
 	s2 := sat.New()
+	if opt.Span != nil || opt.Metrics != nil {
+		s2.SetObserver(sp, opt.Metrics)
+	}
 	if opt.ConflictBudget > 0 {
 		s2.SetBudget(opt.ConflictBudget)
 	}
@@ -302,6 +319,7 @@ func trySolve(m *Machine, atoms []bdd.Node, succ [][]int, outs [][][]Tri,
 	}
 
 	status := s2.Solve()
+	sp.SetStr("status", status.String())
 	if status != sat.Sat {
 		return nil, status
 	}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"expvar"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Canonical metric names updated by the engine's layers. Keeping them
+// here (rather than scattered string literals) makes the registry
+// greppable and keeps DESIGN.md's table in sync with the code.
+const (
+	MBDDLiveNodes    = "bdd.live_nodes"          // gauge: nodes in the manager arena (peak = high-water mark)
+	MBDDArenaBytes   = "bdd.arena_bytes"         // gauge: approximate arena memory
+	MBDDReorderSwaps = "bdd.reorder_swaps"       // counter: adjacent-level swaps performed by sifting
+	MSATDecisions    = "sat.decisions"           // counter
+	MSATPropagations = "sat.propagations"        // counter
+	MSATRestarts     = "sat.restarts"            // counter
+	MSATConflicts    = "sat.conflicts"           // counter
+	MSATLearnedSize  = "sat.learned_clause_size" // histogram: literals per learned clause
+	MSweepClasses    = "sweep.classes"           // gauge: candidate equivalence classes
+	MSweepCEXRounds  = "sweep.cex_rounds"        // counter: CEX-guided refinement rounds
+	MSweepMerges     = "sweep.merges"            // counter: nodes merged into representatives
+	MSweepSATCalls   = "sweep.sat_calls"         // counter: SAT queries issued by sweeping
+	MFSMStates       = "fsm.states"              // gauge: states in the machine under minimization
+)
+
+// Counter is a monotonically increasing metric. Methods are no-ops on a
+// nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric that also tracks its high-water mark.
+// Methods are no-ops on a nil receiver.
+type Gauge struct {
+	v    atomic.Int64
+	peak atomic.Int64
+}
+
+// Set records the current value, updating the peak.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// Value returns the last value set (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Peak returns the largest value ever set (0 on nil).
+func (g *Gauge) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak.Load()
+}
+
+// Histogram counts observations in power-of-two buckets: bucket i holds
+// values v with 2^(i-1) < v <= 2^i (bucket 0 holds v <= 1). Methods are
+// no-ops on a nil receiver.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [64]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := 0
+	if v > 1 {
+		i = bits.Len64(uint64(v - 1))
+	}
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Buckets returns the non-empty buckets keyed by their upper bound
+// (as a power of two).
+func (h *Histogram) Buckets() map[int64]int64 {
+	if h == nil {
+		return nil
+	}
+	out := make(map[int64]int64)
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			out[int64(1)<<i] = n
+		}
+	}
+	return out
+}
+
+// Registry is a concurrency-safe namespace of metrics. Lookups create
+// the metric on first use, so instrumented code resolves metrics once
+// and updates them lock-free afterwards. All methods are nil-safe: a
+// nil registry resolves every name to a nil metric, which in turn
+// no-ops every update.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a JSON-friendly view of every metric: counters map
+// to their value, gauges to {value, peak}, histograms to
+// {count, sum, buckets}.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = map[string]int64{"value": g.Value(), "peak": g.Peak()}
+	}
+	for name, h := range r.hists {
+		out[name] = map[string]any{"count": h.Count(), "sum": h.Sum(), "buckets": h.Buckets()}
+	}
+	return out
+}
+
+// published guards expvar.Publish, which panics on duplicate names;
+// republishing the same registry name is a silent no-op instead.
+var (
+	publishMu sync.Mutex
+	published = make(map[string]bool)
+)
+
+// Publish exposes the registry's Snapshot under the given expvar name
+// (visible at /debug/vars when an HTTP server runs on the default
+// mux). Publishing the same name twice keeps the first registration.
+func (r *Registry) Publish(name string) {
+	if r == nil {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if published[name] {
+		return
+	}
+	published[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

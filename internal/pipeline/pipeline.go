@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"circuitfold/internal/obs"
 )
 
 // Sentinel errors. Budget exhaustion (wall clock, nodes, conflicts,
@@ -76,6 +78,7 @@ type StageStats struct {
 	StatesIn     int           `json:"states_in"`   // FSM states entering
 	StatesOut    int           `json:"states_out"`  // FSM states leaving
 	SATConflicts int64         `json:"sat_conflicts"`
+	Spans        int           `json:"spans"`         // child spans opened under the stage (0 unless observed)
 	Err          string        `json:"err,omitempty"` // non-empty when the stage aborted
 }
 
@@ -129,10 +132,23 @@ type Run struct {
 	start     time.Time
 	deadline  time.Time // zero when Budget.Wall == 0
 	conflicts atomic.Int64
+
+	observer  *obs.Observer
+	span      atomic.Pointer[obs.Span] // current span new work should nest under
+	bddPeak   atomic.Int64             // peak live BDD nodes since last reset
+	liveNodes *obs.Gauge               // resolved obs.MBDDLiveNodes, nil when unobserved
 }
 
 // NewRun binds a context and budget into a Run. ctx may be nil.
 func NewRun(ctx context.Context, b Budget) *Run {
+	return NewRunObserved(ctx, b, nil)
+}
+
+// NewRunObserved is NewRun with an observability hook attached: spans
+// opened by Execute and the lower layers flow to o.Tracer, metrics to
+// o.Metrics. A nil o (or a nil *Run anywhere downstream) disables
+// observability with zero overhead.
+func NewRunObserved(ctx context.Context, b Budget, o *obs.Observer) *Run {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -143,7 +159,76 @@ func NewRun(ctx context.Context, b Budget) *Run {
 	if cd, ok := ctx.Deadline(); ok && (r.deadline.IsZero() || cd.Before(r.deadline)) {
 		r.deadline = cd
 	}
+	if o != nil {
+		r.observer = o
+		r.liveNodes = o.Gauge(obs.MBDDLiveNodes)
+	}
 	return r
+}
+
+// Observer returns the run's observability hook (nil when unobserved).
+func (r *Run) Observer() *obs.Observer {
+	if r == nil {
+		return nil
+	}
+	return r.observer
+}
+
+// Metrics returns the run's metrics registry (nil when unobserved).
+func (r *Run) Metrics() *obs.Registry {
+	if r == nil || r.observer == nil {
+		return nil
+	}
+	return r.observer.Metrics
+}
+
+// Span returns the span that new work should nest under: Execute points
+// it at the running stage's span for the stage's duration. Nil when
+// unobserved.
+func (r *Run) Span() *obs.Span {
+	if r == nil {
+		return nil
+	}
+	return r.span.Load()
+}
+
+// SetSpan redirects where new child spans hang; used by Execute and by
+// stages that introduce their own grouping (e.g. hybrid clusters).
+func (r *Run) SetSpan(s *obs.Span) {
+	if r != nil {
+		r.span.Store(s)
+	}
+}
+
+// NoteBDDNodes records a BDD manager's current live node count against
+// the run: it feeds the bdd.live_nodes gauge and the per-stage peak
+// that Execute writes into StageStats.BDDNodes.
+func (r *Run) NoteBDDNodes(n int) {
+	if r == nil {
+		return
+	}
+	v := int64(n)
+	for {
+		p := r.bddPeak.Load()
+		if v <= p || r.bddPeak.CompareAndSwap(p, v) {
+			break
+		}
+	}
+	r.liveNodes.Set(v)
+}
+
+// BDDPeak returns the peak node count noted since the last stage began.
+func (r *Run) BDDPeak() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.bddPeak.Load())
+}
+
+func (r *Run) resetBDDPeak() {
+	if r != nil {
+		r.bddPeak.Store(0)
+	}
 }
 
 // Context returns the run's context (context.Background for a nil run).
@@ -190,6 +275,7 @@ func (r *Run) Stop() bool { return r.Check() != nil }
 // CheckNodes is Check plus the BDD node budget: n is the manager's
 // current live node count.
 func (r *Run) CheckNodes(n int) error {
+	r.NoteBDDNodes(n)
 	if err := r.Check(); err != nil {
 		return err
 	}
@@ -274,11 +360,29 @@ type Stage struct {
 // partial Report, which is also returned directly so callers can attach
 // it to partial results. A pre-cancelled run still yields a one-entry
 // trace recording which stage refused to start.
+//
+// When the run is observed, Execute opens a root span for the pipeline
+// and a child span per stage, pointing Run.Span at the running stage so
+// lower layers nest their sub-stage spans correctly. Spans end (and so
+// flush to the sink) even when a stage aborts, which is what makes a
+// budget-exceeded run leave a usable partial trace. A pipeline executed
+// while Run.Span is already set (the hybrid method's nested structural
+// fallback) roots itself under that span instead.
 func Execute(run *Run, name string, stages ...Stage) (*Report, error) {
 	rep := &Report{Pipeline: name}
+	prev := run.Span()
+	var root *obs.Span
+	if prev != nil {
+		root = prev.Child(name, "pipeline")
+	} else {
+		root = run.Observer().Span(name, "pipeline")
+	}
+	defer run.SetSpan(prev)
 	fail := func(stage string, err error) (*Report, error) {
 		rep.Total = run.Elapsed()
 		rep.Err = err.Error()
+		root.SetStr("err", err.Error())
+		root.End()
 		return rep, &Error{Pipeline: name, Stage: stage, Report: rep, Err: err}
 	}
 	for _, st := range stages {
@@ -291,16 +395,27 @@ func Execute(run *Run, name string, stages ...Stage) (*Report, error) {
 			rep.Stages = append(rep.Stages, ss)
 			return fail(st.Name, err)
 		}
+		sp := root.Child(st.Name, "stage")
+		run.SetSpan(sp)
+		run.resetBDDPeak()
 		err := st.Run(&ss)
+		run.SetSpan(prev)
 		ss.Duration = run.Elapsed() - ss.Start
+		if pk := run.BDDPeak(); pk > 0 && ss.BDDNodes < 0 {
+			ss.BDDNodes = pk
+		}
+		ss.Spans = sp.Descendants()
 		if err != nil {
 			ss.Err = err.Error()
+			sp.SetStr("err", err.Error())
 		}
+		sp.End()
 		rep.Stages = append(rep.Stages, ss)
 		if err != nil {
 			return fail(st.Name, err)
 		}
 	}
 	rep.Total = run.Elapsed()
+	root.End()
 	return rep, nil
 }

@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"circuitfold/internal/obs"
+)
+
+// WriteChromeTrace serializes the report as Chrome trace-event JSON:
+// one "complete" event for the pipeline plus one per stage, nested by
+// time containment. This gives a Perfetto-loadable flame chart from the
+// Report alone, without having had an Observer attached; attach an
+// Observer (and use its TraceBuffer) when sub-stage spans are wanted
+// too.
+func (r *Report) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		return obs.WriteChromeTrace(w, nil)
+	}
+	events := make([]obs.Event, 0, len(r.Stages)+1)
+	rootArgs := map[string]any{}
+	if r.Err != "" {
+		rootArgs["err"] = r.Err
+	}
+	events = append(events, obs.Event{
+		Name: r.Pipeline, Cat: "pipeline", Ph: "X",
+		TS: 0, Dur: obs.Micros(r.Total), PID: 1, TID: 1,
+		Args: rootArgs,
+	})
+	for i := range r.Stages {
+		ss := &r.Stages[i]
+		args := map[string]any{}
+		if ss.AndsIn >= 0 {
+			args["ands_in"] = ss.AndsIn
+		}
+		if ss.AndsOut >= 0 {
+			args["ands_out"] = ss.AndsOut
+		}
+		if ss.BDDNodes >= 0 {
+			args["bdd_nodes"] = ss.BDDNodes
+		}
+		if ss.StatesIn >= 0 {
+			args["states_in"] = ss.StatesIn
+		}
+		if ss.StatesOut >= 0 {
+			args["states_out"] = ss.StatesOut
+		}
+		if ss.SATConflicts > 0 {
+			args["sat_conflicts"] = ss.SATConflicts
+		}
+		if ss.Spans > 0 {
+			args["spans"] = ss.Spans
+		}
+		if ss.Err != "" {
+			args["err"] = ss.Err
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		events = append(events, obs.Event{
+			Name: ss.Name, Cat: "stage", Ph: "X",
+			TS: obs.Micros(ss.Start), Dur: obs.Micros(ss.Duration), PID: 1, TID: 1,
+			Args: args,
+		})
+	}
+	return obs.WriteChromeTrace(w, events)
+}
+
+func statCell(v int) string {
+	if v < 0 {
+		return "-"
+	}
+	return strconv.Itoa(v)
+}
+
+// String renders the report as a human-readable table: one row per
+// stage with timings, sizes and counters, "-" for fields a stage does
+// not produce.
+func (r *Report) String() string {
+	if r == nil {
+		return "<nil report>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline %s  total=%v", r.Pipeline, r.Total)
+	if r.Err != "" {
+		fmt.Fprintf(&b, "  err=%s", r.Err)
+	}
+	b.WriteByte('\n')
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "  stage\tstart\tdur\tands\tstates\tbdd\tconfl\tspans\terr")
+	for i := range r.Stages {
+		ss := &r.Stages[i]
+		ands := "-"
+		if ss.AndsIn >= 0 || ss.AndsOut >= 0 {
+			ands = statCell(ss.AndsIn) + ">" + statCell(ss.AndsOut)
+		}
+		states := "-"
+		if ss.StatesIn >= 0 || ss.StatesOut >= 0 {
+			states = statCell(ss.StatesIn) + ">" + statCell(ss.StatesOut)
+		}
+		fmt.Fprintf(tw, "  %s\t%v\t%v\t%s\t%s\t%s\t%d\t%d\t%s\n",
+			ss.Name, ss.Start.Round(10*time.Microsecond), ss.Duration.Round(10*time.Microsecond),
+			ands, states, statCell(ss.BDDNodes), ss.SATConflicts, ss.Spans, ss.Err)
+	}
+	_ = tw.Flush()
+	return b.String()
+}

@@ -1,0 +1,251 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"circuitfold/internal/obs"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Pipeline: "functional",
+		Total:    3 * time.Millisecond,
+		Stages: []StageStats{
+			{
+				Name: StageSchedule, Start: 0, Duration: time.Millisecond,
+				AndsIn: 100, AndsOut: 100, BDDNodes: 512, StatesIn: -1, StatesOut: -1,
+			},
+			{
+				Name: StageMinimize, Start: time.Millisecond, Duration: 2 * time.Millisecond,
+				AndsIn: -1, AndsOut: -1, BDDNodes: -1, StatesIn: 29, StatesOut: 14,
+				SATConflicts: 7, Spans: 3, Err: "boom",
+			},
+		},
+		Err: "boom",
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := sampleReport().String()
+	for _, want := range []string{
+		"pipeline functional", "total=3ms", "err=boom",
+		"schedule", "100>100", "512",
+		"minimize", "29>14", "boom",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	if got := (*Report)(nil).String(); got != "<nil report>" {
+		t.Errorf("nil String() = %q", got)
+	}
+}
+
+func TestReportWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []obs.Event `json:"traceEvents"`
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 || doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("got %d events, unit %q", len(doc.TraceEvents), doc.DisplayTimeUnit)
+	}
+	root := doc.TraceEvents[0]
+	if root.Name != "functional" || root.Cat != "pipeline" || root.TS != 0 || root.Dur != 3000 {
+		t.Fatalf("root event = %+v", root)
+	}
+	if root.Args["err"] != "boom" {
+		t.Fatalf("root args = %v", root.Args)
+	}
+	sched := doc.TraceEvents[1]
+	// JSON numbers decode as float64 in the any-typed Args.
+	if sched.Args["bdd_nodes"] != float64(512) || sched.Args["ands_in"] != float64(100) {
+		t.Fatalf("schedule args = %v", sched.Args)
+	}
+	if _, ok := sched.Args["states_in"]; ok {
+		t.Fatalf("schedule must omit -1 fields: %v", sched.Args)
+	}
+	min := doc.TraceEvents[2]
+	if min.TS != 1000 || min.Dur != 2000 || min.Args["spans"] != float64(3) || min.Args["err"] != "boom" {
+		t.Fatalf("minimize event = %+v", min)
+	}
+
+	// A nil report still writes a loadable empty document.
+	buf.Reset()
+	if err := (*Report)(nil).WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents": []`) {
+		t.Fatalf("nil report trace: %s", buf.String())
+	}
+}
+
+// TestExecuteObserved checks the span plumbing end to end: Execute emits
+// a root and per-stage span, counts sub-stage spans into StageStats.Spans,
+// and folds NoteBDDNodes peaks into StageStats.BDDNodes.
+func TestExecuteObserved(t *testing.T) {
+	sink := obs.NewTraceBuffer()
+	reg := obs.NewRegistry()
+	o := &obs.Observer{Tracer: obs.NewTracer(sink), Metrics: reg}
+	run := NewRunObserved(context.Background(), Budget{}, o)
+
+	rep, err := Execute(run, "test",
+		Stage{Name: "a", Run: func(ss *StageStats) error {
+			run.Span().Child("a.sub", "x").End()
+			run.Span().Child("a.sub", "x").End()
+			run.NoteBDDNodes(300)
+			run.NoteBDDNodes(200)
+			return nil
+		}},
+		Stage{Name: "b", Run: func(ss *StageStats) error {
+			ss.BDDNodes = 77 // a stage's own value wins over the noted peak
+			run.NoteBDDNodes(999)
+			return nil
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stages[0].Spans != 2 {
+		t.Errorf("stage a Spans = %d, want 2", rep.Stages[0].Spans)
+	}
+	if rep.Stages[0].BDDNodes != 300 {
+		t.Errorf("stage a BDDNodes = %d, want 300", rep.Stages[0].BDDNodes)
+	}
+	if rep.Stages[1].BDDNodes != 77 {
+		t.Errorf("stage b BDDNodes = %d, want 77", rep.Stages[1].BDDNodes)
+	}
+	if got := reg.Gauge(obs.MBDDLiveNodes).Peak(); got != 999 {
+		t.Errorf("live-nodes gauge peak = %d, want 999", got)
+	}
+	// Events: a.sub x2, stage a, stage b, root.
+	names := make(map[string]int)
+	for _, e := range sink.Events() {
+		names[e.Name]++
+	}
+	if names["a.sub"] != 2 || names["a"] != 1 || names["b"] != 1 || names["test"] != 1 {
+		t.Errorf("events = %v", names)
+	}
+	if run.Span() != nil {
+		t.Error("Run.Span not restored after Execute")
+	}
+}
+
+// TestExecuteAbortFlushesSpans is the partial-trace guarantee: a stage
+// failure (here a budget error) must still end and emit the stage and
+// root spans, and the report must carry the error.
+func TestExecuteAbortFlushesSpans(t *testing.T) {
+	sink := obs.NewTraceBuffer()
+	o := &obs.Observer{Tracer: obs.NewTracer(sink)}
+	run := NewRunObserved(context.Background(), Budget{}, o)
+
+	rep, err := Execute(run, "test",
+		Stage{Name: "ok", Run: func(ss *StageStats) error { return nil }},
+		Stage{Name: "bad", Run: func(ss *StageStats) error {
+			run.Span().Child("bad.sub", "x").End()
+			return ErrBudgetExceeded
+		}},
+		Stage{Name: "never", Run: func(ss *StageStats) error {
+			t.Error("stage after abort must not run")
+			return nil
+		}},
+	)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Stage != "bad" || pe.Report != rep {
+		t.Fatalf("error detail = %+v", err)
+	}
+	if len(rep.Stages) != 2 || rep.Stages[1].Err == "" || rep.Err == "" {
+		t.Fatalf("report = %+v", rep)
+	}
+	var sawStage, sawRoot bool
+	for _, e := range sink.Events() {
+		switch e.Name {
+		case "bad":
+			sawStage = true
+			if e.Args["err"] == nil {
+				t.Error("failed stage span missing err attribute")
+			}
+		case "test":
+			sawRoot = true
+			if e.Args["err"] == nil {
+				t.Error("root span missing err attribute")
+			}
+		}
+	}
+	if !sawStage || !sawRoot {
+		t.Fatalf("aborted run did not flush spans: %v", sink.Events())
+	}
+
+	// A pre-cancelled run flushes the root span too.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sink2 := obs.NewTraceBuffer()
+	run2 := NewRunObserved(ctx, Budget{}, &obs.Observer{Tracer: obs.NewTracer(sink2)})
+	if _, err := Execute(run2, "pre", Stage{Name: "s", Run: func(*StageStats) error { return nil }}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if sink2.Len() != 1 || sink2.Events()[0].Name != "pre" {
+		t.Fatalf("pre-cancelled run events = %v", sink2.Events())
+	}
+}
+
+// TestExecuteNested checks that a pipeline started while Run.Span is set
+// (the hybrid method's structural fallback) roots under that span.
+func TestExecuteNested(t *testing.T) {
+	sink := obs.NewTraceBuffer()
+	o := &obs.Observer{Tracer: obs.NewTracer(sink)}
+	run := NewRunObserved(context.Background(), Budget{}, o)
+
+	_, err := Execute(run, "outer",
+		Stage{Name: "host", Run: func(ss *StageStats) error {
+			inner := NewRunObserved(run.Context(), Budget{}, run.Observer())
+			inner.SetSpan(run.Span())
+			_, err := Execute(inner, "inner",
+				Stage{Name: "leaf", Run: func(*StageStats) error { return nil }})
+			return err
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := sink.Events()[len(sink.Events())-1]
+	if outer.Name != "outer" {
+		t.Fatalf("last event = %+v", outer)
+	}
+	// host's descendant count must include the inner pipeline's spans
+	// (inner root + leaf), proving the inner trace nested under it.
+	for _, e := range sink.Events() {
+		if e.Name == "host" && e.Args["spans"] != nil {
+			t.Fatalf("unexpected args on stage span: %v", e.Args)
+		}
+	}
+	var rep *Report
+	run3 := NewRunObserved(context.Background(), Budget{}, o)
+	rep, err = Execute(run3, "outer2", Stage{Name: "host", Run: func(ss *StageStats) error {
+		inner := NewRunObserved(run3.Context(), Budget{}, run3.Observer())
+		inner.SetSpan(run3.Span())
+		_, err := Execute(inner, "inner", Stage{Name: "leaf", Run: func(*StageStats) error { return nil }})
+		return err
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Stages[0].Spans; got != 2 {
+		t.Fatalf("host stage Spans = %d, want 2 (inner root + leaf)", got)
+	}
+}

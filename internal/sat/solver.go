@@ -10,6 +10,8 @@ package sat
 
 import (
 	"sort"
+
+	"circuitfold/internal/obs"
 )
 
 // Lit is a literal: variable index shifted left once, low bit set for a
@@ -96,6 +98,15 @@ type Solver struct {
 	interrupt    func() bool // polled during search; true aborts with Unknown
 
 	stats Stats
+
+	// Observability hooks (nil when unobserved; all uses nil-safe).
+	span          *obs.Span      // parent for per-call "sat.solve" spans
+	mDecisions    *obs.Counter   // obs.MSATDecisions
+	mPropagations *obs.Counter   // obs.MSATPropagations
+	mRestarts     *obs.Counter   // obs.MSATRestarts
+	mConflicts    *obs.Counter   // obs.MSATConflicts
+	mLearned      *obs.Histogram // obs.MSATLearnedSize
+	observed      bool
 }
 
 // Stats holds cumulative solver counters, accumulated across Solve calls.
@@ -119,6 +130,22 @@ func (a *Stats) Add(b Stats) {
 
 // Stats returns a snapshot of the solver's cumulative counters.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// SetObserver attaches observability to the solver: each Solve call
+// opens a "sat.solve" child span under span carrying the per-call stat
+// deltas, and the sat.* counters / the learned-clause-size histogram of
+// reg accumulate across calls. Either argument may be nil (the sweep
+// engine passes metrics only, keeping traces small across its thousands
+// of queries); nil+nil restores the zero-overhead unobserved state.
+func (s *Solver) SetObserver(span *obs.Span, reg *obs.Registry) {
+	s.span = span
+	s.mDecisions = reg.Counter(obs.MSATDecisions)
+	s.mPropagations = reg.Counter(obs.MSATPropagations)
+	s.mRestarts = reg.Counter(obs.MSATRestarts)
+	s.mConflicts = reg.Counter(obs.MSATConflicts)
+	s.mLearned = reg.Histogram(obs.MSATLearnedSize)
+	s.observed = span != nil || reg != nil
+}
 
 // New returns an empty solver.
 func New() *Solver {
@@ -489,7 +516,35 @@ func luby(i int64) int64 {
 }
 
 // Solve searches for a satisfying assignment under the given assumptions.
+// When an observer is attached (SetObserver), the call is wrapped in a
+// "sat.solve" span and its stat deltas feed the sat.* metrics.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.observed {
+		return s.search(assumptions)
+	}
+	sp := s.span.Child("sat.solve", "sat")
+	before := s.stats
+	st := s.search(assumptions)
+	d := s.stats
+	d.Conflicts -= before.Conflicts
+	d.Decisions -= before.Decisions
+	d.Propagations -= before.Propagations
+	d.Restarts -= before.Restarts
+	sp.SetStr("status", st.String())
+	sp.SetInt("vars", int64(len(s.assign)))
+	sp.SetInt("conflicts", d.Conflicts)
+	sp.SetInt("decisions", d.Decisions)
+	sp.SetInt("propagations", d.Propagations)
+	sp.End()
+	s.mConflicts.Add(d.Conflicts)
+	s.mDecisions.Add(d.Decisions)
+	s.mPropagations.Add(d.Propagations)
+	s.mRestarts.Add(d.Restarts)
+	return st
+}
+
+// search is the CDCL main loop behind Solve.
+func (s *Solver) search(assumptions []Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
@@ -522,6 +577,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			}
 			learnt, bt := s.analyze(confl)
 			s.cancelUntil(bt)
+			s.mLearned.Observe(int64(len(learnt)))
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {

@@ -1,0 +1,199 @@
+package circuitfold
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"circuitfold/internal/obs"
+	"circuitfold/internal/pipeline"
+)
+
+// eventKey indexes collected trace events by (name, category).
+type eventKey struct{ name, cat string }
+
+func eventIndex(events []TraceEvent) map[eventKey]int {
+	idx := make(map[eventKey]int)
+	for _, e := range events {
+		idx[eventKey{e.Name, e.Cat}]++
+	}
+	return idx
+}
+
+// TestObservedFunctionalFold runs the paper's 64-adder (a Table III
+// circuit) through the functional method with an Observer attached and
+// checks the whole observability surface: nested stage spans, the
+// sub-stage span types from the bdd/sat/fsm/core layers, the Report's
+// span and BDD-node counters, and the metrics registry.
+func TestObservedFunctionalFold(t *testing.T) {
+	g, err := Benchmark("64-adder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := NewTraceBuffer()
+	reg := NewMetrics()
+	opt := DefaultOptions()
+	opt.Timeout = 2 * time.Minute
+	opt.Observer = &Observer{Tracer: NewTracer(buf), Metrics: reg}
+	r, err := Functional(g, 16, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	idx := eventIndex(buf.Events())
+	for _, want := range []eventKey{
+		{"functional", "pipeline"},
+		{"schedule", "stage"},
+		{"tff", "stage"},
+		{"minimize", "stage"},
+		{"encode", "stage"},
+		{"bdd.sift", "bdd"},
+		{"tff.frame", "core"},
+		{"memin.iter", "fsm"},
+		{"sat.solve", "sat"},
+	} {
+		if idx[want] == 0 {
+			t.Errorf("trace missing span %v (have %v)", want, idx)
+		}
+	}
+	if got := idx[eventKey{"tff.frame", "core"}]; got != 16 {
+		t.Errorf("got %d tff.frame spans, want 16", got)
+	}
+
+	// The per-stage counters the spans feed.
+	if r.Report == nil {
+		t.Fatal("no report")
+	}
+	for _, name := range []string{"schedule", "tff"} {
+		ss := r.Report.Stage(name)
+		if ss == nil {
+			t.Fatalf("stage %s missing from report", name)
+		}
+		if ss.BDDNodes <= 0 {
+			t.Errorf("stage %s BDDNodes = %d, want > 0", name, ss.BDDNodes)
+		}
+		if ss.Spans <= 0 {
+			t.Errorf("stage %s Spans = %d, want > 0", name, ss.Spans)
+		}
+	}
+
+	if peak := reg.Gauge(obs.MBDDLiveNodes).Peak(); peak <= 0 {
+		t.Errorf("bdd.live_nodes peak = %d, want > 0", peak)
+	}
+	if peak := reg.Gauge(obs.MFSMStates).Peak(); int(peak) != r.States {
+		t.Errorf("fsm.states peak = %d, want %d", peak, r.States)
+	}
+	if swaps := reg.Counter(obs.MBDDReorderSwaps).Value(); swaps <= 0 {
+		t.Errorf("bdd.reorder_swaps = %d, want > 0", swaps)
+	}
+
+	// The buffer must serialize as a loadable Chrome trace.
+	var out bytes.Buffer
+	if err := buf.WriteChromeTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != buf.Len() {
+		t.Fatalf("serialized %d events, buffered %d", len(doc.TraceEvents), buf.Len())
+	}
+}
+
+// TestObservedSweepRounds attaches a span and registry to the SAT
+// sweeping engine directly and checks the sweep.round sub-stage spans
+// and the sweep metrics. The circuit hides a redundancy strashing
+// cannot see (or(ab, a¬b) ≡ a), so the sweep provably merges.
+func TestObservedSweepRounds(t *testing.T) {
+	g := NewCircuit()
+	a := g.PI("a")
+	b := g.PI("b")
+	g.AddPO(a, "y0")
+	g.AddPO(g.OrN(g.And(a, b), g.And(a, b.Not())), "y1")
+
+	buf := NewTraceBuffer()
+	reg := NewMetrics()
+	root := NewTracer(buf).Start("optimize", "test")
+	so := DefaultSweepOptions()
+	so.Span = root
+	so.Metrics = reg
+	so.Stage = "sweep"
+	out := OptimizeWith(g, so)
+	root.End()
+
+	if out.NumAnds() != 0 {
+		t.Errorf("sweep left %d ANDs, want 0", out.NumAnds())
+	}
+	idx := eventIndex(buf.Events())
+	if idx[eventKey{"sweep.round", "aig"}] == 0 {
+		t.Errorf("no sweep.round spans: %v", idx)
+	}
+	if merges := reg.Counter(obs.MSweepMerges).Value(); merges <= 0 {
+		t.Errorf("sweep.merges = %d, want > 0", merges)
+	}
+	if calls := reg.Counter(obs.MSweepSATCalls).Value(); calls <= 0 {
+		t.Errorf("sweep.sat_calls = %d, want > 0", calls)
+	}
+}
+
+// TestBudgetAbortFlushesPartialTrace aborts a fold on its state budget
+// and checks the sink still received the root and stage spans — the
+// partial trace an engineer debugs a blown budget with.
+func TestBudgetAbortFlushesPartialTrace(t *testing.T) {
+	g, err := Benchmark("64-adder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := NewTraceBuffer()
+	opt := DefaultOptions()
+	opt.Timeout = 0
+	opt.Budget = Budget{MaxStates: 4}
+	opt.Observer = &Observer{Tracer: NewTracer(buf)}
+	_, err = Functional(g, 16, opt)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want budget exceeded", err)
+	}
+	var sawRoot, sawTFF bool
+	for _, e := range buf.Events() {
+		if e.Name == "functional" && e.Cat == "pipeline" {
+			sawRoot = true
+			if e.Args["err"] == nil {
+				t.Error("aborted pipeline span missing err attribute")
+			}
+		}
+		if e.Name == "tff" && e.Cat == "stage" {
+			sawTFF = true
+		}
+	}
+	if !sawRoot || !sawTFF {
+		t.Fatalf("partial trace missing root/stage spans (root=%v tff=%v, %d events)",
+			sawRoot, sawTFF, buf.Len())
+	}
+}
+
+// TestNilObserverZeroAlloc asserts the zero-overhead contract at the
+// engine boundary: with no Observer installed, the instrumentation hooks
+// the fold engines call (run spans, BDD-node notes, metric resolution)
+// allocate nothing.
+func TestNilObserverZeroAlloc(t *testing.T) {
+	run := pipeline.NewRun(context.Background(), Budget{})
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := run.Span()
+		c := sp.Child("sub", "cat")
+		c.SetInt("k", 1)
+		c.End()
+		run.NoteBDDNodes(12345)
+		run.Metrics().Counter(obs.MSATDecisions).Add(1)
+		run.Metrics().Gauge(obs.MFSMStates).Set(7)
+		run.Observer().Span("root", "cat").End()
+	})
+	if allocs != 0 {
+		t.Fatalf("unobserved run allocated %.1f bytes/op in the hook path, want 0", allocs)
+	}
+}
