@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race vet bench bench-go trace clean
+.PHONY: build test verify race vet bench bench-go bench-bdd-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -29,14 +29,24 @@ race:
 verify: build test vet race
 
 # bench emits BENCH_sweep.json (ns/op, SAT calls, merges, conflicts for
-# the sweeping configurations) and BENCH_pipeline.json (per-stage fold
-# timings for every benchmark circuit); see cmd/bench.
+# the sweeping configurations), BENCH_pipeline.json (per-stage fold
+# timings for every benchmark circuit), and BENCH_bdd.json (BDD kernel
+# micro ops/sec plus build-and-sift times on Table III circuits); see
+# cmd/bench.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_sweep.json -pipeout BENCH_pipeline.json
+	$(GO) run ./cmd/bench -out BENCH_sweep.json -pipeout BENCH_pipeline.json -bddout BENCH_bdd.json
 
-# bench-go runs the Go benchmark suite for the sweeping engine.
+# bench-go runs the Go benchmark suite for the sweeping engine and the
+# BDD kernel.
 bench-go:
 	$(GO) test . -run XXX -bench 'BenchmarkSweep|BenchmarkSimWordsW' -benchmem
+	$(GO) test ./internal/bdd -run XXX -bench 'BenchmarkBDD' -benchmem
+
+# bench-bdd-smoke runs every BDD kernel benchmark once under the race
+# detector — a cheap PR gate that the storage layer's benchmarks still
+# run and stay race-clean.
+bench-bdd-smoke:
+	$(GO) test ./internal/bdd -run XXX -bench 'BenchmarkBDD' -benchtime 1x -race
 
 # trace folds the paper's 64-adder (Table III, T=16) functionally and
 # structurally under the span tracer and writes trace.json — load it at
@@ -45,4 +55,4 @@ trace:
 	$(GO) run ./cmd/bench -traceonly -tracefile trace.json -circuit 64-adder -frames 16
 
 clean:
-	rm -f BENCH_sweep.json BENCH_pipeline.json trace.json
+	rm -f BENCH_sweep.json BENCH_pipeline.json BENCH_bdd.json trace.json

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/bdd"
+	"circuitfold/internal/gen"
+)
+
+// BDDMicro holds the kernel microbenchmark results: synthetic workloads
+// that isolate the storage layer (unique-table probes, computed cache,
+// freelist) from circuit structure.
+type BDDMicro struct {
+	ApplyOpsPerSec float64 `json:"apply_ops_per_sec"`
+	ITEOpsPerSec   float64 `json:"ite_ops_per_sec"`
+	CacheHitPct    float64 `json:"cache_hit_pct"`
+	PeakLiveNodes  int     `json:"peak_live_nodes"`
+}
+
+// BDDCircuitRun is one Table III circuit pushed through the BDD kernel:
+// build the output BDDs, then sift. SiftNs is the headline number — the
+// BDD-bound stage the fold pipeline spends its time in.
+type BDDCircuitRun struct {
+	Circuit        string  `json:"circuit"`
+	Outputs        int     `json:"outputs"`
+	NodesBuilt     int     `json:"nodes_built"`
+	NodesAfterSift int     `json:"nodes_after_sift"`
+	BuildNs        int64   `json:"build_ns"`
+	SiftNs         int64   `json:"sift_ns"`
+	CacheHitPct    float64 `json:"cache_hit_pct"`
+	PeakLiveNodes  int     `json:"peak_live_nodes"`
+	Err            string  `json:"err,omitempty"`
+}
+
+// BDDReport is the BENCH_bdd.json schema.
+type BDDReport struct {
+	Date     string          `json:"date"`
+	Micro    BDDMicro        `json:"micro"`
+	Circuits []BDDCircuitRun `json:"circuits"`
+}
+
+// bddCircuits is the Table III subset the lane sifts: the circuits
+// whose monolithic output BDDs stay comfortably inside bddNodeCap.
+// (b17_C and toolarge blow past any reasonable cap; arbiter is included
+// exactly because it probes the cap-abort path on some orders.)
+var bddCircuits = []string{"64-adder", "e64", "i2", "i3", "arbiter"}
+
+// bddNodeCap aborts a circuit build whose manager outgrows it, so one
+// explosive order cannot stall the whole bench run.
+const bddNodeCap = 2_000_000
+
+// benchBDDApply times rebuilding a 16-bit ripple-carry adder on a
+// persistent manager and returns apply calls per second: after the
+// first build the computed cache is warm and the freelist supplies
+// every allocation, so this measures steady-state kernel throughput.
+func benchBDDApply(reps int) (opsPerSec, hitPct float64, peak int) {
+	m := bdd.New(32)
+	const builds = 512
+	var best time.Duration
+	var ops int
+	var roots []bdd.Node
+	for r := 0; r < reps; r++ {
+		ops = 0
+		start := time.Now()
+		for b := 0; b < builds; b++ {
+			carry := bdd.False
+			roots = roots[:0]
+			for i := 0; i < 16; i++ {
+				a, bb := m.Var(2*i), m.Var(2*i+1)
+				ab := m.Xor(a, bb)
+				roots = append(roots, m.Xor(ab, carry))
+				carry = m.Or(m.And(a, bb), m.And(carry, ab))
+				ops += 4
+			}
+			roots = append(roots, carry)
+		}
+		if d := time.Since(start); r == 0 || d < best {
+			best = d
+		}
+		m.GC(roots)
+	}
+	st := m.Stats()
+	return float64(ops) / best.Seconds(), hitRate(st), st.PeakNodes
+}
+
+// benchBDDITE times random ITE compositions over a pool of shared
+// functions.
+func benchBDDITE(reps int) float64 {
+	m := bdd.New(24)
+	pool := make([]bdd.Node, 0, 64)
+	for i := 0; i < 24; i++ {
+		pool = append(pool, m.Var(i))
+	}
+	for i := 0; i+1 < 24; i++ {
+		pool = append(pool, m.Xor(pool[i], pool[i+1]))
+	}
+	const calls = 1 << 14
+	var best time.Duration
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < calls; i++ {
+			m.Ite(pool[i%len(pool)], pool[(i*7+1)%len(pool)], pool[(i*13+2)%len(pool)])
+		}
+		if d := time.Since(start); r == 0 || d < best {
+			best = d
+		}
+		m.GC(pool)
+	}
+	return calls / best.Seconds()
+}
+
+func hitRate(st bdd.Stats) float64 {
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		return float64(st.CacheHits) / float64(total) * 100
+	}
+	return 0
+}
+
+// bddBuildOutputs constructs the BDDs of every primary output of g with
+// PI i mapped to variable i, aborting when the manager's arena exceeds
+// cap nodes.
+func bddBuildOutputs(g *aig.Graph, m *bdd.Manager, cap int) ([]bdd.Node, error) {
+	memo := make(map[int]bdd.Node)
+	memo[0] = bdd.False
+	var build func(id int) (bdd.Node, error)
+	build = func(id int) (bdd.Node, error) {
+		if r, ok := memo[id]; ok {
+			return r, nil
+		}
+		var r bdd.Node
+		if pi := g.PIIndex(id); pi >= 0 {
+			r = m.Var(pi)
+		} else {
+			f0, f1 := g.Fanins(id)
+			b0, err := build(f0.Node())
+			if err != nil {
+				return bdd.False, err
+			}
+			if f0.Compl() {
+				b0 = m.Not(b0)
+			}
+			b1, err := build(f1.Node())
+			if err != nil {
+				return bdd.False, err
+			}
+			if f1.Compl() {
+				b1 = m.Not(b1)
+			}
+			r = m.And(b0, b1)
+			if m.NumNodes() > cap {
+				return bdd.False, fmt.Errorf("node cap %d exceeded", cap)
+			}
+		}
+		memo[id] = r
+		return r, nil
+	}
+	out := make([]bdd.Node, g.NumPOs())
+	for i := range out {
+		po := g.PO(i)
+		b, err := build(po.Node())
+		if err != nil {
+			return nil, err
+		}
+		if po.Compl() {
+			b = m.Not(b)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// benchBDDCircuit builds and sifts one circuit.
+func benchBDDCircuit(name string) BDDCircuitRun {
+	run := BDDCircuitRun{Circuit: name}
+	g, err := gen.Build(name)
+	if err != nil {
+		run.Err = err.Error()
+		return run
+	}
+	run.Outputs = g.NumPOs()
+	m := bdd.New(g.NumPIs())
+	start := time.Now()
+	roots, err := bddBuildOutputs(g, m, bddNodeCap)
+	run.BuildNs = time.Since(start).Nanoseconds()
+	if err != nil {
+		run.Err = err.Error()
+		return run
+	}
+	run.NodesBuilt = m.NodeCount(roots...)
+	start = time.Now()
+	run.NodesAfterSift = m.Sift(roots, 0, m.NumVars()-1)
+	run.SiftNs = time.Since(start).Nanoseconds()
+	st := m.Stats()
+	run.CacheHitPct = hitRate(st)
+	run.PeakLiveNodes = st.PeakNodes
+	return run
+}
+
+// benchBDD runs the whole BDD lane.
+func benchBDD(reps int) BDDReport {
+	rep := BDDReport{Date: time.Now().UTC().Format(time.RFC3339)}
+	apply, hit, peak := benchBDDApply(reps)
+	rep.Micro = BDDMicro{
+		ApplyOpsPerSec: apply,
+		ITEOpsPerSec:   benchBDDITE(reps),
+		CacheHitPct:    hit,
+		PeakLiveNodes:  peak,
+	}
+	for _, name := range bddCircuits {
+		rep.Circuits = append(rep.Circuits, benchBDDCircuit(name))
+	}
+	return rep
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	bench [-out BENCH_sweep.json] [-pipeout BENCH_pipeline.json]
+//	      [-bddout BENCH_bdd.json]
 //	      [-reps 3] [-size 4000] [-seed 1234] [-tables]
 //	      [-tracefile trace.json] [-circuit 64-adder] [-frames 16]
 //	      [-traceonly] [-http :6060]
@@ -30,6 +31,11 @@
 // Alongside the sweep report, every benchmark circuit is folded
 // structurally through the pass pipeline and its per-stage trace
 // (schedule, synth timings and sizes) lands in BENCH_pipeline.json.
+//
+// -bddout runs the BDD kernel lane: apply/ITE microbenchmarks
+// (steady-state ops/sec, computed-cache hit rate, peak live nodes) and
+// a build-then-sift pass over the tractable Table III circuits, with
+// per-circuit sift wall time. The results land in BENCH_bdd.json.
 //
 // -tables additionally times a Table I/II regeneration (the harness paths
 // whose runtime the sweep dominates) and appends those runs.
@@ -210,6 +216,7 @@ func main() {
 	var (
 		out       = flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
 		pipeout   = flag.String("pipeout", "BENCH_pipeline.json", "per-stage fold timings JSON path (empty to skip)")
+		bddout    = flag.String("bddout", "BENCH_bdd.json", "BDD kernel benchmark JSON path (empty to skip)")
 		reps      = flag.Int("reps", 3, "repetitions per configuration (best time wins)")
 		size      = flag.Int("size", 4000, "workload size in AND nodes")
 		seed      = flag.Uint64("seed", 1234, "workload generator seed")
@@ -301,26 +308,36 @@ func main() {
 			*out, rep.SpeedupWorkers, rep.SATCallReductionCEX)
 	}
 
-	if *pipeout == "" {
-		hold(*httpAddr)
-		return
+	if *pipeout != "" {
+		prep := PipelineReport{
+			Date: time.Now().UTC().Format(time.RFC3339),
+			Runs: foldPipelines(),
+		}
+		if err := writeJSON(*pipeout, prep); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: per-stage fold timings for %d circuits\n", *pipeout, len(prep.Runs))
 	}
-	prep := PipelineReport{
-		Date: time.Now().UTC().Format(time.RFC3339),
-		Runs: foldPipelines(),
+	if *bddout != "" {
+		brep := benchBDD(*reps)
+		if err := writeJSON(*bddout, brep); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: BDD kernel lane (%d circuits, apply %.1f Mops/s, cache hit %.1f%%)\n",
+			*bddout, len(brep.Circuits), brep.Micro.ApplyOpsPerSec/1e6, brep.Micro.CacheHitPct)
 	}
-	pdata, err := json.MarshalIndent(prep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
-	}
-	pdata = append(pdata, '\n')
-	if err := os.WriteFile(*pipeout, pdata, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s: per-stage fold timings for %d circuits\n", *pipeout, len(prep.Runs))
 	hold(*httpAddr)
+}
+
+// writeJSON marshals v with indentation and writes it to path.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // hold keeps the process alive when -http is serving, so the debug

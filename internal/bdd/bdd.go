@@ -1,18 +1,25 @@
 // Package bdd implements reduced ordered binary decision diagrams with an
 // in-place variable-reordering engine (adjacent-level swap, Rudell-style
 // sifting, and Panda–Somenzi symmetric sifting). It plays the role CUDD
-// plays in the paper's implementation.
+// plays in the paper's implementation, and borrows CUDD's storage layout:
+// a single flat open-addressing unique table keyed by (level, lo, hi), a
+// fixed-size lossy computed cache (direct-mapped, overwrite on collision),
+// and a mark-and-sweep GC whose reclaimed arena slots feed a freelist so
+// the arena stops growing once the working set stabilizes.
 //
 // A Manager owns an arena of nodes; Node values are indices into that
 // arena and remain stable across reordering (a swap rewrites node
 // structure in place, never node identity), so callers can hold Nodes
-// across Sift calls. There are no complement edges and no garbage
-// collection: dead nodes simply linger in the arena, which is fine at the
-// problem sizes of this library.
+// across Sift calls. GC(roots) frees every node unreachable from roots;
+// a Node held by a caller survives any GC whose root set (transitively)
+// covers it, and a freed slot is only ever handed out again by mk, so a
+// live Node is never silently rebound to a different function. There are
+// no complement edges.
 package bdd
 
 import (
 	"fmt"
+	"unsafe"
 
 	"circuitfold/internal/obs"
 )
@@ -27,45 +34,77 @@ const (
 	True  Node = 1
 )
 
+// nodeRec is one arena slot. Live nodes carry the level of their top
+// variable (terminals use nVars); slots on the freelist carry freeLevel.
 type nodeRec struct {
-	level  int32 // level of the node's top variable; terminals use nVars
+	level  int32
 	lo, hi Node
 }
 
-type opKey struct {
-	op   int32
-	f, g Node
-}
+// freeLevel marks an arena slot that has been reclaimed by GC and is
+// waiting on the freelist. No live node ever has a negative level.
+const freeLevel int32 = -1
 
-type iteKey struct {
-	f, g, h Node
-}
-
+// Operation tags for the computed cache. 0 marks an empty cache slot.
 const (
 	opAnd = iota + 1
 	opOr
 	opXor
+	opIte
+	opCof
 )
 
 // Manager is a BDD node arena with a variable order. Variable indices are
 // permanent names; levels are positions in the current order (level 0 is
 // the top). The zero value is not usable; call New.
 type Manager struct {
-	nodes      []nodeRec
-	tables     []map[[2]Node]Node // unique table per level
+	nodes []nodeRec
+	free  []Node // reclaimed arena slots, reused LIFO by mk
+
+	// unique is the flat open-addressing unique table: power-of-two
+	// sized, linear probing, rebuilt (never tombstoned) on growth.
+	// Entries are arena indices keyed by the node's (level, lo, hi);
+	// 0 is the empty-slot sentinel (False never enters the table).
+	unique     []Node
+	uniqueUsed int
+
+	// cache is the lossy computed cache shared by apply and Ite:
+	// direct-mapped, one probe per lookup, overwrite on collision.
+	cache []cacheEntry
+
+	// visited/epoch implement allocation-free traversals: slot i is
+	// marked in the current traversal iff visited[i] == epoch.
+	visited []uint32
+	epoch   uint32
+	stack   []Node // scratch stack for iterative traversals
+
+	// Scratch buffers for SwapAdjacent's two level snapshots.
+	swapL, swapL1 []Node
+	swapRw        []bool
+
 	varAtLevel []int
 	levelOfVar []int
-	opCache    map[opKey]Node
-	iteCache   map[iteKey]Node
 	interrupt  func() error // polled by the sifting loops; non-nil result aborts
+
+	// Lifetime storage statistics, maintained unconditionally (the
+	// manager is single-goroutine, so these are plain ints).
+	hits, misses int64 // computed-cache probes
+	peak         int   // high-water allocated node count (arena − freelist)
+
+	// Values last flushed to the obs counters, so flushes add deltas.
+	flushedHits, flushedMisses int64
 
 	// Observability hooks (all nil when unobserved; every use is
 	// nil-safe, so the unobserved cost is a single pointer test on the
 	// cold paths and nothing on the node-creation fast path).
-	span   *obs.Span    // parent for per-round sifting spans
-	mSwaps *obs.Counter // obs.MBDDReorderSwaps
-	mLive  *obs.Gauge   // obs.MBDDLiveNodes
-	mArena *obs.Gauge   // obs.MBDDArenaBytes
+	span    *obs.Span    // parent for per-round sifting spans
+	mSwaps  *obs.Counter // obs.MBDDReorderSwaps
+	mLive   *obs.Gauge   // obs.MBDDLiveNodes
+	mArena  *obs.Gauge   // obs.MBDDArenaBytes
+	mHits   *obs.Counter // obs.MBDDCacheHits
+	mMisses *obs.Counter // obs.MBDDCacheMisses
+	mLoad   *obs.Gauge   // obs.MBDDUniqueLoad
+	mFree   *obs.Gauge   // obs.MBDDFreeNodes
 }
 
 // SetInterrupt installs a callback polled by the reordering loops
@@ -83,43 +122,90 @@ func (m *Manager) stopped() bool {
 
 // SetObserver attaches observability to the manager: sifting rounds
 // open "bdd.sift" child spans under span, and the manager keeps the
-// bdd.live_nodes / bdd.arena_bytes gauges and the bdd.reorder_swaps
-// counter of reg current. Either argument may be nil; a fully nil
-// observer restores the zero-overhead unobserved state.
+// bdd.live_nodes / bdd.arena_bytes / bdd.free_nodes /
+// bdd.unique_load_pct gauges and the bdd.reorder_swaps /
+// bdd.cache_hits / bdd.cache_misses counters of reg current. Either
+// argument may be nil; a fully nil observer restores the zero-overhead
+// unobserved state.
 func (m *Manager) SetObserver(span *obs.Span, reg *obs.Registry) {
 	m.span = span
 	m.mSwaps = reg.Counter(obs.MBDDReorderSwaps)
 	m.mLive = reg.Gauge(obs.MBDDLiveNodes)
 	m.mArena = reg.Gauge(obs.MBDDArenaBytes)
+	m.mHits = reg.Counter(obs.MBDDCacheHits)
+	m.mMisses = reg.Counter(obs.MBDDCacheMisses)
+	m.mLoad = reg.Gauge(obs.MBDDUniqueLoad)
+	m.mFree = reg.Gauge(obs.MBDDFreeNodes)
 }
 
-// nodeRecBytes is the arena cost per node reported on bdd.arena_bytes.
-const nodeRecBytes = 12 // int32 level + two int32 children
+// nodeRecBytes is the arena cost per node reported on bdd.arena_bytes,
+// derived from the real record so it cannot drift when nodeRec grows.
+const nodeRecBytes = int64(unsafe.Sizeof(nodeRec{}))
 
-// noteSize refreshes the live-node and arena gauges; called from the
-// cold spots (GC, sift rounds) rather than mk so the fast path stays
-// untouched.
+// noteSize refreshes the size gauges and flushes the cache counters;
+// called from the cold spots (GC, sift rounds) rather than mk so the
+// fast path stays untouched.
 func (m *Manager) noteSize() {
 	if m.mLive == nil {
 		return
 	}
-	n := int64(len(m.nodes))
-	m.mLive.Set(n)
-	m.mArena.Set(n * nodeRecBytes)
+	m.mLive.Set(int64(len(m.nodes) - len(m.free)))
+	m.mArena.Set(int64(len(m.nodes)) * nodeRecBytes)
+	m.mFree.Set(int64(len(m.free)))
+	m.mLoad.Set(m.loadPct())
+	m.mHits.Add(m.hits - m.flushedHits)
+	m.flushedHits = m.hits
+	m.mMisses.Add(m.misses - m.flushedMisses)
+	m.flushedMisses = m.misses
+}
+
+// loadPct returns the unique table's load factor as a percentage.
+func (m *Manager) loadPct() int64 {
+	return int64(m.uniqueUsed) * 100 / int64(len(m.unique))
+}
+
+// Stats is a point-in-time snapshot of the manager's storage layer,
+// exposed for benchmarks and tests; it requires no observer.
+type Stats struct {
+	ArenaNodes  int   // arena slots, terminals and freelist slots included
+	FreeNodes   int   // slots on the freelist awaiting reuse
+	AllocNodes  int   // ArenaNodes − FreeNodes (live + not-yet-collected)
+	PeakNodes   int   // high-water AllocNodes over the manager's lifetime
+	UniqueSlots int   // open-addressing table capacity
+	UniqueUsed  int   // populated table slots
+	CacheSlots  int   // computed-cache capacity
+	CacheHits   int64 // computed-cache hits since New
+	CacheMisses int64 // computed-cache misses since New
+}
+
+// Stats returns the manager's current storage statistics.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		ArenaNodes:  len(m.nodes),
+		FreeNodes:   len(m.free),
+		AllocNodes:  len(m.nodes) - len(m.free),
+		PeakNodes:   m.peak,
+		UniqueSlots: len(m.unique),
+		UniqueUsed:  m.uniqueUsed,
+		CacheSlots:  len(m.cache),
+		CacheHits:   m.hits,
+		CacheMisses: m.misses,
+	}
 }
 
 // New creates a manager with nVars variables, variable i initially at
 // level i.
 func New(nVars int) *Manager {
 	m := &Manager{
-		nodes:    make([]nodeRec, 2, 1024),
-		opCache:  make(map[opKey]Node),
-		iteCache: make(map[iteKey]Node),
+		nodes:   make([]nodeRec, 2, 1024),
+		visited: make([]uint32, 2, 1024),
+		unique:  make([]Node, minUniqueSlots),
+		cache:   make([]cacheEntry, minCacheSlots),
+		peak:    2,
 	}
 	m.nodes[False] = nodeRec{level: int32(nVars)}
 	m.nodes[True] = nodeRec{level: int32(nVars)}
 	for i := 0; i < nVars; i++ {
-		m.tables = append(m.tables, make(map[[2]Node]Node))
 		m.varAtLevel = append(m.varAtLevel, i)
 		m.levelOfVar = append(m.levelOfVar, i)
 	}
@@ -129,7 +215,7 @@ func New(nVars int) *Manager {
 // NumVars returns the number of variables.
 func (m *Manager) NumVars() int { return len(m.varAtLevel) }
 
-// NumNodes returns the arena size (including terminals and dead nodes).
+// NumNodes returns the arena size (including terminals and free slots).
 func (m *Manager) NumNodes() int { return len(m.nodes) }
 
 // VarAtLevel returns the variable currently at the given level.
@@ -167,18 +253,44 @@ func (m *Manager) NVar(v int) Node {
 	return m.mk(m.levelOfVar[v], True, False)
 }
 
-// mk returns the canonical node (level, lo, hi).
+// mk returns the canonical node (level, lo, hi): the unique-table entry
+// when one exists, otherwise a fresh node allocated from the freelist
+// (or by growing the arena when the freelist is empty).
 func (m *Manager) mk(level int, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
-	key := [2]Node{lo, hi}
-	if n, ok := m.tables[level][key]; ok {
-		return n
+	mask := uint64(len(m.unique) - 1)
+	i := hashKey(int32(level), lo, hi) & mask
+	for {
+		e := m.unique[i]
+		if e == 0 {
+			break
+		}
+		if r := &m.nodes[e]; r.level == int32(level) && r.lo == lo && r.hi == hi {
+			return e
+		}
+		i = (i + 1) & mask
 	}
-	n := Node(len(m.nodes))
-	m.nodes = append(m.nodes, nodeRec{level: int32(level), lo: lo, hi: hi})
-	m.tables[level][key] = n
+	var n Node
+	if k := len(m.free) - 1; k >= 0 {
+		n = m.free[k]
+		m.free = m.free[:k]
+		m.nodes[n] = nodeRec{level: int32(level), lo: lo, hi: hi}
+	} else {
+		n = Node(len(m.nodes))
+		m.nodes = append(m.nodes, nodeRec{level: int32(level), lo: lo, hi: hi})
+		m.visited = append(m.visited, 0)
+	}
+	m.unique[i] = n
+	m.uniqueUsed++
+	if alloc := len(m.nodes) - len(m.free); alloc > m.peak {
+		m.peak = alloc
+	}
+	if 4*m.uniqueUsed > 3*len(m.unique) {
+		m.growUnique()
+		m.growCache()
+	}
 	return n
 }
 
@@ -249,8 +361,7 @@ func (m *Manager) apply(op int32, f, g Node) Node {
 	if f > g {
 		f, g = g, f
 	}
-	key := opKey{op, f, g}
-	if r, ok := m.opCache[key]; ok {
+	if r, ok := m.cacheGet(op, f, g, 0); ok {
 		return r
 	}
 	lf, lg := m.nodes[f].level, m.nodes[g].level
@@ -267,7 +378,7 @@ func (m *Manager) apply(op int32, f, g Node) Node {
 		g0, g1 = m.nodes[g].lo, m.nodes[g].hi
 	}
 	r := m.mk(int(top), m.apply(op, f0, g0), m.apply(op, f1, g1))
-	m.opCache[key] = r
+	m.cachePut(op, f, g, 0, r)
 	return r
 }
 
@@ -283,8 +394,7 @@ func (m *Manager) Ite(f, g, h Node) Node {
 	case g == True && h == False:
 		return f
 	}
-	key := iteKey{f, g, h}
-	if r, ok := m.iteCache[key]; ok {
+	if r, ok := m.cacheGet(opIte, f, g, h); ok {
 		return r
 	}
 	top := m.nodes[f].level
@@ -304,37 +414,44 @@ func (m *Manager) Ite(f, g, h Node) Node {
 	g0, g1 := cof(g)
 	h0, h1 := cof(h)
 	r := m.mk(int(top), m.Ite(f0, g0, h0), m.Ite(f1, g1, h1))
-	m.iteCache[key] = r
+	m.cachePut(opIte, f, g, h, r)
 	return r
 }
 
-// Cofactor returns f with variable v fixed to val.
+// Cofactor returns f with variable v fixed to val. Results go through
+// the computed cache keyed by (f, variable, val) — the variable, not
+// its level — so entries stay valid across reordering: f|v=val does
+// not depend on the order, even though the recursion walks the current
+// one. Symmetry detection calls Cofactor O(n²) times; the shared cache
+// makes those calls allocation-free and lets cofactors recomputed
+// across variable pairs hit.
 func (m *Manager) Cofactor(f Node, v int, val bool) Node {
-	lv := m.levelOfVar[v]
-	memo := make(map[Node]Node)
-	var rec func(n Node) Node
-	rec = func(n Node) Node {
-		nl := int(m.nodes[n].level)
-		if nl > lv {
-			return n
-		}
-		if r, ok := memo[n]; ok {
-			return r
-		}
-		var r Node
-		if nl == lv {
-			if val {
-				r = m.nodes[n].hi
-			} else {
-				r = m.nodes[n].lo
-			}
-		} else {
-			r = m.mk(nl, rec(m.nodes[n].lo), rec(m.nodes[n].hi))
-		}
-		memo[n] = r
-		return r
+	key := Node(2 * v)
+	if val {
+		key++
 	}
-	return rec(f)
+	return m.cof(f, int32(m.levelOfVar[v]), key)
+}
+
+// cof recurses Cofactor; lv is the current level of the cofactored
+// variable and key packs (variable, val) for the cache.
+func (m *Manager) cof(n Node, lv int32, key Node) Node {
+	r := m.nodes[n]
+	if r.level > lv {
+		return n
+	}
+	if r.level == lv {
+		if key&1 == 1 {
+			return r.hi
+		}
+		return r.lo
+	}
+	if res, ok := m.cacheGet(opCof, n, key, 0); ok {
+		return res
+	}
+	res := m.mk(int(r.level), m.cof(r.lo, lv, key), m.cof(r.hi, lv, key))
+	m.cachePut(opCof, n, key, 0, res)
+	return res
 }
 
 // Exists existentially quantifies the given variables out of f.
@@ -382,21 +499,39 @@ func (m *Manager) Eval(f Node, assign []bool) bool {
 	return f == True
 }
 
+// beginVisit starts a new traversal epoch; a slot is considered visited
+// in the current traversal iff visited[slot] == epoch.
+func (m *Manager) beginVisit() {
+	m.epoch++
+	if m.epoch == 0 { // wrapped: stale stamps could collide, reset all
+		for i := range m.visited {
+			m.visited[i] = 0
+		}
+		m.epoch = 1
+	}
+}
+
 // Support returns the variables f depends on, in current level order.
 func (m *Manager) Support(f Node) []int {
-	seen := make(map[Node]bool)
 	inSup := make([]bool, m.NumVars())
-	var rec func(n Node)
-	rec = func(n Node) {
-		if m.IsTerminal(n) || seen[n] {
-			return
-		}
-		seen[n] = true
-		inSup[m.nodes[n].level] = true
-		rec(m.nodes[n].lo)
-		rec(m.nodes[n].hi)
+	m.beginVisit()
+	stack := m.stack[:0]
+	if !m.IsTerminal(f) {
+		m.visited[f] = m.epoch
+		stack = append(stack, f)
 	}
-	rec(f)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		inSup[m.nodes[n].level] = true
+		for _, c := range [2]Node{m.nodes[n].lo, m.nodes[n].hi} {
+			if c > True && m.visited[c] != m.epoch {
+				m.visited[c] = m.epoch
+				stack = append(stack, c)
+			}
+		}
+	}
+	m.stack = stack[:0]
 	var out []int
 	for l := 0; l < m.NumVars(); l++ {
 		if inSup[l] {
@@ -407,22 +542,31 @@ func (m *Manager) Support(f Node) []int {
 }
 
 // NodeCount returns the number of distinct non-terminal nodes reachable
-// from the given roots (the shared size of the function set).
+// from the given roots (the shared size of the function set). It
+// allocates nothing, so the sifting loops can call it after every swap.
 func (m *Manager) NodeCount(roots ...Node) int {
-	seen := make(map[Node]bool)
-	var rec func(n Node)
-	rec = func(n Node) {
-		if m.IsTerminal(n) || seen[n] {
-			return
-		}
-		seen[n] = true
-		rec(m.nodes[n].lo)
-		rec(m.nodes[n].hi)
-	}
+	m.beginVisit()
+	stack := m.stack[:0]
 	for _, r := range roots {
-		rec(r)
+		if r > True && m.visited[r] != m.epoch {
+			m.visited[r] = m.epoch
+			stack = append(stack, r)
+		}
 	}
-	return len(seen)
+	count := 0
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, c := range [2]Node{m.nodes[n].lo, m.nodes[n].hi} {
+			if c > True && m.visited[c] != m.epoch {
+				m.visited[c] = m.epoch
+				stack = append(stack, c)
+			}
+		}
+	}
+	m.stack = stack[:0]
+	return count
 }
 
 // SatCount returns the number of satisfying assignments of f over all
@@ -468,7 +612,7 @@ func pow2(k int) float64 {
 
 // String renders a small summary.
 func (m *Manager) String() string {
-	return fmt.Sprintf("bdd{vars:%d nodes:%d}", m.NumVars(), len(m.nodes))
+	return fmt.Sprintf("bdd{vars:%d nodes:%d free:%d}", m.NumVars(), len(m.nodes), len(m.free))
 }
 
 // AnySat returns one satisfying assignment of f (indexed by variable,

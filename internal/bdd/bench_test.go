@@ -1,0 +1,102 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchAdder builds the w-bit ripple-carry adder sum outputs over 2w
+// variables (a classic BDD workload: linear-sized under the interleaved
+// order the manager starts in).
+func benchAdder(m *Manager, w int) []Node {
+	outs := make([]Node, 0, w+1)
+	carry := False
+	for i := 0; i < w; i++ {
+		a, b := m.Var(2*i), m.Var(2*i+1)
+		sum := m.Xor(m.Xor(a, b), carry)
+		carry = m.Or(m.And(a, b), m.And(carry, m.Xor(a, b)))
+		outs = append(outs, sum)
+	}
+	return append(outs, carry)
+}
+
+// BenchmarkBDDApply measures the binary-apply hot path (mk + unique
+// probe + computed cache) by rebuilding an adder from scratch per
+// iteration on a persistent manager, so later iterations exercise cache
+// hits and freelist reuse rather than cold growth.
+func BenchmarkBDDApply(b *testing.B) {
+	m := New(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		outs := benchAdder(m, 16)
+		if i%32 == 31 {
+			m.GC(outs)
+		}
+	}
+	st := m.Stats()
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		b.ReportMetric(float64(st.CacheHits)/float64(total)*100, "cachehit%")
+	}
+}
+
+// BenchmarkBDDITE measures the ternary path: random if-then-else
+// compositions over a pool of shared functions.
+func BenchmarkBDDITE(b *testing.B) {
+	m := New(24)
+	rng := rand.New(rand.NewSource(3))
+	pool := make([]Node, 0, 64)
+	for i := 0; i < 24; i++ {
+		pool = append(pool, m.Var(i))
+	}
+	for i := 0; i < 40; i++ {
+		f := pool[rng.Intn(len(pool))]
+		g := pool[rng.Intn(len(pool))]
+		pool = append(pool, m.Xor(f, g))
+	}
+	roots := append([]Node(nil), pool...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := pool[i%len(pool)]
+		g := pool[(i*7+1)%len(pool)]
+		h := pool[(i*13+2)%len(pool)]
+		m.Ite(f, g, h)
+		if i%1024 == 1023 {
+			m.GC(roots)
+		}
+	}
+}
+
+// BenchmarkBDDSift measures reordering: a 16-variable comparator built
+// under the worst (blocked) order, sifted to the good (interleaved)
+// order each iteration. Dominated by SwapAdjacent's in-place unique
+// table rewrite plus the per-swap NodeCount.
+func BenchmarkBDDSift(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New(16)
+		eq := True
+		for j := 0; j < 8; j++ {
+			eq = m.And(eq, m.Xnor(m.Var(j), m.Var(8+j)))
+		}
+		m.Sift([]Node{eq}, 0, 15)
+	}
+}
+
+// BenchmarkBDDGCReuse measures the collect-then-reallocate cycle: build
+// garbage, mark-and-sweep it, and rebuild through the freelist.
+func BenchmarkBDDGCReuse(b *testing.B) {
+	m := New(16)
+	rng := rand.New(rand.NewSource(9))
+	keep := randomFunc(m, rng, 16, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i % 8)))
+		randomFunc(m, r, 16, 100)
+		m.GC([]Node{keep})
+	}
+	if m.Stats().FreeNodes == 0 && b.N > 1 {
+		b.Fatal("expected freelist activity")
+	}
+}

@@ -1,0 +1,71 @@
+package bdd
+
+// The computed cache is CUDD-style lossy: a direct-mapped power-of-two
+// array shared by the binary apply operations, Ite, and Cofactor. A lookup is one
+// probe; an insert overwrites whatever occupied the slot. Losing an
+// entry only costs recomputation — correctness never depends on the
+// cache — so memory stays bounded regardless of how many operations the
+// manager serves. The cache grows in step with the unique table (half
+// its slot count) up to a hard cap, and GC clears it wholesale because
+// entries may reference nodes whose slots are about to be reused.
+
+// cacheEntry is one computed-cache slot. op == 0 means empty; binary
+// operations store h == 0, which cannot collide with Ite entries
+// because the op tag differs.
+type cacheEntry struct {
+	op      int32
+	f, g, h Node
+	r       Node
+}
+
+const (
+	// minCacheSlots is the initial capacity (2^9 slots · 20 B = 10 KiB).
+	minCacheSlots = 1 << 9
+	// maxCacheSlots caps the cache (2^18 slots · 20 B = 5 MiB).
+	maxCacheSlots = 1 << 18
+)
+
+// cacheIndex maps an operation key to its one slot.
+func (m *Manager) cacheIndex(op int32, f, g, h Node) uint64 {
+	k := uint64(uint32(f))<<32 | uint64(uint32(g))
+	k *= 0x9e3779b97f4a7c15
+	k ^= (uint64(uint32(h))<<8 | uint64(uint32(op))) * 0xbf58476d1ce4e5b9
+	k ^= k >> 29
+	k *= 0x94d049bb133111eb
+	k ^= k >> 32
+	return k & uint64(len(m.cache)-1)
+}
+
+// cacheGet probes the slot for (op, f, g, h) and counts the hit or miss.
+func (m *Manager) cacheGet(op int32, f, g, h Node) (Node, bool) {
+	e := &m.cache[m.cacheIndex(op, f, g, h)]
+	if e.op == op && e.f == f && e.g == g && e.h == h {
+		m.hits++
+		return e.r, true
+	}
+	m.misses++
+	return 0, false
+}
+
+// cachePut records a result, overwriting any colliding entry.
+func (m *Manager) cachePut(op int32, f, g, h, r Node) {
+	m.cache[m.cacheIndex(op, f, g, h)] = cacheEntry{op: op, f: f, g: g, h: h, r: r}
+}
+
+// growCache resizes the cache to half the unique table's slot count,
+// capped at maxCacheSlots. The lossy contents are discarded.
+func (m *Manager) growCache() {
+	want := len(m.unique) / 2
+	if want > maxCacheSlots {
+		want = maxCacheSlots
+	}
+	if want > len(m.cache) {
+		m.cache = make([]cacheEntry, want)
+	}
+}
+
+// clearCache empties every slot in place (GC must drop entries that
+// reference reclaimed nodes before their slots are reused).
+func (m *Manager) clearCache() {
+	clear(m.cache)
+}

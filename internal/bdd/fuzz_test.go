@@ -1,0 +1,154 @@
+package bdd
+
+import "testing"
+
+// The fuzz oracle represents a function over 6 variables as a 64-bit
+// truth mask: bit v holds the function's value under the assignment
+// where variable i equals bit i of v. Every manager operation has an
+// exact mask analogue, so any divergence is a kernel bug.
+
+const fuzzVars = 6
+
+// varMask returns the truth mask of variable i.
+func varMask(i int) uint64 {
+	m := uint64(0)
+	for v := 0; v < 64; v++ {
+		if v>>i&1 == 1 {
+			m |= 1 << v
+		}
+	}
+	return m
+}
+
+// cofMask fixes variable i to val in the mask.
+func cofMask(f uint64, i int, val bool) uint64 {
+	r := uint64(0)
+	for v := 0; v < 64; v++ {
+		forced := v &^ (1 << i)
+		if val {
+			forced |= 1 << i
+		}
+		r |= (f >> forced & 1) << v
+	}
+	return r
+}
+
+// FuzzBDDOps drives random operation sequences — apply ops, ITE,
+// quantification, cofactor, reordering, and GC — against the truth-mask
+// oracle, checking every live root after every structural operation.
+// It exercises the storage layer's hairiest interleavings: GC followed
+// by freelist reuse, and sifting while the unique table's load factor
+// is low (backward-shift deletion near-empty probe chains).
+func FuzzBDDOps(f *testing.F) {
+	// Seed: build, GC, then immediately reuse reclaimed slots.
+	f.Add([]byte{0, 1, 2, 0x10, 1, 3, 0x60, 0x11, 2, 4, 0x12, 0, 1})
+	// Seed: sift and swap with a near-empty table (low load factor).
+	f.Add([]byte{0x13, 0, 1, 2, 0x70, 0x80, 0, 0x71, 0x60, 0x70})
+	// Seed: ITE and quantification mixed with swaps.
+	f.Add([]byte{0x12, 0, 1, 0x13, 2, 3, 0x40, 1, 0x50, 2, 1, 0x80, 3, 0x60})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 128 {
+			data = data[:128]
+		}
+		m := New(fuzzVars)
+		type fn struct {
+			n    Node
+			mask uint64
+		}
+		pool := []fn{{False, 0}, {True, ^uint64(0)}}
+		for i := 0; i < fuzzVars; i++ {
+			pool = append(pool, fn{m.Var(i), varMask(i)})
+		}
+		next := func(k *int) byte {
+			if *k >= len(data) {
+				return 0
+			}
+			b := data[*k]
+			*k++
+			return b
+		}
+		pick := func(k *int) fn { return pool[int(next(k))%len(pool)] }
+		checkAll := func(op string) {
+			t.Helper()
+			for _, e := range pool {
+				tt := truthTable(m, e.n, fuzzVars)
+				for v, got := range tt {
+					if want := e.mask>>v&1 == 1; got != want {
+						t.Fatalf("after %s: node %d row %d: got %v want %v", op, e.n, v, got, want)
+					}
+				}
+			}
+		}
+
+		for k := 0; k < len(data); {
+			op := next(&k)
+			switch op >> 4 {
+			case 0: // And
+				a, b := pick(&k), pick(&k)
+				pool = append(pool, fn{m.And(a.n, b.n), a.mask & b.mask})
+			case 1: // Or
+				a, b := pick(&k), pick(&k)
+				pool = append(pool, fn{m.Or(a.n, b.n), a.mask | b.mask})
+			case 2: // Xor
+				a, b := pick(&k), pick(&k)
+				pool = append(pool, fn{m.Xor(a.n, b.n), a.mask ^ b.mask})
+			case 3: // Not
+				a := pick(&k)
+				pool = append(pool, fn{m.Not(a.n), ^a.mask})
+			case 4: // Ite
+				a, b, c := pick(&k), pick(&k), pick(&k)
+				pool = append(pool, fn{m.Ite(a.n, b.n, c.n), a.mask&b.mask | ^a.mask&c.mask})
+			case 5: // Cofactor
+				a := pick(&k)
+				v := int(next(&k)) % fuzzVars
+				val := next(&k)&1 == 1
+				pool = append(pool, fn{m.Cofactor(a.n, v, val), cofMask(a.mask, v, val)})
+			case 6: // Exists over one variable
+				a := pick(&k)
+				v := int(next(&k)) % fuzzVars
+				pool = append(pool, fn{
+					m.Exists(a.n, []int{v}),
+					cofMask(a.mask, v, false) | cofMask(a.mask, v, true),
+				})
+			case 7: // GC with the whole pool as roots, then verify
+				roots := make([]Node, len(pool))
+				for i, e := range pool {
+					roots[i] = e.n
+				}
+				m.GC(roots)
+				checkAll("GC")
+			case 8: // SwapAdjacent
+				l := int(next(&k)) % (fuzzVars - 1)
+				m.SwapAdjacent(l)
+				checkAll("SwapAdjacent")
+			case 9: // Sift
+				roots := make([]Node, len(pool))
+				for i, e := range pool {
+					roots[i] = e.n
+				}
+				m.Sift(roots, 0, fuzzVars-1)
+				checkAll("Sift")
+			case 10: // SiftSymmetric
+				roots := make([]Node, len(pool))
+				for i, e := range pool {
+					roots[i] = e.n
+				}
+				m.SiftSymmetric(roots, 0, fuzzVars-1)
+				checkAll("SiftSymmetric")
+			default: // keep opcode space dense: treat the rest as And
+				a, b := pick(&k), pick(&k)
+				pool = append(pool, fn{m.And(a.n, b.n), a.mask & b.mask})
+			}
+			if len(pool) > 64 {
+				pool = pool[len(pool)-64:]
+			}
+		}
+		checkAll("final")
+		roots := make([]Node, len(pool))
+		for i, e := range pool {
+			roots[i] = e.n
+		}
+		checkInvariants(t, m, roots)
+	})
+}

@@ -6,6 +6,10 @@ import "sort"
 // Node identities are preserved: nodes at level l that depend on both
 // variables are restructured in place, nodes that do not are relabeled.
 // Functions held by callers remain valid.
+//
+// The unique table keys entries by the arena records, so both levels
+// are deleted from the table (backward-shift, no tombstones) before any
+// record is mutated and reinserted under their new keys afterwards.
 func (m *Manager) SwapAdjacent(l int) {
 	if l < 0 || l+1 >= m.NumVars() {
 		panic("bdd: SwapAdjacent level out of range")
@@ -14,34 +18,47 @@ func (m *Manager) SwapAdjacent(l int) {
 	x := m.varAtLevel[l]
 	y := m.varAtLevel[l+1]
 
-	// Snapshot the two levels before mutating anything.
-	var levL, levL1 []Node
-	for _, n := range m.tables[l] {
-		levL = append(levL, n)
-	}
-	for _, n := range m.tables[l+1] {
-		levL1 = append(levL1, n)
-	}
-	// Classify level-l nodes by whether they reference level l+1.
-	rewrite := make([]bool, len(levL))
-	for i, n := range levL {
-		if m.nodes[m.nodes[n].lo].level == int32(l+1) || m.nodes[m.nodes[n].hi].level == int32(l+1) {
-			rewrite[i] = true
+	// Snapshot the two levels from the unique table before mutating
+	// anything. Slot order is deterministic, so the rebuild below and
+	// any nodes mk allocates during it are too.
+	levL := m.swapL[:0]
+	levL1 := m.swapL1[:0]
+	for _, e := range m.unique {
+		if e == 0 {
+			continue
+		}
+		switch m.nodes[e].level {
+		case int32(l):
+			levL = append(levL, e)
+		case int32(l + 1):
+			levL1 = append(levL1, e)
 		}
 	}
-	m.tables[l] = make(map[[2]Node]Node)
-	m.tables[l+1] = make(map[[2]Node]Node)
+	// Classify level-l nodes by whether they reference level l+1.
+	rewrite := m.swapRw[:0]
+	for _, n := range levL {
+		rewrite = append(rewrite,
+			m.nodes[m.nodes[n].lo].level == int32(l+1) || m.nodes[m.nodes[n].hi].level == int32(l+1))
+	}
+	// Remove both levels from the table while their keys still match
+	// their records.
+	for _, n := range levL {
+		m.uniqueDelete(n)
+	}
+	for _, n := range levL1 {
+		m.uniqueDelete(n)
+	}
 
 	// Old level-l+1 nodes (variable y) move up to level l.
 	for _, n := range levL1 {
 		m.nodes[n].level = int32(l)
-		m.tables[l][[2]Node{m.nodes[n].lo, m.nodes[n].hi}] = n
+		m.uniquePut(n)
 	}
 	// Level-l nodes independent of y move down to level l+1 unchanged.
 	for i, n := range levL {
 		if !rewrite[i] {
 			m.nodes[n].level = int32(l + 1)
-			m.tables[l+1][[2]Node{m.nodes[n].lo, m.nodes[n].hi}] = n
+			m.uniquePut(n)
 		}
 	}
 	// Remaining level-l nodes are restructured:
@@ -64,8 +81,10 @@ func (m *Manager) SwapAdjacent(l int) {
 		hi := m.mk(l+1, b, d)
 		m.nodes[n].lo = lo
 		m.nodes[n].hi = hi
-		m.tables[l][[2]Node{lo, hi}] = n
+		m.uniquePut(n)
 	}
+	// Return the (possibly grown) scratch buffers to the manager.
+	m.swapL, m.swapL1, m.swapRw = levL[:0], levL1[:0], rewrite[:0]
 
 	m.varAtLevel[l], m.varAtLevel[l+1] = y, x
 	m.levelOfVar[x], m.levelOfVar[y] = l+1, l
@@ -109,8 +128,12 @@ func (m *Manager) Sift(roots []Node, loLevel, hiLevel int) int {
 		m.maybeGC(roots)
 		sp := m.span.Child("bdd.sift", "bdd")
 		sp.SetInt("var", int64(v))
+		h0, ms0 := m.hits, m.misses
 		best = m.siftOne(roots, v, loLevel, hiLevel, best)
 		sp.SetInt("nodes", int64(best))
+		sp.SetInt("cache_hits", m.hits-h0)
+		sp.SetInt("cache_misses", m.misses-ms0)
+		sp.SetInt("unique_load_pct", m.loadPct())
 		sp.End()
 		m.noteSize()
 	}
@@ -133,8 +156,8 @@ func (m *Manager) siftOne(roots []Node, v, loLevel, hiLevel, cur int) int {
 			} else {
 				m.SwapAdjacent(m.levelOfVar[v] - 1)
 			}
-			m.maybeGC(roots)
 			size := m.NodeCount(roots...)
+			m.gcIfBloated(roots, size)
 			if size < bestSize {
 				bestSize, bestLevel = size, m.levelOfVar[v]
 			}
@@ -155,21 +178,27 @@ func (m *Manager) siftOne(roots []Node, v, loLevel, hiLevel, cur int) int {
 // varsByContribution lists the variables in [loLevel, hiLevel] sorted by
 // decreasing live node count at their level (the classic sifting order).
 func (m *Manager) varsByContribution(roots []Node, loLevel, hiLevel int) []int {
-	counts := make(map[int]int)
-	seen := make(map[Node]bool)
-	var rec func(n Node)
-	rec = func(n Node) {
-		if m.IsTerminal(n) || seen[n] {
-			return
-		}
-		seen[n] = true
-		counts[int(m.nodes[n].level)]++
-		rec(m.nodes[n].lo)
-		rec(m.nodes[n].hi)
-	}
+	counts := make([]int, m.NumVars())
+	m.beginVisit()
+	stack := m.stack[:0]
 	for _, r := range roots {
-		rec(r)
+		if r > True && m.visited[r] != m.epoch {
+			m.visited[r] = m.epoch
+			stack = append(stack, r)
+		}
 	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		counts[m.nodes[n].level]++
+		for _, c := range [2]Node{m.nodes[n].lo, m.nodes[n].hi} {
+			if c > True && m.visited[c] != m.epoch {
+				m.visited[c] = m.epoch
+				stack = append(stack, c)
+			}
+		}
+	}
+	m.stack = stack[:0]
 	var vars []int
 	for l := loLevel; l <= hiLevel; l++ {
 		vars = append(vars, m.varAtLevel[l])
@@ -264,8 +293,12 @@ func (m *Manager) SiftSymmetric(roots []Node, loLevel, hiLevel int) int {
 		sp := m.span.Child("bdd.sift", "bdd")
 		sp.SetInt("block", int64(len(groups[gi])))
 		sp.SetInt("var", int64(groups[gi][0]))
+		h0, ms0 := m.hits, m.misses
 		best = m.siftBlock(roots, groups[gi], loLevel, hiLevel, best)
 		sp.SetInt("nodes", int64(best))
+		sp.SetInt("cache_hits", m.hits-h0)
+		sp.SetInt("cache_misses", m.misses-ms0)
+		sp.SetInt("unique_load_pct", m.loadPct())
 		sp.End()
 		m.noteSize()
 	}
@@ -305,15 +338,17 @@ func (m *Manager) siftBlock(roots []Node, block []int, loLevel, hiLevel, cur int
 	}
 	for blockTop()+k-1 < hiLevel && !m.stopped() {
 		moveDown()
-		m.maybeGC(roots)
-		if size := m.NodeCount(roots...); size < bestSize {
+		size := m.NodeCount(roots...)
+		m.gcIfBloated(roots, size)
+		if size < bestSize {
 			bestSize, bestTop = size, blockTop()
 		}
 	}
 	for blockTop() > loLevel && !m.stopped() {
 		moveUp()
-		m.maybeGC(roots)
-		if size := m.NodeCount(roots...); size < bestSize {
+		size := m.NodeCount(roots...)
+		m.gcIfBloated(roots, size)
+		if size < bestSize {
 			bestSize, bestTop = size, blockTop()
 		}
 	}
@@ -364,51 +399,77 @@ func (m *Manager) Cube(vars []int, vals []bool) Node {
 	return r
 }
 
-// GC rebuilds the unique tables keeping only nodes reachable from roots
-// and clears the operation caches. Live node identities are preserved, so
-// roots and any other live references stay valid; the arena itself is not
-// compacted. Long reordering runs must collect periodically: every swap
-// orphans nodes, and orphans left in the tables get relabeled and
-// restructured again and again, degrading later swaps.
+// GC frees every node unreachable from roots: the unique table is
+// rebuilt over the live set, the computed cache is cleared (its entries
+// may reference reclaimed nodes), and the reclaimed arena slots go on
+// the freelist for mk to reuse, so the arena stops growing once the
+// working set stabilizes. Live node identities are preserved — roots and
+// any other reference reachable from them stay valid — and the rebuild
+// scans the arena in index order, so the post-GC table layout and the
+// freelist order are deterministic. Long reordering runs must collect
+// periodically: every swap orphans nodes, and orphans left in the table
+// get relabeled and restructured again and again, degrading later swaps.
+// It returns the number of live non-terminal nodes.
 func (m *Manager) GC(roots []Node) int {
-	live := make(map[Node]bool, len(m.nodes)/4)
-	var mark func(n Node)
-	mark = func(n Node) {
-		if m.IsTerminal(n) || live[n] {
-			return
-		}
-		live[n] = true
-		mark(m.nodes[n].lo)
-		mark(m.nodes[n].hi)
-	}
+	m.beginVisit()
+	stack := m.stack[:0]
 	for _, r := range roots {
-		mark(r)
+		if r > True && m.visited[r] != m.epoch {
+			m.visited[r] = m.epoch
+			stack = append(stack, r)
+		}
 	}
-	for l := range m.tables {
-		nt := make(map[[2]Node]Node)
-		for key, n := range m.tables[l] {
-			if live[n] {
-				nt[key] = n
+	live := 0
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		live++
+		for _, c := range [2]Node{m.nodes[n].lo, m.nodes[n].hi} {
+			if c > True && m.visited[c] != m.epoch {
+				m.visited[c] = m.epoch
+				stack = append(stack, c)
 			}
 		}
-		m.tables[l] = nt
 	}
-	m.opCache = make(map[opKey]Node)
-	m.iteCache = make(map[iteKey]Node)
-	if m.mLive != nil {
-		m.mLive.Set(int64(len(live)) + 2) // live nodes + terminals
-		m.mArena.Set(int64(len(m.nodes)) * nodeRecBytes)
+	m.stack = stack[:0]
+
+	// Rebuild the unique table sized for the survivors and sweep the
+	// arena: live nodes are reinserted, everything else is reclaimed.
+	size := minUniqueSlots
+	for size < 2*live {
+		size *= 2
 	}
-	return len(live)
+	m.unique = make([]Node, size)
+	m.uniqueUsed = 0
+	m.free = m.free[:0]
+	for i := 2; i < len(m.nodes); i++ {
+		if m.visited[i] == m.epoch {
+			m.uniqueReinsert(Node(i))
+		} else {
+			m.nodes[i] = nodeRec{level: freeLevel}
+			m.free = append(m.free, Node(i))
+		}
+	}
+	m.clearCache()
+
+	// After the sweep every non-live slot is on the freelist, so the
+	// allocated count noteSize reports is exactly live + the terminals.
+	m.noteSize()
+	return live
 }
 
-// maybeGC collects when the table population is far above the live count.
+// maybeGC collects when the unique-table population is far above the
+// live count.
 func (m *Manager) maybeGC(roots []Node) {
-	pop := 0
-	for _, t := range m.tables {
-		pop += len(t)
-	}
-	if pop > 4*m.NodeCount(roots...)+1024 {
+	m.gcIfBloated(roots, m.NodeCount(roots...))
+}
+
+// gcIfBloated collects when the unique-table population is far above
+// live, the caller's already-computed NodeCount of its roots — the
+// sifting loops measure after every swap, so fusing the measurement
+// with the GC trigger halves their traversals.
+func (m *Manager) gcIfBloated(roots []Node, live int) {
+	if m.uniqueUsed > 4*live+1024 {
 		m.GC(roots)
 	}
 }

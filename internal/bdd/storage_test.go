@@ -1,0 +1,208 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+
+	"circuitfold/internal/obs"
+)
+
+// TestNodeRecBytesMatchesStruct pins the arena-bytes accounting to the
+// real record size: nodeRecBytes is derived with unsafe.Sizeof, and the
+// bdd.arena_bytes gauge must report exactly ArenaNodes times that. This
+// is the drift guard for the historical hand-written "16" constant —
+// if nodeRec grows a field, both sides move together and this test
+// still passes; if someone reintroduces a literal, it fails.
+func TestNodeRecBytesMatchesStruct(t *testing.T) {
+	if want := int64(unsafe.Sizeof(nodeRec{})); nodeRecBytes != want {
+		t.Fatalf("nodeRecBytes = %d, unsafe.Sizeof(nodeRec{}) = %d", nodeRecBytes, want)
+	}
+	m := New(6)
+	rng := rand.New(rand.NewSource(7))
+	f := randomFunc(m, rng, 6, 40)
+	reg := obs.NewRegistry()
+	m.SetObserver(nil, reg)
+	m.GC([]Node{f}) // GC flushes the size gauges
+	got := reg.Gauge(obs.MBDDArenaBytes).Value()
+	want := int64(m.NumNodes()) * int64(unsafe.Sizeof(nodeRec{}))
+	if got != want {
+		t.Fatalf("arena_bytes gauge = %d, want nodes(%d) * sizeof(nodeRec)(%d) = %d",
+			got, m.NumNodes(), unsafe.Sizeof(nodeRec{}), want)
+	}
+	if free := reg.Gauge(obs.MBDDFreeNodes).Value(); free != int64(m.Stats().FreeNodes) {
+		t.Fatalf("free_nodes gauge = %d, Stats().FreeNodes = %d", free, m.Stats().FreeNodes)
+	}
+}
+
+// TestGCFreelistReuse checks the arena contract after GC: reclaimed
+// slots land on the freelist, subsequent allocation drains the freelist
+// before the arena grows, and the arena stops growing under a
+// build-then-collect churn loop.
+func TestGCFreelistReuse(t *testing.T) {
+	m := New(8)
+	rng := rand.New(rand.NewSource(11))
+	keep := randomFunc(m, rng, 4, 30) // uses only vars 0..3
+	for i := 0; i < 5; i++ {
+		randomFunc(m, rng, 8, 60) // garbage
+	}
+	arena := m.NumNodes()
+	m.GC([]Node{keep})
+	st := m.Stats()
+	if st.ArenaNodes != arena {
+		t.Fatalf("GC changed arena size: %d -> %d", arena, st.ArenaNodes)
+	}
+	if st.FreeNodes == 0 {
+		t.Fatal("GC reclaimed nothing despite garbage")
+	}
+	// Allocation drains the freelist before the arena grows: each Var
+	// call allocates at most one node, so as long as the freelist is
+	// non-empty the arena must not move.
+	for v := 0; v < 8 && m.Stats().FreeNodes > 0; v++ {
+		m.Var(v)
+		if m.NumNodes() != arena {
+			t.Fatalf("arena grew (%d -> %d) while freelist had room", arena, m.NumNodes())
+		}
+	}
+
+	// Churn: the arena must reach a fixed point, not grow per round.
+	m2 := New(8)
+	live := randomFunc(m2, rng, 8, 50)
+	m2.GC([]Node{live})
+	fixed := m2.NumNodes()
+	for round := 0; round < 20; round++ {
+		r := rand.New(rand.NewSource(int64(round)))
+		randomFunc(m2, r, 8, 50)
+		m2.GC([]Node{live})
+	}
+	if grown := m2.NumNodes() - fixed; grown > fixed {
+		t.Fatalf("arena kept growing under churn: %d -> %d", fixed, m2.NumNodes())
+	}
+}
+
+// TestGCCallerHeldNodesSurvive checks the identity contract: a Node
+// covered (transitively) by the GC root set keeps its function, and a
+// reclaimed slot reused by mk never aliases a node that was live — the
+// survivor's structure is untouched by later allocation.
+func TestGCCallerHeldNodesSurvive(t *testing.T) {
+	m := New(6)
+	rng := rand.New(rand.NewSource(23))
+	held := make([]Node, 0, 8)
+	tts := make([][]bool, 0, 8)
+	for i := 0; i < 8; i++ {
+		f := randomFunc(m, rng, 6, 25)
+		held = append(held, f)
+		tts = append(tts, truthTable(m, f, 6))
+	}
+	for i := 0; i < 4; i++ {
+		randomFunc(m, rng, 6, 40) // garbage to reclaim
+	}
+	m.GC(held)
+
+	// Record the live set: slots that must never be handed out.
+	liveSet := make(map[Node]bool)
+	var mark func(n Node)
+	mark = func(n Node) {
+		if m.IsTerminal(n) || liveSet[n] {
+			return
+		}
+		liveSet[n] = true
+		mark(m.Lo(n))
+		mark(m.Hi(n))
+	}
+	for _, f := range held {
+		mark(f)
+	}
+	before := m.Stats()
+	if before.FreeNodes == 0 {
+		t.Fatal("expected reclaimed slots before the reuse phase")
+	}
+
+	// Drain the freelist with fresh functions. mk may return an existing
+	// live node (hash consing) but must never *rebind* a live slot.
+	snapshot := make(map[Node][2]Node)
+	for n := range liveSet {
+		snapshot[n] = [2]Node{m.Lo(n), m.Hi(n)}
+	}
+	for i := 0; i < 6; i++ {
+		randomFunc(m, rng, 6, 40)
+	}
+	for n, ch := range snapshot {
+		if m.Lo(n) != ch[0] || m.Hi(n) != ch[1] {
+			t.Fatalf("live node %d was rebound: (%d,%d) -> (%d,%d)",
+				n, ch[0], ch[1], m.Lo(n), m.Hi(n))
+		}
+	}
+	for i, f := range held {
+		got := truthTable(m, f, 6)
+		for v := range got {
+			if got[v] != tts[i][v] {
+				t.Fatalf("held node %d changed function after GC+reuse", f)
+			}
+		}
+	}
+	checkInvariants(t, m, held)
+}
+
+// TestGCDeterministicLayout runs the same operation sequence — builds,
+// a GC, more builds, a sift — on two fresh managers and requires
+// identical arenas: same node IDs for every result, same stats. The
+// freelist sweep is in arena order and the unique table rebuild is a
+// pure function of history, so replays must agree bit for bit.
+func TestGCDeterministicLayout(t *testing.T) {
+	runSeq := func() (*Manager, []Node, Stats) {
+		m := New(8)
+		rng := rand.New(rand.NewSource(99))
+		var roots []Node
+		for i := 0; i < 6; i++ {
+			roots = append(roots, randomFunc(m, rng, 8, 40))
+		}
+		m.GC(roots[:3])
+		roots = roots[:3]
+		for i := 0; i < 3; i++ {
+			roots = append(roots, randomFunc(m, rng, 8, 40))
+		}
+		m.Sift(roots, 0, m.NumVars()-1)
+		m.GC(roots)
+		return m, roots, m.Stats()
+	}
+	m1, r1, s1 := runSeq()
+	m2, r2, s2 := runSeq()
+	if s1 != s2 {
+		t.Fatalf("stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("root %d: node id %d vs %d", i, r1[i], r2[i])
+		}
+	}
+	for n := 2; n < m1.NumNodes(); n++ {
+		a, b := m1.nodes[n], m2.nodes[n]
+		if a != b {
+			t.Fatalf("arena slot %d diverged: %+v vs %+v", n, a, b)
+		}
+	}
+}
+
+// TestStatsCountersMove sanity-checks the unconditional storage stats:
+// cache probes are counted with no observer attached, and the
+// unique-table population tracks live allocations.
+func TestStatsCountersMove(t *testing.T) {
+	m := New(6)
+	rng := rand.New(rand.NewSource(5))
+	f := randomFunc(m, rng, 6, 60)
+	g := randomFunc(m, rng, 6, 60)
+	m.And(f, g)
+	m.And(f, g) // warm: second call should hit
+	st := m.Stats()
+	if st.CacheMisses == 0 || st.CacheHits == 0 {
+		t.Fatalf("cache counters did not move: %+v", st)
+	}
+	if st.UniqueUsed != st.AllocNodes-2 {
+		t.Fatalf("unique table population %d != non-terminal allocated nodes %d",
+			st.UniqueUsed, st.AllocNodes-2)
+	}
+	if st.PeakNodes < st.AllocNodes {
+		t.Fatalf("peak %d below current allocation %d", st.PeakNodes, st.AllocNodes)
+	}
+}

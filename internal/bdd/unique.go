@@ -1,0 +1,117 @@
+package bdd
+
+// The unique table is a single flat open-addressing hash table over the
+// whole manager (CUDD keeps one subtable per level; a flat table keyed
+// by (level, lo, hi) probes identically but keeps one allocation and one
+// load factor). Invariants:
+//
+//   - power-of-two capacity, linear probing, no tombstones: removal uses
+//     backward-shift deletion, growth rebuilds into a fresh array;
+//   - entry 0 means empty (False, arena slot 0, never enters the table);
+//   - an entry's key is derived from its arena record, so a node's
+//     record may only be mutated while the node is out of the table
+//     (SwapAdjacent deletes both affected levels before relabeling);
+//   - load is kept under 75%, so probe chains stay short.
+
+// minUniqueSlots is the initial table capacity; small managers (a few
+// variables in tests) never grow past it.
+const minUniqueSlots = 256
+
+// hashKey mixes a node key into a table hash (splitmix64-style finisher
+// over the packed children and level).
+func hashKey(level int32, lo, hi Node) uint64 {
+	h := uint64(uint32(lo))<<32 | uint64(uint32(hi))
+	h *= 0x9e3779b97f4a7c15
+	h ^= uint64(uint32(level)) * 0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	h *= 0x94d049bb133111eb
+	h ^= h >> 32
+	return h
+}
+
+// growUnique doubles the table and reinserts every entry, in slot order.
+// Rebuilding (rather than tombstoning) keeps probe chains tight and is
+// deterministic: slot order is a pure function of the manager's history.
+func (m *Manager) growUnique() {
+	old := m.unique
+	m.unique = make([]Node, 2*len(old))
+	m.uniqueUsed = 0
+	for _, e := range old {
+		if e != 0 {
+			m.uniqueReinsert(e)
+		}
+	}
+}
+
+// uniqueReinsert inserts n, keyed by its arena record, assuming the key
+// is absent and the table has room (growth and GC rebuilds).
+func (m *Manager) uniqueReinsert(n Node) {
+	mask := uint64(len(m.unique) - 1)
+	r := &m.nodes[n]
+	i := hashKey(r.level, r.lo, r.hi) & mask
+	for m.unique[i] != 0 {
+		i = (i + 1) & mask
+	}
+	m.unique[i] = n
+	m.uniqueUsed++
+}
+
+// uniquePut inserts n keyed by its current arena record. If an entry
+// with an equal key exists it is overwritten (the newest node wins and
+// the old entry is orphaned until GC) — the replacement semantics
+// SwapAdjacent relies on when a restructured node collides with a
+// relabeled one.
+func (m *Manager) uniquePut(n Node) {
+	mask := uint64(len(m.unique) - 1)
+	r := m.nodes[n]
+	i := hashKey(r.level, r.lo, r.hi) & mask
+	for {
+		e := m.unique[i]
+		if e == 0 {
+			m.unique[i] = n
+			m.uniqueUsed++
+			if 4*m.uniqueUsed > 3*len(m.unique) {
+				m.growUnique()
+				m.growCache()
+			}
+			return
+		}
+		if re := &m.nodes[e]; re.level == r.level && re.lo == r.lo && re.hi == r.hi {
+			m.unique[i] = n
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// uniqueDelete removes n from the table using backward-shift deletion:
+// the entries after the freed slot are shifted back over it whenever
+// their probe chain crosses it, so no tombstones are ever needed. n's
+// arena record must still hold the key it was inserted under.
+func (m *Manager) uniqueDelete(n Node) {
+	mask := uint64(len(m.unique) - 1)
+	r := m.nodes[n]
+	i := hashKey(r.level, r.lo, r.hi) & mask
+	for m.unique[i] != n {
+		if m.unique[i] == 0 {
+			return // not present (orphaned by an earlier overwrite)
+		}
+		i = (i + 1) & mask
+	}
+	m.unique[i] = 0
+	m.uniqueUsed--
+	j := (i + 1) & mask
+	for m.unique[j] != 0 {
+		e := m.unique[j]
+		re := &m.nodes[e]
+		k := hashKey(re.level, re.lo, re.hi) & mask
+		// e may move back into the hole iff its home slot k does not lie
+		// strictly between the hole i and e's current slot j (cyclically).
+		if (j-k)&mask >= (j-i)&mask {
+			m.unique[i] = e
+			m.unique[j] = 0
+			i = j
+		}
+		j = (j + 1) & mask
+	}
+}

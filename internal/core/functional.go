@@ -212,8 +212,12 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 	}
 	mOut := len(sched.OutSlot[0])
 
-	// Common input-variable manager for the machine's conditions.
+	// Common input-variable manager for the machine's conditions. It
+	// outlives the fold (the returned Machine owns it), so its metrics
+	// share the registry with the folding manager: the gauges track
+	// whichever manager flushed last, the counters accumulate across both.
 	cmgr := bdd.New(m)
+	cmgr.SetObserver(run.Span(), run.Metrics())
 
 	type state struct {
 		comps []bdd.Node

@@ -11,9 +11,13 @@ import (
 // here (rather than scattered string literals) makes the registry
 // greppable and keeps DESIGN.md's table in sync with the code.
 const (
-	MBDDLiveNodes    = "bdd.live_nodes"          // gauge: nodes in the manager arena (peak = high-water mark)
+	MBDDLiveNodes    = "bdd.live_nodes"          // gauge: allocated manager nodes (peak = high-water mark)
 	MBDDArenaBytes   = "bdd.arena_bytes"         // gauge: approximate arena memory
 	MBDDReorderSwaps = "bdd.reorder_swaps"       // counter: adjacent-level swaps performed by sifting
+	MBDDCacheHits    = "bdd.cache_hits"          // counter: computed-cache hits (apply + ITE)
+	MBDDCacheMisses  = "bdd.cache_misses"        // counter: computed-cache misses (apply + ITE)
+	MBDDUniqueLoad   = "bdd.unique_load_pct"     // gauge: unique-table load factor, percent
+	MBDDFreeNodes    = "bdd.free_nodes"          // gauge: reclaimed arena slots awaiting reuse
 	MSATDecisions    = "sat.decisions"           // counter
 	MSATPropagations = "sat.propagations"        // counter
 	MSATRestarts     = "sat.restarts"            // counter
