@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race vet bench bench-go bench-bdd-smoke trace clean
+.PHONY: build test verify race vet faults bench bench-go bench-bdd-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,19 @@ race:
 	$(GO) test -race ./internal/aig/... ./internal/sat/... ./internal/pipeline/... ./internal/obs/...
 	$(GO) test -race -short ./internal/core/...
 
-# verify = tier-1 (build + test) plus vet and the race gate.
-verify: build test vet race
+# faults runs the resilience suite under the race detector: the fault
+# matrix (injected panics at every registered point), the degradation
+# ladder, the error taxonomy, the fault-driven abort scenarios, and the
+# fault/pipeline unit tests. Fault plans are process-global, so these
+# tests are serial by design; -race proves the recover boundaries and
+# hard caps stay clean when sweeps and solver shards are in flight.
+faults:
+	$(GO) test -race -run 'Fault|Resilient|Taxonomy' -v .
+	$(GO) test -race ./internal/fault/... ./internal/pipeline/...
+
+# verify = tier-1 (build + test) plus vet, the race gate, and the
+# resilience suite.
+verify: build test vet race faults
 
 # bench emits BENCH_sweep.json (ns/op, SAT calls, merges, conflicts for
 # the sweeping configurations), BENCH_pipeline.json (per-stage fold

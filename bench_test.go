@@ -203,7 +203,7 @@ func BenchmarkAblationStateEncoding(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				luts = lutmap.Count(r.Seq.G, 6)
+				luts, _ = lutmap.Count(r.Seq.G, 6)
 			}
 			b.ReportMetric(float64(luts), "LUTs")
 		})
@@ -294,7 +294,10 @@ func BenchmarkLUTMapping(b *testing.B) {
 	g := gen.MustBuild("b15_C")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := lutmap.Map(g, lutmap.DefaultOptions())
+		m, err := lutmap.Map(g, lutmap.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if m.LUTs == 0 {
 			b.Fatal("empty mapping")
 		}

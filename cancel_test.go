@@ -3,11 +3,13 @@ package circuitfold_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
 
 	"circuitfold"
+	"circuitfold/internal/fault"
 	"circuitfold/internal/gen"
 )
 
@@ -143,6 +145,84 @@ func TestOptimizeBudgetDeadline(t *testing.T) {
 	}
 	if out == nil || out.NumPOs() != g.NumPOs() {
 		t.Fatal("interrupted optimize returned an invalid circuit")
+	}
+	checkNoGoroutineLeak(t, base)
+}
+
+func TestFaultAbortsMidSweep(t *testing.T) {
+	// An error-mode fault in a sweep worker must cut the sweep short
+	// like an interrupt: typed error, valid partial circuit, no
+	// goroutine left behind.
+	base := runtime.NumGoroutine()
+	fault.Activate(fault.NewPlan(map[string]fault.Rule{
+		fault.PointSweepShard: {Mode: fault.Error},
+	}))
+	t.Cleanup(fault.Deactivate)
+	g := bigCircuit()
+	out, err := circuitfold.OptimizeBudget(nil, g, circuitfold.DefaultSweepOptions(), circuitfold.Budget{})
+	fault.Deactivate()
+	if !errors.Is(err, circuitfold.ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if out == nil || out.NumPIs() != g.NumPIs() || out.NumPOs() != g.NumPOs() {
+		t.Fatal("fault-aborted optimize must return a valid circuit")
+	}
+	// The merges proven before the fault must still be sound.
+	if err := eqcheckCombEquiv(t, g, out); err != nil {
+		t.Fatalf("fault-aborted optimize broke equivalence: %v", err)
+	}
+	checkNoGoroutineLeak(t, base)
+}
+
+// eqcheckCombEquiv spot-checks combinational equivalence on 64 random
+// vectors via word-parallel simulation.
+func eqcheckCombEquiv(t *testing.T, a, b *circuitfold.Circuit) error {
+	t.Helper()
+	in := make([][]bool, 64)
+	for i := range in {
+		row := make([]bool, a.NumPIs())
+		for j := range row {
+			row[j] = (i*31+j*17)%3 == 0
+		}
+		in[i] = row
+	}
+	for _, row := range in {
+		av := a.Eval(row)
+		bv := b.Eval(row)
+		for k := range av {
+			if av[k] != bv[k] {
+				return fmt.Errorf("outputs differ on PO %d", k)
+			}
+		}
+	}
+	return nil
+}
+
+func TestFaultAbortsMidTFF(t *testing.T) {
+	// A panic-mode fault deep in the BDD allocator, hit mid-way through
+	// time-frame folding, must surface as ErrInternal with the partial
+	// stage trace flushed and no goroutines leaked.
+	base := runtime.NumGoroutine()
+	fault.Activate(fault.NewPlan(map[string]fault.Rule{
+		fault.PointBDDMk: {Mode: fault.Panic, After: 500},
+	}))
+	t.Cleanup(fault.Deactivate)
+	opt := circuitfold.DefaultOptions()
+	opt.Timeout = 0
+	_, err := circuitfold.Functional(bigCircuit(), 8, opt)
+	fault.Deactivate()
+	if err == nil {
+		t.Fatal("fold should have aborted on the injected panic")
+	}
+	if !errors.Is(err, circuitfold.ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	var pe *circuitfold.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T (%v), want *PipelineError with partial trace", err, err)
+	}
+	if pe.Report == nil || len(pe.Report.Stages) == 0 {
+		t.Fatal("fault-aborted fold must flush a partial stage trace")
 	}
 	checkNoGoroutineLeak(t, base)
 }

@@ -244,8 +244,9 @@ func finish(r *Result, err error, trace bool) (*Result, error) {
 
 // Structural folds g by T frames with the structural method of Section
 // IV.
-func Structural(g *Circuit, T int, opt Options) (*Result, error) {
-	r, err := core.StructuralFold(g, T, core.StructuralOptions{
+func Structural(g *Circuit, T int, opt Options) (r *Result, err error) {
+	defer pipeline.RecoverTo(&err, "circuitfold.Structural")
+	r, err = core.StructuralFold(g, T, core.StructuralOptions{
 		Counter: opt.Counter,
 		Ctx:     opt.Context,
 		Budget:  opt.budget(),
@@ -256,7 +257,8 @@ func Structural(g *Circuit, T int, opt Options) (*Result, error) {
 
 // Functional folds g by T frames with the functional method of Section
 // V.
-func Functional(g *Circuit, T int, opt Options) (*Result, error) {
+func Functional(g *Circuit, T int, opt Options) (r *Result, err error) {
+	defer pipeline.RecoverTo(&err, "circuitfold.Functional")
 	fo := core.DefaultFunctionalOptions()
 	fo.Reorder = opt.Reorder
 	fo.Minimize = opt.Minimize
@@ -267,13 +269,14 @@ func Functional(g *Circuit, T int, opt Options) (*Result, error) {
 	if fo.Budget.Wall > 0 {
 		fo.MinOpts.Timeout = fo.Budget.Wall
 	}
-	r, err := core.FunctionalFold(g, T, fo)
+	r, err = core.FunctionalFold(g, T, fo)
 	return finish(r, err, opt.Trace)
 }
 
 // Simple folds g by T frames with the input-buffering baseline of
 // Section VI.
-func Simple(g *Circuit, T int) (*Result, error) {
+func Simple(g *Circuit, T int) (r *Result, err error) {
+	defer pipeline.RecoverTo(&err, "circuitfold.Simple")
 	return core.SimpleFold(g, T)
 }
 
@@ -281,7 +284,8 @@ func Simple(g *Circuit, T int) (*Result, error) {
 // named in the paper's conclusion): output clusters are folded
 // functionally where affordable and structurally otherwise, all sharing
 // one ceil(n/T)-pin interface.
-func Hybrid(g *Circuit, T int, opt Options) (*Result, error) {
+func Hybrid(g *Circuit, T int, opt Options) (r *Result, err error) {
+	defer pipeline.RecoverTo(&err, "circuitfold.Hybrid")
 	ho := core.DefaultHybridOptions()
 	ho.Counter = opt.Counter
 	ho.StateEnc = opt.StateEnc
@@ -297,26 +301,29 @@ func Hybrid(g *Circuit, T int, opt Options) (*Result, error) {
 		// Legacy behavior: Timeout also bounds each cluster.
 		ho.ClusterTimeout = opt.Timeout
 	}
-	r, err := core.HybridFold(g, T, ho)
+	r, err = core.HybridFold(g, T, ho)
 	return finish(r, err, opt.Trace)
 }
 
 // PinSchedule runs the paper's Algorithms 1 and 2 and returns the pin
 // schedule without folding.
-func PinSchedule(g *Circuit, T int, reorder bool) (*Schedule, error) {
+func PinSchedule(g *Circuit, T int, reorder bool) (s *Schedule, err error) {
+	defer pipeline.RecoverTo(&err, "circuitfold.PinSchedule")
 	return core.PinSchedule(g, T, core.ScheduleOptions{Reorder: reorder})
 }
 
 // Verify checks that a fold is a correct time multiplexing of g:
 // exhaustively for small circuits, with randomTrials random vectors
 // otherwise. It returns nil on success.
-func Verify(g *Circuit, r *Result, randomTrials int) error {
+func Verify(g *Circuit, r *Result, randomTrials int) (err error) {
+	defer pipeline.RecoverTo(&err, "circuitfold.Verify")
 	return eqcheck.VerifyFold(g, r, randomTrials, 1)
 }
 
 // VerifyByUnrolling checks the problem-statement form: unrolling the
 // fold by T frames yields a circuit equivalent to g under the schedule.
-func VerifyByUnrolling(g *Circuit, r *Result, randomTrials int) error {
+func VerifyByUnrolling(g *Circuit, r *Result, randomTrials int) (err error) {
+	defer pipeline.RecoverTo(&err, "circuitfold.VerifyByUnrolling")
 	return eqcheck.VerifyFoldByUnrolling(g, r, randomTrials, 1)
 }
 
@@ -354,18 +361,23 @@ func OptimizeContext(ctx context.Context, g *Circuit, opt SweepOptions) (*Circui
 }
 
 // OptimizeBudget is OptimizeContext with an explicit resource budget.
-func OptimizeBudget(ctx context.Context, g *Circuit, opt SweepOptions, b Budget) (*Circuit, error) {
+func OptimizeBudget(ctx context.Context, g *Circuit, opt SweepOptions, b Budget) (out *Circuit, err error) {
+	defer pipeline.RecoverTo(&err, "circuitfold.Optimize")
 	run := pipeline.NewRun(ctx, b)
 	if opt.Interrupt == nil {
 		opt.Interrupt = run.Check
 	}
-	out := g.OptimizeWith(opt)
+	out, st := g.OptimizeWithStats(opt)
+	if st.FaultErr != nil {
+		return out, st.FaultErr
+	}
 	return out, run.Check()
 }
 
 // LUTCount maps g onto k-input LUTs and returns the LUT count, the
-// area metric of the paper's tables (k = 6 there).
-func LUTCount(g *Circuit, k int) int { return lutmap.Count(g, k) }
+// area metric of the paper's tables (k = 6 there). A LUT width below 2
+// is reported as an error.
+func LUTCount(g *Circuit, k int) (int, error) { return lutmap.Count(g, k) }
 
 // Benchmark builds one of the paper's 27 benchmark circuits (or the
 // adder3 running example) by name; see Benchmarks for the list.
@@ -438,13 +450,15 @@ func ReadKISS(r io.Reader) (*Machine, error) { return fsm.ReadKISS(r) }
 
 // MinimizeMachine runs SAT-based exact state minimization (MeMin) with
 // default bounds.
-func MinimizeMachine(m *Machine) (*Machine, error) {
+func MinimizeMachine(m *Machine) (min *Machine, err error) {
+	defer pipeline.RecoverTo(&err, "circuitfold.MinimizeMachine")
 	return fsm.Minimize(m, fsm.DefaultMinimizeOptions())
 }
 
 // VerifyFast is the word-parallel verifier: rounds*64 random vectors per
 // call, much faster than Verify on wide circuits.
-func VerifyFast(g *Circuit, r *Result, rounds int) error {
+func VerifyFast(g *Circuit, r *Result, rounds int) (err error) {
+	defer pipeline.RecoverTo(&err, "circuitfold.VerifyFast")
 	return eqcheck.VerifyFoldWords(g, r, rounds, 1)
 }
 
@@ -464,7 +478,11 @@ func WriteVCD(w io.Writer, c *Sequential, stream [][]bool, module string) error 
 func WriteMappedBLIF(w io.Writer, g *Circuit, k int, model string) error {
 	opt := lutmap.DefaultOptions()
 	opt.K = k
-	return lutmap.WriteMappedBLIF(w, g, lutmap.Map(g, opt), model)
+	m, err := lutmap.Map(g, opt)
+	if err != nil {
+		return err
+	}
+	return lutmap.WriteMappedBLIF(w, g, m, model)
 }
 
 // PartitionKWay splits a circuit across k FPGAs by recursive FM

@@ -149,7 +149,11 @@ func TestPublicOptimizeAndLUTs(t *testing.T) {
 	if o.NumAnds() > g.NumAnds() {
 		t.Fatal("optimize grew the circuit")
 	}
-	if circuitfold.LUTCount(o, 6) == 0 {
+	luts, err := circuitfold.LUTCount(o, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if luts == 0 {
 		t.Fatal("adder needs at least one LUT")
 	}
 }

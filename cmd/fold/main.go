@@ -98,9 +98,9 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "folded %d in / %d out by T=%d (%s) in %v:\n",
 		g.NumPIs(), g.NumPOs(), r.T, *method, elapsed.Round(time.Millisecond))
+	luts, _ := circuitfold.LUTCount(r.Seq.G, 6)
 	fmt.Fprintf(os.Stderr, "  pins: %d in, %d out; flip-flops: %d; AIG nodes: %d; 6-LUTs: %d\n",
-		r.InputPins(), r.OutputPins(), r.FlipFlops(), r.Gates(),
-		circuitfold.LUTCount(r.Seq.G, 6))
+		r.InputPins(), r.OutputPins(), r.FlipFlops(), r.Gates(), luts)
 	if r.States > 0 && *method == "functional" {
 		min := "not minimized"
 		if r.StatesMin >= 0 {

@@ -12,6 +12,14 @@ import (
 	"circuitfold"
 )
 
+func lut6(g *circuitfold.Circuit) int {
+	n, err := circuitfold.LUTCount(g, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return n
+}
+
 func main() {
 	g, err := circuitfold.Benchmark("i3")
 	if err != nil {
@@ -59,7 +67,7 @@ func main() {
 	for _, r := range rows {
 		fmt.Printf("%-12s %6d %6d %6d %8d %8d %10v\n",
 			r.name, r.r.InputPins(), r.r.OutputPins(), r.r.FlipFlops(),
-			r.r.Gates(), circuitfold.LUTCount(r.r.Seq.G, 6),
+			r.r.Gates(), lut6(r.r.Seq.G),
 			r.d.Round(time.Millisecond))
 	}
 	fmt.Println("\nall folds verified on 128 random vectors;")

@@ -1,0 +1,63 @@
+package circuitfold_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"circuitfold"
+	"circuitfold/internal/fault"
+	"circuitfold/internal/gen"
+)
+
+// FuzzFoldResilient drives random small circuits through the
+// degradation ladder under seed-derived fault plans and budgets. The
+// contract under test: RunResilient either returns a self-check-passing
+// fold or a typed error — it never panics and never returns an
+// unverified result.
+func FuzzFoldResilient(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(2), false)
+	f.Add(uint64(2), uint8(12), uint8(3), true)
+	f.Add(uint64(42), uint8(6), uint8(6), true)
+	f.Add(uint64(1234), uint8(16), uint8(4), false)
+	f.Add(uint64(99), uint8(9), uint8(1), true)
+
+	f.Fuzz(func(t *testing.T, seed uint64, pis, T uint8, inject bool) {
+		nIn := 2 + int(pis)%24
+		TT := 1 + int(T)%nIn
+		g := gen.Random(seed, nIn, 1+int(seed%8), 50+int(seed%400))
+
+		if inject {
+			fault.Activate(fault.PlanFromSeed(seed))
+			defer fault.Deactivate()
+		}
+
+		opt := circuitfold.ResilientOptions{}
+		opt.Budget = circuitfold.Budget{Wall: 5 * time.Second}
+		if seed%3 == 0 {
+			// A starved first rung exercises the descent paths.
+			opt.RungBudgets = map[circuitfold.FoldMethod]circuitfold.Budget{
+				circuitfold.MethodFunctional: {BDDNodes: 32 + int(seed%512)},
+			}
+		}
+
+		r, err := circuitfold.RunResilient(g, TT, opt)
+		if err != nil {
+			known := errors.Is(err, circuitfold.ErrBudgetExceeded) ||
+				errors.Is(err, circuitfold.ErrCanceled) ||
+				errors.Is(err, circuitfold.ErrInternal) ||
+				errors.Is(err, circuitfold.ErrSelfCheck)
+			if !known {
+				t.Fatalf("untyped failure: %v", err)
+			}
+			return
+		}
+		fault.Deactivate() // re-verify without injection noise
+		if r.Result == nil {
+			t.Fatal("nil error with nil result")
+		}
+		if err := circuitfold.VerifyFast(g, r.Result, 2); err != nil {
+			t.Fatalf("fold by %s failed re-verification: %v", r.Method, err)
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"circuitfold/internal/fault"
 	"circuitfold/internal/obs"
 	"circuitfold/internal/sat"
 )
@@ -97,6 +98,7 @@ type SweepStats struct {
 	Merges       int
 	Interrupted  bool      // true when SweepOptions.Interrupt cut the sweep short
 	Solver       sat.Stats // aggregated over the solver shards
+	FaultErr     error     // injected fault that cut the sweep short (tests only)
 }
 
 // maxRepTries caps how many class representatives a node is compared
@@ -305,13 +307,38 @@ func (g *Graph) SweepWithStats(opt SweepOptions) (*Graph, *SweepStats) {
 			nw = shards
 		}
 		var wg sync.WaitGroup
+		var faultMu sync.Mutex
+		var workerPanic any
+		var workerFault error
 		for w := 0; w < nw; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				// A panic must be recovered on the goroutine that raised
+				// it — otherwise it kills the process no matter what the
+				// sweeping goroutine defers. Hold the first panic value
+				// and re-throw it after Wait, where the pipeline recover
+				// boundaries can classify it.
+				defer func() {
+					if r := recover(); r != nil {
+						faultMu.Lock()
+						if workerPanic == nil {
+							workerPanic = r
+						}
+						faultMu.Unlock()
+					}
+				}()
 				for sh := w; sh < shards; sh += nw {
 					if len(shardIdx[sh]) == 0 {
 						continue
+					}
+					if err := fault.Point(fault.PointSweepShard); err != nil {
+						faultMu.Lock()
+						if workerFault == nil {
+							workerFault = err
+						}
+						faultMu.Unlock()
+						return
 					}
 					if opt.Stage != "" {
 						pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
@@ -340,8 +367,23 @@ func (g *Graph) SweepWithStats(opt SweepOptions) (*Graph, *SweepStats) {
 			}(w)
 		}
 		wg.Wait()
+		if workerPanic != nil {
+			rsp.SetStr("err", "worker panic")
+			rsp.End()
+			panic(workerPanic)
+		}
 		st.SATCalls += satCalls
 		spentConflicts += conflicts
+		if workerFault != nil {
+			// Abandon the round mid-flight, exactly like an interrupt:
+			// merges from earlier rounds stand, this round's results are
+			// discarded, and the rebuilt graph below stays valid.
+			st.Interrupted = true
+			st.FaultErr = workerFault
+			rsp.SetStr("err", workerFault.Error())
+			rsp.End()
+			break
+		}
 
 		// Merge and refine in deterministic pending order.
 		var newCEX [][]uint64
@@ -625,5 +667,13 @@ func (g *Graph) Optimize() *Graph { return g.OptimizeWith(DefaultSweepOptions())
 // OptimizeWith runs cleanup, balance, and SAT sweeping with explicit
 // sweep settings.
 func (g *Graph) OptimizeWith(opt SweepOptions) *Graph {
-	return g.Cleanup().Balance().Sweep(opt)
+	out, _ := g.OptimizeWithStats(opt)
+	return out
+}
+
+// OptimizeWithStats is OptimizeWith keeping the sweep statistics, which
+// callers need to tell a clean completion from an interrupted or
+// fault-injected sweep (SweepStats.Interrupted / FaultErr).
+func (g *Graph) OptimizeWithStats(opt SweepOptions) (*Graph, *SweepStats) {
+	return g.Cleanup().Balance().SweepWithStats(opt)
 }

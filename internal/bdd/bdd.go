@@ -21,8 +21,20 @@ import (
 	"fmt"
 	"unsafe"
 
+	"circuitfold/internal/fault"
 	"circuitfold/internal/obs"
+	"circuitfold/internal/pipeline"
 )
+
+// ErrNodeLimit reports that a hard node cap installed with SetNodeLimit
+// was exceeded. It wraps pipeline.ErrBudgetExceeded so the cap reads as
+// a budget failure everywhere the engine classifies errors. Because mk
+// sits at the bottom of deep recursions that cannot thread an error
+// return, the cap surfaces as a panic carrying an ErrNodeLimit-matching
+// error value; the pipeline stage boundaries (and the public entry
+// points) recover it back into a plain error — the same longjmp-style
+// unwinding CUDD uses for its memory cap.
+var ErrNodeLimit = fmt.Errorf("bdd: node limit exceeded: %w", pipeline.ErrBudgetExceeded)
 
 // Node identifies a BDD function within its Manager. The two terminals
 // are False and True.
@@ -85,6 +97,7 @@ type Manager struct {
 	varAtLevel []int
 	levelOfVar []int
 	interrupt  func() error // polled by the sifting loops; non-nil result aborts
+	nodeLimit  int          // hard cap on allocated nodes; 0 = unlimited
 
 	// Lifetime storage statistics, maintained unconditionally (the
 	// manager is single-goroutine, so these are plain ints).
@@ -114,6 +127,15 @@ type Manager struct {
 // reached so far. Callers that care about the reason re-check their
 // own budget after the sift returns. Pass nil to remove the hook.
 func (m *Manager) SetInterrupt(check func() error) { m.interrupt = check }
+
+// SetNodeLimit installs a hard cap on allocated nodes (arena minus
+// freelist). When arena growth would push the allocation past the cap,
+// mk panics with an error matching ErrNodeLimit (and therefore
+// pipeline.ErrBudgetExceeded); run the manager under a pipeline stage
+// or a pipeline.RecoverTo boundary to receive it as an error. The cap
+// bounds memory even where the soft interrupt-based budget checks are
+// too coarse (e.g. one giant apply between polls). Zero removes it.
+func (m *Manager) SetNodeLimit(n int) { m.nodeLimit = n }
 
 // stopped reports whether the interrupt hook requests an abort.
 func (m *Manager) stopped() bool {
@@ -278,6 +300,15 @@ func (m *Manager) mk(level int, lo, hi Node) Node {
 		m.free = m.free[:k]
 		m.nodes[n] = nodeRec{level: int32(level), lo: lo, hi: hi}
 	} else {
+		// Arena growth is the only path that takes new memory, so the
+		// hard cap and the allocation-failure fault point live here;
+		// freelist reuse stays untouched.
+		if err := fault.Point(fault.PointBDDMk); err != nil {
+			panic(err)
+		}
+		if alloc := len(m.nodes); m.nodeLimit > 0 && alloc >= m.nodeLimit {
+			panic(fmt.Errorf("%w: %d allocated nodes", ErrNodeLimit, alloc))
+		}
 		n = Node(len(m.nodes))
 		m.nodes = append(m.nodes, nodeRec{level: int32(level), lo: lo, hi: hi})
 		m.visited = append(m.visited, 0)

@@ -10,8 +10,10 @@ import (
 
 // errBudget is returned when a BDD construction exceeds its node budget,
 // the library's analogue of the paper's 300-second timeout. It wraps
-// pipeline.ErrBudgetExceeded so callers match it with errors.Is.
-var errBudget = fmt.Errorf("core: BDD node budget exceeded: %w", pipeline.ErrBudgetExceeded)
+// bdd.ErrNodeLimit (and through it pipeline.ErrBudgetExceeded), so the
+// soft per-stage check and the manager's hard cap surface as the same
+// error family.
+var errBudget = fmt.Errorf("core: BDD node budget exceeded: %w", bdd.ErrNodeLimit)
 
 // buildOutputBDDs constructs BDDs for the given output literals of g in
 // mgr, mapping PI index i to manager variable varOfPI[i]. A varOfPI entry

@@ -69,6 +69,52 @@ type Result struct {
 	Report *pipeline.Report
 }
 
+// Validate checks the structural sanity of a fold result against the
+// original circuit's interface (numPIs inputs, numPOs outputs): the
+// schedules must cover exactly T frames, input rows must match the pin
+// count with sources in [-1, numPIs), and output rows must fit the
+// sequential circuit's outputs with destinations in [-1, numPOs). The
+// execution and verification helpers index schedules without bounds
+// checks, so validating first turns a malformed (possibly hostile)
+// result into an error instead of an index-out-of-range panic.
+func (r *Result) Validate(numPIs, numPOs int) error {
+	if r == nil || r.Seq == nil || r.Seq.G == nil {
+		return fmt.Errorf("core: result has no folded circuit")
+	}
+	if r.T < 1 {
+		return fmt.Errorf("core: result has folding number %d, want >= 1", r.T)
+	}
+	m := r.Seq.NumInputs
+	if len(r.InSched) != r.T {
+		return fmt.Errorf("core: input schedule covers %d frames, want %d", len(r.InSched), r.T)
+	}
+	for t, row := range r.InSched {
+		if len(row) != m {
+			return fmt.Errorf("core: input schedule frame %d has %d pins, want %d", t, len(row), m)
+		}
+		for j, src := range row {
+			if src < -1 || src >= numPIs {
+				return fmt.Errorf("core: input schedule (frame %d, pin %d) references PI %d of %d", t, j, src, numPIs)
+			}
+		}
+	}
+	mOut := r.Seq.NumOutputs()
+	if len(r.OutSched) != r.T {
+		return fmt.Errorf("core: output schedule covers %d frames, want %d", len(r.OutSched), r.T)
+	}
+	for t, row := range r.OutSched {
+		if len(row) > mOut {
+			return fmt.Errorf("core: output schedule frame %d has %d pins, circuit has %d outputs", t, len(row), mOut)
+		}
+		for k, dst := range row {
+			if dst < -1 || dst >= numPOs {
+				return fmt.Errorf("core: output schedule (frame %d, pin %d) references PO %d of %d", t, k, dst, numPOs)
+			}
+		}
+	}
+	return nil
+}
+
 // InputPins returns the folded circuit's input pin count, m = ceil(n/T).
 func (r *Result) InputPins() int { return r.Seq.NumInputs }
 
@@ -155,13 +201,20 @@ func sweepStage(res **Result, opt *aig.SweepOptions, run *pipeline.Run) pipeline
 			o.Stage = pipeline.StageSweep
 		}
 		ss.AndsIn = r.Seq.G.NumAnds()
+		var faultErr error
 		r.Seq = r.Seq.Transform(func(g *aig.Graph) *aig.Graph {
 			ng, st := g.Cleanup().Balance().SweepWithStats(o)
 			run.AddConflicts(st.Solver.Conflicts)
 			ss.SATConflicts += st.Solver.Conflicts
+			if st.FaultErr != nil {
+				faultErr = st.FaultErr
+			}
 			return ng
 		})
 		ss.AndsOut = r.Seq.G.NumAnds()
+		if faultErr != nil {
+			return faultErr
+		}
 		return run.Check()
 	}}
 }

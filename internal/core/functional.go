@@ -174,7 +174,12 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 	nodeBudget := run.NodeLimit(4000000)
 
 	// Folding manager: variable t*m+j is input pin j during frame t.
+	// The hard node cap backstops the soft budget polls below: even a
+	// single apply call that blows up between polls unwinds with
+	// bdd.ErrNodeLimit instead of growing without bound. The factor
+	// leaves headroom for reordering's transient growth.
 	fmgr := bdd.New(T * m)
+	fmgr.SetNodeLimit(4 * nodeBudget)
 	fmgr.SetObserver(run.Span(), run.Metrics())
 	mStates := run.Metrics().Gauge(obs.MFSMStates)
 	varOfPI := make([]int, n)
@@ -217,6 +222,7 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 	// share the registry with the folding manager: the gauges track
 	// whichever manager flushed last, the counters accumulate across both.
 	cmgr := bdd.New(m)
+	cmgr.SetNodeLimit(4 * nodeBudget)
 	cmgr.SetObserver(run.Span(), run.Metrics())
 
 	type state struct {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -125,7 +126,7 @@ func HybridFold(g *aig.Graph, T int, opt HybridOptions) (*Result, error) {
 					MaxStates: run.StateLimit(2000),
 				}, run.Observer())
 				crun.SetSpan(csp)
-				p, err := foldClusterFunctionally(g, T, m, cluster, opt, crun)
+				p, err := foldClusterProtected(g, T, m, cluster, opt, crun)
 				run.NoteBDDNodes(crun.BDDPeak())
 				if err != nil {
 					// The parent being cancelled or out of budget aborts
@@ -318,6 +319,24 @@ type clusterFold struct {
 	c        *seq.Circuit
 	outSched [][]int
 	states   int
+}
+
+// foldClusterProtected contains cluster-level failures: a panic out of
+// one cluster's functional fold (node-cap unwind, injected fault, real
+// bug) becomes that cluster's error, which the tff stage then demotes
+// to the structural remainder — one hostile cluster cannot take down
+// the whole hybrid fold. Recovered panics that classify as internal
+// faults are counted on obs.MFoldPanics.
+func foldClusterProtected(g *aig.Graph, T, m int, cluster []int, opt HybridOptions, run *pipeline.Run) (p *clusterFold, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, pipeline.AsInternal("hybrid.cluster", r)
+			if errors.Is(err, pipeline.ErrInternal) {
+				run.Metrics().Counter(obs.MFoldPanics).Add(1)
+			}
+		}
+	}()
+	return foldClusterFunctionally(g, T, m, cluster, opt, run)
 }
 
 // foldClusterFunctionally runs time-frame folding on one output cluster

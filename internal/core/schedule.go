@@ -123,10 +123,11 @@ func PinScheduleRun(g *aig.Graph, T int, opt ScheduleOptions, run *pipeline.Run)
 		}
 		sort.Ints(xsup)
 		if opt.Reorder && len(xsup) > 1 && len(xsup) <= opt.MaxSiftVars && !expired() {
-			if reord, err := reorderFreshSupport(g, que, xsup, outFrames[t], opt.MaxSiftNodes, run); err == nil {
+			if reord, err := reorderProtected(g, que, xsup, outFrames[t], opt.MaxSiftNodes, run); err == nil {
 				xsup = reord
 			}
-			// On budget exhaustion the unreordered order is kept; the
+			// On budget exhaustion — or a node-cap / panic unwind out of
+			// the sifting manager — the unreordered order is kept; the
 			// schedule stays valid either way.
 		}
 		for _, u := range xsup {
@@ -179,6 +180,16 @@ func PinScheduleRun(g *aig.Graph, T int, opt ScheduleOptions, run *pipeline.Run)
 	return s, nil
 }
 
+// reorderProtected shields the schedule against failures of the
+// reordering heuristic: its caller swallows errors (keeping the natural
+// order), so panics out of the sifting manager — the hard node cap, an
+// injected fault — must degrade the same way instead of unwinding
+// through PinScheduleRun.
+func reorderProtected(g *aig.Graph, que []int, xsup []int, outs []int, maxSiftNodes int, run *pipeline.Run) (out []int, err error) {
+	defer pipeline.RecoverTo(&err, "schedule.reorder")
+	return reorderFreshSupport(g, que, xsup, outs, maxSiftNodes, run)
+}
+
 // reorderFreshSupport implements Algorithm 2 line 4: it builds the BDDs
 // of this frame's outputs under the order [already-queued | fresh |
 // remaining], applies symmetric sifting restricted to the fresh block,
@@ -187,6 +198,7 @@ func PinScheduleRun(g *aig.Graph, T int, opt ScheduleOptions, run *pipeline.Run)
 func reorderFreshSupport(g *aig.Graph, que []int, xsup []int, outs []int, maxSiftNodes int, run *pipeline.Run) ([]int, error) {
 	n := g.NumPIs()
 	mgr := bdd.New(n)
+	mgr.SetNodeLimit(4 * run.NodeLimit(4000000))
 	if run != nil {
 		mgr.SetInterrupt(run.Check)
 		mgr.SetObserver(run.Span(), run.Metrics())

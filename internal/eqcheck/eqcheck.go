@@ -129,6 +129,9 @@ func SATEquivalentOpt(a, b *aig.Graph, opt CECOptions) sat.Status {
 // small input counts, random otherwise. It returns nil or a descriptive
 // error with a counterexample.
 func VerifyFold(g *aig.Graph, r *core.Result, randomTrials int, seed int64) error {
+	if err := r.Validate(g.NumPIs(), g.NumPOs()); err != nil {
+		return err
+	}
 	n := g.NumPIs()
 	check := func(in []bool) error {
 		want := g.Eval(in)
@@ -175,6 +178,9 @@ func VerifyFold(g *aig.Graph, r *core.Result, randomTrials int, seed int64) erro
 // scheduled output positions are compared against g by random (or
 // exhaustive, when small) simulation.
 func VerifyFoldByUnrolling(g *aig.Graph, r *core.Result, randomTrials int, seed int64) error {
+	if err := r.Validate(g.NumPIs(), g.NumPOs()); err != nil {
+		return err
+	}
 	u := r.Seq.Unroll(r.T)
 	n := g.NumPIs()
 	mOut := r.Seq.NumOutputs()
@@ -241,6 +247,9 @@ func SeqEquivalentBounded(a, b *seq.Circuit, T int, budget int64) sat.Status {
 // drives 64 random input vectors through both the original circuit and
 // the folded execution at once. rounds*64 vectors total.
 func VerifyFoldWords(g *aig.Graph, r *core.Result, rounds int, seed int64) error {
+	if err := r.Validate(g.NumPIs(), g.NumPOs()); err != nil {
+		return err
+	}
 	n := g.NumPIs()
 	rng := rand.New(rand.NewSource(seed))
 	in := make([]uint64, n)
@@ -275,6 +284,86 @@ func VerifyFoldWords(g *aig.Graph, r *core.Result, rounds int, seed int64) error
 		}
 	}
 	return nil
+}
+
+// SATCheckFold is the SAT spot-check behind the fold self-verification:
+// it unrolls the folded circuit T frames, wires the unrolled inputs to
+// the original circuit's PIs per the input schedule (unused slots to
+// constant 0), and proves each scheduled output position equivalent to
+// its PO of g by a per-output miter under a conflict budget. It returns
+// sat.Unsat when every miter is proved (the fold is equivalent),
+// sat.Sat when a counterexample exists, sat.Unknown when the budget ran
+// out — which self-check policies treat as inconclusive, not failing.
+// A malformed result reports an error instead of a verdict.
+func SATCheckFold(g *aig.Graph, r *core.Result, budget int64, interrupt func() error) (sat.Status, error) {
+	if err := r.Validate(g.NumPIs(), g.NumPOs()); err != nil {
+		return sat.Unknown, err
+	}
+	u := r.Seq.Unroll(r.T)
+	m := aig.New()
+	piMap := make([]aig.Lit, g.NumPIs())
+	for i := range piMap {
+		piMap[i] = m.PI("")
+	}
+	rootsG := make([]aig.Lit, g.NumPOs())
+	for i := range rootsG {
+		rootsG[i] = g.PO(i)
+	}
+	og := aig.Transfer(m, g, piMap, rootsG)
+
+	// The unrolled circuit's PIs are frame-major: frame t, pin j is PI
+	// t*NumInputs+j, fed from the scheduled source PI (or constant 0
+	// for idle slots), exactly as Result.ScheduleInputs drives it.
+	upi := make([]aig.Lit, 0, r.T*r.Seq.NumInputs)
+	for t := 0; t < r.T; t++ {
+		for _, src := range r.InSched[t] {
+			if src >= 0 {
+				upi = append(upi, piMap[src])
+			} else {
+				upi = append(upi, aig.Const0)
+			}
+		}
+	}
+	rootsU := make([]aig.Lit, u.NumPOs())
+	for i := range rootsU {
+		rootsU[i] = u.PO(i)
+	}
+	ou := aig.Transfer(m, u, upi, rootsU)
+
+	mOut := r.Seq.NumOutputs()
+	var diffs []aig.Lit
+	for t, row := range r.OutSched {
+		for k, dst := range row {
+			if dst < 0 {
+				continue
+			}
+			diffs = append(diffs, m.Xor(ou[t*mOut+k], og[dst]))
+		}
+	}
+	solver := sat.New()
+	solver.SetBudget(budget)
+	if interrupt != nil {
+		solver.SetInterrupt(func() bool { return interrupt() != nil })
+	}
+	cnf := m.ToCNF(solver, diffs)
+	for _, d := range diffs {
+		if interrupt != nil && interrupt() != nil {
+			return sat.Unknown, nil
+		}
+		if d == aig.Const0 {
+			continue
+		}
+		if d == aig.Const1 {
+			return sat.Sat, nil
+		}
+		switch solver.Solve(cnf.LitFor(d)) {
+		case sat.Sat:
+			return sat.Sat, nil
+		case sat.Unknown:
+			return sat.Unknown, nil
+		}
+	}
+	return sat.Unsat, nil
 }
 
 // bitsDiffer returns the index of the lowest differing bit.

@@ -50,7 +50,11 @@ func luts(g *aig.Graph) int {
 		opt.CutLimit = 4
 		opt.Rounds = 1
 	}
-	return lutmap.Map(g, opt).LUTs
+	m, err := lutmap.Map(g, opt)
+	if err != nil {
+		return -1 // K is fixed at 6 here; only a mapper bug reaches this
+	}
+	return m.LUTs
 }
 
 // Table1Row is one line of Table I.

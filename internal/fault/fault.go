@@ -1,0 +1,178 @@
+// Package fault provides deterministic, seed-addressable fault
+// injection for the resilience test suite. Production code calls
+// fault.Point(name) at a handful of registered choke points (BDD node
+// allocation, SAT solve entry, sweep shard dispatch, MeMin iteration);
+// with no plan armed the call is a single atomic load and returns nil,
+// so the hooks are effectively free outside tests.
+//
+// A test arms a Plan mapping point names to Rules. A rule fires either
+// by returning a typed error (Error mode — exercising the error paths)
+// or by panicking with that error (Panic mode — exercising the recover
+// boundaries). Every injected error wraps ErrInjected, which wraps
+// pipeline.ErrInternal, so injected faults classify as internal faults
+// throughout the engine: errors.Is(err, pipeline.ErrInternal) is true
+// and the degradation ladder treats them as retryable.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"circuitfold/internal/pipeline"
+)
+
+// ErrInjected is the root of every injected fault. It wraps
+// pipeline.ErrInternal so injected faults are indistinguishable, at the
+// classification level, from real internal faults.
+var ErrInjected = fmt.Errorf("fault: injected: %w", pipeline.ErrInternal)
+
+// Registered injection-point names. Point accepts any string, but the
+// seeded plan generator and the fault matrix tests draw from this set.
+const (
+	PointBDDMk      = "bdd.mk"      // BDD manager node allocation (arena growth)
+	PointSATSolve   = "sat.solve"   // SAT solver Solve entry
+	PointSweepShard = "sweep.shard" // sweep worker, per shard
+	PointMeMinIter  = "memin.iter"  // MeMin minimization, per k iteration
+)
+
+// Points returns the registered injection-point names.
+func Points() []string {
+	return []string{PointBDDMk, PointSATSolve, PointSweepShard, PointMeMinIter}
+}
+
+// Mode selects how a firing rule surfaces.
+type Mode int
+
+const (
+	// Error makes Point return the injected error.
+	Error Mode = iota
+	// Panic makes Point panic with the injected error, testing the
+	// recover boundaries.
+	Panic
+)
+
+// Rule arms one injection point. The zero Rule fires in Error mode on
+// every hit.
+type Rule struct {
+	Mode  Mode
+	After int64 // skip the first After hits
+	Times int64 // fire at most Times times after that (0 = unlimited)
+}
+
+type armedRule struct {
+	Rule
+	hits atomic.Int64
+}
+
+// Plan is an immutable set of armed rules. Build it with NewPlan or
+// PlanFromSeed, then install it with Activate. The rule map is never
+// mutated after construction, so concurrent Point calls only touch the
+// per-rule atomic hit counters.
+type Plan struct {
+	rules map[string]*armedRule
+}
+
+// NewPlan builds a plan from point-name → rule.
+func NewPlan(rules map[string]Rule) *Plan {
+	p := &Plan{rules: make(map[string]*armedRule, len(rules))}
+	for name, r := range rules {
+		p.rules[name] = &armedRule{Rule: r}
+	}
+	return p
+}
+
+// PlanFromSeed derives a deterministic single-point plan from a seed:
+// the same seed always arms the same point, mode, and After offset.
+// Used by the fuzzer to explore fault placements reproducibly.
+func PlanFromSeed(seed uint64) *Plan {
+	// splitmix64: cheap, well-distributed, and dependency-free.
+	next := func() uint64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	pts := Points()
+	name := pts[next()%uint64(len(pts))]
+	mode := Error
+	if next()&1 == 1 {
+		mode = Panic
+	}
+	after := int64(next() % 64)
+	return NewPlan(map[string]Rule{name: {Mode: mode, After: after}})
+}
+
+// Describe reports what the plan arms, for test logs.
+func (p *Plan) Describe() string {
+	if p == nil {
+		return "fault: no plan"
+	}
+	s := "fault plan:"
+	for _, name := range Points() {
+		r, ok := p.rules[name]
+		if !ok {
+			continue
+		}
+		mode := "error"
+		if r.Mode == Panic {
+			mode = "panic"
+		}
+		s += fmt.Sprintf(" %s(%s after=%d times=%d)", name, mode, r.After, r.Times)
+	}
+	return s
+}
+
+var (
+	armed   atomic.Bool
+	current atomic.Pointer[Plan]
+)
+
+// Activate installs the plan process-wide. Tests must pair it with
+// Deactivate (t.Cleanup(fault.Deactivate)); plans are global, so tests
+// that arm faults cannot run in parallel within one package.
+func Activate(p *Plan) {
+	current.Store(p)
+	armed.Store(p != nil)
+}
+
+// Deactivate disarms injection; every Point reverts to the nil fast
+// path.
+func Deactivate() {
+	armed.Store(false)
+	current.Store(nil)
+}
+
+// Active reports whether a plan is armed.
+func Active() bool { return armed.Load() }
+
+// Point is the injection hook. With no plan armed (the production
+// case) it costs one atomic load and returns nil. With a rule armed
+// for name, it counts the hit and — once past the rule's After/Times
+// window — returns the injected error (Error mode) or panics with it
+// (Panic mode).
+func Point(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	p := current.Load()
+	if p == nil {
+		return nil
+	}
+	r, ok := p.rules[name]
+	if !ok {
+		return nil
+	}
+	h := r.hits.Add(1)
+	if h <= r.After {
+		return nil
+	}
+	if r.Times > 0 && h > r.After+r.Times {
+		return nil
+	}
+	err := fmt.Errorf("%w at %s (hit %d)", ErrInjected, name, h)
+	if r.Mode == Panic {
+		panic(err)
+	}
+	return err
+}

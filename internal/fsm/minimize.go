@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"circuitfold/internal/bdd"
+	"circuitfold/internal/fault"
 	"circuitfold/internal/obs"
 	"circuitfold/internal/sat"
 )
@@ -17,6 +18,10 @@ type MinimizeOptions struct {
 	MaxAtoms int
 	// ConflictBudget bounds each SAT solve; 0 means unlimited.
 	ConflictBudget int64
+	// MaxLearntLits hard-caps each solver's learnt-clause database (in
+	// live literals), bounding solver memory; 0 means unlimited. See
+	// sat.SetResourceLimit.
+	MaxLearntLits int64
 	// Timeout bounds the total wall-clock time; 0 means unlimited.
 	Timeout time.Duration
 	// MaxClasses bounds the number of classes tried before giving up.
@@ -193,6 +198,9 @@ func Minimize(m *Machine, opt MinimizeOptions) (*Machine, error) {
 			}
 			return nil, fmt.Errorf("fsm: minimization timeout at k=%d", k)
 		}
+		if err := fault.Point(fault.PointMeMinIter); err != nil {
+			return nil, fmt.Errorf("fsm: minimization fault at k=%d: %w", k, err)
+		}
 		mm, status := trySolve(m, atoms, succ, outs, incompat, clique, k, opt)
 		switch status {
 		case sat.Sat:
@@ -203,7 +211,9 @@ func Minimize(m *Machine, opt MinimizeOptions) (*Machine, error) {
 					return nil, fmt.Errorf("fsm: minimization stopped at k=%d: %w", k, err)
 				}
 			}
-			return nil, fmt.Errorf("fsm: SAT budget exhausted at k=%d", k)
+			// Out of conflicts or learnt-literal headroom either way:
+			// classify as a resource-limit (and so budget) failure.
+			return nil, fmt.Errorf("fsm: SAT budget exhausted at k=%d: %w", k, sat.ErrResourceLimit)
 		}
 	}
 	return nil, fmt.Errorf("fsm: no solution up to %d classes", maxK)
@@ -240,6 +250,9 @@ func trySolve(m *Machine, atoms []bdd.Node, succ [][]int, outs [][][]Tri,
 	}
 	if opt.ConflictBudget > 0 {
 		s2.SetBudget(opt.ConflictBudget)
+	}
+	if opt.MaxLearntLits > 0 {
+		s2.SetResourceLimit(0, opt.MaxLearntLits)
 	}
 	if opt.Stop != nil {
 		s2.SetInterrupt(func() bool { return opt.Stop() != nil })

@@ -5,6 +5,7 @@
 package lutmap
 
 import (
+	"fmt"
 	"sort"
 
 	"circuitfold/internal/aig"
@@ -41,10 +42,12 @@ type cut struct {
 
 // Map maps g onto K-input LUTs and returns the cover. Primary outputs
 // that are constants or direct (possibly inverted) primary inputs cost no
-// LUTs, matching standard mapper accounting.
-func Map(g *aig.Graph, opt Options) *Mapping {
+// LUTs, matching standard mapper accounting. A LUT width below 2 is a
+// caller input error, not an invariant violation, so it is reported as
+// an error rather than a panic.
+func Map(g *aig.Graph, opt Options) (*Mapping, error) {
 	if opt.K < 2 {
-		panic("lutmap: K must be >= 2")
+		return nil, fmt.Errorf("lutmap: K must be >= 2 (got %d)", opt.K)
 	}
 	if opt.CutLimit < 1 {
 		opt.CutLimit = 8
@@ -185,7 +188,7 @@ func Map(g *aig.Graph, opt Options) *Mapping {
 	sort.Ints(m.Roots)
 	m.LUTs = len(m.Roots)
 	m.Depth = maxDepth
-	return m
+	return m, nil
 }
 
 // inf is a flow value no real cut can reach.
@@ -316,8 +319,12 @@ func coverRefs(g *aig.Graph, cuts [][]cut, bestIdx []int, mapped []int) []int {
 
 // Count returns just the number of K-input LUTs after mapping g, the
 // metric reported throughout the paper's tables.
-func Count(g *aig.Graph, k int) int {
+func Count(g *aig.Graph, k int) (int, error) {
 	opt := DefaultOptions()
 	opt.K = k
-	return Map(g, opt).LUTs
+	m, err := Map(g, opt)
+	if err != nil {
+		return 0, err
+	}
+	return m.LUTs, nil
 }

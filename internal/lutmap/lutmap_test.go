@@ -8,12 +8,37 @@ import (
 	"circuitfold/internal/aig"
 )
 
+// mustMap is the test-side Map wrapper for valid options.
+func mustMap(t *testing.T, g *aig.Graph, opt Options) *Mapping {
+	t.Helper()
+	m, err := Map(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInvalidLUTWidthIsAnError(t *testing.T) {
+	g := aig.New()
+	a := g.PI("a")
+	b := g.PI("b")
+	g.AddPO(g.And(a, b), "y")
+	opt := DefaultOptions()
+	opt.K = 1
+	if _, err := Map(g, opt); err == nil {
+		t.Fatal("K=1 mapping succeeded, want error")
+	}
+	if _, err := Count(g, 0); err == nil {
+		t.Fatal("K=0 count succeeded, want error")
+	}
+}
+
 func TestSingleAnd(t *testing.T) {
 	g := aig.New()
 	a := g.PI("a")
 	b := g.PI("b")
 	g.AddPO(g.And(a, b), "y")
-	m := Map(g, DefaultOptions())
+	m := mustMap(t, g, DefaultOptions())
 	if m.LUTs != 1 || m.Depth != 1 {
 		t.Fatalf("single AND: %d LUTs depth %d", m.LUTs, m.Depth)
 	}
@@ -25,7 +50,7 @@ func TestPassThroughAndConstantsAreFree(t *testing.T) {
 	g.AddPO(a, "y0")
 	g.AddPO(a.Not(), "y1")
 	g.AddPO(aig.Const1, "y2")
-	m := Map(g, DefaultOptions())
+	m := mustMap(t, g, DefaultOptions())
 	if m.LUTs != 0 {
 		t.Fatalf("wires/constants should cost 0 LUTs, got %d", m.LUTs)
 	}
@@ -38,7 +63,7 @@ func TestSixInputConeFitsOneLUT(t *testing.T) {
 		ins = append(ins, g.PI(""))
 	}
 	g.AddPO(g.AndN(ins...), "y")
-	m := Map(g, DefaultOptions())
+	m := mustMap(t, g, DefaultOptions())
 	if m.LUTs != 1 {
 		t.Fatalf("6-input AND should be 1 LUT, got %d", m.LUTs)
 	}
@@ -49,7 +74,7 @@ func TestSixInputConeFitsOneLUT(t *testing.T) {
 		ins = append(ins, g2.PI(""))
 	}
 	g2.AddPO(g2.AndN(ins...), "y")
-	m2 := Map(g2, DefaultOptions())
+	m2 := mustMap(t, g2, DefaultOptions())
 	if m2.LUTs != 2 {
 		t.Fatalf("7-input AND should be 2 LUTs, got %d", m2.LUTs)
 	}
@@ -62,9 +87,9 @@ func TestSmallerKNeedsMoreLUTs(t *testing.T) {
 		ins = append(ins, g.PI(""))
 	}
 	g.AddPO(g.XorN(ins...), "y")
-	l6 := Count(g, 6)
-	l4 := Count(g, 4)
-	l2 := Count(g, 2)
+	l6, _ := Count(g, 6)
+	l4, _ := Count(g, 4)
+	l2, _ := Count(g, 2)
 	if !(l6 <= l4 && l4 <= l2) {
 		t.Fatalf("monotonicity violated: K6=%d K4=%d K2=%d", l6, l4, l2)
 	}
@@ -129,7 +154,7 @@ func TestMappingLegalityRandom(t *testing.T) {
 		for _, k := range []int{2, 4, 6} {
 			opt := DefaultOptions()
 			opt.K = k
-			m := Map(g, opt)
+			m := mustMap(t, g, opt)
 			checkLegal(t, g, m, k)
 		}
 	}
@@ -149,7 +174,7 @@ func TestAdderMapping(t *testing.T) {
 		g.AddPO(s, "")
 	}
 	g.AddPO(cout, "c")
-	m := Map(g, DefaultOptions())
+	m := mustMap(t, g, DefaultOptions())
 	checkLegal(t, g, m, 6)
 	// An 8-bit ripple adder has ~40 AIG nodes; 6-LUT mapping should do
 	// far better than one LUT per node.
@@ -167,9 +192,9 @@ func TestAreaRecoveryDoesNotHurt(t *testing.T) {
 		g := randomGraph(rng, 200, 14, 10)
 		opt := DefaultOptions()
 		opt.Rounds = 0
-		l0 := Map(g, opt).LUTs
+		l0 := mustMap(t, g, opt).LUTs
 		opt.Rounds = 2
-		l2 := Map(g, opt).LUTs
+		l2 := mustMap(t, g, opt).LUTs
 		if l2 > l0 {
 			t.Fatalf("area recovery regressed: %d -> %d", l0, l2)
 		}
@@ -178,12 +203,12 @@ func TestAreaRecoveryDoesNotHurt(t *testing.T) {
 
 func TestEmptyAndTrivialGraphs(t *testing.T) {
 	g := aig.New()
-	m := Map(g, DefaultOptions())
+	m := mustMap(t, g, DefaultOptions())
 	if m.LUTs != 0 {
 		t.Fatalf("empty graph mapped to %d LUTs", m.LUTs)
 	}
 	g.PI("a")
-	m = Map(g, DefaultOptions())
+	m = mustMap(t, g, DefaultOptions())
 	if m.LUTs != 0 {
 		t.Fatalf("inputs-only graph mapped to %d LUTs", m.LUTs)
 	}
@@ -210,7 +235,7 @@ func TestQuickMappingLegality(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		g := randomGraph(rng, 60, 8, 5)
-		m := Map(g, DefaultOptions())
+		m := mustMap(t, g, DefaultOptions())
 		mapped := make(map[int]bool)
 		for _, id := range m.Roots {
 			mapped[id] = true

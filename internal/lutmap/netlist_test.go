@@ -37,7 +37,10 @@ func TestMappedBLIFRoundTrip(t *testing.T) {
 		for _, k := range []int{4, 6} {
 			opt := lutmap.DefaultOptions()
 			opt.K = k
-			m := lutmap.Map(g, opt)
+			m, merr := lutmap.Map(g, opt)
+			if merr != nil {
+				t.Fatalf("trial %d K=%d: %v", trial, k, merr)
+			}
 			var buf bytes.Buffer
 			if err := lutmap.WriteMappedBLIF(&buf, g, m, "mapped"); err != nil {
 				t.Fatalf("trial %d K=%d: %v", trial, k, err)
@@ -72,7 +75,10 @@ func TestMappedBLIFConstantOutputs(t *testing.T) {
 	g.AddPO(aig.Const1, "one")
 	g.AddPO(aig.Const0, "zero")
 	g.AddPO(a.Not(), "na")
-	m := lutmap.Map(g, lutmap.DefaultOptions())
+	m, merr := lutmap.Map(g, lutmap.DefaultOptions())
+	if merr != nil {
+		t.Fatal(merr)
+	}
 	var buf bytes.Buffer
 	if err := lutmap.WriteMappedBLIF(&buf, g, m, "consts"); err != nil {
 		t.Fatal(err)

@@ -126,7 +126,10 @@ func Resynthesize(g *aig.Graph, k int) (*aig.Graph, error) {
 	}
 	opt := DefaultOptions()
 	opt.K = k
-	m := Map(g, opt)
+	m, err := Map(g, opt)
+	if err != nil {
+		return nil, err
+	}
 
 	ng := aig.New()
 	newLit := make(map[int]aig.Lit, len(m.Roots))

@@ -28,6 +28,9 @@ const (
 	MSweepMerges     = "sweep.merges"            // counter: nodes merged into representatives
 	MSweepSATCalls   = "sweep.sat_calls"         // counter: SAT queries issued by sweeping
 	MFSMStates       = "fsm.states"              // gauge: states in the machine under minimization
+	MFoldFallbacks   = "fold.fallbacks"          // counter: degradation-ladder rung descents
+	MFoldPanics      = "fold.panics_recovered"   // counter: panics converted to ErrInternal at recover boundaries
+	MFoldSelfCheck   = "fold.selfcheck_fail"     // counter: folds rejected by the post-fold self-check
 )
 
 // Counter is a monotonically increasing metric. Methods are no-ops on a

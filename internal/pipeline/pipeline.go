@@ -398,7 +398,7 @@ func Execute(run *Run, name string, stages ...Stage) (*Report, error) {
 		sp := root.Child(st.Name, "stage")
 		run.SetSpan(sp)
 		run.resetBDDPeak()
-		err := st.Run(&ss)
+		err := runStage(run, st, &ss)
 		run.SetSpan(prev)
 		ss.Duration = run.Elapsed() - ss.Start
 		if pk := run.BDDPeak(); pk > 0 && ss.BDDNodes < 0 {
@@ -418,4 +418,21 @@ func Execute(run *Run, name string, stages ...Stage) (*Report, error) {
 	rep.Total = run.Elapsed()
 	root.End()
 	return rep, nil
+}
+
+// runStage is the per-stage recover boundary. A panicking stage is
+// converted to an error instead of unwinding through Execute: typed
+// control-flow panics (the BDD node cap's budget unwind, cancellation)
+// keep their identity, everything else becomes an *InternalError with
+// the stage name and stack, counted under obs.MFoldPanics.
+func runStage(run *Run, st Stage, ss *StageStats) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = AsInternal(st.Name, v)
+			if errors.Is(err, ErrInternal) {
+				run.Metrics().Counter(obs.MFoldPanics).Add(1)
+			}
+		}
+	}()
+	return st.Run(ss)
 }

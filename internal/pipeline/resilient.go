@@ -1,0 +1,188 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"circuitfold/internal/obs"
+)
+
+// Sentinels for the resilience layer. ErrInternal marks a failure that
+// is the engine's fault rather than the instance's: a recovered panic,
+// an injected fault, or a stage that violated its own contract.
+// ErrSelfCheck marks a fold that completed but failed the post-fold
+// equivalence self-check. Both are retryable by RunResilient.
+var (
+	// ErrInternal reports a recovered panic or other internal fault.
+	ErrInternal = errors.New("pipeline: internal error")
+
+	// ErrSelfCheck reports that a completed fold failed its bounded
+	// equivalence self-check and was discarded.
+	ErrSelfCheck = errors.New("pipeline: self-check failed")
+)
+
+// InternalError is the typed form of a recovered panic: where it
+// happened, the panic value, and the goroutine stack captured at the
+// recover boundary. It matches ErrInternal via errors.Is.
+type InternalError struct {
+	Stage string // stage or entry-point name of the recover boundary
+	Value any    // the value passed to panic()
+	Stack []byte // debug.Stack() captured at recovery
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("%v: panic in %s: %v", ErrInternal, e.Stage, e.Value)
+}
+
+// Unwrap lets errors.Is(err, ErrInternal) match, and also exposes an
+// underlying error panic value (so a panic(err) keeps err's identity).
+func (e *InternalError) Unwrap() []error {
+	if cause, ok := e.Value.(error); ok {
+		return []error{ErrInternal, cause}
+	}
+	return []error{ErrInternal}
+}
+
+// AsInternal converts a recovered panic value into an error. Panics
+// that are themselves typed control-flow errors — budget unwinds from
+// the BDD node cap, cancellation, or an already-classified internal
+// error — pass through with their identity intact; anything else
+// becomes an *InternalError carrying the stage name and stack.
+func AsInternal(stage string, v any) error {
+	if err, ok := v.(error); ok {
+		if errors.Is(err, ErrBudgetExceeded) || errors.Is(err, ErrCanceled) || errors.Is(err, ErrInternal) {
+			return fmt.Errorf("%s: %w", stage, err)
+		}
+	}
+	return &InternalError{Stage: stage, Value: v, Stack: debug.Stack()}
+}
+
+// RecoverTo is the deferred form of AsInternal for public entry points:
+//
+//	func Fold(...) (r *Result, err error) {
+//		defer pipeline.RecoverTo(&err, "fold")
+//		...
+//	}
+//
+// A panic unwinding past the defer is converted in place of err; the
+// original return value is lost (the fold did not complete).
+func RecoverTo(errp *error, stage string) {
+	if v := recover(); v != nil {
+		*errp = AsInternal(stage, v)
+	}
+}
+
+// Rung is one attempt policy of a degradation ladder: a name for
+// reporting, a budget for the attempt's Run, the attempt itself, and an
+// optional post-success verification gate. Attempt and Verify both run
+// inside recover boundaries, so a panicking rung falls through to the
+// next one instead of unwinding out of RunResilient.
+type Rung struct {
+	Name    string
+	Budget  Budget
+	Attempt func(*Run) (any, error)
+	Verify  func(any, *Run) error
+}
+
+// RungReport records how one rung of a resilient run went.
+type RungReport struct {
+	Rung      string        `json:"rung"`
+	Duration  time.Duration `json:"duration_ns"`
+	Err       string        `json:"err,omitempty"`        // empty on the winning rung
+	SelfCheck string        `json:"self_check,omitempty"` // "pass", "fail", or empty when not verified
+	Report    *Report       `json:"report,omitempty"`     // partial stage trace salvaged from a failed rung
+}
+
+// RunResilient walks the ladder until a rung produces a verified
+// result. A rung's failure is retryable — the next rung is attempted
+// and obs.MFoldFallbacks is incremented — when it matches
+// ErrBudgetExceeded (which ErrNodeLimit and ErrResourceLimit wrap),
+// ErrInternal (recovered panics, injected faults), or ErrSelfCheck.
+// ErrCanceled and any other error abort the ladder immediately: the
+// caller asked to stop, or the instance itself is invalid and no rung
+// will fix it.
+//
+// The returned reports always cover every rung attempted, each
+// salvaging the partial stage trace when the rung's error was a typed
+// *Error. When every rung fails, the error returned is the last rung's,
+// so errors.Is sees the most-degraded failure mode.
+func RunResilient(ctx context.Context, o *obs.Observer, rungs []Rung) (any, []RungReport, error) {
+	if len(rungs) == 0 {
+		return nil, nil, errors.New("pipeline: resilient run needs at least one rung")
+	}
+	fallbacks := o.Counter(obs.MFoldFallbacks)
+	selfFails := o.Counter(obs.MFoldSelfCheck)
+	reports := make([]RungReport, 0, len(rungs))
+	var lastErr error
+	for i, rung := range rungs {
+		run := NewRunObserved(ctx, rung.Budget, o)
+		rr := RungReport{Rung: rung.Name}
+		v, err := attemptRung(run, rung)
+		if err == nil && rung.Verify != nil {
+			if verr := verifyRung(run, rung, v); verr != nil {
+				selfFails.Add(1)
+				rr.SelfCheck = "fail"
+				err = fmt.Errorf("%s: %w: %v", rung.Name, ErrSelfCheck, verr)
+			} else {
+				rr.SelfCheck = "pass"
+			}
+		}
+		rr.Duration = run.Elapsed()
+		if err == nil {
+			reports = append(reports, rr)
+			return v, reports, nil
+		}
+		rr.Err = err.Error()
+		var pe *Error
+		if errors.As(err, &pe) {
+			rr.Report = pe.Report
+		}
+		reports = append(reports, rr)
+		lastErr = err
+		if errors.Is(err, ErrCanceled) {
+			return nil, reports, err
+		}
+		retryable := errors.Is(err, ErrBudgetExceeded) ||
+			errors.Is(err, ErrInternal) ||
+			errors.Is(err, ErrSelfCheck)
+		if !retryable {
+			return nil, reports, err
+		}
+		if i < len(rungs)-1 {
+			fallbacks.Add(1)
+		}
+	}
+	return nil, reports, fmt.Errorf("pipeline: ladder exhausted after %d rungs: %w", len(reports), lastErr)
+}
+
+// attemptRung runs one rung inside a recover boundary so a panicking
+// attempt reads as an ErrInternal failure of that rung.
+func attemptRung(run *Run, rung Rung) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = AsInternal(rung.Name, r)
+			v = nil
+			if errors.Is(err, ErrInternal) {
+				run.Metrics().Counter(obs.MFoldPanics).Add(1)
+			}
+		}
+	}()
+	return rung.Attempt(run)
+}
+
+// verifyRung gates a successful attempt; a panicking verifier counts
+// as a (conservative) verification failure.
+func verifyRung(run *Run, rung Rung, v any) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = AsInternal(rung.Name+".verify", r)
+			if errors.Is(err, ErrInternal) {
+				run.Metrics().Counter(obs.MFoldPanics).Add(1)
+			}
+		}
+	}()
+	return rung.Verify(v, run)
+}

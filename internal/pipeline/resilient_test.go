@@ -1,0 +1,192 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"circuitfold/internal/obs"
+)
+
+func observer() (*obs.Observer, *obs.Registry) {
+	reg := obs.NewRegistry()
+	return &obs.Observer{Metrics: reg}, reg
+}
+
+func TestRecoverToClassifies(t *testing.T) {
+	boom := func() (err error) {
+		defer RecoverTo(&err, "boom")
+		panic("kaboom")
+	}
+	err := boom()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("panic not classified as ErrInternal: %v", err)
+	}
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("no *InternalError in chain: %v", err)
+	}
+	if ie.Stage != "boom" || len(ie.Stack) == 0 {
+		t.Fatalf("InternalError missing stage/stack: %+v", ie)
+	}
+
+	// Typed control-flow panics keep their identity instead of being
+	// reclassified as internal faults.
+	budget := func() (err error) {
+		defer RecoverTo(&err, "stage")
+		panic(fmt.Errorf("node cap: %w", ErrBudgetExceeded))
+	}
+	err = budget()
+	if !errors.Is(err, ErrBudgetExceeded) || errors.Is(err, ErrInternal) {
+		t.Fatalf("budget panic misclassified: %v", err)
+	}
+}
+
+func TestExecuteRecoversStagePanic(t *testing.T) {
+	o, reg := observer()
+	run := NewRunObserved(context.Background(), Budget{}, o)
+	rep, err := Execute(run, "p",
+		Stage{Name: "ok", Run: func(*StageStats) error { return nil }},
+		Stage{Name: "bad", Run: func(*StageStats) error { panic("index out of range [demo]") }},
+		Stage{Name: "never", Run: func(*StageStats) error { t.Fatal("ran past panic"); return nil }},
+	)
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("stage panic not converted to ErrInternal: %v", err)
+	}
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Stage != "bad" {
+		t.Fatalf("missing typed *Error for stage bad: %v", err)
+	}
+	if rep == nil || len(rep.Stages) != 2 || rep.Stages[1].Err == "" {
+		t.Fatalf("partial trace not salvaged: %+v", rep)
+	}
+	if n := reg.Counter(obs.MFoldPanics).Value(); n != 1 {
+		t.Fatalf("fold.panics_recovered = %d, want 1", n)
+	}
+}
+
+func TestRunResilientDescendsLadder(t *testing.T) {
+	o, reg := observer()
+	rungs := []Rung{
+		{Name: "functional", Attempt: func(*Run) (any, error) {
+			return nil, fmt.Errorf("blew up: %w", ErrBudgetExceeded)
+		}},
+		{Name: "hybrid", Attempt: func(*Run) (any, error) {
+			panic("hybrid internal bug")
+		}},
+		{Name: "structural", Attempt: func(*Run) (any, error) {
+			return "folded", nil
+		}, Verify: func(v any, _ *Run) error {
+			if v != "folded" {
+				return errors.New("wrong value")
+			}
+			return nil
+		}},
+	}
+	v, reps, err := RunResilient(context.Background(), o, rungs)
+	if err != nil {
+		t.Fatalf("ladder failed: %v", err)
+	}
+	if v != "folded" {
+		t.Fatalf("wrong result %v", v)
+	}
+	if len(reps) != 3 || reps[0].Err == "" || reps[1].Err == "" || reps[2].Err != "" {
+		t.Fatalf("rung reports wrong: %+v", reps)
+	}
+	if reps[2].SelfCheck != "pass" {
+		t.Fatalf("winning rung not self-checked: %+v", reps[2])
+	}
+	if n := reg.Counter(obs.MFoldFallbacks).Value(); n != 2 {
+		t.Fatalf("fold.fallbacks = %d, want 2", n)
+	}
+	if n := reg.Counter(obs.MFoldPanics).Value(); n != 1 {
+		t.Fatalf("fold.panics_recovered = %d, want 1", n)
+	}
+}
+
+func TestRunResilientSelfCheckFallsThrough(t *testing.T) {
+	o, reg := observer()
+	rungs := []Rung{
+		{Name: "wrong", Attempt: func(*Run) (any, error) { return 1, nil },
+			Verify: func(any, *Run) error { return errors.New("outputs differ at vector 3") }},
+		{Name: "right", Attempt: func(*Run) (any, error) { return 2, nil },
+			Verify: func(any, *Run) error { return nil }},
+	}
+	v, reps, err := RunResilient(context.Background(), o, rungs)
+	if err != nil || v != 2 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	if reps[0].SelfCheck != "fail" {
+		t.Fatalf("first rung self-check not recorded: %+v", reps[0])
+	}
+	if n := reg.Counter(obs.MFoldSelfCheck).Value(); n != 1 {
+		t.Fatalf("fold.selfcheck_fail = %d, want 1", n)
+	}
+}
+
+func TestRunResilientAbortsOnCancelAndNonRetryable(t *testing.T) {
+	o, _ := observer()
+	called := 0
+	rungs := []Rung{
+		{Name: "a", Attempt: func(*Run) (any, error) {
+			called++
+			return nil, fmt.Errorf("stop: %w", ErrCanceled)
+		}},
+		{Name: "b", Attempt: func(*Run) (any, error) { called++; return 1, nil }},
+	}
+	_, _, err := RunResilient(context.Background(), o, rungs)
+	if !errors.Is(err, ErrCanceled) || called != 1 {
+		t.Fatalf("cancel did not abort ladder: err=%v called=%d", err, called)
+	}
+
+	called = 0
+	rungs[0].Attempt = func(*Run) (any, error) {
+		called++
+		return nil, errors.New("fold: T exceeds inputs")
+	}
+	_, _, err = RunResilient(context.Background(), o, rungs)
+	if err == nil || errors.Is(err, ErrCanceled) || called != 1 {
+		t.Fatalf("non-retryable error did not abort ladder: err=%v called=%d", err, called)
+	}
+}
+
+func TestRunResilientExhausted(t *testing.T) {
+	o, reg := observer()
+	rungs := []Rung{
+		{Name: "a", Attempt: func(*Run) (any, error) { return nil, fmt.Errorf("a: %w", ErrBudgetExceeded) }},
+		{Name: "b", Attempt: func(*Run) (any, error) { panic("b died") }},
+	}
+	_, reps, err := RunResilient(context.Background(), o, rungs)
+	if err == nil || !errors.Is(err, ErrInternal) {
+		t.Fatalf("exhausted ladder should surface last error: %v", err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("want 2 rung reports, got %+v", reps)
+	}
+	// Only descents between rungs count as fallbacks, not the final failure.
+	if n := reg.Counter(obs.MFoldFallbacks).Value(); n != 1 {
+		t.Fatalf("fold.fallbacks = %d, want 1", n)
+	}
+}
+
+func TestRunResilientSalvagesPartialTrace(t *testing.T) {
+	o, _ := observer()
+	rungs := []Rung{
+		{Name: "fails", Attempt: func(run *Run) (any, error) {
+			_, err := Execute(run, "fails",
+				Stage{Name: StageSchedule, Run: func(*StageStats) error { return nil }},
+				Stage{Name: StageTFF, Run: func(*StageStats) error { panic("tff blew") }},
+			)
+			return nil, err
+		}},
+		{Name: "wins", Attempt: func(*Run) (any, error) { return 1, nil }},
+	}
+	_, reps, err := RunResilient(context.Background(), o, rungs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0].Report == nil || len(reps[0].Report.Stages) != 2 {
+		t.Fatalf("partial trace not salvaged into rung report: %+v", reps[0])
+	}
+}

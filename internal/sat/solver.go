@@ -9,10 +9,21 @@
 package sat
 
 import (
+	"fmt"
 	"sort"
 
+	"circuitfold/internal/fault"
 	"circuitfold/internal/obs"
+	"circuitfold/internal/pipeline"
 )
+
+// ErrResourceLimit reports that a hard resource cap installed with
+// SetResourceLimit (total conflicts or live learnt-clause literals) was
+// exceeded. It wraps pipeline.ErrBudgetExceeded so the cap reads as a
+// budget failure everywhere the engine classifies errors. The search
+// itself still returns Unknown — like a soft budget — and callers that
+// need the reason read it back with ResourceErr.
+var ErrResourceLimit = fmt.Errorf("sat: resource limit exceeded: %w", pipeline.ErrBudgetExceeded)
 
 // Lit is a literal: variable index shifted left once, low bit set for a
 // negated literal. Variables are numbered from 0.
@@ -97,6 +108,14 @@ type Solver struct {
 	budget       int64       // max conflicts per Solve; <=0 means unlimited
 	interrupt    func() bool // polled during search; true aborts with Unknown
 
+	// Hard resource caps (SetResourceLimit). Unlike budget, these are
+	// lifetime caps meant to bound memory and CPU even across calls;
+	// tripping one records limitErr and returns Unknown.
+	hardConflicts  int64
+	hardLearntLits int64
+	learntLits     int64 // live literals across the learnt database
+	limitErr       error // why the last Solve degraded to Unknown, or nil
+
 	stats Stats
 
 	// Observability hooks (nil when unobserved; all uses nil-safe).
@@ -175,6 +194,22 @@ func (s *Solver) NumVars() int { return len(s.assign) }
 // n <= 0 removes the limit. A Solve that exhausts the budget returns
 // Unknown.
 func (s *Solver) SetBudget(n int64) { s.budget = n }
+
+// SetResourceLimit installs hard caps: conflicts bounds the solver's
+// lifetime conflict total (across Solve calls, unlike SetBudget's
+// per-call allowance), and learntLits bounds the live literal count of
+// the learnt-clause database, which dominates solver memory. Zero
+// leaves a cap unset. A Solve that trips a cap backtracks to level 0
+// and returns Unknown, with ResourceErr reporting an
+// ErrResourceLimit-matching cause.
+func (s *Solver) SetResourceLimit(conflicts, learntLits int64) {
+	s.hardConflicts = conflicts
+	s.hardLearntLits = learntLits
+}
+
+// ResourceErr explains the last Unknown caused by a hard resource cap
+// or an injected fault; nil after any other outcome.
+func (s *Solver) ResourceErr() error { return s.limitErr }
 
 // SetInterrupt installs a callback polled during the search (at every
 // conflict and periodically between decisions). When it returns true
@@ -484,6 +519,7 @@ func (s *Solver) reduceDB() {
 			keep = append(keep, c)
 		} else {
 			removed[c] = true
+			s.learntLits -= int64(len(c.lits))
 		}
 	}
 	s.learnts = keep
@@ -519,6 +555,14 @@ func luby(i int64) int64 {
 // When an observer is attached (SetObserver), the call is wrapped in a
 // "sat.solve" span and its stat deltas feed the sat.* metrics.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.limitErr = nil
+	if err := fault.Point(fault.PointSATSolve); err != nil {
+		// Error-mode injection degrades the call to Unknown — the same
+		// shape as budget exhaustion — with the cause in ResourceErr.
+		// (Panic mode unwinds out of Point to the recover boundaries.)
+		s.limitErr = err
+		return Unknown
+	}
 	if !s.observed {
 		return s.search(assumptions)
 	}
@@ -583,12 +627,23 @@ func (s *Solver) search(assumptions []Lit) Status {
 			} else {
 				c := &clause{lits: learnt, learnt: true, act: s.claInc}
 				s.learnts = append(s.learnts, c)
+				s.learntLits += int64(len(learnt))
 				s.stats.Learnt++
 				s.attach(c)
 				s.uncheckedEnqueue(learnt[0], c)
 			}
 			s.decayActivities()
 			if s.budget > 0 && s.numConflicts-conflictsAtStart >= s.budget {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if s.hardConflicts > 0 && s.numConflicts >= s.hardConflicts {
+				s.limitErr = fmt.Errorf("%w: %d conflicts", ErrResourceLimit, s.numConflicts)
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if s.hardLearntLits > 0 && s.learntLits > s.hardLearntLits {
+				s.limitErr = fmt.Errorf("%w: %d learnt literals", ErrResourceLimit, s.learntLits)
 				s.cancelUntil(0)
 				return Unknown
 			}

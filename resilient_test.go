@@ -1,0 +1,320 @@
+package circuitfold_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"circuitfold"
+	"circuitfold/internal/bdd"
+	"circuitfold/internal/fault"
+	"circuitfold/internal/gen"
+	"circuitfold/internal/obs"
+	"circuitfold/internal/pipeline"
+	"circuitfold/internal/sat"
+)
+
+// arm installs a fault plan for the test and guarantees disarmament.
+// Fault plans are process-global, so armed tests must not run in
+// parallel.
+func arm(t *testing.T, rules map[string]fault.Rule) {
+	t.Helper()
+	fault.Activate(fault.NewPlan(rules))
+	t.Cleanup(fault.Deactivate)
+}
+
+// TestFaultMatrix proves the recover boundaries: a panic injected at
+// every registered fault point surfaces as a typed error matching both
+// ErrInternal and fault.ErrInjected — never as a process panic.
+func TestFaultMatrix(t *testing.T) {
+	small := func() *circuitfold.Circuit { return gen.Random(11, 12, 6, 300) }
+	cases := []struct {
+		point string
+		run   func() error
+	}{
+		{fault.PointBDDMk, func() error {
+			_, err := circuitfold.Functional(small(), 3, circuitfold.Options{})
+			return err
+		}},
+		{fault.PointSATSolve, func() error {
+			opt := circuitfold.Options{Minimize: true}
+			_, err := circuitfold.Functional(small(), 3, opt)
+			return err
+		}},
+		{fault.PointSweepShard, func() error {
+			_, err := circuitfold.OptimizeBudget(nil, gen.Random(7, 64, 16, 4000),
+				circuitfold.DefaultSweepOptions(), circuitfold.Budget{})
+			return err
+		}},
+		{fault.PointMeMinIter, func() error {
+			opt := circuitfold.Options{Minimize: true}
+			_, err := circuitfold.Functional(small(), 3, opt)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			arm(t, map[string]fault.Rule{tc.point: {Mode: fault.Panic}})
+			err := tc.run()
+			if err == nil {
+				t.Fatalf("injected panic at %s did not surface", tc.point)
+			}
+			if !errors.Is(err, circuitfold.ErrInternal) {
+				t.Fatalf("err = %v, want ErrInternal", err)
+			}
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("err = %v, want fault.ErrInjected", err)
+			}
+		})
+	}
+}
+
+// TestErrorTaxonomy checks that every failure-mode sentinel is
+// matchable with errors.Is from the root package, end to end.
+func TestErrorTaxonomy(t *testing.T) {
+	t.Run("canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := circuitfold.Functional(bigCircuit(), 8, circuitfold.Options{Context: ctx})
+		if !errors.Is(err, circuitfold.ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	})
+	t.Run("budget", func(t *testing.T) {
+		opt := circuitfold.Options{Budget: circuitfold.Budget{Wall: time.Millisecond}}
+		_, err := circuitfold.Functional(bigCircuit(), 8, opt)
+		if !errors.Is(err, circuitfold.ErrBudgetExceeded) {
+			t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+		}
+	})
+	t.Run("node-limit", func(t *testing.T) {
+		// The hard cap panics out of the BDD manager (the CUDD-style
+		// non-local exit); a recover boundary converts it into an error
+		// that matches both the specific and the general sentinel.
+		m := bdd.New(64)
+		m.SetNodeLimit(8)
+		err := func() (err error) {
+			defer pipeline.RecoverTo(&err, "test.bdd")
+			f := m.Var(0)
+			for v := 1; v < 64; v++ {
+				f = m.Xor(f, m.Var(v))
+			}
+			return nil
+		}()
+		if !errors.Is(err, circuitfold.ErrNodeLimit) {
+			t.Fatalf("err = %v, want ErrNodeLimit", err)
+		}
+		if !errors.Is(err, circuitfold.ErrBudgetExceeded) {
+			t.Fatal("ErrNodeLimit must classify as a budget failure")
+		}
+		if errors.Is(err, circuitfold.ErrInternal) {
+			t.Fatal("a declared node cap is not an internal error")
+		}
+	})
+	t.Run("resource-limit", func(t *testing.T) {
+		// Pigeonhole PHP(6,5): hard enough to conflict immediately, so
+		// a two-conflict hard cap trips and Solve degrades to Unknown
+		// with the typed cause.
+		const holes = 5
+		const pigeons = 6
+		s := sat.New()
+		v := func(p, h int) int { return p*holes + h }
+		for i := 0; i < pigeons*holes; i++ {
+			s.NewVar()
+		}
+		for p := 0; p < pigeons; p++ {
+			cl := make([]sat.Lit, holes)
+			for h := 0; h < holes; h++ {
+				cl[h] = sat.MkLit(v(p, h), false)
+			}
+			s.AddClause(cl...)
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 < pigeons; p1++ {
+				for p2 := p1 + 1; p2 < pigeons; p2++ {
+					s.AddClause(sat.MkLit(v(p1, h), true), sat.MkLit(v(p2, h), true))
+				}
+			}
+		}
+		s.SetResourceLimit(2, 0)
+		if st := s.Solve(); st != sat.Unknown {
+			t.Fatalf("Solve = %v, want Unknown under a 2-conflict cap", st)
+		}
+		err := s.ResourceErr()
+		if !errors.Is(err, circuitfold.ErrResourceLimit) {
+			t.Fatalf("ResourceErr = %v, want ErrResourceLimit", err)
+		}
+		if !errors.Is(err, circuitfold.ErrBudgetExceeded) {
+			t.Fatal("ErrResourceLimit must classify as a budget failure")
+		}
+	})
+	t.Run("internal", func(t *testing.T) {
+		arm(t, map[string]fault.Rule{fault.PointBDDMk: {Mode: fault.Panic}})
+		_, err := circuitfold.Functional(gen.Random(3, 9, 4, 200), 3, circuitfold.Options{})
+		if !errors.Is(err, circuitfold.ErrInternal) {
+			t.Fatalf("err = %v, want ErrInternal", err)
+		}
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("err = %v, want fault.ErrInjected", err)
+		}
+	})
+	t.Run("internal-panic-value", func(t *testing.T) {
+		// A non-error panic (a real bug, not an injected error value)
+		// becomes a typed *InternalError carrying stage and stack.
+		err := func() (err error) {
+			defer pipeline.RecoverTo(&err, "test.stage")
+			panic("boom")
+		}()
+		var ie *circuitfold.InternalError
+		if !errors.As(err, &ie) {
+			t.Fatalf("err = %T (%v), want *InternalError", err, err)
+		}
+		if ie.Stage != "test.stage" || len(ie.Stack) == 0 {
+			t.Fatalf("InternalError must carry stage and stack, got %q", ie.Stage)
+		}
+		if !errors.Is(err, circuitfold.ErrInternal) {
+			t.Fatal("InternalError must match ErrInternal")
+		}
+	})
+}
+
+// TestResilientLadderDescends forces the first two rungs to fail on
+// budget and checks the ladder lands on a verified structural fold.
+func TestResilientLadderDescends(t *testing.T) {
+	o := &circuitfold.Observer{Metrics: circuitfold.NewMetrics()}
+	opt := circuitfold.ResilientOptions{}
+	opt.Observer = o
+	opt.Trace = true
+	opt.RungBudgets = map[circuitfold.FoldMethod]circuitfold.Budget{
+		circuitfold.MethodFunctional: {BDDNodes: 64},
+		circuitfold.MethodHybrid:     {Wall: time.Millisecond},
+	}
+	g := bigCircuit()
+	r, err := circuitfold.RunResilient(g, 8, opt)
+	if err != nil {
+		t.Fatalf("ladder should have ended on structural: %v", err)
+	}
+	if r.Method != circuitfold.MethodStructural {
+		t.Fatalf("Method = %s, want structural", r.Method)
+	}
+	if len(r.Attempts) != 3 {
+		t.Fatalf("Attempts = %d, want 3", len(r.Attempts))
+	}
+	if r.Fallbacks != 2 {
+		t.Fatalf("Fallbacks = %d, want 2", r.Fallbacks)
+	}
+	for _, a := range r.Attempts[:2] {
+		if a.Err == "" {
+			t.Fatalf("failed rung %s must record its error", a.Rung)
+		}
+	}
+	last := r.Attempts[2]
+	if last.Err != "" || last.SelfCheck != "pass" {
+		t.Fatalf("winning rung = %+v, want passing self-check", last)
+	}
+	if err := circuitfold.VerifyFast(g, r.Result, 2); err != nil {
+		t.Fatalf("resilient result failed re-verification: %v", err)
+	}
+	// The acceptance criterion: fallbacks are externally visible in the
+	// metrics registry the caller supplied.
+	if n := o.Metrics.Counter(obs.MFoldFallbacks).Value(); n != 2 {
+		t.Fatalf("fold.fallbacks = %d, want 2", n)
+	}
+}
+
+// TestResilientRecoversInjectedPanic arms an unconditional panic in the
+// BDD allocator: the functional rung dies, the hybrid rung demotes its
+// clusters to the structural fallback and still wins.
+func TestResilientRecoversInjectedPanic(t *testing.T) {
+	arm(t, map[string]fault.Rule{fault.PointBDDMk: {Mode: fault.Panic}})
+	o := &circuitfold.Observer{Metrics: circuitfold.NewMetrics()}
+	opt := circuitfold.ResilientOptions{}
+	opt.Observer = o
+	g := gen.Random(13, 16, 8, 500)
+	r, err := circuitfold.RunResilient(g, 4, opt)
+	if err != nil {
+		t.Fatalf("ladder should have recovered: %v", err)
+	}
+	if r.Method == circuitfold.MethodFunctional {
+		t.Fatal("functional rung cannot win with the BDD allocator panicking")
+	}
+	if r.Fallbacks < 1 {
+		t.Fatalf("Fallbacks = %d, want >= 1", r.Fallbacks)
+	}
+	if r.PanicsRecovered < 1 {
+		t.Fatalf("PanicsRecovered = %d, want >= 1", r.PanicsRecovered)
+	}
+	if n := o.Metrics.Counter(obs.MFoldPanics).Value(); n != r.PanicsRecovered {
+		t.Fatalf("fold.panics_recovered = %d, want %d", n, r.PanicsRecovered)
+	}
+	if err := circuitfold.VerifyFast(g, r.Result, 2); err != nil {
+		t.Fatalf("recovered result failed re-verification: %v", err)
+	}
+}
+
+// TestResilientSATSelfCheck runs the escalated self-check on the
+// paper's running example, where the SAT spot-check can finish.
+func TestResilientSATSelfCheck(t *testing.T) {
+	g := buildAdder3(t)
+	opt := circuitfold.ResilientOptions{SelfCheckSAT: 100000}
+	r, err := circuitfold.RunResilient(g, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Attempts[len(r.Attempts)-1].SelfCheck != "pass" {
+		t.Fatal("self-check must pass on a correct fold")
+	}
+	if r.SelfCheckFails != 0 {
+		t.Fatalf("SelfCheckFails = %d, want 0", r.SelfCheckFails)
+	}
+}
+
+// TestResilientCancelAborts checks that cancellation is never
+// retried: the ladder stops at the first canceled rung.
+func TestResilientCancelAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := circuitfold.ResilientOptions{}
+	opt.Context = ctx
+	r, err := circuitfold.RunResilient(bigCircuit(), 8, opt)
+	if !errors.Is(err, circuitfold.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(r.Attempts) != 1 {
+		t.Fatalf("canceled ladder attempted %d rungs, want 1", len(r.Attempts))
+	}
+}
+
+// TestResilientRetryReorder checks the optional reorder rung is
+// inserted right after the functional rung.
+func TestResilientRetryReorder(t *testing.T) {
+	opt := circuitfold.ResilientOptions{RetryReorder: true}
+	opt.RungBudgets = map[circuitfold.FoldMethod]circuitfold.Budget{
+		circuitfold.MethodFunctional:        {BDDNodes: 64},
+		circuitfold.MethodFunctionalReorder: {BDDNodes: 64},
+		circuitfold.MethodHybrid:            {Wall: time.Millisecond},
+	}
+	r, err := circuitfold.RunResilient(bigCircuit(), 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Attempts) < 3 {
+		t.Fatalf("Attempts = %d, want >= 3", len(r.Attempts))
+	}
+	if got := circuitfold.FoldMethod(r.Attempts[1].Rung); got != circuitfold.MethodFunctionalReorder {
+		t.Fatalf("second rung = %s, want functional-reorder", got)
+	}
+}
+
+// TestResilientGoroutineHygiene folds under an armed fault and checks
+// no worker goroutines outlive the call.
+func TestResilientGoroutineHygiene(t *testing.T) {
+	base := runtime.NumGoroutine()
+	arm(t, map[string]fault.Rule{fault.PointSweepShard: {Mode: fault.Panic}})
+	opt := circuitfold.ResilientOptions{}
+	_, _ = circuitfold.RunResilient(gen.Random(17, 16, 8, 600), 4, opt)
+	fault.Deactivate()
+	checkNoGoroutineLeak(t, base)
+}
