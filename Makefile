@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race vet faults bench bench-go bench-bdd-smoke trace clean
+.PHONY: build test verify race vet faults bench bench-go bench-bdd-smoke bench-fold-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,13 @@ bench-go:
 # run and stay race-clean.
 bench-bdd-smoke:
 	$(GO) test ./internal/bdd -run XXX -bench 'BenchmarkBDD' -benchtime 1x -race
+
+# bench-fold-smoke folds the 64-adder functionally at T=16 with four
+# frame workers once under the race detector — the PR gate that the
+# parallel time-frame fold stays race-clean and still reaches the known
+# 32-state machine.
+bench-fold-smoke:
+	$(GO) test . -run XXX -bench 'BenchmarkFoldParallel' -benchtime 1x -race
 
 # trace folds the paper's 64-adder (Table III, T=16) functionally and
 # structurally under the span tracer and writes trace.json — load it at

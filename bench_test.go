@@ -289,6 +289,30 @@ func BenchmarkFunctionalFold(b *testing.B) {
 	}
 }
 
+// BenchmarkFoldParallel folds the paper's 64-adder functionally at
+// T=16 with four frame workers — the parallel time-frame-folding path
+// end to end (schedule, worker-arena clones, concurrent refinement,
+// deterministic merge). Run under -race (make bench-fold-smoke) this is
+// the PR gate that the parallel fold stays race-clean; the states
+// check pins the folded machine to the known 64-adder result, which is
+// bit-identical for every worker count.
+func BenchmarkFoldParallel(b *testing.B) {
+	g := gen.MustBuild("64-adder")
+	for i := 0; i < b.N; i++ {
+		sched, err := core.PinSchedule(g, 16, core.ScheduleOptions{Reorder: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, states, err := core.TimeFrameFold(g, sched, 4, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if states != 32 {
+			b.Fatalf("64-adder T=16 folded to %d states, want 32", states)
+		}
+	}
+}
+
 // BenchmarkLUTMapping measures the 6-LUT mapper on a Table I circuit.
 func BenchmarkLUTMapping(b *testing.B) {
 	g := gen.MustBuild("b15_C")
@@ -412,7 +436,7 @@ func BenchmarkMeMin(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	machine, _, err := core.TimeFrameFold(g, sched, nil)
+	machine, _, err := core.TimeFrameFold(g, sched, 1, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

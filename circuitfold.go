@@ -200,6 +200,12 @@ type Options struct {
 	// conflicts, FSM states). Zero fields use engine defaults; an
 	// exhausted budget aborts with an error matching ErrBudgetExceeded.
 	Budget Budget
+	// Workers bounds the goroutines the folding engines use: frame
+	// states fold in parallel in the functional method, clusters in the
+	// hybrid method. 0 uses the engine default (GOMAXPROCS capped at 8);
+	// 1 forces sequential folding. The folded circuit is bit-identical
+	// for every worker count. Ignored by Structural and Simple.
+	Workers int
 	// Trace attaches the per-stage Report to Result.Report. Errors
 	// always carry their partial trace regardless of Trace.
 	Trace bool
@@ -266,6 +272,9 @@ func Functional(g *Circuit, T int, opt Options) (r *Result, err error) {
 	fo.Ctx = opt.Context
 	fo.Budget = opt.budget()
 	fo.Obs = opt.Observer
+	if opt.Workers > 0 {
+		fo.Workers = opt.Workers
+	}
 	if fo.Budget.Wall > 0 {
 		fo.MinOpts.Timeout = fo.Budget.Wall
 	}
@@ -292,6 +301,9 @@ func Hybrid(g *Circuit, T int, opt Options) (r *Result, err error) {
 	ho.Minimize = opt.Minimize
 	ho.Ctx = opt.Context
 	ho.Obs = opt.Observer
+	if opt.Workers > 0 {
+		ho.Workers = opt.Workers
+	}
 	b := opt.budget()
 	if b.MaxStates == 0 {
 		b.MaxStates = ho.Budget.MaxStates

@@ -2,10 +2,12 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"circuitfold/internal/aig"
 	"circuitfold/internal/bdd"
+	"circuitfold/internal/core"
 	"circuitfold/internal/gen"
 )
 
@@ -34,11 +36,30 @@ type BDDCircuitRun struct {
 	Err            string  `json:"err,omitempty"`
 }
 
+// BDDFoldRun is one functional fold of the headline circuit at one
+// frame-worker count: per-stage wall times for pin scheduling and
+// time-frame folding, the machine's state count, and the layout hash of
+// its condition-manager arena. The hash is the bit-identity witness —
+// every workers row of one circuit must report the same hash (and the
+// same states), or the parallel fold has diverged from the sequential
+// one.
+type BDDFoldRun struct {
+	Circuit    string `json:"circuit"`
+	Frames     int    `json:"frames"`
+	Workers    int    `json:"workers"`
+	ScheduleNs int64  `json:"schedule_ns"`
+	TFFNs      int64  `json:"tff_ns"`
+	States     int    `json:"states"`
+	LayoutHash string `json:"layout_hash"`
+	Err        string `json:"err,omitempty"`
+}
+
 // BDDReport is the BENCH_bdd.json schema.
 type BDDReport struct {
 	Date     string          `json:"date"`
 	Micro    BDDMicro        `json:"micro"`
 	Circuits []BDDCircuitRun `json:"circuits"`
+	Folds    []BDDFoldRun    `json:"folds"`
 }
 
 // bddCircuits is the Table III subset the lane sifts: the circuits
@@ -198,6 +219,53 @@ func benchBDDCircuit(name string) BDDCircuitRun {
 	return run
 }
 
+// benchBDDFold times the schedule and tff stages of the functional
+// fold at one worker count, best-of-reps per stage.
+func benchBDDFold(name string, T, workers, reps int) BDDFoldRun {
+	run := BDDFoldRun{Circuit: name, Frames: T, Workers: workers}
+	g, err := gen.Build(name)
+	if err != nil {
+		run.Err = err.Error()
+		return run
+	}
+	var bestSched, bestTFF time.Duration
+	for r := 0; r < reps; r++ {
+		// The fold lane runs after the sweep and pipeline lanes have
+		// churned the heap; collect between reps so their garbage
+		// doesn't tax the timed sections (testing.B does the same).
+		runtime.GC()
+		start := time.Now()
+		sched, err := core.PinSchedule(g, T, core.ScheduleOptions{Reorder: true})
+		dSched := time.Since(start)
+		if err != nil {
+			run.Err = err.Error()
+			return run
+		}
+		start = time.Now()
+		machine, states, err := core.TimeFrameFold(g, sched, workers, nil)
+		dTFF := time.Since(start)
+		if err != nil {
+			run.Err = err.Error()
+			return run
+		}
+		if r == 0 || dSched < bestSched {
+			bestSched = dSched
+		}
+		if r == 0 || dTFF < bestTFF {
+			bestTFF = dTFF
+		}
+		run.States = states
+		run.LayoutHash = fmt.Sprintf("%016x", machine.Mgr.LayoutHash())
+	}
+	run.ScheduleNs = bestSched.Nanoseconds()
+	run.TFFNs = bestTFF.Nanoseconds()
+	return run
+}
+
+// foldWorkerCounts is the workers dimension of the fold lane; the
+// layout hashes across these rows witness worker-count independence.
+var foldWorkerCounts = []int{1, 2, 8}
+
 // benchBDD runs the whole BDD lane.
 func benchBDD(reps int) BDDReport {
 	rep := BDDReport{Date: time.Now().UTC().Format(time.RFC3339)}
@@ -210,6 +278,9 @@ func benchBDD(reps int) BDDReport {
 	}
 	for _, name := range bddCircuits {
 		rep.Circuits = append(rep.Circuits, benchBDDCircuit(name))
+	}
+	for _, w := range foldWorkerCounts {
+		rep.Folds = append(rep.Folds, benchBDDFold("64-adder", 16, w, reps))
 	}
 	return rep
 }

@@ -36,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	machine, states, err := core.TimeFrameFold(g, sched, nil)
+	machine, states, err := core.TimeFrameFold(g, sched, 1, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

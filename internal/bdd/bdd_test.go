@@ -197,7 +197,10 @@ func truthTable(m *Manager, f Node, n int) []bool {
 	return tt
 }
 
-// checkInvariants verifies ROBDD structural invariants for live nodes.
+// checkInvariants verifies ROBDD structural invariants for live nodes:
+// no redundant tests, level ordering, uniqueness of the stored
+// (level, lo, hi) triples, and the canonical complement-edge form (the
+// stored then-edge of every slot is regular).
 func checkInvariants(t *testing.T, m *Manager, roots []Node) {
 	t.Helper()
 	seen := make(map[Node]bool)
@@ -208,28 +211,142 @@ func checkInvariants(t *testing.T, m *Manager, roots []Node) {
 	uniq := make(map[key]Node)
 	var rec func(n Node)
 	rec = func(n Node) {
-		if m.IsTerminal(n) || seen[n] {
+		if m.IsTerminal(n) || seen[Regular(n)] {
 			return
 		}
-		seen[n] = true
-		lo, hi := m.Lo(n), m.Hi(n)
-		if lo == hi {
+		seen[Regular(n)] = true
+		r := m.nodes[n>>1]
+		if r.hi&1 != 0 {
+			t.Fatalf("slot %d stores a complemented then-edge %d", n>>1, r.hi)
+		}
+		if r.lo == r.hi {
 			t.Fatalf("node %d has lo == hi", n)
 		}
+		lo, hi := m.Lo(n), m.Hi(n)
 		if m.Level(lo) <= m.Level(n) || m.Level(hi) <= m.Level(n) {
 			t.Fatalf("node %d violates level ordering", n)
 		}
-		k := key{m.Level(n), lo, hi}
-		if other, ok := uniq[k]; ok && other != n {
+		k := key{m.Level(n), r.lo, r.hi}
+		if other, ok := uniq[k]; ok && other != Regular(n) {
 			t.Fatalf("duplicate nodes %d and %d for %v", n, other, k)
 		}
-		uniq[k] = n
+		uniq[k] = Regular(n)
 		rec(lo)
 		rec(hi)
 	}
 	for _, r := range roots {
 		rec(r)
 	}
+
+	// Level-list consistency: every allocated non-terminal slot appears
+	// exactly once on the list of the level its record carries.
+	listed := make(map[Node]bool)
+	for l, head := range m.levelList {
+		steps := 0
+		for e := head; e != 0; e = m.nodes[e>>1].next {
+			if m.nodes[e>>1].level != int32(l) {
+				t.Fatalf("slot %d on level list %d but records level %d", e>>1, l, m.nodes[e>>1].level)
+			}
+			if listed[e] {
+				t.Fatalf("slot %d appears twice on level lists", e>>1)
+			}
+			listed[e] = true
+			if steps++; steps > len(m.nodes) {
+				t.Fatal("level list cycle")
+			}
+		}
+	}
+	onFree := make(map[Node]bool)
+	for _, f := range m.free {
+		onFree[f] = true
+	}
+	for i := 1; i < len(m.nodes); i++ {
+		n := Node(i) << 1
+		if !onFree[n] && !listed[n] {
+			t.Fatalf("allocated slot %d missing from its level list", i)
+		}
+	}
+}
+
+func TestComplementEdgeBasics(t *testing.T) {
+	m := New(4)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, b)
+	nf := m.Not(f)
+	if Regular(f) != Regular(nf) {
+		t.Fatalf("f and NOT f should share a slot: %d vs %d", f, nf)
+	}
+	if IsComplement(f) == IsComplement(nf) {
+		t.Fatal("f and NOT f should differ in polarity")
+	}
+	if m.Not(True) != False || m.Not(False) != True {
+		t.Fatal("terminal complement broken")
+	}
+	// A function and its complement count the same shared slots.
+	g := m.Xor(a, m.And(b, m.Var(2)))
+	if m.NodeCount(g) != m.NodeCount(m.Not(g)) {
+		t.Fatalf("NodeCount(g)=%d, NodeCount(!g)=%d", m.NodeCount(g), m.NodeCount(m.Not(g)))
+	}
+	if m.NodeCount(g, m.Not(g)) != m.NodeCount(g) {
+		t.Fatal("g and !g together should cost no extra slots")
+	}
+	// Cofactors commute with complement.
+	if m.Cofactor(m.Not(g), 1, true) != m.Not(m.Cofactor(g, 1, true)) {
+		t.Fatal("cofactor does not commute with complement")
+	}
+	// SatCount of complement is the complement count.
+	if m.SatCount(g)+m.SatCount(m.Not(g)) != 16 {
+		t.Fatalf("SatCount(g)=%v + SatCount(!g)=%v != 16", m.SatCount(g), m.SatCount(m.Not(g)))
+	}
+	checkInvariants(t, m, []Node{f, g, nf})
+}
+
+func TestComplementHitsCounterMoves(t *testing.T) {
+	m := New(6)
+	f := Regular(m.And(m.Var(0), m.Or(m.Var(1), m.Var(2))))
+	g := Regular(m.Or(m.Var(3), m.And(m.Var(1), m.Var(4))))
+	m.Xor(f, g)
+	if h := m.Xor(m.Not(f), g); h != m.Not(m.Xor(f, g)) {
+		t.Fatal("xor polarity algebra broken")
+	}
+	if m.Stats().ComplementHits == 0 {
+		t.Fatal("complement-normalized xor repeat did not count a complement hit")
+	}
+}
+
+func TestCloneIndependentAndIdentical(t *testing.T) {
+	m := New(6)
+	rng := rand.New(rand.NewSource(13))
+	f := randomFunc(m, rng, 6, 40)
+	g := randomFunc(m, rng, 6, 40)
+	c := m.Clone()
+	if c.LayoutHash() != m.LayoutHash() {
+		t.Fatal("clone arena differs from source")
+	}
+	// Nodes carry over: same functions, same truth tables.
+	for _, n := range []Node{f, g} {
+		tm, tc := truthTable(m, n, 6), truthTable(c, n, 6)
+		for v := range tm {
+			if tm[v] != tc[v] {
+				t.Fatalf("node %d differs between clone and source at %d", n, v)
+			}
+		}
+	}
+	// Identical op sequences keep identical layouts...
+	r1 := m.And(f, m.Not(g))
+	r2 := c.And(f, c.Not(g))
+	if r1 != r2 || m.LayoutHash() != c.LayoutHash() {
+		t.Fatalf("replayed op diverged: %d vs %d", r1, r2)
+	}
+	// ...and divergent work in the clone never touches the source.
+	h0 := m.LayoutHash()
+	for i := 0; i < 5; i++ {
+		randomFunc(c, rng, 6, 30)
+	}
+	if m.LayoutHash() != h0 {
+		t.Fatal("clone mutation leaked into the source manager")
+	}
+	checkInvariants(t, c, []Node{f, g, r2})
 }
 
 func TestSwapAdjacentPreservesFunctions(t *testing.T) {

@@ -8,6 +8,12 @@ package bdd
 // manager serves. The cache grows in step with the unique table (half
 // its slot count) up to a hard cap, and GC clears it wholesale because
 // entries may reference nodes whose slots are about to be reused.
+//
+// With complement edges the callers polarity-normalize their keys
+// before probing (Xor strips both operand signs, Ite makes the selector
+// and then-branch regular, Cofactor strips the operand sign), so one
+// entry serves every polarity variant of an operation; hits reached
+// only through such a normalization are counted as complement hits.
 
 // cacheEntry is one computed-cache slot. op == 0 means empty; binary
 // operations store h == 0, which cannot collide with Ite entries

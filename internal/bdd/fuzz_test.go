@@ -68,7 +68,21 @@ func FuzzBDDOps(f *testing.F) {
 			*k++
 			return b
 		}
-		pick := func(k *int) fn { return pool[int(next(k))%len(pool)] }
+		// pick draws an operand; when the drawn byte's high bit is set
+		// the operand's polarity is flipped first, so fuzzed operation
+		// sequences are negation-heavy and exercise the complement-edge
+		// normalization rules (De Morgan sharing, Xor/Ite/Cofactor sign
+		// stripping) on every path. The pool index ignores the high bit
+		// only through the modulo, so pre-complement seed inputs keep
+		// their meaning.
+		pick := func(k *int) fn {
+			b := next(k)
+			e := pool[int(b)%len(pool)]
+			if b >= 0x80 {
+				return fn{m.Not(e.n), ^e.mask}
+			}
+			return e
+		}
 		checkAll := func(op string) {
 			t.Helper()
 			for _, e := range pool {
@@ -136,6 +150,15 @@ func FuzzBDDOps(f *testing.F) {
 				}
 				m.SiftSymmetric(roots, 0, fuzzVars-1)
 				checkAll("SiftSymmetric")
+			case 11: // Xnor
+				a, b := pick(&k), pick(&k)
+				pool = append(pool, fn{m.Xnor(a.n, b.n), ^(a.mask ^ b.mask)})
+			case 12: // Implies
+				a, b := pick(&k), pick(&k)
+				pool = append(pool, fn{m.Implies(a.n, b.n), ^a.mask | b.mask})
+			case 13: // Diff
+				a, b := pick(&k), pick(&k)
+				pool = append(pool, fn{m.Diff(a.n, b.n), a.mask &^ b.mask})
 			default: // keep opcode space dense: treat the rest as And
 				a, b := pick(&k), pick(&k)
 				pool = append(pool, fn{m.And(a.n, b.n), a.mask & b.mask})

@@ -10,6 +10,13 @@ import "sort"
 // The unique table keys entries by the arena records, so both levels
 // are deleted from the table (backward-shift, no tombstones) before any
 // record is mutated and reinserted under their new keys afterwards.
+//
+// The restructure preserves the canonical hi-regular form without ever
+// complementing a live slot: a dependent node's new hi child is
+// mk(l+1, b, d) where d comes from the node's stored hi — regular by
+// the invariant — and its hi in turn is regular, so mk never needs to
+// flip that edge and the in-place record keeps a regular hi. (When
+// b == d the child collapses to d itself, which is again regular.)
 func (m *Manager) SwapAdjacent(l int) {
 	if l < 0 || l+1 >= m.NumVars() {
 		panic("bdd: SwapAdjacent level out of range")
@@ -18,27 +25,30 @@ func (m *Manager) SwapAdjacent(l int) {
 	x := m.varAtLevel[l]
 	y := m.varAtLevel[l+1]
 
-	// Snapshot the two levels from the unique table before mutating
-	// anything. Slot order is deterministic, so the rebuild below and
-	// any nodes mk allocates during it are too.
+	// Snapshot the two levels from their intrusive lists before mutating
+	// anything — O(nodes at the two levels), not O(unique table), which
+	// is what makes long sifting runs affordable. List order is a pure
+	// function of the manager's history, so the rebuild below and any
+	// nodes mk allocates during it are deterministic too.
 	levL := m.swapL[:0]
 	levL1 := m.swapL1[:0]
-	for _, e := range m.unique {
-		if e == 0 {
-			continue
-		}
-		switch m.nodes[e].level {
-		case int32(l):
-			levL = append(levL, e)
-		case int32(l + 1):
-			levL1 = append(levL1, e)
-		}
+	for e := m.levelList[l]; e != 0; e = m.nodes[e>>1].next {
+		levL = append(levL, e)
 	}
-	// Classify level-l nodes by whether they reference level l+1.
+	for e := m.levelList[l+1]; e != 0; e = m.nodes[e>>1].next {
+		levL1 = append(levL1, e)
+	}
+	// Both lists are rebuilt as nodes land on their new levels; fresh
+	// children mk allocates during the restructure push themselves onto
+	// the l+1 list through mkReg.
+	m.levelList[l], m.levelList[l+1] = 0, 0
+	// Classify level-l nodes by whether they reference level l+1. The
+	// children's polarity is irrelevant here — only their slot's level.
 	rewrite := m.swapRw[:0]
 	for _, n := range levL {
+		r := m.nodes[n>>1]
 		rewrite = append(rewrite,
-			m.nodes[m.nodes[n].lo].level == int32(l+1) || m.nodes[m.nodes[n].hi].level == int32(l+1))
+			m.nodes[r.lo>>1].level == int32(l+1) || m.nodes[r.hi>>1].level == int32(l+1))
 	}
 	// Remove both levels from the table while their keys still match
 	// their records.
@@ -51,36 +61,48 @@ func (m *Manager) SwapAdjacent(l int) {
 
 	// Old level-l+1 nodes (variable y) move up to level l.
 	for _, n := range levL1 {
-		m.nodes[n].level = int32(l)
+		r := &m.nodes[n>>1]
+		r.level = int32(l)
+		r.next = m.levelList[l]
+		m.levelList[l] = n
 		m.uniquePut(n)
 	}
 	// Level-l nodes independent of y move down to level l+1 unchanged.
 	for i, n := range levL {
 		if !rewrite[i] {
-			m.nodes[n].level = int32(l + 1)
+			r := &m.nodes[n>>1]
+			r.level = int32(l + 1)
+			r.next = m.levelList[l+1]
+			m.levelList[l+1] = n
 			m.uniquePut(n)
 		}
 	}
 	// Remaining level-l nodes are restructured:
 	//   f = x ? f1 : f0  becomes  f = y ? (x ? d : b) : (x ? c : a)
 	// with a = f[x=0,y=0], b = f[x=0,y=1], c = f[x=1,y=0], d = f[x=1,y=1].
+	// Cofactors of complemented children inherit the complement.
 	for i, n := range levL {
 		if !rewrite[i] {
 			continue
 		}
-		f0, f1 := m.nodes[n].lo, m.nodes[n].hi
+		rec := m.nodes[n>>1]
+		f0, f1 := rec.lo, rec.hi // f1 regular by the canonical form
 		a, b := f0, f0
-		if m.nodes[f0].level == int32(l) { // old y-node, already relabeled
-			a, b = m.nodes[f0].lo, m.nodes[f0].hi
+		if fr := m.nodes[f0>>1]; fr.level == int32(l) { // old y-node, already relabeled
+			s := f0 & 1
+			a, b = fr.lo^s, fr.hi^s
 		}
 		c, d := f1, f1
-		if m.nodes[f1].level == int32(l) {
-			c, d = m.nodes[f1].lo, m.nodes[f1].hi
+		if fr := m.nodes[f1>>1]; fr.level == int32(l) {
+			c, d = fr.lo, fr.hi
 		}
 		lo := m.mk(l+1, a, c)
-		hi := m.mk(l+1, b, d)
-		m.nodes[n].lo = lo
-		m.nodes[n].hi = hi
+		hi := m.mk(l+1, b, d) // regular: d is regular, and b == d implies b regular
+		nr := &m.nodes[n>>1]
+		nr.lo = lo
+		nr.hi = hi
+		nr.next = m.levelList[l] // stays at level l
+		m.levelList[l] = n
 		m.uniquePut(n)
 	}
 	// Return the (possibly grown) scratch buffers to the manager.
@@ -182,18 +204,19 @@ func (m *Manager) varsByContribution(roots []Node, loLevel, hiLevel int) []int {
 	m.beginVisit()
 	stack := m.stack[:0]
 	for _, r := range roots {
-		if r > True && m.visited[r] != m.epoch {
-			m.visited[r] = m.epoch
+		if r > True && m.visited[r>>1] != m.epoch {
+			m.visited[r>>1] = m.epoch
 			stack = append(stack, r)
 		}
 	}
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		counts[m.nodes[n].level]++
-		for _, c := range [2]Node{m.nodes[n].lo, m.nodes[n].hi} {
-			if c > True && m.visited[c] != m.epoch {
-				m.visited[c] = m.epoch
+		r := m.nodes[n>>1]
+		counts[r.level]++
+		for _, c := range [2]Node{r.lo, r.hi} {
+			if c > True && m.visited[c>>1] != m.epoch {
+				m.visited[c>>1] = m.epoch
 				stack = append(stack, c)
 			}
 		}
@@ -364,22 +387,37 @@ func (m *Manager) siftBlock(roots []Node, block []int, loLevel, hiLevel, cur int
 // Translate rebuilds f (a function in m) inside dst, renaming each source
 // variable v to varMap[v]. It uses Ite, so it is correct for any target
 // order, and linear when the mapping preserves relative order.
+// Translation commutes with complement (both managers use complement
+// edges), so the memo keys on regular edges and polarity is reapplied
+// on the way out.
 func (m *Manager) Translate(dst *Manager, f Node, varMap map[int]int) Node {
-	memo := make(map[Node]Node)
+	// The memo rides the manager's epoch-marked scratch (visited plus a
+	// parallel result array) instead of a per-call map — Translate runs
+	// once per transition during the fold merge, so map churn was
+	// measurable there.
+	m.beginVisit()
+	if len(m.transMemo) < len(m.nodes) {
+		m.transMemo = make([]Node, len(m.nodes))
+	}
 	var rec func(n Node) Node
 	rec = func(n Node) Node {
 		if n == False || n == True {
-			return Node(n)
+			return n
 		}
-		if r, ok := memo[n]; ok {
-			return r
+		if n&1 != 0 {
+			return rec(n^1) ^ 1
+		}
+		if m.visited[n>>1] == m.epoch {
+			return m.transMemo[n>>1]
 		}
 		v, ok := varMap[m.TopVar(n)]
 		if !ok {
 			panic("bdd: Translate: unmapped variable in support")
 		}
-		r := dst.Ite(dst.Var(v), rec(m.nodes[n].hi), rec(m.nodes[n].lo))
-		memo[n] = r
+		nr := m.nodes[n>>1]
+		r := dst.Ite(dst.Var(v), rec(nr.hi), rec(nr.lo))
+		m.visited[n>>1] = m.epoch
+		m.transMemo[n>>1] = r
 		return r
 	}
 	return rec(f)
@@ -405,7 +443,7 @@ func (m *Manager) Cube(vars []int, vals []bool) Node {
 // the freelist for mk to reuse, so the arena stops growing once the
 // working set stabilizes. Live node identities are preserved — roots and
 // any other reference reachable from them stay valid — and the rebuild
-// scans the arena in index order, so the post-GC table layout and the
+// scans the arena in slot order, so the post-GC table layout and the
 // freelist order are deterministic. Long reordering runs must collect
 // periodically: every swap orphans nodes, and orphans left in the table
 // get relabeled and restructured again and again, degrading later swaps.
@@ -414,8 +452,8 @@ func (m *Manager) GC(roots []Node) int {
 	m.beginVisit()
 	stack := m.stack[:0]
 	for _, r := range roots {
-		if r > True && m.visited[r] != m.epoch {
-			m.visited[r] = m.epoch
+		if r > True && m.visited[r>>1] != m.epoch {
+			m.visited[r>>1] = m.epoch
 			stack = append(stack, r)
 		}
 	}
@@ -424,9 +462,10 @@ func (m *Manager) GC(roots []Node) int {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		live++
-		for _, c := range [2]Node{m.nodes[n].lo, m.nodes[n].hi} {
-			if c > True && m.visited[c] != m.epoch {
-				m.visited[c] = m.epoch
+		r := m.nodes[n>>1]
+		for _, c := range [2]Node{r.lo, r.hi} {
+			if c > True && m.visited[c>>1] != m.epoch {
+				m.visited[c>>1] = m.epoch
 				stack = append(stack, c)
 			}
 		}
@@ -434,7 +473,7 @@ func (m *Manager) GC(roots []Node) int {
 	m.stack = stack[:0]
 
 	// Rebuild the unique table sized for the survivors and sweep the
-	// arena: live nodes are reinserted, everything else is reclaimed.
+	// arena: live slots are reinserted, everything else is reclaimed.
 	size := minUniqueSlots
 	for size < 2*live {
 		size *= 2
@@ -442,18 +481,31 @@ func (m *Manager) GC(roots []Node) int {
 	m.unique = make([]Node, size)
 	m.uniqueUsed = 0
 	m.free = m.free[:0]
-	for i := 2; i < len(m.nodes); i++ {
+	for i := 1; i < len(m.nodes); i++ {
 		if m.visited[i] == m.epoch {
-			m.uniqueReinsert(Node(i))
+			m.uniqueReinsert(Node(i) << 1)
 		} else {
 			m.nodes[i] = nodeRec{level: freeLevel}
-			m.free = append(m.free, Node(i))
+			m.free = append(m.free, Node(i)<<1)
+		}
+	}
+	// Rebuild the per-level lists over the survivors. The descending
+	// sweep leaves each list in ascending slot order — deterministic,
+	// like everything else about the rebuild.
+	for l := range m.levelList {
+		m.levelList[l] = 0
+	}
+	for i := len(m.nodes) - 1; i >= 1; i-- {
+		if m.visited[i] == m.epoch {
+			r := &m.nodes[i]
+			r.next = m.levelList[r.level]
+			m.levelList[r.level] = Node(i) << 1
 		}
 	}
 	m.clearCache()
 
 	// After the sweep every non-live slot is on the freelist, so the
-	// allocated count noteSize reports is exactly live + the terminals.
+	// allocated count noteSize reports is exactly live + the terminal.
 	m.noteSize()
 	return live
 }

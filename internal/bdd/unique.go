@@ -3,14 +3,18 @@ package bdd
 // The unique table is a single flat open-addressing hash table over the
 // whole manager (CUDD keeps one subtable per level; a flat table keyed
 // by (level, lo, hi) probes identically but keeps one allocation and one
-// load factor). Invariants:
+// load factor). The per-level enumeration CUDD gets for free from its
+// subtables — what SwapAdjacent needs — comes from the intrusive
+// levelList chains threaded through the arena instead. Invariants:
 //
 //   - power-of-two capacity, linear probing, no tombstones: removal uses
 //     backward-shift deletion, growth rebuilds into a fresh array;
-//   - entry 0 means empty (False, arena slot 0, never enters the table);
-//   - an entry's key is derived from its arena record, so a node's
-//     record may only be mutated while the node is out of the table
-//     (SwapAdjacent deletes both affected levels before relabeling);
+//   - entries are regular edges; entry 0 means empty (the terminal,
+//     arena slot 0, never enters the table);
+//   - an entry's key is derived from its arena record — (level, lo, hi)
+//     with hi regular by the canonical form — so a slot's record may
+//     only be mutated while the slot is out of the table (SwapAdjacent
+//     deletes both affected levels before relabeling);
 //   - load is kept under 75%, so probe chains stay short.
 
 // minUniqueSlots is the initial table capacity; small managers (a few
@@ -18,7 +22,8 @@ package bdd
 const minUniqueSlots = 256
 
 // hashKey mixes a node key into a table hash (splitmix64-style finisher
-// over the packed children and level).
+// over the packed children and level). lo may carry the complement
+// attribute; hi is always regular.
 func hashKey(level int32, lo, hi Node) uint64 {
 	h := uint64(uint32(lo))<<32 | uint64(uint32(hi))
 	h *= 0x9e3779b97f4a7c15
@@ -43,11 +48,12 @@ func (m *Manager) growUnique() {
 	}
 }
 
-// uniqueReinsert inserts n, keyed by its arena record, assuming the key
-// is absent and the table has room (growth and GC rebuilds).
+// uniqueReinsert inserts the regular edge n, keyed by its arena record,
+// assuming the key is absent and the table has room (growth and GC
+// rebuilds).
 func (m *Manager) uniqueReinsert(n Node) {
 	mask := uint64(len(m.unique) - 1)
-	r := &m.nodes[n]
+	r := &m.nodes[n>>1]
 	i := hashKey(r.level, r.lo, r.hi) & mask
 	for m.unique[i] != 0 {
 		i = (i + 1) & mask
@@ -56,14 +62,14 @@ func (m *Manager) uniqueReinsert(n Node) {
 	m.uniqueUsed++
 }
 
-// uniquePut inserts n keyed by its current arena record. If an entry
-// with an equal key exists it is overwritten (the newest node wins and
-// the old entry is orphaned until GC) — the replacement semantics
-// SwapAdjacent relies on when a restructured node collides with a
-// relabeled one.
+// uniquePut inserts the regular edge n keyed by its current arena
+// record. If an entry with an equal key exists it is overwritten (the
+// newest node wins and the old entry is orphaned until GC) — the
+// replacement semantics SwapAdjacent relies on when a restructured node
+// collides with a relabeled one.
 func (m *Manager) uniquePut(n Node) {
 	mask := uint64(len(m.unique) - 1)
-	r := m.nodes[n]
+	r := m.nodes[n>>1]
 	i := hashKey(r.level, r.lo, r.hi) & mask
 	for {
 		e := m.unique[i]
@@ -76,7 +82,7 @@ func (m *Manager) uniquePut(n Node) {
 			}
 			return
 		}
-		if re := &m.nodes[e]; re.level == r.level && re.lo == r.lo && re.hi == r.hi {
+		if re := &m.nodes[e>>1]; re.level == r.level && re.lo == r.lo && re.hi == r.hi {
 			m.unique[i] = n
 			return
 		}
@@ -90,7 +96,7 @@ func (m *Manager) uniquePut(n Node) {
 // arena record must still hold the key it was inserted under.
 func (m *Manager) uniqueDelete(n Node) {
 	mask := uint64(len(m.unique) - 1)
-	r := m.nodes[n]
+	r := m.nodes[n>>1]
 	i := hashKey(r.level, r.lo, r.hi) & mask
 	for m.unique[i] != n {
 		if m.unique[i] == 0 {
@@ -103,7 +109,7 @@ func (m *Manager) uniqueDelete(n Node) {
 	j := (i + 1) & mask
 	for m.unique[j] != 0 {
 		e := m.unique[j]
-		re := &m.nodes[e]
+		re := &m.nodes[e>>1]
 		k := hashKey(re.level, re.lo, re.hi) & mask
 		// e may move back into the hole iff its home slot k does not lie
 		// strictly between the hole i and e's current slot j (cyclically).

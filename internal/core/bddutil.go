@@ -22,12 +22,18 @@ var errBudget = fmt.Errorf("core: BDD node budget exceeded: %w", bdd.ErrNodeLimi
 // limit) and with the run's typed error when the run is cancelled or
 // past its deadline (nil run = never).
 func buildOutputBDDs(g *aig.Graph, mgr *bdd.Manager, varOfPI []int, roots []aig.Lit, nodeBudget int, run *pipeline.Run) ([]bdd.Node, error) {
-	memo := make(map[int]bdd.Node) // AIG node id -> BDD of its positive literal
+	// AIG node id -> BDD of its positive literal. Ids are dense, so a
+	// flat slice beats a map on this hot path; -1 marks "not built"
+	// (every real node value is >= 0, bdd.False included).
+	memo := make([]bdd.Node, g.NumNodes())
+	for i := range memo {
+		memo[i] = -1
+	}
 	memo[0] = bdd.False
 	built := 0
 	var build func(id int) (bdd.Node, error)
 	build = func(id int) (bdd.Node, error) {
-		if r, ok := memo[id]; ok {
+		if r := memo[id]; r >= 0 {
 			return r, nil
 		}
 		var r bdd.Node
@@ -89,25 +95,49 @@ type decomposition struct {
 	leaf bdd.Node
 }
 
+// decompScratch holds decomposeAtCut's reusable working storage. The
+// folding loop decomposes thousands of small cut regions, so per-call
+// map and slice churn was a measurable share of the stage; one scratch
+// per worker (never shared — the conditions it holds live in the
+// worker's arena) amortizes it away.
+type decompScratch struct {
+	above  []bdd.Node
+	arrive []bdd.Node
+	idx    map[bdd.Node]int32
+	out    []decomposition
+}
+
+func newDecompScratch() *decompScratch {
+	return &decompScratch{idx: make(map[bdd.Node]int32)}
+}
+
 // decomposeAtCut splits f by the cut at cutLevel: it returns the distinct
 // sub-functions of f over the variables at levels >= cutLevel, each with
 // the condition over the levels above the cut under which f reduces to
 // it. This is the BDD functional-decomposition step at the heart of
 // time-frame folding: the leaves are exactly the states induced by f.
-func decomposeAtCut(mgr *bdd.Manager, f bdd.Node, cutLevel int) []decomposition {
+// sc may be nil (one-shot callers); the returned slice is freshly
+// allocated either way and safe to retain.
+func decomposeAtCut(mgr *bdd.Manager, f bdd.Node, cutLevel int, sc *decompScratch) []decomposition {
 	if mgr.Level(f) >= cutLevel {
 		return []decomposition{{cond: bdd.True, leaf: f}}
 	}
+	if sc == nil {
+		sc = newDecompScratch()
+	}
 	// Collect the internal nodes above the cut, sorted by level (parents
 	// strictly above children, so level order is topological).
-	var above []bdd.Node
-	seen := map[bdd.Node]bool{}
+	above := sc.above[:0]
+	clear(sc.idx)
 	var collect func(n bdd.Node)
 	collect = func(n bdd.Node) {
-		if seen[n] || mgr.Level(n) >= cutLevel {
+		if mgr.Level(n) >= cutLevel {
 			return
 		}
-		seen[n] = true
+		if _, ok := sc.idx[n]; ok {
+			return
+		}
+		sc.idx[n] = 0
 		above = append(above, n)
 		collect(mgr.Lo(n))
 		collect(mgr.Hi(n))
@@ -118,37 +148,45 @@ func decomposeAtCut(mgr *bdd.Manager, f bdd.Node, cutLevel int) []decomposition 
 			above[j], above[j-1] = above[j-1], above[j]
 		}
 	}
+	for i, n := range above {
+		sc.idx[n] = int32(i)
+	}
 
-	arrive := map[bdd.Node]bdd.Node{f: bdd.True}
-	leafCond := map[bdd.Node]bdd.Node{}
-	var leaves []bdd.Node
+	// arrive[i] is the condition under which f reaches above[i]; False
+	// doubles as "not reached yet" (push never records False).
+	arrive := sc.arrive[:0]
+	for range above {
+		arrive = append(arrive, bdd.False)
+	}
+	arrive[sc.idx[f]] = bdd.True
+	out := sc.out[:0]
 	push := func(child bdd.Node, cond bdd.Node) {
 		if cond == bdd.False {
 			return
 		}
 		if mgr.Level(child) >= cutLevel {
-			if _, ok := leafCond[child]; !ok {
-				leaves = append(leaves, child)
-				leafCond[child] = bdd.False
+			for i := range out {
+				if out[i].leaf == child {
+					out[i].cond = mgr.Or(out[i].cond, cond)
+					return
+				}
 			}
-			leafCond[child] = mgr.Or(leafCond[child], cond)
+			out = append(out, decomposition{cond: cond, leaf: child})
 			return
 		}
-		if a, ok := arrive[child]; ok {
-			arrive[child] = mgr.Or(a, cond)
+		i := sc.idx[child]
+		if arrive[i] == bdd.False {
+			arrive[i] = cond
 		} else {
-			arrive[child] = cond
+			arrive[i] = mgr.Or(arrive[i], cond)
 		}
 	}
-	for _, n := range above {
-		a := arrive[n]
+	for i, n := range above {
+		a := arrive[i]
 		v := mgr.VarAtLevel(mgr.Level(n))
 		push(mgr.Lo(n), mgr.And(a, mgr.NVar(v)))
 		push(mgr.Hi(n), mgr.And(a, mgr.Var(v)))
 	}
-	out := make([]decomposition, len(leaves))
-	for i, l := range leaves {
-		out[i] = decomposition{cond: leafCond[l], leaf: l}
-	}
-	return out
+	sc.above, sc.arrive, sc.out = above[:0], arrive[:0], out[:0]
+	return append([]decomposition(nil), out...)
 }

@@ -2,10 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"circuitfold/internal/aig"
 	"circuitfold/internal/bdd"
+	"circuitfold/internal/fault"
 	"circuitfold/internal/fsm"
 	"circuitfold/internal/obs"
 	"circuitfold/internal/pipeline"
@@ -32,6 +36,11 @@ type FunctionalOptions struct {
 	Budget pipeline.Budget
 	// MinOpts bounds the minimization step.
 	MinOpts fsm.MinimizeOptions
+	// Workers bounds the goroutines refining each frame's states in
+	// parallel during time-frame folding. Values below 2 keep the fold
+	// sequential; the result is bit-identical for every worker count
+	// (see TimeFrameFold). Zero means sequential.
+	Workers int
 	// PostOptimize, when non-nil, runs the cleanup/balance/SAT-sweep
 	// pipeline with these settings on the folded circuit's combinational
 	// core before returning.
@@ -44,10 +53,15 @@ type FunctionalOptions struct {
 // DefaultFunctionalOptions returns the configuration used by the
 // experiment harness: reordering on, minimization on, one-hot encoding.
 func DefaultFunctionalOptions() FunctionalOptions {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
 	return FunctionalOptions{
 		Reorder:  true,
 		Minimize: true,
 		StateEnc: OneHot,
+		Workers:  w,
 		MinOpts:  fsm.DefaultMinimizeOptions(),
 	}
 }
@@ -92,7 +106,7 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 			ss.AndsIn = g.NumAnds()
 			ss.StatesIn = 1
 			var err error
-			machine, states, err = TimeFrameFold(g, sched, run)
+			machine, states, err = TimeFrameFold(g, sched, opt.Workers, run)
 			ss.StatesOut = states
 			return err
 		}},
@@ -162,12 +176,28 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 // machine (final don't-care state elided, transitions into it marked
 // DontCare) and the total state count including the don't-care state.
 //
+// workers > 1 refines each frame's states concurrently once a frame
+// holds more states than workers (smaller frames fold inline — the
+// fan-out overhead would dominate): every worker owns a Clone of the
+// folding manager, taken lazily at the first fanned-out frame, states
+// are sharded across workers by index stride, and the per-state
+// results are merged sequentially in state order. Cut-decomposition
+// leaves are always sub-nodes of the output BDDs, which every arena
+// shares — so the next-state tuples, the dedup keys, and the machine's
+// condition manager layout are identical for every worker count: the
+// folded machine is bit-for-bit independent of workers. A panic inside
+// a worker (including the seeded
+// fault.PointTFFFrameWorker) is caught at the worker boundary and
+// surfaces as an error matching pipeline.ErrInternal (budget unwinds
+// keep their pipeline.ErrBudgetExceeded identity) after the frame's
+// remaining workers drain — the pool never deadlocks.
+//
 // The run bounds the construction: its state budget (default 20000)
 // and BDD node budget (default 4,000,000) abort with an error matching
 // pipeline.ErrBudgetExceeded, a cancelled context or elapsed deadline
 // with pipeline.ErrCanceled / pipeline.ErrBudgetExceeded. A nil run
 // applies the default caps with no deadline.
-func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machine, int, error) {
+func TimeFrameFold(g *aig.Graph, sched *Schedule, workers int, run *pipeline.Run) (*fsm.Machine, int, error) {
 	T, m := sched.T, sched.M
 	n := g.NumPIs()
 	maxStates := run.StateLimit(20000)
@@ -179,6 +209,12 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 	// bdd.ErrNodeLimit instead of growing without bound. The factor
 	// leaves headroom for reordering's transient growth.
 	fmgr := bdd.New(T * m)
+	// The scheduling BDDs predict the folding manager's size: presizing
+	// skips the unique-table growth rehashes (the whole-circuit build
+	// lands a bit above the per-frame peak, hence the headroom factor).
+	if sched.BDDHint > 0 {
+		fmgr.Reserve(sched.BDDHint * 2)
+	}
 	fmgr.SetNodeLimit(4 * nodeBudget)
 	fmgr.SetObserver(run.Span(), run.Metrics())
 	mStates := run.Metrics().Gauge(obs.MFSMStates)
@@ -225,9 +261,6 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 	cmgr.SetNodeLimit(4 * nodeBudget)
 	cmgr.SetObserver(run.Span(), run.Metrics())
 
-	type state struct {
-		comps []bdd.Node
-	}
 	keyOf := func(comps []bdd.Node) string {
 		b := make([]byte, 0, len(comps)*4)
 		for _, c := range comps {
@@ -235,6 +268,35 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 		}
 		return string(b)
 	}
+
+	// Worker arenas. Worker 0 keeps the folding manager itself (and its
+	// observer); every further worker gets a private Clone, taken lazily
+	// at the first frame that actually fans out. Any clone taken after
+	// the output BDDs exist agrees with every other arena on every node
+	// reachable from poBDD — and cut-decomposition leaves are always
+	// sub-nodes of those BDDs, never fresh allocations — so the
+	// next-state tuples and their dedup keys are arena-independent no
+	// matter when the clones are made. State si of a frame is always
+	// refined by worker si%W in that worker's arena (frames too small to
+	// fan out fold inline on worker 0), so the refinement output does
+	// not depend on W.
+	if workers < 1 {
+		workers = 1
+	}
+	wmgrs := make([]*bdd.Manager, workers)
+	wmgrs[0] = fmgr
+	cloned := workers == 1
+	memos := make([]*workerScratch, workers)
+	for w := range memos {
+		memos[w] = &workerScratch{
+			memo: make(map[[2]int][]decomposition),
+			dec:  newDecompScratch(),
+		}
+	}
+	if workers > 1 {
+		run.Metrics().Gauge(obs.MFoldFrameWorkers).Set(int64(workers))
+	}
+	parallelFrames := int64(0)
 
 	// The initial state's tuple is aligned with poList[0] (frame-major
 	// output order), not PO-index order.
@@ -244,21 +306,10 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 	}
 	var trans [][]fsm.Transition
 	totalStates := 0
-	cur := []state{{comps: initComps}}
+	cur := []foldState{{comps: initComps}}
 	trans = append(trans, nil)
 	totalStates = 1
 	curBase := 0 // global id of cur[0]
-
-	decompMemo := make(map[[2]int][]decomposition)
-	decompose := func(f bdd.Node, cut int) []decomposition {
-		k := [2]int{int(f), cut}
-		if d, ok := decompMemo[k]; ok {
-			return d
-		}
-		d := decomposeAtCut(fmgr, f, cut)
-		decompMemo[k] = d
-		return d
-	}
 
 	abort := func(t int, err error) (*fsm.Machine, int, error) {
 		return nil, 0, fmt.Errorf("core: time-frame folding aborted at frame %d: %w", t+1, err)
@@ -281,65 +332,89 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 		for j := 0; j < m; j++ {
 			varMap[t*m+j] = j
 		}
-		nextIndex := make(map[string]int)
-		var nextStates []state
-		nextBase := curBase + len(cur)
 
-		for si, st := range cur {
-			if si%64 == 0 {
-				if err := run.Check(); err != nil {
+		fr := &frameRefiner{
+			sched: sched, run: run, poList: poList[t], pinOf: pinOf,
+			frame: t, cut: cut, mOut: mOut,
+			maxStates: maxStates, nodeBudget: nodeBudget,
+		}
+		results := make([][]foldCell, len(cur))
+		// Fan out only when the frame holds more states than workers:
+		// below that, goroutine and merge overhead outweighs the work
+		// (the 64-adder averages two states per frame), and the inline
+		// path below produces the identical machine.
+		if workers > 1 && len(cur) > workers {
+			if !cloned {
+				for w := 1; w < workers; w++ {
+					wmgrs[w] = fmgr.Clone()
+				}
+				cloned = true
+			}
+			parallelFrames++
+			fsp.SetInt("workers", int64(workers))
+			errs := make([]error, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					// The recover boundary mirrors pipeline.runStage:
+					// budget unwinds (bdd.ErrNodeLimit) keep their
+					// identity, anything else reads as ErrInternal.
+					defer func() {
+						if r := recover(); r != nil {
+							errs[w] = pipeline.AsInternal("tff.frame.worker", r)
+							if errors.Is(errs[w], pipeline.ErrInternal) {
+								run.Metrics().Counter(obs.MFoldPanics).Add(1)
+							}
+						}
+					}()
+					for si := w; si < len(cur); si += workers {
+						cells, err := fr.refineState(wmgrs[w], memos[w], cur[si])
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						results[si] = cells
+					}
+				}(w)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
 					return abort(t, err)
 				}
 			}
-			type cell struct {
-				cond bdd.Node
-				outs []fsm.Tri
-				next []bdd.Node
+		} else {
+			for si := range cur {
+				// Before any clone exists everything folds on worker 0;
+				// afterwards the inline path keeps the si%W ownership so
+				// memos stay consistent with their arenas.
+				w := 0
+				if cloned {
+					w = si % workers
+				}
+				cells, err := fr.refineState(wmgrs[w], memos[w], cur[si])
+				if err != nil {
+					return abort(t, err)
+				}
+				results[si] = cells
 			}
-			cells := []cell{{cond: bdd.True, outs: makeX(mOut)}}
-			for ci, w := range poList[t] {
-				branches := decompose(st.comps[ci], cut)
-				emit := sched.FrameOfPO[w] == t // output produced this frame
-				if len(cells)*len(branches) > 64 {
-					if err := run.Check(); err != nil {
-						return abort(t, err)
-					}
-				}
-				var refined []cell
-				for _, c := range cells {
-					for _, br := range branches {
-						nc := fmgr.And(c.cond, br.cond)
-						if nc == bdd.False {
-							continue
-						}
-						cellOuts := c.outs
-						cellNext := c.next
-						if emit {
-							cellOuts = append([]fsm.Tri(nil), c.outs...)
-							switch br.leaf {
-							case bdd.True:
-								cellOuts[pinOf[w]] = fsm.One
-							case bdd.False:
-								cellOuts[pinOf[w]] = fsm.Zero
-							default:
-								return nil, 0, fmt.Errorf("core: output %d not terminal at its frame", w)
-							}
-						} else {
-							cellNext = append(append([]bdd.Node(nil), c.next...), br.leaf)
-						}
-						refined = append(refined, cell{cond: nc, outs: cellOuts, next: cellNext})
-					}
-				}
-				cells = refined
-				if len(cells) > 4*maxStates {
-					return nil, 0, fmt.Errorf("core: transition refinement exceeds bound %d at frame %d: %w",
-						4*maxStates, t+1, pipeline.ErrBudgetExceeded)
-				}
-				if nodeBudget > 0 && fmgr.NumNodes() > nodeBudget {
-					return nil, 0, errBudget
-				}
+		}
+
+		// Sequential merge in state order. Conditions translate into the
+		// machine's manager from the arena of the worker that owns the
+		// state; the cmgr layout depends only on the translated functions
+		// and their order, both of which are worker-count-invariant.
+		nextIndex := make(map[string]int)
+		var nextStates []foldState
+		nextBase := curBase + len(cur)
+		for si := range cur {
+			owner := wmgrs[0]
+			if cloned {
+				owner = wmgrs[si%workers]
 			}
-			for _, c := range cells {
+			for _, c := range results[si] {
 				dst := fsm.DontCare
 				if t+1 < T {
 					k := keyOf(c.next)
@@ -347,11 +422,11 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 					if !ok {
 						id = len(nextStates)
 						nextIndex[k] = id
-						nextStates = append(nextStates, state{comps: c.next})
+						nextStates = append(nextStates, foldState{comps: c.next})
 					}
 					dst = nextBase + id
 				}
-				cond := fmgr.Translate(cmgr, c.cond, varMap)
+				cond := owner.Translate(cmgr, c.cond, varMap)
 				trans[curBase+si] = append(trans[curBase+si], fsm.Transition{
 					Cond: cond, Out: c.outs, Dst: dst,
 				})
@@ -370,11 +445,21 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 			cur = nextStates
 			fsp.SetInt("next_states", int64(len(nextStates)))
 		}
-		run.NoteBDDNodes(fmgr.NumNodes())
+		nodes := 0
+		for _, wm := range wmgrs {
+			if wm == nil {
+				continue // worker never cloned (no frame fanned out yet)
+			}
+			if n := wm.NumNodes(); n > nodes {
+				nodes = n
+			}
+		}
+		run.NoteBDDNodes(nodes)
 		mStates.Set(int64(totalStates))
 	}
 	totalStates++ // the don't-care destination state s_*^T
 	mStates.Set(int64(totalStates))
+	run.Metrics().Gauge(obs.MFoldParallelFrames).Set(parallelFrames)
 
 	machine := &fsm.Machine{
 		Mgr:        cmgr,
@@ -384,6 +469,129 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, run *pipeline.Run) (*fsm.Machi
 		Trans:      trans,
 	}
 	return machine, totalStates, nil
+}
+
+// foldState is one TFF state: the tuple of residual output functions,
+// aligned with poList[frame]. Node values refer to the shared pre-clone
+// arena prefix, so tuples compare equal across worker arenas.
+type foldState struct {
+	comps []bdd.Node
+}
+
+// foldCell is one refined transition cell of a state: the input
+// condition (a node in the refining worker's arena), the frame's
+// emitted outputs, and the next state's component tuple (nodes of the
+// shared arena prefix).
+type foldCell struct {
+	cond bdd.Node
+	outs []fsm.Tri
+	next []bdd.Node
+}
+
+// frameRefiner bundles the read-only per-frame context shared by all
+// workers refining that frame.
+// workerScratch is one worker's private refinement state: the
+// decomposition memo (keyed by component node and cut level) plus the
+// reusable decomposeAtCut buffers. Everything in it references the
+// worker's own arena.
+type workerScratch struct {
+	memo map[[2]int][]decomposition
+	dec  *decompScratch
+}
+
+type frameRefiner struct {
+	sched      *Schedule
+	run        *pipeline.Run
+	poList     []int
+	pinOf      []int
+	frame, cut int
+	mOut       int
+	maxStates  int
+	nodeBudget int
+}
+
+// refineState splits one state's input space into cells with uniform
+// behavior by intersecting the cut decompositions of its pending
+// outputs. wm is the arena of the worker that owns the state and ws
+// the worker's private decomposition cache and scratch (decomposition
+// conditions live in the owning arena and must never cross workers).
+// The error is either
+// a budget/cancellation signal from the run or an injected fault;
+// bdd.ErrNodeLimit unwinds as a panic and is caught at the worker
+// boundary (parallel) or the pipeline stage boundary (sequential).
+func (fr *frameRefiner) refineState(wm *bdd.Manager, ws *workerScratch, st foldState) ([]foldCell, error) {
+	if err := fault.Point(fault.PointTFFFrameWorker); err != nil {
+		return nil, err
+	}
+	if err := fr.run.Check(); err != nil {
+		return nil, err
+	}
+	cells := []foldCell{{cond: bdd.True, outs: makeX(fr.mOut)}}
+	var scratch []foldCell // ping-pong buffer reused across refinement rounds
+	for ci, w := range fr.poList {
+		branches, ok := ws.memo[[2]int{int(st.comps[ci]), fr.cut}]
+		if !ok {
+			branches = decomposeAtCut(wm, st.comps[ci], fr.cut, ws.dec)
+			ws.memo[[2]int{int(st.comps[ci]), fr.cut}] = branches
+		}
+		emit := fr.sched.FrameOfPO[w] == fr.frame // output produced this frame
+		if len(cells)*len(branches) > 64 {
+			if err := fr.run.Check(); err != nil {
+				return nil, err
+			}
+		}
+		refined := scratch[:0]
+		if need := len(cells) * len(branches); cap(refined) < need {
+			refined = make([]foldCell, 0, need)
+		}
+		for _, c := range cells {
+			for _, br := range branches {
+				// The first refinement rounds mostly intersect with True
+				// (the initial cell, single-branch decompositions); skip
+				// the apply and its cache traffic for those.
+				var nc bdd.Node
+				switch {
+				case br.cond == bdd.True:
+					nc = c.cond
+				case c.cond == bdd.True:
+					nc = br.cond
+				default:
+					nc = wm.And(c.cond, br.cond)
+				}
+				if nc == bdd.False {
+					continue
+				}
+				cellOuts := c.outs
+				cellNext := c.next
+				if emit {
+					cellOuts = make([]fsm.Tri, len(c.outs))
+					copy(cellOuts, c.outs)
+					switch br.leaf {
+					case bdd.True:
+						cellOuts[fr.pinOf[w]] = fsm.One
+					case bdd.False:
+						cellOuts[fr.pinOf[w]] = fsm.Zero
+					default:
+						return nil, fmt.Errorf("core: output %d not terminal at its frame", w)
+					}
+				} else {
+					cellNext = make([]bdd.Node, len(c.next)+1)
+					copy(cellNext, c.next)
+					cellNext[len(c.next)] = br.leaf
+				}
+				refined = append(refined, foldCell{cond: nc, outs: cellOuts, next: cellNext})
+			}
+		}
+		cells, scratch = refined, cells
+		if len(cells) > 4*fr.maxStates {
+			return nil, fmt.Errorf("core: transition refinement exceeds bound %d at frame %d: %w",
+				4*fr.maxStates, fr.frame+1, pipeline.ErrBudgetExceeded)
+		}
+		if fr.nodeBudget > 0 && wm.NumNodes() > fr.nodeBudget {
+			return nil, errBudget
+		}
+	}
+	return cells, nil
 }
 
 func makeX(n int) []fsm.Tri {

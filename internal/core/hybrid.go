@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"circuitfold/internal/aig"
@@ -35,6 +36,14 @@ type HybridOptions struct {
 	Budget pipeline.Budget
 	// MinOpts bounds per-cluster state minimization.
 	MinOpts fsm.MinimizeOptions
+	// Workers bounds the goroutines folding clusters concurrently.
+	// Values below 2 fold the clusters sequentially. Each cluster folds
+	// in its own BDD managers and child run either way, and results
+	// merge in cluster order, so the folded circuit does not depend on
+	// the worker count. Cluster folds run with sequential inner TFF
+	// (frame workers = 1): the parallelism budget is spent across
+	// clusters, not within them.
+	Workers int
 	// PostOptimize, when non-nil, runs the cleanup/balance/SAT-sweep
 	// pipeline with these settings on the merged circuit's combinational
 	// core before returning.
@@ -58,6 +67,7 @@ func DefaultHybridOptions() HybridOptions {
 		ClusterTimeout:    2 * time.Second,
 		Budget:            pipeline.Budget{MaxStates: 2000},
 		MinOpts:           fsm.DefaultMinimizeOptions(),
+		Workers:           DefaultFunctionalOptions().Workers,
 	}
 }
 
@@ -109,10 +119,16 @@ func HybridFold(g *aig.Graph, T int, opt HybridOptions) (*Result, error) {
 		}},
 		{Name: pipeline.StageTFF, Run: func(ss *pipeline.StageStats) error {
 			ss.AndsIn = g.NumAnds()
-			for ci, cluster := range clusters {
-				// Each cluster folds under its own child run: the cluster
-				// timeout clipped to the parent's remaining wall clock,
-				// with the shared state and node budgets.
+			// Each cluster folds under its own child run — the cluster
+			// timeout clipped to the parent's remaining wall clock, with
+			// the shared state and node budgets — inside
+			// foldClusterProtected's recover boundary. Clusters are
+			// independent (own cone extraction, own BDD managers), so a
+			// bounded pool folds them concurrently; results land in a
+			// per-cluster slot and merge below in cluster-index order, so
+			// the outcome matches the sequential fold part for part.
+			foldOne := func(ci int) (*clusterFold, error) {
+				cluster := clusters[ci]
 				wall := opt.ClusterTimeout
 				if rem, ok := run.Remaining(); ok && rem < wall {
 					wall = rem
@@ -129,22 +145,49 @@ func HybridFold(g *aig.Graph, T int, opt HybridOptions) (*Result, error) {
 				p, err := foldClusterProtected(g, T, m, cluster, opt, crun)
 				run.NoteBDDNodes(crun.BDDPeak())
 				if err != nil {
+					csp.SetStr("result", "structural-fallback")
+				} else {
+					csp.SetStr("result", "functional")
+					csp.SetInt("states", int64(p.states))
+				}
+				csp.End()
+				return p, err
+			}
+			folded := make([]*clusterFold, len(clusters))
+			errs := make([]error, len(clusters))
+			if w := opt.Workers; w > 1 && len(clusters) > 1 {
+				if w > len(clusters) {
+					w = len(clusters)
+				}
+				var wg sync.WaitGroup
+				for wk := 0; wk < w; wk++ {
+					wg.Add(1)
+					go func(wk int) {
+						defer wg.Done()
+						for ci := wk; ci < len(clusters); ci += w {
+							folded[ci], errs[ci] = foldOne(ci)
+						}
+					}(wk)
+				}
+				wg.Wait()
+			} else {
+				for ci := range clusters {
+					folded[ci], errs[ci] = foldOne(ci)
+				}
+			}
+			for ci, cluster := range clusters {
+				if errs[ci] != nil {
 					// The parent being cancelled or out of budget aborts
 					// the fold; a cluster merely out of its own slice
 					// falls back to the structural remainder.
-					csp.SetStr("result", "structural-fallback")
-					csp.End()
 					if perr := run.Check(); perr != nil {
 						return perr
 					}
 					structuralPOs = append(structuralPOs, cluster...)
 					continue
 				}
-				csp.SetStr("result", "functional")
-				csp.SetInt("states", int64(p.states))
-				csp.End()
-				parts = append(parts, part{p.c, p.outSched})
-				ss.StatesOut += p.states
+				parts = append(parts, part{folded[ci].c, folded[ci].outSched})
+				ss.StatesOut += folded[ci].states
 			}
 			return nil
 		}},
@@ -392,7 +435,7 @@ func foldClusterFunctionally(g *aig.Graph, T, m int, cluster []int, opt HybridOp
 		sched.OutSlot[t] = row
 	}
 
-	machine, states, err := TimeFrameFold(sub, sched, run)
+	machine, states, err := TimeFrameFold(sub, sched, 1, run)
 	if err != nil {
 		return nil, err
 	}

@@ -21,7 +21,7 @@ func TestDecomposeAtCutReconstructs(t *testing.T) {
 		m := bdd.New(n)
 		f := randomBDD(m, rng, n, 25)
 		cut := 1 + rng.Intn(n-1)
-		branches := decomposeAtCut(m, f, cut)
+		branches := decomposeAtCut(m, f, cut, nil)
 		if len(branches) == 0 {
 			t.Fatal("no branches")
 		}
@@ -58,18 +58,18 @@ func TestDecomposeAtCutTrivialCases(t *testing.T) {
 	m := bdd.New(4)
 	// Function entirely below the cut: single branch with cond True.
 	f := m.And(m.Var(2), m.Var(3))
-	br := decomposeAtCut(m, f, 2)
+	br := decomposeAtCut(m, f, 2, nil)
 	if len(br) != 1 || br[0].cond != bdd.True || br[0].leaf != f {
 		t.Fatalf("below-cut decomposition wrong: %+v", br)
 	}
 	// Constant function.
-	br = decomposeAtCut(m, bdd.True, 2)
+	br = decomposeAtCut(m, bdd.True, 2, nil)
 	if len(br) != 1 || br[0].leaf != bdd.True {
 		t.Fatalf("constant decomposition wrong: %+v", br)
 	}
 	// Function entirely above the cut: terminal leaves.
 	g := m.Xor(m.Var(0), m.Var(1))
-	br = decomposeAtCut(m, g, 2)
+	br = decomposeAtCut(m, g, 2, nil)
 	if len(br) != 2 {
 		t.Fatalf("above-cut decomposition: %d branches, want 2", len(br))
 	}
@@ -88,7 +88,7 @@ func TestQuickDecompose(t *testing.T) {
 		f := randomBDD(m, rng, n, 15)
 		cut := 1 + rng.Intn(n-1)
 		recon := bdd.False
-		for _, bi := range decomposeAtCut(m, f, cut) {
+		for _, bi := range decomposeAtCut(m, f, cut, nil) {
 			recon = m.Or(recon, m.And(bi.cond, bi.leaf))
 		}
 		return recon == f
@@ -163,7 +163,7 @@ func TestTimeFrameFoldDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	machine, states, err := TimeFrameFold(g, sched, nil)
+	machine, states, err := TimeFrameFold(g, sched, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestTimeFrameFoldStateCapTypedError(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := pipeline.NewRun(nil, pipeline.Budget{MaxStates: 2})
-	if _, _, err := TimeFrameFold(g, sched, run); err == nil {
+	if _, _, err := TimeFrameFold(g, sched, 1, run); err == nil {
 		t.Fatal("2-state cap should abort the fold")
 	} else if !errors.Is(err, pipeline.ErrBudgetExceeded) {
 		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
@@ -259,7 +259,7 @@ func TestTimeFrameFoldStateCapTypedError(t *testing.T) {
 
 	// The same fold under a sufficient budget succeeds.
 	run = pipeline.NewRun(nil, pipeline.Budget{MaxStates: 10})
-	if _, states, err := TimeFrameFold(g, sched, run); err != nil {
+	if _, states, err := TimeFrameFold(g, sched, 1, run); err != nil {
 		t.Fatal(err)
 	} else if states != 4 {
 		t.Fatalf("states = %d, want 4", states)

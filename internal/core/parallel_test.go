@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"circuitfold/internal/aig"
+	"circuitfold/internal/fault"
+	"circuitfold/internal/pipeline"
+)
+
+// foldWithWorkers folds g by T with the given frame-worker count and
+// returns the machine plus its total state count.
+func foldWithWorkers(t *testing.T, g *aig.Graph, T, workers int) (machineStates int, layout uint64, trans string) {
+	t.Helper()
+	sched, err := PinSchedule(g, T, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, states, err := TimeFrameFold(g, sched, workers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize the transition table: condition node values in the
+	// machine's manager, outputs, destinations. Identical strings mean
+	// bit-identical machines given equal manager layouts.
+	var b []byte
+	for _, row := range machine.Trans {
+		for _, tr := range row {
+			b = append(b, byte(tr.Cond), byte(tr.Cond>>8), byte(tr.Cond>>16), byte(tr.Cond>>24))
+			for _, o := range tr.Out {
+				b = append(b, byte(o))
+			}
+			b = append(b, byte(tr.Dst), byte(tr.Dst>>8))
+		}
+		b = append(b, 0xff)
+	}
+	return states, machine.Mgr.LayoutHash(), string(b)
+}
+
+// TestTimeFrameFoldWorkerDeterminism is the acceptance check for the
+// parallel fold: the machine — state count, every transition, and the
+// full arena layout of its condition manager — must be bit-identical
+// across worker counts 1, 2, and 8.
+func TestTimeFrameFoldWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 4; trial++ {
+		g := randomAIG(rng, 60+20*trial, 8, 4)
+		baseStates, baseLayout, baseTrans := foldWithWorkers(t, g, 4, 1)
+		for _, w := range []int{2, 8} {
+			states, layout, trans := foldWithWorkers(t, g, 4, w)
+			if states != baseStates {
+				t.Fatalf("trial %d: states with %d workers = %d, want %d", trial, w, states, baseStates)
+			}
+			if layout != baseLayout {
+				t.Fatalf("trial %d: condition-manager layout differs at %d workers", trial, w)
+			}
+			if trans != baseTrans {
+				t.Fatalf("trial %d: transition table differs at %d workers", trial, w)
+			}
+		}
+	}
+}
+
+// TestHybridWorkerDeterminism folds a clustered circuit with 1 and 4
+// cluster workers and requires the same merged circuit.
+func TestHybridWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := aig.New()
+	// Disjoint output cones cluster cleanly and fold functionally.
+	for c := 0; c < 4; c++ {
+		ins := make([]aig.Lit, 4)
+		for i := range ins {
+			ins[i] = g.PI("")
+		}
+		acc := ins[0]
+		for i := 1; i < len(ins); i++ {
+			if rng.Intn(2) == 0 {
+				acc = g.And(acc, ins[i])
+			} else {
+				acc = g.Xor(acc, ins[i])
+			}
+		}
+		g.AddPO(acc, "")
+	}
+	fold := func(workers int) *Result {
+		opt := DefaultHybridOptions()
+		opt.Workers = workers
+		r, err := HybridFold(g, 4, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := fold(1), fold(4)
+	if a.Seq.G.NumAnds() != b.Seq.G.NumAnds() || a.Seq.NumLatches() != b.Seq.NumLatches() {
+		t.Fatalf("hybrid fold differs across workers: %d/%d ands, %d/%d latches",
+			a.Seq.G.NumAnds(), b.Seq.G.NumAnds(), a.Seq.NumLatches(), b.Seq.NumLatches())
+	}
+	if !reflect.DeepEqual(a.OutSched, b.OutSched) {
+		t.Fatal("hybrid output schedules differ across workers")
+	}
+}
+
+// TestTimeFrameFoldWorkerFault injects a panic into a frame worker and
+// requires a typed ErrInternal — with every pool goroutine drained, not
+// a deadlock or a process panic.
+func TestTimeFrameFoldWorkerFault(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomAIG(rng, 80, 8, 4)
+	sched, err := PinSchedule(g, 4, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []fault.Mode{fault.Error, fault.Panic} {
+		fault.Activate(fault.NewPlan(map[string]fault.Rule{
+			// After 2: the initial frames have a single state each; fire
+			// once several workers hold states.
+			fault.PointTFFFrameWorker: {Mode: mode, After: 2},
+		}))
+		_, _, err := func() (m any, s int, err error) {
+			defer pipeline.RecoverTo(&err, "test.tff")
+			_, s, err = TimeFrameFold(g, sched, 4, nil)
+			return nil, s, err
+		}()
+		fault.Deactivate()
+		if err == nil {
+			t.Fatalf("mode %v: injected fault did not surface", mode)
+		}
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("mode %v: err = %v, want fault.ErrInjected", mode, err)
+		}
+		if mode == fault.Panic && !errors.Is(err, pipeline.ErrInternal) {
+			t.Fatalf("panic mode: err = %v, want ErrInternal", err)
+		}
+	}
+}

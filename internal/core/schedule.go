@@ -26,6 +26,11 @@ type Schedule struct {
 	FrameOfPO []int
 	// SlotOfPI[i] is the global input slot (frame*M + pin) of input i.
 	SlotOfPI []int
+	// BDDHint is the peak BDD manager size observed while building the
+	// scheduling BDDs (0 when reordering was off). TimeFrameFold uses
+	// it to presize its folding manager, skipping the unique-table
+	// growth rehashes the schedule stage already paid for.
+	BDDHint int
 }
 
 // ScheduleOptions configures PinSchedule. Resource limits (BDD node
@@ -107,6 +112,7 @@ func PinScheduleRun(g *aig.Graph, T int, opt ScheduleOptions, run *pipeline.Run)
 	// Algorithm 2: InputSchedule.
 	queued := make([]bool, n)
 	var que []int
+	bddHint := 0
 	for t := 0; t < T; t++ {
 		// Fresh support of this frame's outputs, in PI-index order.
 		fresh := make(map[int]bool)
@@ -123,7 +129,7 @@ func PinScheduleRun(g *aig.Graph, T int, opt ScheduleOptions, run *pipeline.Run)
 		}
 		sort.Ints(xsup)
 		if opt.Reorder && len(xsup) > 1 && len(xsup) <= opt.MaxSiftVars && !expired() {
-			if reord, err := reorderProtected(g, que, xsup, outFrames[t], opt.MaxSiftNodes, run); err == nil {
+			if reord, err := reorderProtected(g, que, xsup, outFrames[t], opt.MaxSiftNodes, run, &bddHint); err == nil {
 				xsup = reord
 			}
 			// On budget exhaustion — or a node-cap / panic unwind out of
@@ -147,6 +153,7 @@ func PinScheduleRun(g *aig.Graph, T int, opt ScheduleOptions, run *pipeline.Run)
 		M:         m,
 		FrameOfPO: frameOfPO,
 		SlotOfPI:  make([]int, n),
+		BDDHint:   bddHint,
 	}
 	s.InSlot = make([][]int, T)
 	for t := 0; t < T; t++ {
@@ -185,9 +192,9 @@ func PinScheduleRun(g *aig.Graph, T int, opt ScheduleOptions, run *pipeline.Run)
 // order), so panics out of the sifting manager — the hard node cap, an
 // injected fault — must degrade the same way instead of unwinding
 // through PinScheduleRun.
-func reorderProtected(g *aig.Graph, que []int, xsup []int, outs []int, maxSiftNodes int, run *pipeline.Run) (out []int, err error) {
+func reorderProtected(g *aig.Graph, que []int, xsup []int, outs []int, maxSiftNodes int, run *pipeline.Run, hint *int) (out []int, err error) {
 	defer pipeline.RecoverTo(&err, "schedule.reorder")
-	return reorderFreshSupport(g, que, xsup, outs, maxSiftNodes, run)
+	return reorderFreshSupport(g, que, xsup, outs, maxSiftNodes, run, hint)
 }
 
 // reorderFreshSupport implements Algorithm 2 line 4: it builds the BDDs
@@ -195,9 +202,10 @@ func reorderProtected(g *aig.Graph, que []int, xsup []int, outs []int, maxSiftNo
 // remaining], applies symmetric sifting restricted to the fresh block,
 // and returns the fresh inputs in their new level order. The run bounds
 // the BDD size (default 4M nodes) and interrupts sifting mid-flight.
-func reorderFreshSupport(g *aig.Graph, que []int, xsup []int, outs []int, maxSiftNodes int, run *pipeline.Run) ([]int, error) {
+func reorderFreshSupport(g *aig.Graph, que []int, xsup []int, outs []int, maxSiftNodes int, run *pipeline.Run, hint *int) ([]int, error) {
 	n := g.NumPIs()
 	mgr := bdd.New(n)
+	mgr.Reserve(*hint) // earlier frames predict this one's size well
 	mgr.SetNodeLimit(4 * run.NodeLimit(4000000))
 	if run != nil {
 		mgr.SetInterrupt(run.Check)
@@ -242,6 +250,9 @@ func reorderFreshSupport(g *aig.Graph, que []int, xsup []int, outs []int, maxSif
 	nodes, err := buildOutputBDDs(g, mgr, varOfPI, roots, run.NodeLimit(4000000), run)
 	if err != nil {
 		return nil, err
+	}
+	if nn := mgr.NumNodes(); nn > *hint {
+		*hint = nn
 	}
 	run.NoteBDDNodes(mgr.NumNodes())
 	if live := mgr.NodeCount(nodes...); live > maxSiftNodes {

@@ -22,6 +22,11 @@ var Table3Circuits = []string{
 // the paper.
 var Table3Frames = []int{16, 8, 4}
 
+// workersForExp parallelizes the harness's TFF runs with the same
+// worker cap as core.DefaultFunctionalOptions; the folded machine is
+// bit-identical for every worker count, so the tables don't change.
+var workersForExp = core.DefaultFunctionalOptions().Workers
+
 // Table3Row is one line of Table III: the structural and best functional
 // results for one (circuit, T) pair. OK is false when every functional
 // configuration hit its budget — the paper's "-" entries.
@@ -134,7 +139,7 @@ func Table3Entry(name string, T int, opt Table3Options) (Table3Row, error) {
 			}},
 			pipeline.Stage{Name: pipeline.StageTFF, Run: func(ss *pipeline.StageStats) error {
 				var terr error
-				machine, states, terr = core.TimeFrameFold(g, sched, run)
+				machine, states, terr = core.TimeFrameFold(g, sched, workersForExp, run)
 				ss.StatesOut = states
 				return terr
 			}},

@@ -33,11 +33,16 @@ const (
 	PointSATSolve   = "sat.solve"   // SAT solver Solve entry
 	PointSweepShard = "sweep.shard" // sweep worker, per shard
 	PointMeMinIter  = "memin.iter"  // MeMin minimization, per k iteration
+
+	// PointTFFFrameWorker fires inside each parallel time-frame-fold
+	// worker, once per state it refines, so a seeded plan can blow up an
+	// arbitrary frame mid-flight and prove the pool drains cleanly.
+	PointTFFFrameWorker = "tff.frame.worker"
 )
 
 // Points returns the registered injection-point names.
 func Points() []string {
-	return []string{PointBDDMk, PointSATSolve, PointSweepShard, PointMeMinIter}
+	return []string{PointBDDMk, PointSATSolve, PointSweepShard, PointMeMinIter, PointTFFFrameWorker}
 }
 
 // Mode selects how a firing rule surfaces.

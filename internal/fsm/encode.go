@@ -219,7 +219,10 @@ func encodeViaSOP(m *Machine, g *aig.Graph, ins, ffs []aig.Lit, code [][]bool, b
 }
 
 // bddToAig converts BDD functions into AIG literals, sharing logic
-// across calls.
+// across calls. The memo is keyed on regular (polarity-stripped)
+// nodes: with complement edges a function and its negation share one
+// BDD slot, so keying on the raw edge would emit two separate mux
+// trees for logic that differs only by an output inverter.
 type bddToAig struct {
 	mgr  *bdd.Manager
 	g    *aig.Graph
@@ -229,10 +232,13 @@ type bddToAig struct {
 
 func newBddToAig(mgr *bdd.Manager, g *aig.Graph, vars []aig.Lit) *bddToAig {
 	return &bddToAig{mgr: mgr, g: g, vars: vars,
-		memo: map[bdd.Node]aig.Lit{bdd.False: aig.Const0, bdd.True: aig.Const1}}
+		memo: map[bdd.Node]aig.Lit{bdd.False: aig.Const0}}
 }
 
 func (c *bddToAig) lit(f bdd.Node) aig.Lit {
+	if reg := bdd.Regular(f); reg != f {
+		return c.lit(reg).Not()
+	}
 	if l, ok := c.memo[f]; ok {
 		return l
 	}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"circuitfold/internal/aig"
 	"circuitfold/internal/bdd"
 )
 
@@ -341,5 +342,76 @@ func TestEncodeErrors(t *testing.T) {
 	m := lastBit()
 	if _, err := Encode(m, StateEncoding(99)); err == nil {
 		t.Fatal("unknown encoding should fail")
+	}
+}
+
+// TestEncodeSharesComplementConditions pins the complement-edge
+// contract of the BDD-to-AIG converter: a function and its negation
+// share one BDD slot, so converting both must reuse one mux tree plus
+// an inverter — structural equality of conditions is decided on the
+// regular node and the polarity, never on raw Node equality.
+func TestEncodeSharesComplementConditions(t *testing.T) {
+	mgr := bdd.New(3)
+	g := aig.New()
+	vars := []aig.Lit{g.PI("x0"), g.PI("x1"), g.PI("x2")}
+	conv := newBddToAig(mgr, g, vars)
+
+	f := mgr.And(mgr.Xor(mgr.Var(0), mgr.Var(1)), mgr.Var(2))
+	l := conv.lit(f)
+	before := g.NumAnds()
+	nl := conv.lit(mgr.Not(f))
+	if nl != l.Not() {
+		t.Fatalf("lit(NOT f) = %v, want %v", nl, l.Not())
+	}
+	if g.NumAnds() != before {
+		t.Fatalf("converting the complement added %d ands, want 0", g.NumAnds()-before)
+	}
+	// Terminals resolve through the same polarity rule.
+	if conv.lit(bdd.True) != conv.lit(bdd.False).Not() {
+		t.Fatal("terminal literals are not complements")
+	}
+}
+
+// TestEncodeComplementOutputs runs a machine whose transitions use a
+// condition and its complement — the regression shape for a fold whose
+// output is the complement of a shared node — through both encodings
+// and checks circuit behavior against machine simulation.
+func TestEncodeComplementOutputs(t *testing.T) {
+	mgr := bdd.New(2)
+	f := mgr.Xor(mgr.Var(0), mgr.Var(1))
+	nf := mgr.Not(f)
+	m := &Machine{
+		Mgr: mgr, NumInputs: 2, NumOutputs: 1, Initial: 0,
+		Trans: [][]Transition{
+			{{Cond: f, Out: []Tri{One}, Dst: 0}, {Cond: nf, Out: []Tri{Zero}, Dst: 1}},
+			{{Cond: f, Out: []Tri{Zero}, Dst: 1}, {Cond: nf, Out: []Tri{One}, Dst: 0}},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, enc := range []StateEncoding{NaturalBinary, OneHotState} {
+		c, err := Encode(m, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 20; trial++ {
+			stream := make([][]bool, 6)
+			for i := range stream {
+				stream[i] = []bool{rng.Intn(2) == 1, rng.Intn(2) == 1}
+			}
+			mo := m.Simulate(stream)
+			co := c.Simulate(stream)
+			for i := range mo {
+				if mo[i][0] != X && (co[i][0] != (mo[i][0] == One)) {
+					t.Fatalf("%v trial %d step %d: machine %v circuit %v",
+						enc, trial, i, mo[i][0], co[i][0])
+				}
+			}
+		}
 	}
 }

@@ -11,26 +11,29 @@ import (
 // here (rather than scattered string literals) makes the registry
 // greppable and keeps DESIGN.md's table in sync with the code.
 const (
-	MBDDLiveNodes    = "bdd.live_nodes"          // gauge: allocated manager nodes (peak = high-water mark)
-	MBDDArenaBytes   = "bdd.arena_bytes"         // gauge: approximate arena memory
-	MBDDReorderSwaps = "bdd.reorder_swaps"       // counter: adjacent-level swaps performed by sifting
-	MBDDCacheHits    = "bdd.cache_hits"          // counter: computed-cache hits (apply + ITE)
-	MBDDCacheMisses  = "bdd.cache_misses"        // counter: computed-cache misses (apply + ITE)
-	MBDDUniqueLoad   = "bdd.unique_load_pct"     // gauge: unique-table load factor, percent
-	MBDDFreeNodes    = "bdd.free_nodes"          // gauge: reclaimed arena slots awaiting reuse
-	MSATDecisions    = "sat.decisions"           // counter
-	MSATPropagations = "sat.propagations"        // counter
-	MSATRestarts     = "sat.restarts"            // counter
-	MSATConflicts    = "sat.conflicts"           // counter
-	MSATLearnedSize  = "sat.learned_clause_size" // histogram: literals per learned clause
-	MSweepClasses    = "sweep.classes"           // gauge: candidate equivalence classes
-	MSweepCEXRounds  = "sweep.cex_rounds"        // counter: CEX-guided refinement rounds
-	MSweepMerges     = "sweep.merges"            // counter: nodes merged into representatives
-	MSweepSATCalls   = "sweep.sat_calls"         // counter: SAT queries issued by sweeping
-	MFSMStates       = "fsm.states"              // gauge: states in the machine under minimization
-	MFoldFallbacks   = "fold.fallbacks"          // counter: degradation-ladder rung descents
-	MFoldPanics      = "fold.panics_recovered"   // counter: panics converted to ErrInternal at recover boundaries
-	MFoldSelfCheck   = "fold.selfcheck_fail"     // counter: folds rejected by the post-fold self-check
+	MBDDLiveNodes       = "bdd.live_nodes"          // gauge: allocated manager nodes (peak = high-water mark)
+	MBDDArenaBytes      = "bdd.arena_bytes"         // gauge: approximate arena memory
+	MBDDReorderSwaps    = "bdd.reorder_swaps"       // counter: adjacent-level swaps performed by sifting
+	MBDDCacheHits       = "bdd.cache_hits"          // counter: computed-cache hits (apply + ITE)
+	MBDDCacheMisses     = "bdd.cache_misses"        // counter: computed-cache misses (apply + ITE)
+	MBDDUniqueLoad      = "bdd.unique_load_pct"     // gauge: unique-table load factor, percent
+	MBDDFreeNodes       = "bdd.free_nodes"          // gauge: reclaimed arena slots awaiting reuse
+	MBDDComplementHits  = "bdd.complement_hits"     // counter: cache hits reached only via polarity normalization
+	MSATDecisions       = "sat.decisions"           // counter
+	MSATPropagations    = "sat.propagations"        // counter
+	MSATRestarts        = "sat.restarts"            // counter
+	MSATConflicts       = "sat.conflicts"           // counter
+	MSATLearnedSize     = "sat.learned_clause_size" // histogram: literals per learned clause
+	MSweepClasses       = "sweep.classes"           // gauge: candidate equivalence classes
+	MSweepCEXRounds     = "sweep.cex_rounds"        // counter: CEX-guided refinement rounds
+	MSweepMerges        = "sweep.merges"            // counter: nodes merged into representatives
+	MSweepSATCalls      = "sweep.sat_calls"         // counter: SAT queries issued by sweeping
+	MFSMStates          = "fsm.states"              // gauge: states in the machine under minimization
+	MFoldFallbacks      = "fold.fallbacks"          // counter: degradation-ladder rung descents
+	MFoldPanics         = "fold.panics_recovered"   // counter: panics converted to ErrInternal at recover boundaries
+	MFoldSelfCheck      = "fold.selfcheck_fail"     // counter: folds rejected by the post-fold self-check
+	MFoldParallelFrames = "fold.parallel_frames"    // gauge: TFF frames folded with more than one worker
+	MFoldFrameWorkers   = "fold.frame_workers"      // gauge: worker count of the most recent parallel fold
 )
 
 // Counter is a monotonically increasing metric. Methods are no-ops on a

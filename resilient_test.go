@@ -53,6 +53,12 @@ func TestFaultMatrix(t *testing.T) {
 			_, err := circuitfold.Functional(small(), 3, opt)
 			return err
 		}},
+		{fault.PointTFFFrameWorker, func() error {
+			// Workers: 4 exercises the parallel frame pool: the panic
+			// must drain the pool and surface, not deadlock it.
+			_, err := circuitfold.Functional(small(), 3, circuitfold.Options{Workers: 4})
+			return err
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.point, func(t *testing.T) {
@@ -248,6 +254,37 @@ func TestResilientRecoversInjectedPanic(t *testing.T) {
 	}
 	if n := o.Metrics.Counter(obs.MFoldPanics).Value(); n != r.PanicsRecovered {
 		t.Fatalf("fold.panics_recovered = %d, want %d", n, r.PanicsRecovered)
+	}
+	if err := circuitfold.VerifyFast(g, r.Result, 2); err != nil {
+		t.Fatalf("recovered result failed re-verification: %v", err)
+	}
+}
+
+// TestResilientFrameWorkerFault arms a panic inside the parallel TFF
+// frame worker: the functional rung dies as a contained ErrInternal
+// failure and the ladder demotes — to hybrid, whose clusters (running
+// the same refinement) each demote to the structural remainder, or all
+// the way to the structural rung. Either way the pool drains, the fold
+// verifies, and the process never crashes.
+func TestResilientFrameWorkerFault(t *testing.T) {
+	arm(t, map[string]fault.Rule{fault.PointTFFFrameWorker: {Mode: fault.Panic}})
+	o := &circuitfold.Observer{Metrics: circuitfold.NewMetrics()}
+	opt := circuitfold.ResilientOptions{}
+	opt.Observer = o
+	opt.Workers = 4
+	g := gen.Random(19, 16, 8, 500)
+	r, err := circuitfold.RunResilient(g, 4, opt)
+	if err != nil {
+		t.Fatalf("ladder should have recovered: %v", err)
+	}
+	if r.Method == circuitfold.MethodFunctional {
+		t.Fatal("functional rung cannot win with every frame worker panicking")
+	}
+	if r.Fallbacks < 1 {
+		t.Fatalf("Fallbacks = %d, want >= 1", r.Fallbacks)
+	}
+	if r.PanicsRecovered < 1 {
+		t.Fatalf("PanicsRecovered = %d, want >= 1", r.PanicsRecovered)
 	}
 	if err := circuitfold.VerifyFast(g, r.Result, 2); err != nil {
 		t.Fatalf("recovered result failed re-verification: %v", err)
