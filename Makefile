@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race vet faults bench bench-go bench-bdd-smoke bench-fold-smoke trace clean
+.PHONY: build test verify race vet faults bench bench-go bench-bdd-smoke bench-fold-smoke serve-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 # in -short mode (its full Table III verification takes minutes under the
 # race detector).
 race:
-	$(GO) test -race ./internal/aig/... ./internal/sat/... ./internal/pipeline/... ./internal/obs/...
+	$(GO) test -race ./internal/aig/... ./internal/sat/... ./internal/pipeline/... ./internal/obs/... ./internal/job/...
 	$(GO) test -race -short ./internal/core/...
 
 # faults runs the resilience suite under the race detector: the fault
@@ -35,17 +35,28 @@ faults:
 	$(GO) test -race -run 'Fault|Resilient|Taxonomy' -v .
 	$(GO) test -race ./internal/fault/... ./internal/pipeline/...
 
-# verify = tier-1 (build + test) plus vet, the race gate, and the
-# resilience suite.
-verify: build test vet race faults
+# verify = tier-1 (build + test) plus vet, the race gate, the
+# resilience suite, and the fold-service smoke.
+verify: build test vet race faults serve-smoke
+
+# serve-smoke is the fold-service PR gate, under the race detector: it
+# builds cmd/foldd, then drives a real HTTP server end to end — a
+# 64-adder T=16 fold submitted as a job, polled to completion, its
+# result diffed bit-for-bit against the same fold run in-process — plus
+# the daemon-restart kill-and-resume path, the SIGTERM drain
+# semantics, and the goroutine-leak check around server start/stop.
+serve-smoke:
+	$(GO) build ./cmd/foldd
+	$(GO) test -race -run 'ServeSmoke|KillAndResume|Shutdown|GoroutineLeak' -v ./internal/job/
 
 # bench emits BENCH_sweep.json (ns/op, SAT calls, merges, conflicts for
 # the sweeping configurations), BENCH_pipeline.json (per-stage fold
-# timings for every benchmark circuit), and BENCH_bdd.json (BDD kernel
-# micro ops/sec plus build-and-sift times on Table III circuits); see
-# cmd/bench.
+# timings for every benchmark circuit), BENCH_bdd.json (BDD kernel
+# micro ops/sec plus build-and-sift times on Table III circuits), and
+# BENCH_serve.json (fold-service jobs/sec and p50/p99 latency at client
+# concurrency 1 and 8); see cmd/bench.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_sweep.json -pipeout BENCH_pipeline.json -bddout BENCH_bdd.json
+	$(GO) run ./cmd/bench -out BENCH_sweep.json -pipeout BENCH_pipeline.json -bddout BENCH_bdd.json -serveout BENCH_serve.json
 
 # bench-go runs the Go benchmark suite for the sweeping engine and the
 # BDD kernel.
@@ -73,4 +84,4 @@ trace:
 	$(GO) run ./cmd/bench -traceonly -tracefile trace.json -circuit 64-adder -frames 16
 
 clean:
-	rm -f BENCH_sweep.json BENCH_pipeline.json BENCH_bdd.json trace.json
+	rm -f BENCH_sweep.json BENCH_pipeline.json BENCH_bdd.json BENCH_serve.json trace.json foldd

@@ -155,6 +155,22 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 	return obs.WriteChromeTrace(w, events)
 }
 
+// Checkpoint is a per-stage snapshot store for resumable folds: after
+// each pipeline stage completes, its state is serialized and saved
+// under the stage name, and a later fold over the same store restores
+// the completed stages instead of re-running them, producing a Result
+// bit-identical to an uninterrupted fold. Keying the store to the
+// (circuit, T, options) triple is the caller's responsibility — see
+// internal/job for a content-addressed store.
+type Checkpoint = pipeline.Checkpoint
+
+// PrefixCheckpoint namespaces a checkpoint store under prefix, so
+// independent pipelines (e.g. the rungs of a resilient fold) can share
+// one store without colliding. A nil store stays nil.
+func PrefixCheckpoint(ck Checkpoint, prefix string) Checkpoint {
+	return pipeline.PrefixCheckpoint(ck, prefix)
+}
+
 // PipelineError is the typed error returned when a fold is cancelled
 // or exhausts its budget: it names the pipeline and stage and carries
 // the partial Report. Match the cause with errors.Is against
@@ -214,6 +230,12 @@ type Options struct {
 	// the default — disables instrumentation entirely: the engines
 	// take nil-receiver fast paths and allocate nothing extra.
 	Observer *Observer
+	// Checkpoint, when non-nil, saves per-stage snapshots so an
+	// interrupted fold can resume at the last completed stage (see
+	// Checkpoint). The Structural and Functional engines checkpoint
+	// every stage; Hybrid and Simple ignore it (their callers
+	// checkpoint the final result instead).
+	Checkpoint Checkpoint
 }
 
 // DefaultOptions returns the configuration the paper's experiments
@@ -253,10 +275,11 @@ func finish(r *Result, err error, trace bool) (*Result, error) {
 func Structural(g *Circuit, T int, opt Options) (r *Result, err error) {
 	defer pipeline.RecoverTo(&err, "circuitfold.Structural")
 	r, err = core.StructuralFold(g, T, core.StructuralOptions{
-		Counter: opt.Counter,
-		Ctx:     opt.Context,
-		Budget:  opt.budget(),
-		Obs:     opt.Observer,
+		Counter:    opt.Counter,
+		Ctx:        opt.Context,
+		Budget:     opt.budget(),
+		Obs:        opt.Observer,
+		Checkpoint: opt.Checkpoint,
 	})
 	return finish(r, err, opt.Trace)
 }
@@ -272,6 +295,7 @@ func Functional(g *Circuit, T int, opt Options) (r *Result, err error) {
 	fo.Ctx = opt.Context
 	fo.Budget = opt.budget()
 	fo.Obs = opt.Observer
+	fo.Checkpoint = opt.Checkpoint
 	if opt.Workers > 0 {
 		fo.Workers = opt.Workers
 	}

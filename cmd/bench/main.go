@@ -6,7 +6,8 @@
 // Usage:
 //
 //	bench [-out BENCH_sweep.json] [-pipeout BENCH_pipeline.json]
-//	      [-bddout BENCH_bdd.json]
+//	      [-bddout BENCH_bdd.json] [-serveout BENCH_serve.json]
+//	      [-servejobs 32]
 //	      [-reps 3] [-size 4000] [-seed 1234] [-tables]
 //	      [-tracefile trace.json] [-circuit 64-adder] [-frames 16]
 //	      [-traceonly] [-http :6060]
@@ -36,6 +37,12 @@
 // (steady-state ops/sec, computed-cache hit rate, peak live nodes) and
 // a build-then-sift pass over the tractable Table III circuits, with
 // per-circuit sift wall time. The results land in BENCH_bdd.json.
+//
+// -serveout runs the fold-service lane: the -circuit/-frames fold
+// submitted as jobs through the full HTTP service path (internal/job
+// behind a loopback server — POST, status polling, runner queue, fold
+// engine) at client concurrency 1 and 8, reporting jobs/sec and
+// p50/p99 submit-to-done latency in BENCH_serve.json.
 //
 // -tables additionally times a Table I/II regeneration (the harness paths
 // whose runtime the sweep dominates) and appends those runs.
@@ -217,6 +224,8 @@ func main() {
 		out       = flag.String("out", "BENCH_sweep.json", "output JSON path (- for stdout)")
 		pipeout   = flag.String("pipeout", "BENCH_pipeline.json", "per-stage fold timings JSON path (empty to skip)")
 		bddout    = flag.String("bddout", "BENCH_bdd.json", "BDD kernel benchmark JSON path (empty to skip)")
+		serveout  = flag.String("serveout", "BENCH_serve.json", "fold-service benchmark JSON path (empty to skip)")
+		servejobs = flag.Int("servejobs", 32, "jobs per service concurrency level")
 		reps      = flag.Int("reps", 3, "repetitions per configuration (best time wins)")
 		size      = flag.Int("size", 4000, "workload size in AND nodes")
 		seed      = flag.Uint64("seed", 1234, "workload generator seed")
@@ -327,6 +336,20 @@ func main() {
 		}
 		fmt.Printf("wrote %s: BDD kernel lane (%d circuits, apply %.1f Mops/s, cache hit %.1f%%)\n",
 			*bddout, len(brep.Circuits), brep.Micro.ApplyOpsPerSec/1e6, brep.Micro.CacheHitPct)
+	}
+	if *serveout != "" {
+		srep, err := benchServe(*circuit, *frames, 8, *servejobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: serve:", err)
+			os.Exit(1)
+		}
+		if err := writeJSON(*serveout, srep); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		last := srep.Runs[len(srep.Runs)-1]
+		fmt.Printf("wrote %s: fold service lane (%.1f jobs/s at concurrency %d, p50 %.1fms, p99 %.1fms)\n",
+			*serveout, last.JobsPerSec, last.Concurrency, last.P50Ms, last.P99Ms)
 	}
 	hold(*httpAddr)
 }

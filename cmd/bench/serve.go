@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"circuitfold/internal/job"
+)
+
+// ServeRun is one measured service configuration.
+type ServeRun struct {
+	Concurrency int     `json:"concurrency"`
+	Jobs        int     `json:"jobs"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+// ServeReport is the BENCH_serve.json schema: submit-to-done latency
+// of fold jobs through the full HTTP service path (POST, status
+// polling, runner queue, fold engine), at client concurrency 1 and 8.
+type ServeReport struct {
+	Date    string     `json:"date"`
+	Circuit string     `json:"circuit"`
+	Frames  int        `json:"frames"`
+	Workers int        `json:"workers"`
+	Runs    []ServeRun `json:"runs"`
+}
+
+// benchServe measures the fold service end to end over real HTTP on a
+// loopback listener. Every job gets a unique spec (a distinct wall
+// budget that never triggers), so each one is a genuine fold, not a
+// snapshot restore.
+func benchServe(circuit string, T, workers, jobsPerRun int) (*ServeReport, error) {
+	runner := job.NewRunner(workers, nil)
+	srv := httptest.NewServer(job.Handler(runner))
+	defer srv.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		runner.Shutdown(ctx)
+	}()
+
+	rep := &ServeReport{
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Circuit: circuit,
+		Frames:  T,
+		Workers: workers,
+	}
+	serial := 0
+	for _, conc := range []int{1, 8} {
+		lat := make([]time.Duration, jobsPerRun)
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		var firstErr error
+		var mu sync.Mutex
+		start := time.Now()
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					d, err := oneServeJob(srv.URL, circuit, T, serial+i)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					lat[i] = d
+				}
+			}()
+		}
+		for i := 0; i < jobsPerRun; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		wall := time.Since(start)
+		serial += jobsPerRun
+
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		rep.Runs = append(rep.Runs, ServeRun{
+			Concurrency: conc,
+			Jobs:        jobsPerRun,
+			JobsPerSec:  float64(jobsPerRun) / wall.Seconds(),
+			P50Ms:       float64(lat[jobsPerRun/2].Microseconds()) / 1e3,
+			P99Ms:       float64(lat[(jobsPerRun*99)/100].Microseconds()) / 1e3,
+		})
+	}
+	return rep, nil
+}
+
+// oneServeJob submits one fold over HTTP and polls it to completion,
+// returning the submit-to-done latency.
+func oneServeJob(base, circuit string, T, serial int) (time.Duration, error) {
+	spec := map[string]any{
+		"generator": circuit,
+		"t":         T,
+		// Uniqueness salt: a wall budget far above any real runtime,
+		// different per job, so no two jobs share a checkpoint key.
+		"wall_ms": int64(10*time.Minute/time.Millisecond) + int64(serial),
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("submit: %d %s", resp.StatusCode, st.Error)
+	}
+	for st.State == "queued" || st.State == "running" {
+		time.Sleep(time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return 0, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+	}
+	if st.State != "done" {
+		return 0, fmt.Errorf("job %s: %s (%s)", st.ID, st.State, st.Error)
+	}
+	return time.Since(start), nil
+}

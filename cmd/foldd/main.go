@@ -1,0 +1,93 @@
+// Command foldd is the fold daemon: circuit folding as a service over
+// HTTP/JSON. Clients submit fold jobs — a built-in benchmark generator
+// or an uploaded AIGER/BLIF/BENCH netlist, plus the folding number,
+// method and engine knobs — and the daemon runs them on a bounded
+// worker pool with per-stage checkpointing, live span streaming, and
+// graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	foldd [-addr :8080] [-workers 4] [-checkpoint-dir DIR]
+//	      [-drain-timeout 30s]
+//
+// With -checkpoint-dir, every pipeline stage snapshots into a
+// file-backed store keyed by the job spec's content hash: a job killed
+// mid-fold (crash, deadline, SIGTERM past the drain window) resumes at
+// the last completed stage when the same spec is resubmitted — to this
+// process or a restarted one — and produces a bit-identical Result.
+// Without it, checkpoints live in memory and die with the process.
+//
+// API (see internal/job for the spec schema):
+//
+//	POST /v1/jobs              submit a job
+//	GET  /v1/jobs              list jobs
+//	GET  /v1/jobs/{id}         job status
+//	POST /v1/jobs/{id}/cancel  cancel
+//	GET  /v1/jobs/{id}/result  folded circuit (?format=json|aag|blif)
+//	GET  /v1/jobs/{id}/report  per-stage pipeline report
+//	GET  /v1/jobs/{id}/events  live span stream (SSE; ?format=jsonl)
+//	GET  /v1/jobs/{id}/metrics job metrics snapshot
+//	GET  /healthz, /metrics    liveness and daemon counters
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"circuitfold/internal/job"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		workers = flag.Int("workers", 4, "concurrent fold jobs")
+		ckDir   = flag.String("checkpoint-dir", "", "file-backed checkpoint store directory (empty: in-memory)")
+		drain   = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before checkpoint-and-cancel")
+	)
+	flag.Parse()
+
+	var store job.Store
+	if *ckDir != "" {
+		fs, err := job.NewFileStore(*ckDir)
+		if err != nil {
+			log.Fatalf("foldd: %v", err)
+		}
+		store = fs
+		log.Printf("foldd: checkpoints in %s", fs.Dir())
+	}
+	runner := job.NewRunner(*workers, store)
+
+	srv := &http.Server{Addr: *addr, Handler: job.Handler(runner)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("foldd: listening on %s (%d workers)", *addr, *workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("foldd: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: finish in-flight jobs within the window; past it
+	// they are cancelled with their completed stages checkpointed, so
+	// a restart resumes them. The runner drains first (finished jobs
+	// close their event streams), then the HTTP server.
+	log.Printf("foldd: draining (up to %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := runner.Shutdown(dctx); err != nil {
+		log.Printf("foldd: %v (in-flight jobs checkpointed)", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		srv.Close()
+	}
+	log.Printf("foldd: stopped")
+}

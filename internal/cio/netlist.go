@@ -1,0 +1,35 @@
+package cio
+
+import (
+	"fmt"
+	"io"
+
+	"circuitfold/internal/seq"
+)
+
+// Netlist formats ReadNetlist accepts.
+const (
+	FormatAAG   = "aag"
+	FormatBLIF  = "blif"
+	FormatBench = "bench"
+)
+
+// Formats lists the accepted netlist format names.
+func Formats() []string { return []string{FormatAAG, FormatBLIF, FormatBench} }
+
+// ReadNetlist parses a sequential circuit from r in the named format:
+// "aag" (ASCII AIGER), "blif", or "bench" (ISCAS). It is the single
+// entry point for callers that take the format as data — the fold
+// daemon's upload path — so format validation produces an error, not a
+// missing-symbol bug.
+func ReadNetlist(format string, r io.Reader) (*seq.Circuit, error) {
+	switch format {
+	case FormatAAG:
+		return ReadAAG(r)
+	case FormatBLIF:
+		return ReadBLIF(r)
+	case FormatBench:
+		return ReadBench(r)
+	}
+	return nil, fmt.Errorf("cio: unknown netlist format %q (want one of %v)", format, Formats())
+}

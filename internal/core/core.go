@@ -185,38 +185,49 @@ func (r *Result) Execute(in []bool) []bool {
 // into the sweep engine, and charges the sweep's SAT conflicts to the
 // run.
 func sweepStage(res **Result, opt *aig.SweepOptions, run *pipeline.Run) pipeline.Stage {
-	return pipeline.Stage{Name: pipeline.StageSweep, Run: func(ss *pipeline.StageStats) error {
-		r := *res
-		o := *opt
-		if o.Interrupt == nil {
-			o.Interrupt = run.Check
-		}
-		if o.Span == nil {
-			o.Span = run.Span() // the sweep stage's own span
-		}
-		if o.Metrics == nil {
-			o.Metrics = run.Metrics()
-		}
-		if o.Stage == "" && (o.Span != nil || o.Metrics != nil) {
-			o.Stage = pipeline.StageSweep
-		}
-		ss.AndsIn = r.Seq.G.NumAnds()
-		var faultErr error
-		r.Seq = r.Seq.Transform(func(g *aig.Graph) *aig.Graph {
-			ng, st := g.Cleanup().Balance().SweepWithStats(o)
-			run.AddConflicts(st.Solver.Conflicts)
-			ss.SATConflicts += st.Solver.Conflicts
-			if st.FaultErr != nil {
-				faultErr = st.FaultErr
+	return pipeline.Stage{Name: pipeline.StageSweep,
+		Snapshot: func() ([]byte, error) { return EncodeResult(*res) },
+		Restore: func(data []byte, ss *pipeline.StageStats) error {
+			r, err := DecodeResult(data)
+			if err != nil {
+				return err
 			}
-			return ng
-		})
-		ss.AndsOut = r.Seq.G.NumAnds()
-		if faultErr != nil {
-			return faultErr
-		}
-		return run.Check()
-	}}
+			*res = r
+			ss.AndsOut = r.Seq.G.NumAnds()
+			return nil
+		},
+		Run: func(ss *pipeline.StageStats) error {
+			r := *res
+			o := *opt
+			if o.Interrupt == nil {
+				o.Interrupt = run.Check
+			}
+			if o.Span == nil {
+				o.Span = run.Span() // the sweep stage's own span
+			}
+			if o.Metrics == nil {
+				o.Metrics = run.Metrics()
+			}
+			if o.Stage == "" && (o.Span != nil || o.Metrics != nil) {
+				o.Stage = pipeline.StageSweep
+			}
+			ss.AndsIn = r.Seq.G.NumAnds()
+			var faultErr error
+			r.Seq = r.Seq.Transform(func(g *aig.Graph) *aig.Graph {
+				ng, st := g.Cleanup().Balance().SweepWithStats(o)
+				run.AddConflicts(st.Solver.Conflicts)
+				ss.SATConflicts += st.Solver.Conflicts
+				if st.FaultErr != nil {
+					faultErr = st.FaultErr
+				}
+				return ng
+			})
+			ss.AndsOut = r.Seq.G.NumAnds()
+			if faultErr != nil {
+				return faultErr
+			}
+			return run.Check()
+		}}
 }
 
 // identityFold wraps a combinational circuit as a T=1 "fold" through a

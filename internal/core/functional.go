@@ -48,6 +48,13 @@ type FunctionalOptions struct {
 	// Obs, when non-nil, receives span traces and metrics for the whole
 	// fold (see internal/obs). Nil disables observability at zero cost.
 	Obs *obs.Observer
+	// Checkpoint, when non-nil, saves each completed stage's output
+	// artifact (schedule, folded machine, minimized machine, encoded
+	// result) and restores from it on a later run, re-entering the
+	// pipeline at the last completed stage. The caller must key the
+	// store to the (circuit, T, options) triple — the stages trust that
+	// a stored artifact belongs to this exact fold.
+	Checkpoint pipeline.Checkpoint
 }
 
 // DefaultFunctionalOptions returns the configuration used by the
@@ -83,6 +90,7 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 		return nil, err
 	}
 	run := pipeline.NewRunObserved(opt.Ctx, opt.Budget, opt.Obs)
+	run.SetCheckpoint(opt.Checkpoint)
 	if T == 1 {
 		return identityFold(g, run, "functional", opt.PostOptimize)
 	}
@@ -101,7 +109,22 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 			var err error
 			sched, err = PinScheduleRun(g, T, ScheduleOptions{Reorder: opt.Reorder}, run)
 			return err
-		}},
+		},
+			Snapshot: func() ([]byte, error) { return EncodeSchedule(sched) },
+			Restore: func(data []byte, ss *pipeline.StageStats) error {
+				s, err := DecodeSchedule(data)
+				if err != nil {
+					return err
+				}
+				if s.T != T {
+					return fmt.Errorf("core: checkpointed schedule folds by %d, want %d", s.T, T)
+				}
+				sched = s
+				ss.AndsIn = g.NumAnds()
+				ss.AndsOut = g.NumAnds()
+				return nil
+			},
+		},
 		{Name: pipeline.StageTFF, Run: func(ss *pipeline.StageStats) error {
 			ss.AndsIn = g.NumAnds()
 			ss.StatesIn = 1
@@ -109,7 +132,20 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 			machine, states, err = TimeFrameFold(g, sched, opt.Workers, run)
 			ss.StatesOut = states
 			return err
-		}},
+		},
+			Snapshot: func() ([]byte, error) { return EncodeMachine(machine, states) },
+			Restore: func(data []byte, ss *pipeline.StageStats) error {
+				m, n, err := DecodeMachine(data)
+				if err != nil {
+					return err
+				}
+				machine, states = m, n
+				ss.AndsIn = g.NumAnds()
+				ss.StatesIn = 1
+				ss.StatesOut = states
+				return nil
+			},
+		},
 	}
 	if opt.Minimize {
 		stages = append(stages, pipeline.Stage{Name: pipeline.StageMinimize, Run: func(ss *pipeline.StageStats) error {
@@ -135,7 +171,19 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 			statesMin = mm.NumStates()
 			ss.StatesOut = statesMin
 			return nil
-		}})
+		},
+			Snapshot: func() ([]byte, error) { return EncodeMachine(machine, statesMin) },
+			Restore: func(data []byte, ss *pipeline.StageStats) error {
+				m, n, err := DecodeMachine(data)
+				if err != nil {
+					return err
+				}
+				machine, statesMin = m, n
+				ss.StatesIn = states
+				ss.StatesOut = statesMin
+				return nil
+			},
+		})
 	}
 	stages = append(stages, pipeline.Stage{Name: pipeline.StageEncode, Run: func(ss *pipeline.StageStats) error {
 		ss.StatesIn = machine.NumStates()
@@ -157,7 +205,21 @@ func FunctionalFold(g *aig.Graph, T int, opt FunctionalOptions) (*Result, error)
 			StatesMin: statesMin,
 		}
 		return nil
-	}})
+	},
+		Snapshot: func() ([]byte, error) { return EncodeResult(res) },
+		Restore: func(data []byte, ss *pipeline.StageStats) error {
+			r, err := DecodeResult(data)
+			if err != nil {
+				return err
+			}
+			res = r
+			if machine != nil {
+				ss.StatesIn = machine.NumStates()
+			}
+			ss.AndsOut = res.Seq.G.NumAnds()
+			return nil
+		},
+	})
 	if opt.PostOptimize != nil {
 		stages = append(stages, sweepStage(&res, opt.PostOptimize, run))
 	}

@@ -20,7 +20,7 @@ func WriteKISS(w io.Writer, m *Machine) error {
 	var lines []string
 	for s, ts := range m.Trans {
 		for _, tr := range ts {
-			for _, cube := range cubesOf(m.Mgr, tr.Cond, m.NumInputs) {
+			for _, cube := range Cubes(m.Mgr, tr.Cond, m.NumInputs) {
 				dst := "*"
 				if tr.Dst != DontCare {
 					dst = fmt.Sprintf("s%d", tr.Dst)
@@ -43,9 +43,12 @@ func WriteKISS(w io.Writer, m *Machine) error {
 	return bw.Flush()
 }
 
-// cubesOf expands a BDD into a cover of cubes ('0', '1', '-'); one cube
-// per path to the True terminal.
-func cubesOf(mgr *bdd.Manager, f bdd.Node, numInputs int) []string {
+// Cubes expands a BDD into a disjoint cover of input cubes ('0', '1',
+// '-' per variable position); one cube per path to the True terminal.
+// The disjunction of the cubes is exactly f, which is what the KISS
+// writer and the checkpoint codec in internal/core rely on to
+// serialize symbolic transition conditions losslessly.
+func Cubes(mgr *bdd.Manager, f bdd.Node, numInputs int) []string {
 	var out []string
 	cube := make([]byte, numInputs)
 	for i := range cube {
@@ -206,7 +209,7 @@ func WriteDOT(w io.Writer, m *Machine, name string) error {
 			for _, v := range tr.Out {
 				out.WriteString(v.String())
 			}
-			for _, cube := range cubesOf(m.Mgr, tr.Cond, m.NumInputs) {
+			for _, cube := range Cubes(m.Mgr, tr.Cond, m.NumInputs) {
 				fmt.Fprintf(bw, "  s%d -> %s [label=\"%s/%s\"];\n", s, dst, cube, out.String())
 			}
 		}

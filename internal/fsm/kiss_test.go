@@ -59,7 +59,7 @@ func TestKISSCubeExpansion(t *testing.T) {
 	mgr := bdd.New(3)
 	// x0 OR x2 has a 2-cube cover along BDD paths.
 	f := mgr.Or(mgr.Var(0), mgr.Var(2))
-	cubes := cubesOf(mgr, f, 3)
+	cubes := Cubes(mgr, f, 3)
 	if len(cubes) == 0 {
 		t.Fatal("no cubes")
 	}

@@ -1,0 +1,237 @@
+package job
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"circuitfold/internal/cio"
+	"circuitfold/internal/core"
+)
+
+// maxSpecBytes bounds an uploaded job spec (netlist text included).
+const maxSpecBytes = 32 << 20
+
+// Server exposes a Runner over HTTP/JSON:
+//
+//	POST /v1/jobs              submit a Spec, returns its Status
+//	GET  /v1/jobs              list job statuses
+//	GET  /v1/jobs/{id}         one job's Status
+//	POST /v1/jobs/{id}/cancel  cancel a job
+//	GET  /v1/jobs/{id}/result  the folded circuit (?format=json|aag|blif)
+//	GET  /v1/jobs/{id}/report  the per-stage pipeline report
+//	GET  /v1/jobs/{id}/events  live span stream (SSE; ?format=jsonl)
+//	GET  /v1/jobs/{id}/metrics the job's metrics snapshot
+//	GET  /healthz              liveness
+//
+// It implements http.Handler; wire it into any http.Server.
+type Server struct {
+	runner *Runner
+	mux    *http.ServeMux
+}
+
+// NewServer wraps runner in the HTTP API.
+func NewServer(runner *Runner) *Server {
+	s := &Server{runner: runner, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.report)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.jobMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// httpError is the uniform error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// jobOf resolves the {id} path value, writing the 404 itself.
+func (s *Server) jobOf(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.runner.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+	}
+	return j, ok
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	j, err := s.runner.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if err.Error() == "job: runner is shut down" {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.runner.Jobs()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobOf(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOf(w, r)
+	if !ok {
+		return
+	}
+	s.runner.Cancel(j.ID())
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOf(w, r)
+	if !ok {
+		return
+	}
+	res, err := j.Result()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		data, err := core.EncodeResult(res)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encode: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case "aag":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := cio.WriteAAG(w, res.Seq); err != nil {
+			httpError(w, http.StatusInternalServerError, "write aag: %v", err)
+		}
+	case "blif":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := cio.WriteBLIF(w, res.Seq, "fold_"+j.ID()); err != nil {
+			httpError(w, http.StatusInternalServerError, "write blif: %v", err)
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (want json, aag or blif)", format)
+	}
+}
+
+func (s *Server) report(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOf(w, r)
+	if !ok {
+		return
+	}
+	res, err := j.Result()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res.Report)
+}
+
+func (s *Server) jobMetrics(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobOf(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Metrics().Snapshot())
+	}
+}
+
+// events streams the job's spans. The default is Server-Sent Events
+// ("data: {span}\n\n" frames); ?format=jsonl streams plain JSON
+// lines. Either way the stream replays recent history, follows the
+// live fold, and ends when the job finishes or the client leaves.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOf(w, r)
+	if !ok {
+		return
+	}
+	jsonl := r.URL.Query().Get("format") == "jsonl"
+	if jsonl {
+		w.Header().Set("Content-Type", "application/jsonl")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	ch, cancel := j.Events(512)
+	defer cancel()
+	for {
+		select {
+		case e, open := <-ch:
+			if !open {
+				return // job finished
+			}
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			if jsonl {
+				fmt.Fprintf(w, "%s\n", data)
+			} else {
+				fmt.Fprintf(w, "data: %s\n\n", data)
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Handler is the daemon's full HTTP surface: the job API plus a
+// process-level metrics snapshot at /metrics aggregating nothing —
+// per-job metrics live under each job. Exposed as a helper so
+// cmd/foldd and tests build identical servers.
+func Handler(runner *Runner) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", NewServer(runner))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		jobs := runner.Jobs()
+		counts := map[State]int{}
+		for _, j := range jobs {
+			counts[j.Status().State]++
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"jobs":   len(jobs),
+			"states": counts,
+		})
+	})
+	return mux
+}

@@ -1,0 +1,466 @@
+package job
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"circuitfold"
+	"circuitfold/internal/core"
+	"circuitfold/internal/obs"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Queued and Running are live; the other three are
+// terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// finalStage is the checkpoint key holding a finished job's encoded
+// result: the job-level snapshot that makes resubmission of an
+// identical spec instant, and the resume path for methods without
+// per-stage checkpoints (hybrid, simple).
+const finalStage = "result"
+
+// eventReplay is the per-job span replay ring: a client attaching
+// mid-run sees up to this many recent events before the live stream.
+const eventReplay = 256
+
+// Job is one submitted fold. All accessors are safe for concurrent
+// use; the zero value is not usable — jobs come from Runner.Submit.
+type Job struct {
+	id   string
+	spec Spec
+	key  string
+	g    *circuitfold.Circuit
+
+	events  *obs.Broadcast
+	metrics *circuitfold.Metrics
+	done    chan struct{}
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	method   string
+	resumed  []string // stage names restored from checkpoints
+	fromSnap bool     // whole result restored from the final snapshot
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	result   *circuitfold.Result
+}
+
+// ID returns the job's runner-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the job's spec.
+func (j *Job) Spec() Spec { return j.spec }
+
+// Key returns the job's content address (Spec.Hash).
+func (j *Job) Key() string { return j.key }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Events subscribes to the job's live span stream with a buffer of
+// buf events (plus a bounded replay of recent history); the returned
+// cancel must be called when the subscriber detaches. The channel
+// closes when the job finishes.
+func (j *Job) Events(buf int) (<-chan obs.Event, func()) { return j.events.Subscribe(buf) }
+
+// Metrics returns the job's metrics registry.
+func (j *Job) Metrics() *circuitfold.Metrics { return j.metrics }
+
+// Result returns the fold result, or an error while the job is not
+// Done.
+func (j *Job) Result() (*circuitfold.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, fmt.Errorf("job: %s is %s, not done", j.id, j.state)
+	}
+	return j.result, nil
+}
+
+// Status is the job's JSON view.
+type Status struct {
+	ID     string `json:"id"`
+	State  State  `json:"state"`
+	Key    string `json:"key"`
+	Source string `json:"source"`
+	T      int    `json:"t"`
+	Method string `json:"method,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Resumed lists the pipeline stages restored from checkpoints;
+	// ResumedResult reports a whole-result restore from the final
+	// snapshot (an identical spec already ran to completion).
+	Resumed       []string `json:"resumed,omitempty"`
+	ResumedResult bool     `json:"resumed_result,omitempty"`
+	CreatedAt     string   `json:"created_at"`
+	StartedAt     string   `json:"started_at,omitempty"`
+	FinishedAt    string   `json:"finished_at,omitempty"`
+	// Fold shape, present when done.
+	InputPins  int `json:"input_pins,omitempty"`
+	OutputPins int `json:"output_pins,omitempty"`
+	FlipFlops  int `json:"flip_flops,omitempty"`
+	Gates      int `json:"gates,omitempty"`
+	States     int `json:"states,omitempty"`
+	StatesMin  int `json:"states_min,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	source := j.spec.Generator
+	if source == "" && j.spec.Netlist != nil {
+		source = "netlist:" + j.spec.Netlist.Format
+	}
+	st := Status{
+		ID:            j.id,
+		State:         j.state,
+		Key:           j.key,
+		Source:        source,
+		T:             j.spec.T,
+		Method:        j.method,
+		Error:         j.err,
+		Resumed:       append([]string(nil), j.resumed...),
+		ResumedResult: j.fromSnap,
+		CreatedAt:     j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.state == StateDone && j.result != nil {
+		st.InputPins = j.result.InputPins()
+		st.OutputPins = j.result.OutputPins()
+		st.FlipFlops = j.result.FlipFlops()
+		st.Gates = j.result.Gates()
+		st.States = j.result.States
+		st.StatesMin = j.result.StatesMin
+	}
+	return st
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state State, errText string) {
+	j.mu.Lock()
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.err = errText
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.events.Close()
+	close(j.done)
+}
+
+// Runner executes jobs on a bounded worker pool over a checkpoint
+// store. Close it with Shutdown.
+type Runner struct {
+	store Store
+	queue chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	closed   bool
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// NewRunner starts a runner with the given worker count (minimum 1)
+// over store (nil means a fresh MemStore).
+func NewRunner(workers int, store Store) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	if store == nil {
+		store = NewMemStore()
+	}
+	r := &Runner{
+		store: store,
+		queue: make(chan *Job, 1024),
+		jobs:  make(map[string]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	return r
+}
+
+// Submit validates the spec, builds its circuit (rejecting malformed
+// uploads at the door), and enqueues the job.
+func (r *Runner) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := spec.Circuit()
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("job: runner is shut down")
+	}
+	r.nextID++
+	j := &Job{
+		id:      fmt.Sprintf("j%04d", r.nextID),
+		spec:    spec,
+		key:     spec.Hash(),
+		g:       g,
+		events:  obs.NewBroadcast(eventReplay),
+		metrics: circuitfold.NewMetrics(),
+		done:    make(chan struct{}),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	select {
+	case r.queue <- j:
+	default:
+		return nil, fmt.Errorf("job: queue full (%d pending)", cap(r.queue))
+	}
+	r.jobs[j.id] = j
+	r.order = append(r.order, j.id)
+	return j, nil
+}
+
+// Get returns a job by ID.
+func (r *Runner) Get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in submission order.
+func (r *Runner) Jobs() []*Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Job, len(r.order))
+	for i, id := range r.order {
+		out[i] = r.jobs[id]
+	}
+	return out
+}
+
+// Cancel stops a job: queued jobs terminate immediately, running jobs
+// get their context cancelled (and keep the checkpoints saved so
+// far). Unknown IDs return false.
+func (r *Runner) Cancel(id string) bool {
+	j, ok := r.Get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if queued {
+		j.finish(StateCanceled, "canceled before start")
+		return true
+	}
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// Shutdown drains the runner: no new submissions, queued jobs are
+// canceled (they have no progress to lose), and in-flight jobs get
+// until ctx's deadline to finish. Past the deadline their contexts
+// are cancelled — per-stage checkpoints already saved make them
+// resumable — and the deadline error is returned after the workers
+// exit. Shutdown is idempotent; later calls wait like the first.
+func (r *Runner) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	already := r.closed
+	r.closed = true
+	r.draining = true
+	if !already {
+		close(r.queue)
+	}
+	r.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline hit: cut the in-flight jobs loose at their next
+	// cancellation poll; their completed stages are checkpointed.
+	for _, j := range r.Jobs() {
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	<-done
+	return fmt.Errorf("job: drain deadline: %w", ctx.Err())
+}
+
+// worker drains the queue.
+func (r *Runner) worker() {
+	defer r.wg.Done()
+	for j := range r.queue {
+		r.runJob(j)
+	}
+}
+
+// runJob executes one job end to end.
+func (r *Runner) runJob(j *Job) {
+	r.mu.Lock()
+	draining := r.draining
+	r.mu.Unlock()
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	if draining {
+		j.mu.Unlock()
+		j.finish(StateCanceled, "canceled: daemon shutting down")
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	ck := r.store.Checkpoint(j.key)
+
+	// Job-level resume: an identical spec that already completed (in
+	// this process or a previous one) is served from its final
+	// snapshot. A corrupt snapshot falls through to a recompute.
+	if data, ok := ck.Load(finalStage); ok {
+		if method, res, err := decodeFinal(data); err == nil {
+			j.mu.Lock()
+			j.method = method
+			j.result = res
+			j.fromSnap = true
+			j.mu.Unlock()
+			j.finish(StateDone, "")
+			return
+		}
+	}
+
+	opt := j.spec.Options()
+	opt.Context = ctx
+	opt.Observer = &circuitfold.Observer{Tracer: circuitfold.NewTracer(j.events), Metrics: j.metrics}
+	opt.Checkpoint = ck
+
+	var (
+		res    *circuitfold.Result
+		err    error
+		method = j.spec.EffectiveMethod()
+	)
+	switch method {
+	case MethodFunctional:
+		res, err = circuitfold.Functional(j.g, j.spec.T, opt)
+	case MethodStructural:
+		res, err = circuitfold.Structural(j.g, j.spec.T, opt)
+	case MethodHybrid:
+		res, err = circuitfold.Hybrid(j.g, j.spec.T, opt)
+	case MethodSimple:
+		res, err = circuitfold.Simple(j.g, j.spec.T)
+	case MethodResilient:
+		var rr *circuitfold.ResilientResult
+		rr, err = circuitfold.RunResilient(j.g, j.spec.T, circuitfold.ResilientOptions{
+			Options:         opt,
+			SelfCheckRounds: j.spec.SelfCheckRounds,
+		})
+		if err == nil {
+			res = rr.Result
+			method = string(rr.Method)
+		}
+	default:
+		err = fmt.Errorf("job: unknown method %q", method)
+	}
+	if err != nil {
+		if errors.Is(err, circuitfold.ErrCanceled) {
+			j.finish(StateCanceled, err.Error())
+		} else {
+			j.finish(StateFailed, err.Error())
+		}
+		return
+	}
+
+	var resumed []string
+	if res.Report != nil {
+		for _, ss := range res.Report.Stages {
+			if ss.Resumed {
+				resumed = append(resumed, ss.Name)
+			}
+		}
+	}
+	if data, encErr := encodeFinal(method, res); encErr == nil {
+		_ = ck.Save(finalStage, data) // best effort: resume is an optimization
+	}
+	j.mu.Lock()
+	j.method = method
+	j.result = res
+	j.resumed = resumed
+	j.mu.Unlock()
+	j.finish(StateDone, "")
+}
+
+// finalJSON is the final-snapshot envelope.
+type finalJSON struct {
+	V      int             `json:"v"`
+	Method string          `json:"method"`
+	Result json.RawMessage `json:"result"`
+}
+
+// encodeFinal serializes a finished fold with the method that won.
+func encodeFinal(method string, res *circuitfold.Result) ([]byte, error) {
+	data, err := core.EncodeResult(res)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(finalJSON{V: core.ResultCodecVersion, Method: method, Result: data})
+}
+
+// decodeFinal is the inverse of encodeFinal.
+func decodeFinal(data []byte) (string, *circuitfold.Result, error) {
+	var f finalJSON
+	if err := json.Unmarshal(data, &f); err != nil {
+		return "", nil, err
+	}
+	if f.V != core.ResultCodecVersion {
+		return "", nil, fmt.Errorf("job: final snapshot version %d, want %d", f.V, core.ResultCodecVersion)
+	}
+	res, err := core.DecodeResult(f.Result)
+	if err != nil {
+		return "", nil, err
+	}
+	return f.Method, res, nil
+}

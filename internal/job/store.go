@@ -1,0 +1,151 @@
+package job
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"circuitfold/internal/pipeline"
+)
+
+// Store is a checkpoint store partitioned by job key (a Spec.Hash):
+// each key names an independent pipeline.Checkpoint namespace holding
+// that job's per-stage snapshots. Implementations must be safe for
+// concurrent use across keys and within one key.
+type Store interface {
+	// Checkpoint returns the namespace for key, creating it on first
+	// use.
+	Checkpoint(key string) pipeline.Checkpoint
+	// Delete drops every snapshot saved under key.
+	Delete(key string) error
+}
+
+// MemStore is an in-process Store: fast, and gone with the process.
+// Suitable for tests and for daemons that only want intra-lifetime
+// resume (e.g. resubmission of an identical spec).
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string]*memCheckpoint
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string]*memCheckpoint)} }
+
+// Checkpoint returns the in-memory namespace for key.
+func (s *MemStore) Checkpoint(key string) pipeline.Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ck, ok := s.m[key]
+	if !ok {
+		ck = &memCheckpoint{m: make(map[string][]byte)}
+		s.m[key] = ck
+	}
+	return ck
+}
+
+// Delete drops the namespace for key.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+	return nil
+}
+
+// memCheckpoint is one key's snapshot map.
+type memCheckpoint struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func (c *memCheckpoint) Load(stage string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.m[stage]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+func (c *memCheckpoint) Save(stage string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[stage] = append([]byte(nil), data...)
+	return nil
+}
+
+// FileStore is a Store on a directory: one subdirectory per job key,
+// one file per stage, written atomically (temp file + rename) so a
+// crash mid-save never leaves a truncated snapshot — at worst the
+// stage is absent and re-runs. This is the durable store behind a
+// daemon that must survive restarts.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore returns a store rooted at dir, creating it if needed.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("job: checkpoint dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// Checkpoint returns the file-backed namespace for key.
+func (s *FileStore) Checkpoint(key string) pipeline.Checkpoint {
+	return &fileCheckpoint{dir: filepath.Join(s.dir, encodeName(key))}
+}
+
+// Delete removes key's directory and everything under it.
+func (s *FileStore) Delete(key string) error {
+	return os.RemoveAll(filepath.Join(s.dir, encodeName(key)))
+}
+
+// fileCheckpoint stores each stage snapshot as one file. Stage names
+// may contain separators (PrefixCheckpoint namespacing produces
+// "functional/schedule"), so they are path-escaped into flat names.
+type fileCheckpoint struct {
+	dir string
+}
+
+func (c *fileCheckpoint) Load(stage string) ([]byte, bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, encodeName(stage)))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func (c *fileCheckpoint) Save(stage string, data []byte) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(c.dir, encodeName(stage))); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// encodeName flattens an arbitrary stage or key name into one safe
+// path component ("/" becomes %2F).
+func encodeName(name string) string { return url.PathEscape(name) }

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Broadcast is a Sink that fans finished spans out to any number of
+// live subscribers, with an optional bounded replay ring so a
+// subscriber attaching mid-run still sees the most recent history.
+// Emit never blocks: a subscriber whose channel is full loses the
+// event (counted in Dropped), because tracing must never stall the
+// traced work for a slow reader. It is the span transport behind the
+// fold daemon's event streams: one Broadcast per job, one subscriber
+// per attached HTTP client.
+type Broadcast struct {
+	mu      sync.Mutex
+	subs    map[int]chan Event
+	next    int
+	ring    []Event // most recent events, oldest first
+	ringCap int
+	closed  bool
+	dropped atomic.Uint64
+}
+
+// NewBroadcast returns a broadcast sink that replays up to replay
+// recent events to each new subscriber. replay <= 0 disables replay.
+func NewBroadcast(replay int) *Broadcast {
+	if replay < 0 {
+		replay = 0
+	}
+	return &Broadcast{subs: make(map[int]chan Event), ringCap: replay}
+}
+
+// Emit records the event in the replay ring and forwards it to every
+// subscriber without blocking. Events emitted after Close are dropped.
+func (b *Broadcast) Emit(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	if b.ringCap > 0 {
+		if len(b.ring) == b.ringCap {
+			copy(b.ring, b.ring[1:])
+			b.ring[len(b.ring)-1] = e
+		} else {
+			b.ring = append(b.ring, e)
+		}
+	}
+	for _, ch := range b.subs {
+		select {
+		case ch <- e:
+		default:
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// Subscribe registers a new subscriber with a channel buffer of buf
+// events (minimum 1) and returns the receive channel plus a cancel
+// function. The most recent replayed events that fit the buffer are
+// already queued on return. The channel is closed by cancel or by
+// Close, whichever comes first; cancel is idempotent. On a closed
+// broadcast, Subscribe still replays the ring — a reader attaching
+// after the work finished sees its history — and the channel is
+// already closed behind it.
+func (b *Broadcast) Subscribe(buf int) (<-chan Event, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan Event, buf)
+	if b.closed {
+		for _, e := range tail(b.ring, buf) {
+			ch <- e
+		}
+		close(ch)
+		return ch, func() {}
+	}
+	for _, e := range tail(b.ring, buf) {
+		ch <- e
+	}
+	id := b.next
+	b.next++
+	b.subs[id] = ch
+	return ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if c, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+	}
+}
+
+// Close closes every subscriber channel and makes further Emit calls
+// no-ops. Safe to call more than once.
+func (b *Broadcast) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, ch := range b.subs {
+		delete(b.subs, id)
+		close(ch)
+	}
+}
+
+// tail returns the last n elements of events.
+func tail(events []Event, n int) []Event {
+	if len(events) > n {
+		return events[len(events)-n:]
+	}
+	return events
+}
+
+// Dropped returns the number of events lost to full subscriber
+// buffers since the broadcast was created.
+func (b *Broadcast) Dropped() uint64 { return b.dropped.Load() }
+
+// Subscribers returns the current subscriber count.
+func (b *Broadcast) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// multiSink fans each event out to several sinks in order.
+type multiSink []Sink
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// MultiSink returns a sink that forwards every event to each of the
+// given sinks in order, skipping nils. With zero or one (non-nil)
+// sinks it returns nil or that sink directly.
+func MultiSink(sinks ...Sink) Sink {
+	var out multiSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

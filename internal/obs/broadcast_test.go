@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestBroadcastFanOut(t *testing.T) {
+	b := NewBroadcast(0)
+	ch1, cancel1 := b.Subscribe(4)
+	ch2, cancel2 := b.Subscribe(4)
+	defer cancel2()
+	b.Emit(Event{Name: "a"})
+	b.Emit(Event{Name: "b"})
+	for _, ch := range []<-chan Event{ch1, ch2} {
+		if e := <-ch; e.Name != "a" {
+			t.Fatalf("first event %q, want a", e.Name)
+		}
+		if e := <-ch; e.Name != "b" {
+			t.Fatalf("second event %q, want b", e.Name)
+		}
+	}
+	cancel1()
+	if _, ok := <-ch1; ok {
+		t.Error("canceled subscriber channel not closed")
+	}
+	cancel1() // idempotent
+	b.Emit(Event{Name: "c"})
+	if e := <-ch2; e.Name != "c" {
+		t.Fatalf("live subscriber missed event after another canceled: %q", e.Name)
+	}
+	if n := b.Subscribers(); n != 1 {
+		t.Errorf("subscribers = %d, want 1", n)
+	}
+}
+
+func TestBroadcastReplayRing(t *testing.T) {
+	b := NewBroadcast(3)
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		b.Emit(Event{Name: n})
+	}
+	// Ring keeps the 3 most recent; a late subscriber sees them.
+	ch, cancel := b.Subscribe(8)
+	defer cancel()
+	for _, want := range []string{"c", "d", "e"} {
+		if e := <-ch; e.Name != want {
+			t.Fatalf("replayed %q, want %q", e.Name, want)
+		}
+	}
+	// A tiny buffer gets only the newest replayed events.
+	ch2, cancel2 := b.Subscribe(1)
+	defer cancel2()
+	if e := <-ch2; e.Name != "e" {
+		t.Fatalf("small-buffer replay %q, want e", e.Name)
+	}
+}
+
+func TestBroadcastNonBlockingDrop(t *testing.T) {
+	b := NewBroadcast(0)
+	ch, cancel := b.Subscribe(1)
+	defer cancel()
+	b.Emit(Event{Name: "kept"})
+	b.Emit(Event{Name: "lost"}) // buffer full: must not block
+	if got := b.Dropped(); got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+	if e := <-ch; e.Name != "kept" {
+		t.Errorf("delivered %q, want kept", e.Name)
+	}
+}
+
+func TestBroadcastClose(t *testing.T) {
+	b := NewBroadcast(2)
+	ch, cancel := b.Subscribe(2)
+	b.Emit(Event{Name: "a"})
+	b.Close()
+	b.Close() // idempotent
+	if e, ok := <-ch; !ok || e.Name != "a" {
+		t.Fatalf("buffered event lost on close: %v %v", e, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Error("channel not closed by Close")
+	}
+	cancel() // after Close: no panic
+	b.Emit(Event{Name: "late"})
+	// Subscribing after Close still replays the ring, then the
+	// channel is closed (the post-Close emit was dropped).
+	ch2, cancel2 := b.Subscribe(4)
+	defer cancel2()
+	if e, ok := <-ch2; !ok || e.Name != "a" {
+		t.Errorf("post-close replay = %v, %v; want a", e, ok)
+	}
+	if _, ok := <-ch2; ok {
+		t.Error("subscribe after Close returned a live channel")
+	}
+}
+
+func TestBroadcastAsTracerSink(t *testing.T) {
+	b := NewBroadcast(4)
+	buf := NewTraceBuffer()
+	tr := NewTracer(MultiSink(buf, b, nil))
+	ch, cancel := b.Subscribe(4)
+	defer cancel()
+	sp := tr.Start("fold", "pipeline")
+	sp.Child("schedule", "stage").End()
+	sp.End()
+	if e := <-ch; e.Name != "schedule" {
+		t.Fatalf("streamed %q, want schedule", e.Name)
+	}
+	if e := <-ch; e.Name != "fold" {
+		t.Fatalf("streamed %q, want fold", e.Name)
+	}
+	if buf.Len() != 2 {
+		t.Errorf("multi-sink buffer has %d events, want 2", buf.Len())
+	}
+}
+
+func TestMultiSinkDegenerate(t *testing.T) {
+	if MultiSink() != nil || MultiSink(nil, nil) != nil {
+		t.Error("empty MultiSink not nil")
+	}
+	buf := NewTraceBuffer()
+	if got := MultiSink(nil, buf); got != Sink(buf) {
+		t.Error("single-sink MultiSink did not unwrap")
+	}
+}

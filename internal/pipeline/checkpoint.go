@@ -1,0 +1,47 @@
+package pipeline
+
+// Checkpoint is the per-stage persistence hook a Run may carry. A stage
+// that declares Snapshot/Restore functions (see Stage) has its output
+// artifact saved under its stage name after it completes, and is
+// restored — skipping the stage's work entirely — when a later run over
+// the same Checkpoint finds the artifact. The store behind the
+// interface decides scope and durability: internal/job keys it by job,
+// with in-memory and file-backed implementations.
+//
+// Both methods must be safe for concurrent use; folds checkpoint from
+// worker goroutines. Save is best-effort from the pipeline's point of
+// view: a failed save is recorded on the stage's span but never fails
+// the stage, so checkpointing can be bolted onto a fold without
+// changing its failure modes.
+type Checkpoint interface {
+	// Load returns the artifact saved for stage, if any.
+	Load(stage string) ([]byte, bool)
+	// Save persists the artifact for stage, replacing any prior one.
+	Save(stage string, data []byte) error
+}
+
+// prefixCheckpoint namespaces stage keys under "<prefix>/", so several
+// pipelines (e.g. the rungs of a degradation ladder) can share one
+// Checkpoint without colliding on the canonical stage names.
+type prefixCheckpoint struct {
+	ck     Checkpoint
+	prefix string
+}
+
+func (p prefixCheckpoint) Load(stage string) ([]byte, bool) {
+	return p.ck.Load(p.prefix + "/" + stage)
+}
+
+func (p prefixCheckpoint) Save(stage string, data []byte) error {
+	return p.ck.Save(p.prefix+"/"+stage, data)
+}
+
+// PrefixCheckpoint returns ck with every stage key prefixed by
+// "<prefix>/". A nil ck stays nil, so callers can thread an optional
+// checkpoint without guarding.
+func PrefixCheckpoint(ck Checkpoint, prefix string) Checkpoint {
+	if ck == nil {
+		return nil
+	}
+	return prefixCheckpoint{ck: ck, prefix: prefix}
+}

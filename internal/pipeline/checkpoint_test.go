@@ -1,0 +1,289 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mapCheckpoint is the simplest possible Checkpoint for tests.
+type mapCheckpoint struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	errs map[string]error // stage -> forced Save error
+}
+
+func newMapCheckpoint() *mapCheckpoint {
+	return &mapCheckpoint{m: map[string][]byte{}}
+}
+
+func (c *mapCheckpoint) Load(stage string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.m[stage]
+	return d, ok
+}
+
+func (c *mapCheckpoint) Save(stage string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.errs[stage]; err != nil {
+		return err
+	}
+	c.m[stage] = append([]byte(nil), data...)
+	return nil
+}
+
+// checkpointedStages builds a two-stage pipeline whose stages snapshot
+// their outputs into out; ran records which stages actually executed.
+func checkpointedStages(out *[]string, ran *[]string) []Stage {
+	mk := func(name string) Stage {
+		return Stage{
+			Name: name,
+			Run: func(ss *StageStats) error {
+				*ran = append(*ran, name)
+				*out = append(*out, name+"-artifact")
+				return nil
+			},
+			Snapshot: func() ([]byte, error) {
+				return []byte(name + "-artifact"), nil
+			},
+			Restore: func(data []byte, ss *StageStats) error {
+				if string(data) != name+"-artifact" {
+					return errors.New("corrupt")
+				}
+				*out = append(*out, string(data))
+				return nil
+			},
+		}
+	}
+	return []Stage{mk("alpha"), mk("beta")}
+}
+
+func TestExecuteSnapshotsCompletedStages(t *testing.T) {
+	ck := newMapCheckpoint()
+	run := NewRun(nil, Budget{})
+	run.SetCheckpoint(ck)
+	var out, ran []string
+	rep, err := Execute(run, "p", checkpointedStages(&out, &ran)...)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(ran) != 2 {
+		t.Fatalf("ran %v, want both stages", ran)
+	}
+	for _, st := range []string{"alpha", "beta"} {
+		if d, ok := ck.Load(st); !ok || string(d) != st+"-artifact" {
+			t.Errorf("checkpoint for %s = %q, %v", st, d, ok)
+		}
+	}
+	for _, ss := range rep.Stages {
+		if ss.Resumed {
+			t.Errorf("stage %s marked resumed on a cold run", ss.Name)
+		}
+	}
+}
+
+func TestExecuteRestoresFromCheckpoint(t *testing.T) {
+	ck := newMapCheckpoint()
+	ck.m["alpha"] = []byte("alpha-artifact")
+
+	run := NewRun(nil, Budget{})
+	run.SetCheckpoint(ck)
+	var out, ran []string
+	rep, err := Execute(run, "p", checkpointedStages(&out, &ran)...)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !reflect.DeepEqual(ran, []string{"beta"}) {
+		t.Fatalf("ran %v, want only beta", ran)
+	}
+	if !reflect.DeepEqual(out, []string{"alpha-artifact", "beta-artifact"}) {
+		t.Fatalf("outputs %v", out)
+	}
+	if !rep.Stage("alpha").Resumed {
+		t.Error("alpha not marked resumed")
+	}
+	if rep.Stage("beta").Resumed {
+		t.Error("beta wrongly marked resumed")
+	}
+}
+
+func TestExecuteCorruptCheckpointFallsBackToRunning(t *testing.T) {
+	ck := newMapCheckpoint()
+	ck.m["alpha"] = []byte("garbage")
+
+	run := NewRun(nil, Budget{})
+	run.SetCheckpoint(ck)
+	var out, ran []string
+	rep, err := Execute(run, "p", checkpointedStages(&out, &ran)...)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !reflect.DeepEqual(ran, []string{"alpha", "beta"}) {
+		t.Fatalf("ran %v, want both (corrupt restore must re-run)", ran)
+	}
+	if rep.Stage("alpha").Resumed {
+		t.Error("alpha marked resumed after corrupt restore")
+	}
+	// The re-run overwrote the corrupt artifact.
+	if d, _ := ck.Load("alpha"); string(d) != "alpha-artifact" {
+		t.Errorf("corrupt artifact not overwritten: %q", d)
+	}
+}
+
+func TestExecutePanickingRestoreFallsBack(t *testing.T) {
+	ck := newMapCheckpoint()
+	ck.m["boom"] = []byte("x")
+	ran := false
+	run := NewRun(nil, Budget{})
+	run.SetCheckpoint(ck)
+	_, err := Execute(run, "p", Stage{
+		Name:     "boom",
+		Run:      func(*StageStats) error { ran = true; return nil },
+		Restore:  func([]byte, *StageStats) error { panic("bad bytes") },
+		Snapshot: func() ([]byte, error) { return []byte("x"), nil },
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !ran {
+		t.Error("stage did not run after panicking restore")
+	}
+}
+
+func TestExecuteSaveErrorDoesNotFailStage(t *testing.T) {
+	ck := newMapCheckpoint()
+	ck.errs = map[string]error{"alpha": errors.New("disk full")}
+	run := NewRun(nil, Budget{})
+	run.SetCheckpoint(ck)
+	var out, ran []string
+	_, err := Execute(run, "p", checkpointedStages(&out, &ran)...)
+	if err != nil {
+		t.Fatalf("Execute: %v (save errors must be best-effort)", err)
+	}
+	if _, ok := ck.Load("alpha"); ok {
+		t.Error("failed save left an artifact")
+	}
+	if _, ok := ck.Load("beta"); !ok {
+		t.Error("beta save should still succeed")
+	}
+}
+
+func TestExecuteFailedStageNotSnapshotted(t *testing.T) {
+	ck := newMapCheckpoint()
+	run := NewRun(nil, Budget{})
+	run.SetCheckpoint(ck)
+	_, err := Execute(run, "p", Stage{
+		Name:     "fail",
+		Run:      func(*StageStats) error { return errors.New("nope") },
+		Snapshot: func() ([]byte, error) { return []byte("x"), nil },
+		Restore:  func([]byte, *StageStats) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("want stage error")
+	}
+	if _, ok := ck.Load("fail"); ok {
+		t.Error("failed stage was snapshotted")
+	}
+}
+
+func TestPrefixCheckpoint(t *testing.T) {
+	ck := newMapCheckpoint()
+	p := PrefixCheckpoint(ck, "functional")
+	if err := p.Save("tff", []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := ck.Load("functional/tff"); !ok || string(d) != "m" {
+		t.Errorf("prefixed key missing: %q %v", d, ok)
+	}
+	if d, ok := p.Load("tff"); !ok || string(d) != "m" {
+		t.Errorf("prefixed load: %q %v", d, ok)
+	}
+	if PrefixCheckpoint(nil, "x") != nil {
+		t.Error("PrefixCheckpoint(nil) must stay nil")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		rep  Report
+	}{
+		{"empty", Report{Pipeline: "p"}},
+		{"full", Report{
+			Pipeline: "functional",
+			Total:    123 * time.Millisecond,
+			Err:      "stage tff: pipeline: budget exceeded",
+			Stages: []StageStats{
+				{
+					Name: "schedule", Start: 0, Duration: 5 * time.Millisecond,
+					AndsIn: 100, AndsOut: 100, BDDNodes: -1, StatesIn: -1, StatesOut: -1,
+				},
+				{
+					Name: "tff", Start: 5 * time.Millisecond, Duration: 90 * time.Millisecond,
+					AndsIn: 100, AndsOut: -1, BDDNodes: 4096, StatesIn: 1, StatesOut: 32,
+					SATConflicts: 17, Spans: 12, Resumed: true,
+					Err: "pipeline: budget exceeded",
+				},
+			},
+		}},
+		{"zero_counters", Report{
+			Pipeline: "structural",
+			Stages: []StageStats{
+				{Name: "synth", AndsIn: 0, AndsOut: 0, BDDNodes: 0, StatesIn: 0, StatesOut: 0},
+			},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := json.Marshal(&tc.rep)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var got Report
+			if err := json.Unmarshal(data, &got); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(got, tc.rep) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v\nwire %s", got, tc.rep, data)
+			}
+			// Marshal again: the wire form must be stable.
+			data2, err := json.Marshal(&got)
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if string(data) != string(data2) {
+				t.Errorf("wire form unstable:\n%s\n%s", data, data2)
+			}
+		})
+	}
+}
+
+func TestRungReportJSONRoundTrip(t *testing.T) {
+	rr := RungReport{
+		Rung:      "functional",
+		Duration:  42 * time.Millisecond,
+		Err:       "pipeline: budget exceeded",
+		SelfCheck: "fail",
+		Report: &Report{
+			Pipeline: "functional",
+			Stages:   []StageStats{{Name: "schedule", AndsIn: 7, AndsOut: 7, BDDNodes: -1, StatesIn: -1, StatesOut: -1}},
+			Total:    40 * time.Millisecond,
+		},
+	}
+	data, err := json.Marshal(&rr)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got RungReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, rr) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, rr)
+	}
+}

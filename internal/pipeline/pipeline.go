@@ -68,18 +68,23 @@ type Budget struct {
 
 // StageStats is one entry of a Run's trace: what a stage did and how
 // long it took. Size fields are -1 when not applicable to the stage.
+// The JSON field names are a stable wire format (cmd/bench artifacts,
+// the foldd job API, and checkpointed reports all carry them); zero
+// counters are omitted so a marshal→unmarshal round trip is deep-equal
+// and sparse stages stay small on the wire.
 type StageStats struct {
 	Name         string        `json:"name"`
-	Start        time.Duration `json:"start_ns"`    // offset from run start
-	Duration     time.Duration `json:"duration_ns"` //
-	AndsIn       int           `json:"ands_in"`     // AIG size entering the stage
-	AndsOut      int           `json:"ands_out"`    // AIG size leaving the stage
-	BDDNodes     int           `json:"bdd_nodes"`   // peak live BDD nodes seen
-	StatesIn     int           `json:"states_in"`   // FSM states entering
-	StatesOut    int           `json:"states_out"`  // FSM states leaving
-	SATConflicts int64         `json:"sat_conflicts"`
-	Spans        int           `json:"spans"`         // child spans opened under the stage (0 unless observed)
-	Err          string        `json:"err,omitempty"` // non-empty when the stage aborted
+	Start        time.Duration `json:"start_ns"`             // offset from run start
+	Duration     time.Duration `json:"duration_ns"`          //
+	AndsIn       int           `json:"ands_in,omitempty"`    // AIG size entering the stage
+	AndsOut      int           `json:"ands_out,omitempty"`   // AIG size leaving the stage
+	BDDNodes     int           `json:"bdd_nodes,omitempty"`  // peak live BDD nodes seen
+	StatesIn     int           `json:"states_in,omitempty"`  // FSM states entering
+	StatesOut    int           `json:"states_out,omitempty"` // FSM states leaving
+	SATConflicts int64         `json:"sat_conflicts,omitempty"`
+	Spans        int           `json:"spans,omitempty"`   // child spans opened under the stage (0 unless observed)
+	Resumed      bool          `json:"resumed,omitempty"` // true when the stage was restored from a checkpoint
+	Err          string        `json:"err,omitempty"`     // non-empty when the stage aborted
 }
 
 // Report is the observable outcome of a pipeline run: which stages ran
@@ -137,6 +142,8 @@ type Run struct {
 	span      atomic.Pointer[obs.Span] // current span new work should nest under
 	bddPeak   atomic.Int64             // peak live BDD nodes since last reset
 	liveNodes *obs.Gauge               // resolved obs.MBDDLiveNodes, nil when unobserved
+
+	checkpoint Checkpoint // per-stage artifact store, nil when not checkpointing
 }
 
 // NewRun binds a context and budget into a Run. ctx may be nil.
@@ -229,6 +236,25 @@ func (r *Run) resetBDDPeak() {
 	if r != nil {
 		r.bddPeak.Store(0)
 	}
+}
+
+// SetCheckpoint attaches a per-stage artifact store to the run. Stages
+// that declare Snapshot/Restore hooks save their outputs through it and
+// skip re-running when a saved artifact exists. Nil (the default)
+// disables checkpointing.
+func (r *Run) SetCheckpoint(ck Checkpoint) {
+	if r != nil {
+		r.checkpoint = ck
+	}
+}
+
+// Checkpoint returns the run's checkpoint store (nil when not
+// checkpointing).
+func (r *Run) Checkpoint() Checkpoint {
+	if r == nil {
+		return nil
+	}
+	return r.checkpoint
 }
 
 // Context returns the run's context (context.Background for a nil run).
@@ -349,9 +375,25 @@ func (r *Run) ConflictLimit(def int64) int64 {
 // Stage is one named step of a pipeline. Run receives the stage's own
 // stats record to fill in sizes and counters; duration and start are
 // recorded by Execute.
+//
+// Snapshot and Restore are the optional checkpoint hooks. When the Run
+// carries a Checkpoint, Execute calls Snapshot after the stage
+// completes and saves the bytes under the stage name; on a later run
+// over the same Checkpoint, Execute calls Restore with the saved bytes
+// instead of Run, marking the stage Resumed in its StageStats. Restore
+// must leave the pipeline's closure state exactly as a successful Run
+// would have (the whole point is that downstream stages cannot tell the
+// difference); a Restore that fails — corrupt or version-skewed bytes —
+// falls back to running the stage normally.
 type Stage struct {
 	Name string
 	Run  func(*StageStats) error
+
+	// Snapshot serializes the stage's output artifact.
+	Snapshot func() ([]byte, error)
+	// Restore rebuilds the stage's output from a snapshot, filling the
+	// stats fields Run would have filled.
+	Restore func([]byte, *StageStats) error
 }
 
 // Execute runs the stages in order over run, building the trace as it
@@ -399,6 +441,19 @@ func Execute(run *Run, name string, stages ...Stage) (*Report, error) {
 		run.SetSpan(sp)
 		run.resetBDDPeak()
 		err := runStage(run, st, &ss)
+		if ss.Resumed && err == nil {
+			// Restored from a checkpoint: record the (near-zero) restore
+			// time and move on without snapshotting again.
+			run.SetSpan(prev)
+			ss.Duration = run.Elapsed() - ss.Start
+			sp.SetStr("checkpoint", "restored")
+			sp.End()
+			rep.Stages = append(rep.Stages, ss)
+			continue
+		}
+		if err == nil {
+			saveStage(run, st, sp)
+		}
 		run.SetSpan(prev)
 		ss.Duration = run.Elapsed() - ss.Start
 		if pk := run.BDDPeak(); pk > 0 && ss.BDDNodes < 0 {
@@ -425,6 +480,12 @@ func Execute(run *Run, name string, stages ...Stage) (*Report, error) {
 // control-flow panics (the BDD node cap's budget unwind, cancellation)
 // keep their identity, everything else becomes an *InternalError with
 // the stage name and stack, counted under obs.MFoldPanics.
+//
+// When the run carries a Checkpoint holding an artifact for this stage
+// and the stage can Restore, restoration is attempted first; a failed
+// restore (corrupt bytes, version skew, or a panic in Restore) is
+// swallowed and the stage runs normally, so a bad checkpoint degrades
+// to a cold run instead of failing the fold.
 func runStage(run *Run, st Stage, ss *StageStats) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
@@ -434,5 +495,49 @@ func runStage(run *Run, st Stage, ss *StageStats) (err error) {
 			}
 		}
 	}()
+	if ck := run.Checkpoint(); ck != nil && st.Restore != nil {
+		if data, ok := ck.Load(st.Name); ok {
+			if restoreStage(st, data, ss) == nil {
+				ss.Resumed = true
+				return nil
+			}
+		}
+	}
 	return st.Run(ss)
+}
+
+// restoreStage calls a stage's Restore hook inside its own recover
+// boundary: a panic while deserializing a checkpoint reads as a failed
+// restore, not a failed stage.
+func restoreStage(st Stage, data []byte, ss *StageStats) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = AsInternal(st.Name+".restore", v)
+		}
+	}()
+	return st.Restore(data, ss)
+}
+
+// saveStage snapshots a completed stage into the run's checkpoint.
+// Best-effort by contract: snapshot or save failures are recorded on
+// the stage's span and otherwise ignored.
+func saveStage(run *Run, st Stage, sp *obs.Span) {
+	ck := run.Checkpoint()
+	if ck == nil || st.Snapshot == nil {
+		return
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			sp.SetStr("checkpoint_err", fmt.Sprint(v))
+		}
+	}()
+	data, err := st.Snapshot()
+	if err == nil {
+		err = ck.Save(st.Name, data)
+	}
+	if err != nil {
+		sp.SetStr("checkpoint_err", err.Error())
+	} else {
+		sp.SetStr("checkpoint", "saved")
+	}
 }
