@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race vet faults bench bench-go bench-bdd-smoke bench-fold-smoke serve-smoke trace clean
+.PHONY: build test verify race vet faults bench bench-go bench-bdd-smoke bench-fold-smoke bench-compare serve-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -44,10 +44,12 @@ verify: build test vet race faults serve-smoke
 # 64-adder T=16 fold submitted as a job, polled to completion, its
 # result diffed bit-for-bit against the same fold run in-process — plus
 # the daemon-restart kill-and-resume path, the SIGTERM drain
-# semantics, and the goroutine-leak check around server start/stop.
+# semantics, the goroutine-leak check around server start/stop, and the
+# telemetry surface (OpenMetrics exposition, readiness, the
+# fault-injected flight-recorder dump, per-job profile capture).
 serve-smoke:
 	$(GO) build ./cmd/foldd
-	$(GO) test -race -run 'ServeSmoke|KillAndResume|Shutdown|GoroutineLeak' -v ./internal/job/
+	$(GO) test -race -run 'ServeSmoke|KillAndResume|Shutdown|GoroutineLeak|ServeFlightRecorder|ServeOpenMetrics|ServeReadiness|ServeProfile' -v ./internal/job/
 
 # bench emits BENCH_sweep.json (ns/op, SAT calls, merges, conflicts for
 # the sweeping configurations), BENCH_pipeline.json (per-stage fold
@@ -77,6 +79,18 @@ bench-bdd-smoke:
 bench-fold-smoke:
 	$(GO) test . -run XXX -bench 'BenchmarkFoldParallel' -benchtime 1x -race
 
+# bench-compare guards the fold service's latency SLO: it measures a
+# fresh serve lane (BENCH_serve.fresh.json) and diffs it against the
+# committed BENCH_serve.json baseline with cmd/benchcmp, failing on a
+# p99 regression beyond 25% at any client concurrency. Refresh the
+# baseline intentionally with:
+#   go run ./cmd/bench -reps 1 -size 800 -out - -pipeout "" -bddout "" \
+#     -serveout BENCH_serve.json > /dev/null
+bench-compare:
+	$(GO) run ./cmd/bench -reps 1 -size 800 -out - -pipeout "" -bddout "" \
+		-serveout BENCH_serve.fresh.json > /dev/null
+	$(GO) run ./cmd/benchcmp -base BENCH_serve.json -fresh BENCH_serve.fresh.json
+
 # trace folds the paper's 64-adder (Table III, T=16) functionally and
 # structurally under the span tracer and writes trace.json — load it at
 # https://ui.perfetto.dev or chrome://tracing for the flame chart.
@@ -84,4 +98,4 @@ trace:
 	$(GO) run ./cmd/bench -traceonly -tracefile trace.json -circuit 64-adder -frames 16
 
 clean:
-	rm -f BENCH_sweep.json BENCH_pipeline.json BENCH_bdd.json BENCH_serve.json trace.json foldd
+	rm -f BENCH_sweep.json BENCH_pipeline.json BENCH_bdd.json BENCH_serve.fresh.json trace.json foldd

@@ -26,6 +26,9 @@ type ServeRun struct {
 // ServeReport is the BENCH_serve.json schema: submit-to-done latency
 // of fold jobs through the full HTTP service path (POST, status
 // polling, runner queue, fold engine), at client concurrency 1 and 8.
+// The committed BENCH_serve.json is the p99 SLO baseline that
+// cmd/benchcmp (make bench-compare) gates regressions against; keep
+// the field names in sync with benchcmp's copy of this schema.
 type ServeReport struct {
 	Date    string     `json:"date"`
 	Circuit string     `json:"circuit"`

@@ -1,0 +1,122 @@
+// Command benchcmp guards the fold service's latency SLO in CI: it
+// compares a freshly measured BENCH_serve.json against the committed
+// baseline and fails (exit 1) when any concurrency level's p99
+// regressed by more than the allowed percentage.
+//
+// Usage:
+//
+//	benchcmp [-base BENCH_serve.json] [-fresh BENCH_serve.fresh.json]
+//	         [-max-regress-pct 25]
+//
+// Only regressions fail; improvements and new concurrency levels are
+// reported and pass. Throughput and p50 are printed for context but
+// not gated — p99 is the serve lane's SLO number, and it is the most
+// stable of the three on shared CI hardware.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// serveRun mirrors cmd/bench's ServeRun (the BENCH_serve.json schema);
+// duplicated here because main packages cannot import each other.
+type serveRun struct {
+	Concurrency int     `json:"concurrency"`
+	Jobs        int     `json:"jobs"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+type serveReport struct {
+	Date    string     `json:"date"`
+	Circuit string     `json:"circuit"`
+	Frames  int        `json:"frames"`
+	Workers int        `json:"workers"`
+	Runs    []serveRun `json:"runs"`
+}
+
+func load(path string) (*serveReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep serveReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Runs) == 0 {
+		return nil, fmt.Errorf("%s: no runs", path)
+	}
+	return &rep, nil
+}
+
+func main() {
+	var (
+		base  = flag.String("base", "BENCH_serve.json", "committed baseline")
+		fresh = flag.String("fresh", "BENCH_serve.fresh.json", "freshly measured report")
+		maxPC = flag.Float64("max-regress-pct", 25, "p99 regression budget, percent")
+	)
+	flag.Parse()
+
+	b, err := load(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	f, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	if b.Circuit != f.Circuit || b.Frames != f.Frames {
+		fmt.Fprintf(os.Stderr, "benchcmp: workload mismatch: base %s/T%d vs fresh %s/T%d\n",
+			b.Circuit, b.Frames, f.Circuit, f.Frames)
+		os.Exit(2)
+	}
+
+	lines, failed := compare(b, f, *maxPC)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcmp: serve-lane p99 regressed beyond %.0f%%\n", *maxPC)
+		os.Exit(1)
+	}
+}
+
+// compare evaluates every fresh concurrency level against the
+// baseline, returning the per-level report lines and whether any p99
+// blew the regression budget.
+func compare(b, f *serveReport, maxPC float64) (lines []string, failed bool) {
+	baseByConc := make(map[int]serveRun, len(b.Runs))
+	for _, r := range b.Runs {
+		baseByConc[r.Concurrency] = r
+	}
+	for _, fr := range f.Runs {
+		br, ok := baseByConc[fr.Concurrency]
+		if !ok {
+			lines = append(lines, fmt.Sprintf(
+				"c=%d: new concurrency level (p99 %.1fms), no baseline — pass",
+				fr.Concurrency, fr.P99Ms))
+			continue
+		}
+		deltaPct := 0.0
+		if br.P99Ms > 0 {
+			deltaPct = (fr.P99Ms - br.P99Ms) / br.P99Ms * 100
+		}
+		verdict := "ok"
+		if deltaPct > maxPC {
+			verdict = "FAIL"
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf(
+			"c=%d: p99 %.1fms -> %.1fms (%+.1f%%, budget +%.0f%%) %s  [p50 %.1fms -> %.1fms, %.1f -> %.1f jobs/s]",
+			fr.Concurrency, br.P99Ms, fr.P99Ms, deltaPct, maxPC, verdict,
+			br.P50Ms, fr.P50Ms, br.JobsPerSec, fr.JobsPerSec))
+	}
+	return lines, failed
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(p99s ...float64) *serveReport {
+	r := &serveReport{Circuit: "64-adder", Frames: 16}
+	for i, p := range p99s {
+		conc := 1
+		if i > 0 {
+			conc = 8
+		}
+		r.Runs = append(r.Runs, serveRun{Concurrency: conc, P99Ms: p, P50Ms: p / 2, JobsPerSec: 10})
+	}
+	return r
+}
+
+func TestCompareWithinBudget(t *testing.T) {
+	lines, failed := compare(rep(100, 200), rep(120, 240), 25)
+	if failed {
+		t.Fatalf("+20%% failed a 25%% budget:\n%s", strings.Join(lines, "\n"))
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	lines, failed := compare(rep(100, 200), rep(100, 260), 25)
+	if !failed {
+		t.Fatal("+30% p99 passed a 25% budget")
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "FAIL") {
+		t.Errorf("no FAIL verdict in:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareImprovementAndNewLevel(t *testing.T) {
+	base := rep(100)
+	fresh := rep(50, 80) // faster at c=1, no baseline at c=8
+	lines, failed := compare(base, fresh, 25)
+	if failed {
+		t.Fatalf("improvement failed:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "no baseline") {
+		t.Errorf("new level not reported:\n%s", strings.Join(lines, "\n"))
+	}
+}

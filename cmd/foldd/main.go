@@ -8,7 +8,8 @@
 // Usage:
 //
 //	foldd [-addr :8080] [-workers 4] [-checkpoint-dir DIR]
-//	      [-drain-timeout 30s]
+//	      [-drain-timeout 30s] [-log-level info] [-log-format text]
+//	      [-pprof]
 //
 // With -checkpoint-dir, every pipeline stage snapshots into a
 // file-backed store keyed by the job spec's content hash: a job killed
@@ -17,77 +18,120 @@
 // process or a restarted one — and produces a bit-identical Result.
 // Without it, checkpoints live in memory and die with the process.
 //
+// Telemetry: every log line is structured (text or JSON via
+// -log-format) and lines about a job carry its job_id and content key;
+// /metrics serves the process registry as OpenMetrics text; each job
+// keeps a flight recorder whose artifact is served after a failure;
+// -pprof exposes net/http/pprof under /debug/pprof/ and ?profile=cpu
+// or heap on submit captures a per-job profile.
+//
 // API (see internal/job for the spec schema):
 //
-//	POST /v1/jobs              submit a job
-//	GET  /v1/jobs              list jobs
-//	GET  /v1/jobs/{id}         job status
-//	POST /v1/jobs/{id}/cancel  cancel
-//	GET  /v1/jobs/{id}/result  folded circuit (?format=json|aag|blif)
-//	GET  /v1/jobs/{id}/report  per-stage pipeline report
-//	GET  /v1/jobs/{id}/events  live span stream (SSE; ?format=jsonl)
-//	GET  /v1/jobs/{id}/metrics job metrics snapshot
-//	GET  /healthz, /metrics    liveness and daemon counters
+//	POST /v1/jobs                submit a job (?profile=cpu|heap)
+//	GET  /v1/jobs                list jobs
+//	GET  /v1/jobs/{id}           job status
+//	POST /v1/jobs/{id}/cancel    cancel
+//	GET  /v1/jobs/{id}/result    folded circuit (?format=json|aag|blif)
+//	GET  /v1/jobs/{id}/report    per-stage pipeline report
+//	GET  /v1/jobs/{id}/events    live span stream (SSE; ?format=jsonl)
+//	GET  /v1/jobs/{id}/metrics   job metrics snapshot
+//	GET  /v1/jobs/{id}/flightrec flight-recorder artifact
+//	GET  /v1/jobs/{id}/profile   captured pprof profile
+//	GET  /healthz, /readyz       liveness and readiness
+//	GET  /metrics                OpenMetrics exposition
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"circuitfold/internal/job"
+	"circuitfold/internal/obs"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "HTTP listen address")
-		workers = flag.Int("workers", 4, "concurrent fold jobs")
-		ckDir   = flag.String("checkpoint-dir", "", "file-backed checkpoint store directory (empty: in-memory)")
-		drain   = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before checkpoint-and-cancel")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		workers   = flag.Int("workers", 4, "concurrent fold jobs")
+		ckDir     = flag.String("checkpoint-dir", "", "file-backed checkpoint store directory (empty: in-memory)")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before checkpoint-and-cancel")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		slog.Error("foldd: bad logging flags", "err", err.Error())
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 
 	var store job.Store
 	if *ckDir != "" {
 		fs, err := job.NewFileStore(*ckDir)
 		if err != nil {
-			log.Fatalf("foldd: %v", err)
+			logger.Error("foldd: checkpoint store", "err", err.Error())
+			os.Exit(1)
 		}
 		store = fs
-		log.Printf("foldd: checkpoints in %s", fs.Dir())
+		logger.Info("checkpoints enabled", "dir", fs.Dir())
 	}
-	runner := job.NewRunner(*workers, store)
+	runner := job.NewRunnerWith(job.RunnerOptions{
+		Workers: *workers,
+		Store:   store,
+		Logger:  logger,
+	})
 
-	srv := &http.Server{Addr: *addr, Handler: job.Handler(runner)}
+	handler := job.Handler(runner)
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("foldd: listening on %s (%d workers)", *addr, *workers)
+	logger.Info("listening", "addr", *addr, "workers", *workers,
+		"log_level", *logLevel, "log_format", *logFormat)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errc:
-		log.Fatalf("foldd: %v", err)
+		logger.Error("server failed", "err", err.Error())
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
 	// Graceful drain: finish in-flight jobs within the window; past it
 	// they are cancelled with their completed stages checkpointed, so
 	// a restart resumes them. The runner drains first (finished jobs
-	// close their event streams), then the HTTP server.
-	log.Printf("foldd: draining (up to %s)", *drain)
+	// close their event streams, /readyz turns 503), then the HTTP
+	// server.
+	logger.Info("draining", "timeout", drain.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := runner.Shutdown(dctx); err != nil {
-		log.Printf("foldd: %v (in-flight jobs checkpointed)", err)
+		logger.Warn("drain deadline hit; in-flight jobs checkpointed", "err", err.Error())
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		srv.Close()
 	}
-	log.Printf("foldd: stopped")
+	logger.Info("stopped")
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"circuitfold/internal/aig"
@@ -420,6 +422,12 @@ func TimeFrameFold(g *aig.Graph, sched *Schedule, workers int, run *pipeline.Run
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
+					// Attribution labels for CPU profiles: derive from the
+					// run's context so labels set upstream (the fold
+					// daemon's per-job "job" label) survive alongside the
+					// stage-level ones, mirroring the sweep workers.
+					pprof.SetGoroutineLabels(pprof.WithLabels(run.Context(),
+						pprof.Labels("stage", "tff", "tff.worker", strconv.Itoa(w))))
 					// The recover boundary mirrors pipeline.runStage:
 					// budget unwinds (bdd.ErrNodeLimit) keep their
 					// identity, anything else reads as ErrInternal.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -164,6 +166,11 @@ func HybridFold(g *aig.Graph, T int, opt HybridOptions) (*Result, error) {
 					wg.Add(1)
 					go func(wk int) {
 						defer wg.Done()
+						// CPU-profile attribution, like the tff frame and
+						// sweep workers: context-derived so a per-job label
+						// from the daemon stays attached.
+						pprof.SetGoroutineLabels(pprof.WithLabels(run.Context(),
+							pprof.Labels("stage", "hybrid", "hybrid.worker", strconv.Itoa(wk))))
 						for ci := wk; ci < len(clusters); ci += w {
 							folded[ci], errs[ci] = foldOne(ci)
 						}

@@ -3,10 +3,14 @@ package job
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strings"
+	"time"
 
 	"circuitfold/internal/cio"
 	"circuitfold/internal/core"
+	"circuitfold/internal/obs"
 )
 
 // maxSpecBytes bounds an uploaded job spec (netlist text included).
@@ -14,15 +18,18 @@ const maxSpecBytes = 32 << 20
 
 // Server exposes a Runner over HTTP/JSON:
 //
-//	POST /v1/jobs              submit a Spec, returns its Status
-//	GET  /v1/jobs              list job statuses
-//	GET  /v1/jobs/{id}         one job's Status
-//	POST /v1/jobs/{id}/cancel  cancel a job
-//	GET  /v1/jobs/{id}/result  the folded circuit (?format=json|aag|blif)
-//	GET  /v1/jobs/{id}/report  the per-stage pipeline report
-//	GET  /v1/jobs/{id}/events  live span stream (SSE; ?format=jsonl)
-//	GET  /v1/jobs/{id}/metrics the job's metrics snapshot
-//	GET  /healthz              liveness
+//	POST /v1/jobs                submit a Spec (?profile=cpu|heap), returns its Status
+//	GET  /v1/jobs                list job statuses
+//	GET  /v1/jobs/{id}           one job's Status
+//	POST /v1/jobs/{id}/cancel    cancel a job
+//	GET  /v1/jobs/{id}/result    the folded circuit (?format=json|aag|blif)
+//	GET  /v1/jobs/{id}/report    the per-stage pipeline report
+//	GET  /v1/jobs/{id}/events    live span stream (SSE; ?format=jsonl)
+//	GET  /v1/jobs/{id}/metrics   the job's metrics snapshot
+//	GET  /v1/jobs/{id}/flightrec the job's flight-recorder artifact
+//	GET  /v1/jobs/{id}/profile   the job's captured pprof profile
+//	GET  /healthz                liveness (the process is up)
+//	GET  /readyz                 readiness (the runner accepts jobs)
 //
 // It implements http.Handler; wire it into any http.Server.
 type Server struct {
@@ -41,8 +48,22 @@ func NewServer(runner *Runner) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.report)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.jobMetrics)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/flightrec", s.flightrec)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.profile)
+	// Liveness is unconditional: the handler answering is the signal.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	// Readiness gates traffic: a draining or shut-down runner answers
+	// 503 with the reason so load balancers stop routing submissions
+	// while in-flight folds finish.
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if ready, reason := s.runner.Ready(); !ready {
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]string{"status": "unready", "reason": reason})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	return s
 }
@@ -81,7 +102,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decode spec: %v", err)
 		return
 	}
-	j, err := s.runner.Submit(spec)
+	j, err := s.runner.SubmitWith(spec, SubmitOptions{Profile: r.URL.Query().Get("profile")})
 	if err != nil {
 		code := http.StatusBadRequest
 		if err.Error() == "job: runner is shut down" {
@@ -170,6 +191,41 @@ func (s *Server) jobMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// flightrec serves the job's flight-recorder artifact: the JSON black
+// box dumped when the job failed, recovered a panic, or degraded.
+func (s *Server) flightrec(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOf(w, r)
+	if !ok {
+		return
+	}
+	data, ok := j.FlightRecord()
+	if !ok {
+		httpError(w, http.StatusNotFound, "job %s has no flight record", j.ID())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// profile serves the pprof profile captured for the job (requested
+// with ?profile=cpu|heap at submit), in the binary pprof format that
+// `go tool pprof` reads.
+func (s *Server) profile(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOf(w, r)
+	if !ok {
+		return
+	}
+	kind, data, ok := j.Profile()
+	if !ok {
+		httpError(w, http.StatusNotFound, "job %s has no profile", j.ID())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%s-%s.pprof", j.ID(), kind))
+	w.Write(data)
+}
+
 // events streams the job's spans. The default is Server-Sent Events
 // ("data: {span}\n\n" frames); ?format=jsonl streams plain JSON
 // lines. Either way the stream replays recent history, follows the
@@ -215,23 +271,92 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Handler is the daemon's full HTTP surface: the job API plus a
-// process-level metrics snapshot at /metrics aggregating nothing —
-// per-job metrics live under each job. Exposed as a helper so
+// Handler is the daemon's full HTTP surface: the job API plus the
+// process-level OpenMetrics exposition at /metrics, all behind the
+// access-log middleware recording request counts, latency and a
+// correlated structured log line per request. Exposed as a helper so
 // cmd/foldd and tests build identical servers.
 func Handler(runner *Runner) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", NewServer(runner))
+	// Prometheus/OpenMetrics text exposition of the process registry:
+	// lifecycle counters, queue/run latency histograms, per-stage
+	// timings aggregated across jobs. Per-job snapshots stay under
+	// /v1/jobs/{id}/metrics.
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		jobs := runner.Jobs()
-		counts := map[State]int{}
-		for _, j := range jobs {
-			counts[j.Status().State]++
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"jobs":   len(jobs),
-			"states": counts,
-		})
+		reg := runner.Metrics()
+		reg.Gauge(obs.MJobQueueDepth).Set(int64(len(runner.queue)))
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		_ = reg.WriteOpenMetrics(w, "foldd_")
 	})
-	return mux
+	return accessLog(mux, runner)
+}
+
+// statusWriter captures the response code (and preserves streaming:
+// Flush passes through for the SSE event route).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// jobIDFromPath extracts the {id} segment of /v1/jobs/{id}[/...] so
+// access-log lines correlate with the job's own log stream. The probe
+// and list routes return "".
+func jobIDFromPath(path string) string {
+	rest, ok := strings.CutPrefix(path, "/v1/jobs/")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// accessLog wraps next with request accounting: the http.requests
+// counter and http.request_seconds histogram in the runner's process
+// registry, plus one structured log line per request carrying the
+// job_id when the path names a job.
+func accessLog(next http.Handler, runner *Runner) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		runner.metrics.Counter(obs.MHTTPRequests).Add(1)
+		runner.metrics.Timing(obs.MHTTPSeconds).Observe(dur)
+		attrs := []any{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.code),
+			slog.Float64("seconds", dur.Seconds()),
+		}
+		if id := jobIDFromPath(r.URL.Path); id != "" {
+			attrs = append(attrs, slog.String("job_id", id))
+		}
+		runner.log.Info("http request", attrs...)
+	})
 }

@@ -167,14 +167,19 @@ func TestServeSmoke(t *testing.T) {
 		t.Error("event stream replayed nothing")
 	}
 
-	// Job list and daemon metrics.
+	// Job list and daemon metrics (OpenMetrics text).
 	var list []Status
 	if code := getJSON(t, srv.URL+"/v1/jobs", &list); code != http.StatusOK || len(list) != 1 {
 		t.Errorf("list = %d, %d jobs", code, len(list))
 	}
-	var m map[string]any
-	if code := getJSON(t, srv.URL+"/metrics", &m); code != http.StatusOK {
-		t.Errorf("metrics = %d", code)
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(om), "foldd_job_done_total 1") {
+		t.Errorf("metrics = %d: %s", resp.StatusCode, om)
 	}
 }
 

@@ -1,16 +1,21 @@
 package job
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"circuitfold"
 	"circuitfold/internal/core"
 	"circuitfold/internal/obs"
+	"circuitfold/internal/pipeline"
 )
 
 // State is a job's lifecycle position.
@@ -46,19 +51,24 @@ type Job struct {
 
 	events  *obs.Broadcast
 	metrics *circuitfold.Metrics
+	flight  *obs.FlightRecorder
+	log     *slog.Logger // correlated: every line carries job_id + key
+	profile string       // requested profile kind: "", "cpu" or "heap"
 	done    chan struct{}
 
-	mu       sync.Mutex
-	state    State
-	err      string
-	method   string
-	resumed  []string // stage names restored from checkpoints
-	fromSnap bool     // whole result restored from the final snapshot
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	cancel   context.CancelFunc
-	result   *circuitfold.Result
+	mu        sync.Mutex
+	state     State
+	err       string
+	method    string
+	resumed   []string // stage names restored from checkpoints
+	fromSnap  bool     // whole result restored from the final snapshot
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+	result    *circuitfold.Result
+	flightRec []byte // flight-recorder artifact, set on dump
+	profData  []byte // captured pprof profile, set after the run
 }
 
 // ID returns the job's runner-unique identifier.
@@ -81,6 +91,32 @@ func (j *Job) Events(buf int) (<-chan obs.Event, func()) { return j.events.Subsc
 
 // Metrics returns the job's metrics registry.
 func (j *Job) Metrics() *circuitfold.Metrics { return j.metrics }
+
+// FlightRecord returns the job's flight-recorder artifact — one
+// self-contained JSON document with the spans, log records and final
+// metrics leading up to a failure — or false when the job has not
+// (yet) dumped one. Dumps happen when a job fails, when a fold
+// recovered a panic, or when the degradation ladder descended.
+func (j *Job) FlightRecord() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.flightRec == nil {
+		return nil, false
+	}
+	return j.flightRec, true
+}
+
+// Profile returns the captured pprof profile (the kind requested at
+// submit) once the job is terminal, or false when none was requested
+// or it is not ready yet.
+func (j *Job) Profile() (kind string, data []byte, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.profData == nil {
+		return "", nil, false
+	}
+	return j.profile, j.profData, true
+}
 
 // Result returns the fold result, or an error while the job is not
 // Done.
@@ -174,8 +210,12 @@ func (j *Job) finish(state State, errText string) {
 // Runner executes jobs on a bounded worker pool over a checkpoint
 // store. Close it with Shutdown.
 type Runner struct {
-	store Store
-	queue chan *Job
+	store   Store
+	queue   chan *Job
+	log     *slog.Logger
+	metrics *obs.Registry // process-level: lifecycle, latency, HTTP
+	fSpans  int           // per-job flight-recorder ring sizes
+	fLogs   int
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -187,32 +227,103 @@ type Runner struct {
 	wg sync.WaitGroup
 }
 
+// RunnerOptions configures NewRunnerWith. The zero value matches
+// NewRunner(0, nil).
+type RunnerOptions struct {
+	// Workers is the fold worker-pool size (minimum 1).
+	Workers int
+	// Store is the checkpoint store (nil means a fresh MemStore).
+	Store Store
+	// Logger receives the runner's structured lifecycle log; each
+	// job's lines carry its job_id and content key. Nil discards.
+	Logger *slog.Logger
+	// Metrics is the process-level registry for lifecycle counters,
+	// queue/run latency histograms and per-stage timings aggregated
+	// across jobs. Nil allocates a private one.
+	Metrics *obs.Registry
+	// FlightSpans / FlightLogs size each job's flight-recorder rings
+	// (<= 0 selects the obs defaults).
+	FlightSpans int
+	FlightLogs  int
+}
+
 // NewRunner starts a runner with the given worker count (minimum 1)
-// over store (nil means a fresh MemStore).
+// over store (nil means a fresh MemStore). Telemetry is wired to
+// defaults; use NewRunnerWith to direct it.
 func NewRunner(workers int, store Store) *Runner {
-	if workers < 1 {
-		workers = 1
+	return NewRunnerWith(RunnerOptions{Workers: workers, Store: store})
+}
+
+// NewRunnerWith starts a runner from opts.
+func NewRunnerWith(opts RunnerOptions) *Runner {
+	if opts.Workers < 1 {
+		opts.Workers = 1
 	}
-	if store == nil {
-		store = NewMemStore()
+	if opts.Store == nil {
+		opts.Store = NewMemStore()
+	}
+	if opts.Logger == nil {
+		opts.Logger = obs.DiscardLogger()
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
 	}
 	r := &Runner{
-		store: store,
-		queue: make(chan *Job, 1024),
-		jobs:  make(map[string]*Job),
+		store:   opts.Store,
+		queue:   make(chan *Job, 1024),
+		log:     opts.Logger,
+		metrics: opts.Metrics,
+		fSpans:  opts.FlightSpans,
+		fLogs:   opts.FlightLogs,
+		jobs:    make(map[string]*Job),
 	}
-	for i := 0; i < workers; i++ {
+	for i := 0; i < opts.Workers; i++ {
 		r.wg.Add(1)
 		go r.worker()
 	}
 	return r
 }
 
+// Metrics returns the runner's process-level registry — lifecycle
+// counters, queue depth, and latency histograms across all jobs.
+func (r *Runner) Metrics() *obs.Registry { return r.metrics }
+
+// Ready reports whether the runner accepts new jobs; when it does
+// not, reason says why (readiness probes surface it to the operator).
+func (r *Runner) Ready() (bool, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case r.closed:
+		return false, "shut down"
+	case r.draining:
+		return false, "draining"
+	}
+	return true, ""
+}
+
+// SubmitOptions carries per-submission knobs that are deliberately
+// not part of Spec: they must not change the job's content address.
+type SubmitOptions struct {
+	// Profile requests a pprof capture for this job: "cpu" profiles
+	// the fold's execution window, "heap" snapshots the live heap
+	// right after the fold. Empty means no profiling.
+	Profile string
+}
+
 // Submit validates the spec, builds its circuit (rejecting malformed
 // uploads at the door), and enqueues the job.
 func (r *Runner) Submit(spec Spec) (*Job, error) {
+	return r.SubmitWith(spec, SubmitOptions{})
+}
+
+// SubmitWith is Submit with per-submission options.
+func (r *Runner) SubmitWith(spec Spec, so SubmitOptions) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if so.Profile != "" && so.Profile != "cpu" && so.Profile != "heap" {
+		return nil, fmt.Errorf("job: unknown profile %q (want cpu or heap)", so.Profile)
 	}
 	g, err := spec.Circuit()
 	if err != nil {
@@ -231,10 +342,18 @@ func (r *Runner) Submit(spec Spec) (*Job, error) {
 		g:       g,
 		events:  obs.NewBroadcast(eventReplay),
 		metrics: circuitfold.NewMetrics(),
+		flight:  obs.NewFlightRecorder(r.fSpans, r.fLogs),
+		profile: so.Profile,
 		done:    make(chan struct{}),
 		state:   StateQueued,
 		created: time.Now(),
 	}
+	// Correlated logger: the process stream and the job's flight
+	// recorder both see every line, each stamped with the job's
+	// identity (the content key is the PR 7 spec hash, shortened to
+	// the display width used everywhere else).
+	j.log = slog.New(obs.TeeHandler(r.log.Handler(), j.flight.LogHandler())).
+		With("job_id", j.id, "key", shortKey(j.key))
 	select {
 	case r.queue <- j:
 	default:
@@ -242,7 +361,19 @@ func (r *Runner) Submit(spec Spec) (*Job, error) {
 	}
 	r.jobs[j.id] = j
 	r.order = append(r.order, j.id)
+	r.metrics.Counter(obs.MJobSubmitted).Add(1)
+	r.metrics.Gauge(obs.MJobQueueDepth).Set(int64(len(r.queue)))
+	j.log.Info("job submitted",
+		"method", j.spec.EffectiveMethod(), "t", j.spec.T, "profile", so.Profile)
 	return j, nil
+}
+
+// shortKey abbreviates a content hash for log correlation.
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
 }
 
 // Get returns a job by ID.
@@ -334,6 +465,11 @@ func (r *Runner) worker() {
 	}
 }
 
+// cpuProfileBusy serializes CPU profiling: the runtime allows one CPU
+// profile per process, so concurrent jobs requesting one take turns —
+// losers run unprofiled with a warning rather than queueing.
+var cpuProfileBusy atomic.Bool
+
 // runJob executes one job end to end.
 func (r *Runner) runJob(j *Job) {
 	r.mu.Lock()
@@ -342,21 +478,82 @@ func (r *Runner) runJob(j *Job) {
 	j.mu.Lock()
 	if j.state != StateQueued { // canceled while queued
 		j.mu.Unlock()
+		r.metrics.Counter(obs.MJobCanceled).Add(1)
 		return
 	}
 	if draining {
 		j.mu.Unlock()
 		j.finish(StateCanceled, "canceled: daemon shutting down")
+		r.metrics.Counter(obs.MJobCanceled).Add(1)
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// Profile attribution: label this goroutine and hand the labeled
+	// context to the fold so frame/cluster workers inherit (and
+	// extend) the job identity in CPU profiles.
+	lctx := pprof.WithLabels(ctx, pprof.Labels("job", j.id, "key", shortKey(j.key)))
+	pprof.SetGoroutineLabels(lctx)
+	defer pprof.SetGoroutineLabels(context.Background())
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	queueWait := j.started.Sub(j.created)
 	j.mu.Unlock()
+	r.metrics.Timing(obs.MJobQueueWait).Observe(queueWait)
+	r.metrics.Gauge(obs.MJobQueueDepth).Set(int64(len(r.queue)))
+	running := r.metrics.Gauge(obs.MJobRunning)
+	running.Add(1)
+	defer running.Add(-1)
+	j.log.Info("job started", "queue_wait", queueWait.Seconds())
 
 	ck := r.store.Checkpoint(j.key)
+
+	// Opt-in pprof capture. CPU wraps the whole fold window; heap
+	// snapshots after the fold (where the arena high-water mark is
+	// still visible in allocation totals).
+	var cpuBuf bytes.Buffer
+	cpuProfiling := false
+	if j.profile == "cpu" {
+		if cpuProfileBusy.CompareAndSwap(false, true) {
+			if err := pprof.StartCPUProfile(&cpuBuf); err != nil {
+				cpuProfileBusy.Store(false)
+				j.log.Warn("cpu profile failed to start", "err", err.Error())
+			} else {
+				cpuProfiling = true
+			}
+		} else {
+			j.log.Warn("cpu profile skipped: another job is profiling")
+		}
+	}
+	finishProfile := func() {
+		var data []byte
+		switch {
+		case cpuProfiling:
+			pprof.StopCPUProfile()
+			cpuProfileBusy.Store(false)
+			cpuProfiling = false
+			data = cpuBuf.Bytes()
+		case j.profile == "heap":
+			var heapBuf bytes.Buffer
+			if err := pprof.Lookup("heap").WriteTo(&heapBuf, 0); err != nil {
+				j.log.Warn("heap profile failed", "err", err.Error())
+				return
+			}
+			data = heapBuf.Bytes()
+		default:
+			return
+		}
+		// Stored next to the job's checkpoints, under its content key.
+		if err := ck.Save("profile."+j.profile, data); err != nil {
+			j.log.Warn("profile not persisted", "err", err.Error())
+		}
+		j.mu.Lock()
+		j.profData = data
+		j.mu.Unlock()
+		j.log.Info("profile captured", "kind", j.profile, "bytes", len(data))
+	}
+	defer finishProfile()
 
 	// Job-level resume: an identical spec that already completed (in
 	// this process or a previous one) is served from its final
@@ -369,13 +566,19 @@ func (r *Runner) runJob(j *Job) {
 			j.fromSnap = true
 			j.mu.Unlock()
 			j.finish(StateDone, "")
+			r.metrics.Counter(obs.MJobDone).Add(1)
+			j.log.Info("job done", "method", method, "resumed_result", true)
 			return
 		}
 	}
 
 	opt := j.spec.Options()
-	opt.Context = ctx
-	opt.Observer = &circuitfold.Observer{Tracer: circuitfold.NewTracer(j.events), Metrics: j.metrics}
+	opt.Context = lctx
+	// Spans fan out to the live SSE stream and the flight recorder.
+	opt.Observer = &circuitfold.Observer{
+		Tracer:  circuitfold.NewTracer(obs.MultiSink(j.events, j.flight)),
+		Metrics: j.metrics,
+	}
 	opt.Checkpoint = ck
 
 	var (
@@ -405,11 +608,19 @@ func (r *Runner) runJob(j *Job) {
 	default:
 		err = fmt.Errorf("job: unknown method %q", method)
 	}
+	runDur := time.Since(j.started)
+	r.metrics.Timing(obs.MJobRunSeconds).Observe(runDur)
 	if err != nil {
 		if errors.Is(err, circuitfold.ErrCanceled) {
 			j.finish(StateCanceled, err.Error())
+			r.metrics.Counter(obs.MJobCanceled).Add(1)
+			j.log.Info("job canceled", "err", err.Error(), "run_seconds", runDur.Seconds())
 		} else {
 			j.finish(StateFailed, err.Error())
+			r.metrics.Counter(obs.MJobFailed).Add(1)
+			j.log.Error("job failed", "err", err.Error(), "method", method,
+				"run_seconds", runDur.Seconds())
+			r.dumpFlight(j, ck, "failed")
 		}
 		return
 	}
@@ -419,7 +630,12 @@ func (r *Runner) runJob(j *Job) {
 		for _, ss := range res.Report.Stages {
 			if ss.Resumed {
 				resumed = append(resumed, ss.Name)
+				continue
 			}
+			// Roll per-stage latency up into the process registry so
+			// /metrics carries stage.<name>.seconds across all jobs
+			// (the per-job registry has its own copy from pipeline).
+			r.metrics.Timing(obs.StageSeconds(ss.Name)).Observe(ss.Duration)
 		}
 	}
 	if data, encErr := encodeFinal(method, res); encErr == nil {
@@ -431,6 +647,49 @@ func (r *Runner) runJob(j *Job) {
 	j.resumed = resumed
 	j.mu.Unlock()
 	j.finish(StateDone, "")
+	r.metrics.Counter(obs.MJobDone).Add(1)
+	j.log.Info("job done", "method", method, "run_seconds", runDur.Seconds(),
+		"states", res.States, "gates", res.Gates())
+	// A fold that succeeded the hard way still dumps its black box:
+	// recovered panics and degradation-ladder descents are incidents
+	// an operator wants the context for, even with a green result.
+	if j.metrics.Counter(obs.MFoldPanics).Value() > 0 {
+		r.dumpFlight(j, ck, "panic_recovered")
+	} else if j.metrics.Counter(obs.MFoldFallbacks).Value() > 0 {
+		r.dumpFlight(j, ck, "degraded")
+	}
+}
+
+// dumpFlight assembles and stores the job's flight-recorder artifact.
+// Best effort end to end: a failed persist still leaves the artifact
+// on the job for the HTTP API.
+func (r *Runner) dumpFlight(j *Job, ck pipeline.Checkpoint, reason string) {
+	st := j.Status()
+	meta := map[string]any{
+		"job_id": j.id,
+		"key":    j.key,
+		"state":  string(st.State),
+		"reason": reason,
+	}
+	if st.Error != "" {
+		meta["error"] = st.Error
+	}
+	if st.Method != "" {
+		meta["method"] = st.Method
+	}
+	data, err := json.Marshal(j.flight.Record(meta, j.metrics))
+	if err != nil {
+		j.log.Warn("flight record not encodable", "err", err.Error())
+		return
+	}
+	j.mu.Lock()
+	j.flightRec = data
+	j.mu.Unlock()
+	if err := ck.Save("flightrec", data); err != nil {
+		j.log.Warn("flight record not persisted", "err", err.Error())
+	}
+	r.metrics.Counter(obs.MFlightDumps).Add(1)
+	j.log.Warn("flight record dumped", "reason", reason, "bytes", len(data))
 }
 
 // finalJSON is the final-snapshot envelope.

@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestBroadcastFanOut(t *testing.T) {
@@ -121,5 +124,104 @@ func TestMultiSinkDegenerate(t *testing.T) {
 	buf := NewTraceBuffer()
 	if got := MultiSink(nil, buf); got != Sink(buf) {
 		t.Error("single-sink MultiSink did not unwrap")
+	}
+}
+
+// TestBroadcastConcurrentSubscribeUnsubscribe is the replay-ring
+// semantics check the fold daemon depends on, under contention (run
+// with -race by the obs race gate): while a fold is emitting spans,
+// clients attach and detach continuously. Every subscriber must observe
+// a consistent stream (per-emitter TS strictly increasing across the
+// ring-replay/live-stream splice, no duplicates, no tearing), and
+// cancellation must never deadlock against Emit.
+func TestBroadcastConcurrentSubscribeUnsubscribe(t *testing.T) {
+	const (
+		emitters    = 2
+		perEmitter  = 500
+		subscribers = 8
+	)
+	b := NewBroadcast(64)
+
+	var emitWG sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		emitWG.Add(1)
+		go func(e int) {
+			defer emitWG.Done()
+			for i := 0; i < perEmitter; i++ {
+				b.Emit(Event{Name: "span", TID: e, TS: float64(i)})
+			}
+		}(e)
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan string, subscribers)
+	var subWG sync.WaitGroup
+	for s := 0; s < subscribers; s++ {
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ch, cancel := b.Subscribe(16)
+				last := map[int]float64{0: -1, 1: -1}
+			recv:
+				for n := 0; n < 32; n++ {
+					var e Event
+					var open bool
+					select {
+					case e, open = <-ch:
+						if !open {
+							break recv
+						}
+					case <-stop: // emitters done; nothing more will arrive
+						break recv
+					}
+					if e.TS <= last[e.TID] {
+						select {
+						case errs <- fmt.Sprintf("emitter %d: TS %v after %v", e.TID, e.TS, last[e.TID]):
+						default:
+						}
+						cancel()
+						return
+					}
+					last[e.TID] = e.TS
+				}
+				cancel()
+				for range ch { // cancel closes the channel; drain it
+				}
+			}
+		}()
+	}
+
+	emitWG.Wait()
+	close(stop)
+	waitDone := make(chan struct{})
+	go func() { subWG.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("broadcast churn deadlocked")
+	}
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+
+	// After Close, a late subscriber still sees the ring replay, on an
+	// already-closed channel.
+	b.Close()
+	ch, cancel := b.Subscribe(64)
+	defer cancel()
+	n := 0
+	for range ch {
+		n++
+	}
+	if n == 0 {
+		t.Error("closed broadcast replayed nothing")
 	}
 }

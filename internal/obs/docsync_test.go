@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// constMetricNames extracts every M* metric constant's string value
+// from metrics.go — the single source of truth for metric names.
+func constMetricNames(t *testing.T) map[string]bool {
+	t.Helper()
+	src, err := os.ReadFile("metrics.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`\bM[A-Za-z0-9]+\s*=\s*"([a-z0-9._]+)"`)
+	names := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(string(src), -1) {
+		names[m[1]] = true
+	}
+	if len(names) == 0 {
+		t.Fatal("no metric constants found in metrics.go")
+	}
+	return names
+}
+
+// docMetricNames extracts every backticked metric name from the rows
+// of DESIGN.md's metrics table (lines shaped `| name | kind | ... |`
+// with a known kind). Parameterized families (`stage.<name>.seconds`)
+// are skipped: they have no single constant.
+func docMetricNames(t *testing.T) map[string]bool {
+	t.Helper()
+	doc, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameRE := regexp.MustCompile("`([a-z0-9._]+)`")
+	kindRE := regexp.MustCompile(`\|\s*(counter|gauge|histogram|timing)\s*\|`)
+	names := map[string]bool{}
+	for _, line := range strings.Split(string(doc), "\n") {
+		if !strings.HasPrefix(line, "|") || !kindRE.MatchString(line) {
+			continue
+		}
+		// Only the name column (before the kind cell) holds metric
+		// names; the meaning column may backtick unrelated symbols.
+		nameCell := line[:kindRE.FindStringIndex(line)[0]]
+		for _, m := range nameRE.FindAllStringSubmatch(nameCell, -1) {
+			names[m[1]] = true
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no metric rows found in DESIGN.md")
+	}
+	return names
+}
+
+// TestMetricsTableInSync pins DESIGN.md's metrics table to the M*
+// constants, both directions: a metric added without documentation
+// fails, and a documented metric that no longer exists fails.
+func TestMetricsTableInSync(t *testing.T) {
+	code := constMetricNames(t)
+	doc := docMetricNames(t)
+	for name := range code {
+		if !doc[name] {
+			t.Errorf("metric %q (metrics.go) is missing from DESIGN.md's metrics table", name)
+		}
+	}
+	for name := range doc {
+		if !code[name] {
+			t.Errorf("DESIGN.md documents metric %q, but no M* constant defines it", name)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is the black box of one unit of work (the fold
+// daemon's: one per job): a bounded ring of the most recent finished
+// spans and a bounded ring of the most recent structured log records,
+// captured continuously at negligible cost so that when the work fails
+// — an error, a recovered panic, a degradation-ladder descent — the
+// moments leading up to the failure can be dumped as one self-contained
+// JSON artifact, after the fact, without debug-level logging or a trace
+// sink having been enabled ahead of time.
+//
+// It plugs into both telemetry channels: it is a span Sink (hang it off
+// the tracer next to the live stream with MultiSink) and it exposes a
+// slog.Handler (tee it under the process logger with TeeHandler). Both
+// directions are safe for concurrent use.
+type FlightRecorder struct {
+	mu           sync.Mutex
+	spans        []Event // ring, oldest first once full
+	spanCap      int
+	spansDropped uint64
+	logs         []LogRecord // ring, oldest first once full
+	logCap       int
+	logsDropped  uint64
+}
+
+// Flight-recorder ring defaults: enough spans for every stage and
+// sub-stage of a typical fold and the last screenful of log lines,
+// small enough that a thousand live jobs carry them without noticing.
+const (
+	DefaultFlightSpans = 256
+	DefaultFlightLogs  = 128
+)
+
+// NewFlightRecorder returns a recorder keeping the most recent
+// spanCap spans and logCap log records (<= 0 selects the defaults).
+func NewFlightRecorder(spanCap, logCap int) *FlightRecorder {
+	if spanCap <= 0 {
+		spanCap = DefaultFlightSpans
+	}
+	if logCap <= 0 {
+		logCap = DefaultFlightLogs
+	}
+	return &FlightRecorder{spanCap: spanCap, logCap: logCap}
+}
+
+// Emit records a finished span (the Sink interface).
+func (f *FlightRecorder) Emit(e Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if len(f.spans) == f.spanCap {
+		copy(f.spans, f.spans[1:])
+		f.spans[len(f.spans)-1] = e
+		f.spansDropped++
+	} else {
+		f.spans = append(f.spans, e)
+	}
+	f.mu.Unlock()
+}
+
+// LogRecord is one captured slog record, flattened for JSON: group
+// names join attribute keys with dots.
+type LogRecord struct {
+	Time  time.Time      `json:"time"`
+	Level string         `json:"level"`
+	Msg   string         `json:"msg"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// LogHandler returns a slog.Handler that captures every record (all
+// levels) into the recorder's log ring. Tee it with the real log
+// handler so lines reach both the stream and the black box.
+func (f *FlightRecorder) LogHandler() slog.Handler {
+	if f == nil {
+		return discardHandler{}
+	}
+	return &ringHandler{rec: f}
+}
+
+func (f *FlightRecorder) addLog(r LogRecord) {
+	f.mu.Lock()
+	if len(f.logs) == f.logCap {
+		copy(f.logs, f.logs[1:])
+		f.logs[len(f.logs)-1] = r
+		f.logsDropped++
+	} else {
+		f.logs = append(f.logs, r)
+	}
+	f.mu.Unlock()
+}
+
+// ringHandler adapts the recorder to slog. WithAttrs/WithGroup
+// accumulate into a prefix applied at Handle time, matching slog's
+// contract that handlers are immutable values.
+type ringHandler struct {
+	rec    *FlightRecorder
+	attrs  map[string]any
+	prefix string
+}
+
+func (h *ringHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *ringHandler) Handle(_ context.Context, r slog.Record) error {
+	out := LogRecord{Time: r.Time, Level: r.Level.String(), Msg: r.Message}
+	if len(h.attrs) > 0 || r.NumAttrs() > 0 {
+		out.Attrs = make(map[string]any, len(h.attrs)+r.NumAttrs())
+		for k, v := range h.attrs {
+			out.Attrs[k] = v
+		}
+		r.Attrs(func(a slog.Attr) bool {
+			flattenAttr(out.Attrs, h.prefix, a)
+			return true
+		})
+	}
+	h.rec.addLog(out)
+	return nil
+}
+
+func (h *ringHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := &ringHandler{rec: h.rec, prefix: h.prefix, attrs: make(map[string]any, len(h.attrs)+len(attrs))}
+	for k, v := range h.attrs {
+		nh.attrs[k] = v
+	}
+	for _, a := range attrs {
+		flattenAttr(nh.attrs, h.prefix, a)
+	}
+	return nh
+}
+
+func (h *ringHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := &ringHandler{rec: h.rec, prefix: h.prefix + name + ".", attrs: h.attrs}
+	return nh
+}
+
+// flattenAttr resolves an attr into the map, expanding groups with
+// dotted keys.
+func flattenAttr(into map[string]any, prefix string, a slog.Attr) {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		p := prefix
+		if a.Key != "" {
+			p += a.Key + "."
+		}
+		for _, ga := range v.Group() {
+			flattenAttr(into, p, ga)
+		}
+		return
+	}
+	into[prefix+a.Key] = v.Any()
+}
+
+// FlightRecord is the dumped artifact: everything the recorder held at
+// dump time plus the caller's identifying metadata and a final metrics
+// snapshot, self-contained enough that "why did job X fail" is
+// answerable from this one JSON document.
+type FlightRecord struct {
+	// Meta is caller-supplied identity and outcome (job id, content
+	// key, state, error, dump reason, ...).
+	Meta map[string]any `json:"meta,omitempty"`
+	// DumpedAt is the artifact's creation time, UTC RFC 3339.
+	DumpedAt string `json:"dumped_at"`
+	// Spans is the ring of most recent finished spans, oldest first.
+	Spans []Event `json:"spans"`
+	// SpansDropped counts older spans that fell off the ring.
+	SpansDropped uint64 `json:"spans_dropped,omitempty"`
+	// Logs is the ring of most recent log records, oldest first.
+	Logs []LogRecord `json:"logs"`
+	// LogsDropped counts older records that fell off the ring.
+	LogsDropped uint64 `json:"logs_dropped,omitempty"`
+	// Metrics is the final snapshot of the work's metric registry.
+	Metrics map[string]any `json:"metrics,omitempty"`
+}
+
+// Record assembles the artifact from the recorder's current rings, the
+// given metadata, and a snapshot of reg (nil allowed). The recorder
+// keeps recording afterwards; Record can be called more than once.
+func (f *FlightRecorder) Record(meta map[string]any, reg *Registry) *FlightRecord {
+	rec := &FlightRecord{
+		Meta:     meta,
+		DumpedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Metrics:  reg.Snapshot(),
+	}
+	if f != nil {
+		f.mu.Lock()
+		rec.Spans = append([]Event(nil), f.spans...)
+		rec.SpansDropped = f.spansDropped
+		rec.Logs = append([]LogRecord(nil), f.logs...)
+		rec.LogsDropped = f.logsDropped
+		f.mu.Unlock()
+	}
+	if rec.Spans == nil {
+		rec.Spans = []Event{}
+	}
+	if rec.Logs == nil {
+		rec.Logs = []LogRecord{}
+	}
+	return rec
+}
+
+// Sizes reports the rings' current fill, for tests and introspection.
+func (f *FlightRecorder) Sizes() (spans, logs int) {
+	if f == nil {
+		return 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.spans), len(f.logs)
+}

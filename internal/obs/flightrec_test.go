@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderSpanRing(t *testing.T) {
+	f := NewFlightRecorder(4, 4)
+	for i := 0; i < 10; i++ {
+		f.Emit(Event{Name: "s", TS: float64(i)})
+	}
+	rec := f.Record(nil, nil)
+	if len(rec.Spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(rec.Spans))
+	}
+	if rec.Spans[0].TS != 6 || rec.Spans[3].TS != 9 {
+		t.Errorf("ring kept %v..%v, want the most recent 6..9", rec.Spans[0].TS, rec.Spans[3].TS)
+	}
+	if rec.SpansDropped != 6 {
+		t.Errorf("dropped = %d, want 6", rec.SpansDropped)
+	}
+}
+
+func TestFlightRecorderLogCapture(t *testing.T) {
+	f := NewFlightRecorder(4, 3)
+	log := slog.New(f.LogHandler()).With("job_id", "j0001")
+	log.Info("started", "method", "functional")
+	log.WithGroup("fold").Warn("slow", "stage", "tff")
+	log.Error("failed", "err", "boom")
+	log.Info("extra 1")
+	rec := f.Record(map[string]any{"job_id": "j0001"}, nil)
+	if len(rec.Logs) != 3 || rec.LogsDropped != 1 {
+		t.Fatalf("logs = %d dropped = %d, want 3 and 1", len(rec.Logs), rec.LogsDropped)
+	}
+	// Oldest line fell off; the ring starts at the group-attr warning.
+	if rec.Logs[0].Msg != "slow" || rec.Logs[0].Level != "WARN" {
+		t.Errorf("logs[0] = %+v", rec.Logs[0])
+	}
+	if rec.Logs[0].Attrs["job_id"] != "j0001" || rec.Logs[0].Attrs["fold.stage"] != "tff" {
+		t.Errorf("attrs not flattened/correlated: %+v", rec.Logs[0].Attrs)
+	}
+
+	// The artifact is one self-contained JSON document.
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"job_id":"j0001"`, `"msg":"failed"`, `"dumped_at"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("artifact missing %s", want)
+		}
+	}
+}
+
+func TestFlightRecorderMetricsSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MFoldPanics).Add(2)
+	r.Timing(MJobRunSeconds).ObserveSeconds(0.5)
+	f := NewFlightRecorder(0, 0)
+	rec := f.Record(map[string]any{"state": "failed"}, r)
+	if rec.Metrics[MFoldPanics] != int64(2) {
+		t.Errorf("metrics snapshot = %v", rec.Metrics[MFoldPanics])
+	}
+	if rec.Meta["state"] != "failed" {
+		t.Errorf("meta = %v", rec.Meta)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers both rings from many goroutines
+// (run under -race by the obs race gate): spans and logs emitted
+// concurrently with dumps must stay consistent.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32, 32)
+	log := slog.New(f.LogHandler())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Emit(Event{Name: "s", TID: w})
+				log.Info("line", "worker", w, "i", i)
+				if i%50 == 0 {
+					f.Record(nil, nil)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rec := f.Record(nil, nil)
+	if len(rec.Spans) != 32 || len(rec.Logs) != 32 {
+		t.Errorf("rings = %d spans, %d logs; want 32 each", len(rec.Spans), len(rec.Logs))
+	}
+}
+
+func TestNilFlightRecorder(t *testing.T) {
+	var f *FlightRecorder
+	f.Emit(Event{})
+	if s, l := f.Sizes(); s != 0 || l != 0 {
+		t.Error("nil recorder sizes non-zero")
+	}
+	rec := f.Record(nil, nil)
+	if len(rec.Spans) != 0 || len(rec.Logs) != 0 {
+		t.Error("nil recorder dumped content")
+	}
+	// The nil handler swallows records instead of panicking.
+	slog.New(f.LogHandler()).Info("dropped")
+}
+
+func TestNewLoggerAndLevels(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("shown", "k", "v")
+	out := b.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, `"msg":"shown"`) {
+		t.Errorf("level filtering wrong: %q", out)
+	}
+	if _, err := NewLogger(&b, "loud", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&b, "info", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestTeeHandlerFansOut(t *testing.T) {
+	var a, b strings.Builder
+	ha := slog.NewTextHandler(&a, nil)
+	hb := slog.NewJSONHandler(&b, nil)
+	log := slog.New(TeeHandler(ha, nil, hb)).With("job_id", "j7")
+	log.Info("both")
+	if !strings.Contains(a.String(), "both") || !strings.Contains(b.String(), `"both"`) {
+		t.Errorf("tee missed a side: text=%q json=%q", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "job_id=j7") {
+		t.Errorf("WithAttrs not propagated: %q", a.String())
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the daemon's structured logger: level is one of
+// debug/info/warn/error, format is text (the human default) or json
+// (one object per line, for log shippers). Unknown values are errors so
+// a typoed flag fails fast instead of silently logging at the wrong
+// level.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// ParseLogLevel maps a flag value onto a slog level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// DiscardLogger returns a logger that drops everything — the default
+// for library callers that install no logger, so instrumented code can
+// log unconditionally.
+func DiscardLogger() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// TeeHandler fans each record out to every given handler (nils
+// skipped), so one logger can feed both the process log stream and a
+// per-job flight-recorder ring. With zero or one usable handler it
+// returns the degenerate form directly.
+func TeeHandler(handlers ...slog.Handler) slog.Handler {
+	var hs []slog.Handler
+	for _, h := range handlers {
+		if h != nil {
+			hs = append(hs, h)
+		}
+	}
+	switch len(hs) {
+	case 0:
+		return discardHandler{}
+	case 1:
+		return hs[0]
+	}
+	return teeHandler(hs)
+}
+
+type teeHandler []slog.Handler
+
+func (t teeHandler) Enabled(ctx context.Context, lv slog.Level) bool {
+	for _, h := range t {
+		if h.Enabled(ctx, lv) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t teeHandler) Handle(ctx context.Context, r slog.Record) error {
+	var first error
+	for _, h := range t {
+		if !h.Enabled(ctx, r.Level) {
+			continue
+		}
+		if err := h.Handle(ctx, r.Clone()); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (t teeHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	out := make(teeHandler, len(t))
+	for i, h := range t {
+		out[i] = h.WithAttrs(attrs)
+	}
+	return out
+}
+
+func (t teeHandler) WithGroup(name string) slog.Handler {
+	out := make(teeHandler, len(t))
+	for i, h := range t {
+		out[i] = h.WithGroup(name)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetricsContentType is the content type of a WriteOpenMetrics
+// exposition, per the OpenMetrics 1.0 spec.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics serializes the registry in the OpenMetrics /
+// Prometheus text exposition format, ending with the mandatory # EOF
+// marker. Metric families are emitted in sorted name order so the
+// exposition is deterministic given deterministic metric values (the
+// property the golden-file test pins down).
+//
+// The mapping:
+//
+//   - counters   →  <name>_total counter
+//   - gauges     →  <name> gauge, plus <name>_peak gauge (high-water mark)
+//   - histograms →  <name> histogram with cumulative power-of-two le buckets
+//   - timings    →  <name> histogram with the explicit DefaultTimingBuckets
+//     le bounds in seconds, plus <name>_p50 / <name>_p99 gauges
+//     (interpolated quantile summaries, scrapeable without PromQL)
+//
+// Dots in registry names become underscores (`bdd.live_nodes` →
+// `bdd_live_nodes`); prefix, when non-empty, is prepended verbatim to
+// every family name (conventionally "foldd_").
+func (r *Registry) WriteOpenMetrics(w io.Writer, prefix string) error {
+	var b strings.Builder
+	if r != nil {
+		r.mu.Lock()
+		names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.timings))
+		counters := make(map[string]*Counter, len(r.counters))
+		gauges := make(map[string]*Gauge, len(r.gauges))
+		hists := make(map[string]*Histogram, len(r.hists))
+		timings := make(map[string]*Timing, len(r.timings))
+		for n, m := range r.counters {
+			names, counters[n] = append(names, n), m
+		}
+		for n, m := range r.gauges {
+			names, gauges[n] = append(names, n), m
+		}
+		for n, m := range r.hists {
+			names, hists[n] = append(names, n), m
+		}
+		for n, m := range r.timings {
+			names, timings[n] = append(names, n), m
+		}
+		r.mu.Unlock()
+		sort.Strings(names)
+
+		for _, n := range names {
+			fam := prefix + sanitizeMetricName(n)
+			switch {
+			case counters[n] != nil:
+				fmt.Fprintf(&b, "# TYPE %s counter\n%s_total %d\n", fam, fam, counters[n].Value())
+			case gauges[n] != nil:
+				g := gauges[n]
+				fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", fam, fam, g.Value())
+				fmt.Fprintf(&b, "# TYPE %s_peak gauge\n%s_peak %d\n", fam, fam, g.Peak())
+			case hists[n] != nil:
+				writeIntHistogram(&b, fam, hists[n])
+			case timings[n] != nil:
+				writeTiming(&b, fam, timings[n])
+			}
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizeMetricName maps a registry name onto the OpenMetrics name
+// charset [a-zA-Z0-9_:], replacing everything else (dots, dashes) with
+// underscores.
+func sanitizeMetricName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// writeIntHistogram renders a power-of-two Histogram as cumulative le
+// buckets: one per occupied power of two, then +Inf.
+func writeIntHistogram(b *strings.Builder, fam string, h *Histogram) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", fam)
+	buckets := h.Buckets()
+	bounds := make([]int64, 0, len(buckets))
+	for ub := range buckets {
+		bounds = append(bounds, ub)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	cum := int64(0)
+	for _, ub := range bounds {
+		cum += buckets[ub]
+		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", fam, ub, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", fam, h.Count())
+	fmt.Fprintf(b, "%s_sum %d\n%s_count %d\n", fam, h.Sum(), fam, h.Count())
+}
+
+// writeTiming renders a Timing as an explicit-bucket histogram in
+// seconds plus interpolated p50/p99 gauges.
+func writeTiming(b *strings.Builder, fam string, t *Timing) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", fam)
+	counts := t.Counts()
+	cum := int64(0)
+	for i, ub := range DefaultTimingBuckets {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", fam, formatSeconds(ub), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", fam, t.Count())
+	fmt.Fprintf(b, "%s_sum %s\n%s_count %d\n", fam, formatSeconds(t.SumSeconds()), fam, t.Count())
+	fmt.Fprintf(b, "# TYPE %s_p50 gauge\n%s_p50 %s\n", fam, fam, formatSeconds(t.Quantile(0.5)))
+	fmt.Fprintf(b, "# TYPE %s_p99 gauge\n%s_p99 %s\n", fam, fam, formatSeconds(t.Quantile(0.99)))
+}
+
+// formatSeconds renders a float second value with the shortest exact
+// representation ("0.025", not "0.025000").
+func formatSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTimingBucketArray pins the const bucket-array length to the
+// exported bounds slice.
+func TestTimingBucketArray(t *testing.T) {
+	if len16 != len(DefaultTimingBuckets)+1 {
+		t.Fatalf("len16 = %d, want len(DefaultTimingBuckets)+1 = %d", len16, len(DefaultTimingBuckets)+1)
+	}
+}
+
+func TestTimingObserveAndQuantile(t *testing.T) {
+	var tm Timing
+	tm.Observe(4 * time.Millisecond)
+	tm.Observe(20 * time.Millisecond)
+	tm.Observe(2 * time.Second)
+	if tm.Count() != 3 {
+		t.Fatalf("count = %d", tm.Count())
+	}
+	if s := tm.SumSeconds(); s < 2.0 || s > 2.1 {
+		t.Errorf("sum = %v, want ~2.024", s)
+	}
+	// p50 lands in the (0.01, 0.025] bucket, p99 in (1, 2.5].
+	if q := tm.Quantile(0.5); q <= 0.01 || q > 0.025 {
+		t.Errorf("p50 = %v, want in (0.01, 0.025]", q)
+	}
+	if q := tm.Quantile(0.99); q <= 1 || q > 2.5 {
+		t.Errorf("p99 = %v, want in (1, 2.5]", q)
+	}
+	// Everything above the largest bound reports that bound.
+	var over Timing
+	over.Observe(5 * time.Minute)
+	if q := over.Quantile(0.99); q != DefaultTimingBuckets[len(DefaultTimingBuckets)-1] {
+		t.Errorf("overflow p99 = %v, want %v", q, DefaultTimingBuckets[len(DefaultTimingBuckets)-1])
+	}
+	// Nil receivers no-op.
+	var nilT *Timing
+	nilT.Observe(time.Second)
+	if nilT.Count() != 0 || nilT.Quantile(0.5) != 0 || nilT.Counts() != nil {
+		t.Error("nil Timing is not a no-op")
+	}
+}
+
+// TestWriteOpenMetricsGolden is the exposition's format contract: a
+// deterministic registry must serialize byte-for-byte to the committed
+// golden file (regenerate with -update).
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MBDDCacheHits).Add(42)
+	g := r.Gauge(MFSMStates)
+	g.Set(7)
+	g.Set(3)
+	h := r.Histogram(MSATLearnedSize)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+	tm := r.Timing(MJobRunSeconds)
+	tm.ObserveSeconds(0.004)
+	tm.ObserveSeconds(0.02)
+	tm.ObserveSeconds(2)
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b, "foldd_"); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "openmetrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Spot-check the invariants the golden encodes.
+	for _, want := range []string{
+		"# TYPE foldd_bdd_cache_hits counter\nfoldd_bdd_cache_hits_total 42\n",
+		"foldd_fsm_states 3\n",
+		"foldd_fsm_states_peak 7\n",
+		"foldd_sat_learned_clause_size_bucket{le=\"+Inf\"} 3\n",
+		"foldd_job_run_seconds_bucket{le=\"0.005\"} 1\n",
+		"foldd_job_run_seconds_count 3\n",
+		"# EOF\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if !strings.HasSuffix(got, "# EOF\n") {
+		t.Error("exposition does not end with # EOF")
+	}
+}
+
+// TestWriteOpenMetricsNil asserts a nil registry still emits a valid
+// (empty) exposition.
+func TestWriteOpenMetricsNil(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b, "x_"); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "# EOF\n" {
+		t.Errorf("nil exposition = %q", b.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"bdd.live_nodes":    "bdd_live_nodes",
+		"stage.tff.seconds": "stage_tff_seconds",
+		"weird-name space":  "weird_name_space",
+		"ok_name:colon":     "ok_name:colon",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -456,6 +456,11 @@ func Execute(run *Run, name string, stages ...Stage) (*Report, error) {
 		}
 		run.SetSpan(prev)
 		ss.Duration = run.Elapsed() - ss.Start
+		// Per-stage latency histogram ("stage.<name>.seconds"), aborted
+		// stages included: their duration is real work the SLO math must
+		// see. Restored stages are excluded above — a checkpoint load is
+		// not a stage execution.
+		run.Metrics().Timing(obs.StageSeconds(st.Name)).Observe(ss.Duration)
 		if pk := run.BDDPeak(); pk > 0 && ss.BDDNodes < 0 {
 			ss.BDDNodes = pk
 		}
