@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race vet faults bench bench-go bench-bdd-smoke bench-fold-smoke bench-compare serve-smoke trace clean
+.PHONY: build test verify race vet faults bench bench-go bench-bdd-smoke bench-fold-smoke bench-throughput-smoke bench-compare serve-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -36,8 +36,9 @@ faults:
 	$(GO) test -race ./internal/fault/... ./internal/pipeline/...
 
 # verify = tier-1 (build + test) plus vet, the race gate, the
-# resilience suite, and the fold-service smoke.
-verify: build test vet race faults serve-smoke
+# resilience suite, the fold-service smoke, and the shared-work
+# throughput smoke.
+verify: build test vet race faults serve-smoke bench-throughput-smoke
 
 # serve-smoke is the fold-service PR gate, under the race detector: it
 # builds cmd/foldd, then drives a real HTTP server end to end — a
@@ -54,11 +55,12 @@ serve-smoke:
 # bench emits BENCH_sweep.json (ns/op, SAT calls, merges, conflicts for
 # the sweeping configurations), BENCH_pipeline.json (per-stage fold
 # timings for every benchmark circuit), BENCH_bdd.json (BDD kernel
-# micro ops/sec plus build-and-sift times on Table III circuits), and
+# micro ops/sec plus build-and-sift times on Table III circuits),
 # BENCH_serve.json (fold-service jobs/sec and p50/p99 latency at client
-# concurrency 1 and 8); see cmd/bench.
+# concurrency 1, 8 and 64), and BENCH_throughput.json (shared-work
+# runner throughput, cold vs warm-cache); see cmd/bench.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_sweep.json -pipeout BENCH_pipeline.json -bddout BENCH_bdd.json -serveout BENCH_serve.json
+	$(GO) run ./cmd/bench -out BENCH_sweep.json -pipeout BENCH_pipeline.json -bddout BENCH_bdd.json -serveout BENCH_serve.json -tputout BENCH_throughput.json
 
 # bench-go runs the Go benchmark suite for the sweeping engine and the
 # BDD kernel.
@@ -79,16 +81,30 @@ bench-bdd-smoke:
 bench-fold-smoke:
 	$(GO) test . -run XXX -bench 'BenchmarkFoldParallel' -benchtime 1x -race
 
-# bench-compare guards the fold service's latency SLO: it measures a
-# fresh serve lane (BENCH_serve.fresh.json) and diffs it against the
+# bench-throughput-smoke is the shared-work engine's PR gate, under the
+# race detector: the throughput lane (cold folds vs warm-cache
+# resubmissions through the in-process runner at client concurrency
+# 1/8/64) with a small job count, rewriting BENCH_throughput.json. It
+# proves the cache, the in-flight dedup, and the pooled arenas stay
+# race-clean under concurrent submission — and the lane's own warm
+# speedup number makes a broken cache obvious. The committed
+# BENCH_throughput.json baseline is refreshed intentionally (no -race,
+# full job count) with: make bench
+bench-throughput-smoke:
+	$(GO) run -race ./cmd/bench -reps 1 -size 400 -out - -pipeout "" -bddout "" \
+		-serveout "" -tputout BENCH_throughput.json -tputjobs 8 > /dev/null
+	@grep -o '"warm_speedup": [0-9.]*' BENCH_throughput.json
+
+# bench-compare guards the fold service's SLOs: it measures a fresh
+# serve lane (BENCH_serve.fresh.json) and diffs it against the
 # committed BENCH_serve.json baseline with cmd/benchcmp, failing on a
-# p99 regression beyond 25% at any client concurrency. Refresh the
-# baseline intentionally with:
+# p99 rise or a jobs/sec drop beyond 25% at any client concurrency.
+# Refresh the baseline intentionally with:
 #   go run ./cmd/bench -reps 1 -size 800 -out - -pipeout "" -bddout "" \
 #     -serveout BENCH_serve.json > /dev/null
 bench-compare:
 	$(GO) run ./cmd/bench -reps 1 -size 800 -out - -pipeout "" -bddout "" \
-		-serveout BENCH_serve.fresh.json > /dev/null
+		-serveout BENCH_serve.fresh.json -tputout "" > /dev/null
 	$(GO) run ./cmd/benchcmp -base BENCH_serve.json -fresh BENCH_serve.fresh.json
 
 # trace folds the paper's 64-adder (Table III, T=16) functionally and

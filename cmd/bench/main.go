@@ -7,7 +7,7 @@
 //
 //	bench [-out BENCH_sweep.json] [-pipeout BENCH_pipeline.json]
 //	      [-bddout BENCH_bdd.json] [-serveout BENCH_serve.json]
-//	      [-servejobs 32]
+//	      [-servejobs 32] [-tputout BENCH_throughput.json] [-tputjobs 32]
 //	      [-reps 3] [-size 4000] [-seed 1234] [-tables]
 //	      [-tracefile trace.json] [-circuit 64-adder] [-frames 16]
 //	      [-traceonly] [-http :6060]
@@ -41,8 +41,14 @@
 // -serveout runs the fold-service lane: the -circuit/-frames fold
 // submitted as jobs through the full HTTP service path (internal/job
 // behind a loopback server — POST, status polling, runner queue, fold
-// engine) at client concurrency 1 and 8, reporting jobs/sec and
+// engine) at client concurrency 1, 8 and 64, reporting jobs/sec and
 // p50/p99 submit-to-done latency in BENCH_serve.json.
+//
+// -tputout runs the shared-work throughput lane: the same fold
+// submitted straight to the in-process runner (no HTTP), cold (unique
+// specs, every fold computed) and warm (identical resubmissions served
+// by the result cache) at concurrency 1, 8 and 64, reporting jobs/sec
+// and the warm/cold speedup in BENCH_throughput.json.
 //
 // -tables additionally times a Table I/II regeneration (the harness paths
 // whose runtime the sweep dominates) and appends those runs.
@@ -226,6 +232,8 @@ func main() {
 		bddout    = flag.String("bddout", "BENCH_bdd.json", "BDD kernel benchmark JSON path (empty to skip)")
 		serveout  = flag.String("serveout", "BENCH_serve.json", "fold-service benchmark JSON path (empty to skip)")
 		servejobs = flag.Int("servejobs", 32, "jobs per service concurrency level")
+		tputout   = flag.String("tputout", "BENCH_throughput.json", "shared-work throughput benchmark JSON path (empty to skip)")
+		tputjobs  = flag.Int("tputjobs", 32, "jobs per throughput (mode, concurrency) cell")
 		reps      = flag.Int("reps", 3, "repetitions per configuration (best time wins)")
 		size      = flag.Int("size", 4000, "workload size in AND nodes")
 		seed      = flag.Uint64("seed", 1234, "workload generator seed")
@@ -350,6 +358,19 @@ func main() {
 		last := srep.Runs[len(srep.Runs)-1]
 		fmt.Printf("wrote %s: fold service lane (%.1f jobs/s at concurrency %d, p50 %.1fms, p99 %.1fms)\n",
 			*serveout, last.JobsPerSec, last.Concurrency, last.P50Ms, last.P99Ms)
+	}
+	if *tputout != "" {
+		trep, err := benchThroughput(*circuit, *frames, 8, *tputjobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: throughput:", err)
+			os.Exit(1)
+		}
+		if err := writeJSON(*tputout, trep); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: shared-work throughput lane (warm speedup %.1fx)\n",
+			*tputout, trep.WarmSpeedup)
 	}
 	hold(*httpAddr)
 }

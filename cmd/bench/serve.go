@@ -25,7 +25,8 @@ type ServeRun struct {
 
 // ServeReport is the BENCH_serve.json schema: submit-to-done latency
 // of fold jobs through the full HTTP service path (POST, status
-// polling, runner queue, fold engine), at client concurrency 1 and 8.
+// polling, runner queue, fold engine), at client concurrency 1, 8
+// and 64.
 // The committed BENCH_serve.json is the p99 SLO baseline that
 // cmd/benchcmp (make bench-compare) gates regressions against; keep
 // the field names in sync with benchcmp's copy of this schema.
@@ -58,7 +59,7 @@ func benchServe(circuit string, T, workers, jobsPerRun int) (*ServeReport, error
 		Workers: workers,
 	}
 	serial := 0
-	for _, conc := range []int{1, 8} {
+	for _, conc := range []int{1, 8, 64} {
 		lat := make([]time.Duration, jobsPerRun)
 		jobs := make(chan int)
 		var wg sync.WaitGroup

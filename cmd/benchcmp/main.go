@@ -1,7 +1,7 @@
-// Command benchcmp guards the fold service's latency SLO in CI: it
-// compares a freshly measured BENCH_serve.json against the committed
-// baseline and fails (exit 1) when any concurrency level's p99
-// regressed by more than the allowed percentage.
+// Command benchcmp guards the fold service's SLOs in CI: it compares
+// a freshly measured BENCH_serve.json against the committed baseline
+// and fails (exit 1) when any concurrency level's p99 regressed — or
+// its jobs/sec dropped — by more than the allowed percentage.
 //
 // Usage:
 //
@@ -9,9 +9,10 @@
 //	         [-max-regress-pct 25]
 //
 // Only regressions fail; improvements and new concurrency levels are
-// reported and pass. Throughput and p50 are printed for context but
-// not gated — p99 is the serve lane's SLO number, and it is the most
-// stable of the three on shared CI hardware.
+// reported and pass. p50 is printed for context but not gated. p99 is
+// the serve lane's latency SLO; jobs/sec is gated too because the
+// service once anti-scaled (throughput fell as concurrency rose)
+// without any p99 movement CI would catch.
 package main
 
 import (
@@ -58,7 +59,7 @@ func main() {
 	var (
 		base  = flag.String("base", "BENCH_serve.json", "committed baseline")
 		fresh = flag.String("fresh", "BENCH_serve.fresh.json", "freshly measured report")
-		maxPC = flag.Float64("max-regress-pct", 25, "p99 regression budget, percent")
+		maxPC = flag.Float64("max-regress-pct", 25, "p99 and jobs/sec regression budget, percent")
 	)
 	flag.Parse()
 
@@ -83,14 +84,14 @@ func main() {
 		fmt.Println(l)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchcmp: serve-lane p99 regressed beyond %.0f%%\n", *maxPC)
+		fmt.Fprintf(os.Stderr, "benchcmp: serve-lane p99 or jobs/sec regressed beyond %.0f%%\n", *maxPC)
 		os.Exit(1)
 	}
 }
 
 // compare evaluates every fresh concurrency level against the
 // baseline, returning the per-level report lines and whether any p99
-// blew the regression budget.
+// rise or jobs/sec drop blew the regression budget.
 func compare(b, f *serveReport, maxPC float64) (lines []string, failed bool) {
 	baseByConc := make(map[int]serveRun, len(b.Runs))
 	for _, r := range b.Runs {
@@ -100,23 +101,28 @@ func compare(b, f *serveReport, maxPC float64) (lines []string, failed bool) {
 		br, ok := baseByConc[fr.Concurrency]
 		if !ok {
 			lines = append(lines, fmt.Sprintf(
-				"c=%d: new concurrency level (p99 %.1fms), no baseline — pass",
-				fr.Concurrency, fr.P99Ms))
+				"c=%d: new concurrency level (p99 %.1fms, %.1f jobs/s), no baseline — pass",
+				fr.Concurrency, fr.P99Ms, fr.JobsPerSec))
 			continue
 		}
-		deltaPct := 0.0
+		p99Pct := 0.0
 		if br.P99Ms > 0 {
-			deltaPct = (fr.P99Ms - br.P99Ms) / br.P99Ms * 100
+			p99Pct = (fr.P99Ms - br.P99Ms) / br.P99Ms * 100
+		}
+		tputPct := 0.0
+		if br.JobsPerSec > 0 {
+			tputPct = (br.JobsPerSec - fr.JobsPerSec) / br.JobsPerSec * 100
 		}
 		verdict := "ok"
-		if deltaPct > maxPC {
+		if p99Pct > maxPC || tputPct > maxPC {
 			verdict = "FAIL"
 			failed = true
 		}
 		lines = append(lines, fmt.Sprintf(
-			"c=%d: p99 %.1fms -> %.1fms (%+.1f%%, budget +%.0f%%) %s  [p50 %.1fms -> %.1fms, %.1f -> %.1f jobs/s]",
-			fr.Concurrency, br.P99Ms, fr.P99Ms, deltaPct, maxPC, verdict,
-			br.P50Ms, fr.P50Ms, br.JobsPerSec, fr.JobsPerSec))
+			"c=%d: p99 %.1fms -> %.1fms (%+.1f%%), %.1f -> %.1f jobs/s (%+.1f%%), budget %.0f%% %s  [p50 %.1fms -> %.1fms]",
+			fr.Concurrency, br.P99Ms, fr.P99Ms, p99Pct,
+			br.JobsPerSec, fr.JobsPerSec, -tputPct, maxPC, verdict,
+			br.P50Ms, fr.P50Ms))
 	}
 	return lines, failed
 }

@@ -37,6 +37,28 @@ func TestCompareRegression(t *testing.T) {
 	}
 }
 
+func TestCompareThroughputRegression(t *testing.T) {
+	base := rep(100, 200)
+	fresh := rep(100, 200) // p99 flat...
+	fresh.Runs[1].JobsPerSec = 7 // ...but jobs/sec down 30% at c=8
+	lines, failed := compare(base, fresh, 25)
+	if !failed {
+		t.Fatal("-30% jobs/sec passed a 25% budget")
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "FAIL") {
+		t.Errorf("no FAIL verdict in:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareThroughputGain(t *testing.T) {
+	base := rep(100, 200)
+	fresh := rep(100, 200)
+	fresh.Runs[1].JobsPerSec = 30 // 3x faster must pass
+	if _, failed := compare(base, fresh, 25); failed {
+		t.Fatal("jobs/sec improvement failed the gate")
+	}
+}
+
 func TestCompareImprovementAndNewLevel(t *testing.T) {
 	base := rep(100)
 	fresh := rep(50, 80) // faster at c=1, no baseline at c=8

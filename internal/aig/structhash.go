@@ -1,0 +1,90 @@
+package aig
+
+// Canonical FNV-1a parameters, shared with sigHash (sweep.go): the
+// structural hash builds on the same mixing primitive, applied to
+// canonical per-node signatures instead of raw simulation words.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Tags separating the record kinds mixed into the hashes, so a PI can
+// never collide with an AND over coincidentally equal payloads.
+const (
+	shPI uint64 = iota + 1
+	shAnd
+	shPO
+	shConst
+)
+
+// StructuralHash returns a canonical 64-bit hash of the graph's
+// structure. Every node gets a Merkle-style signature computed from
+// its kind and its fanins' signatures (the node array is topological,
+// so one forward pass suffices), and the hash digests the PI/PO counts
+// plus the output signatures in PO order. The signature of an AND
+// sorts its two fanin keys, and a PI's signature is its position, so
+// the hash is invariant under everything that does not change the
+// circuit as wired:
+//
+//   - node renumbering (two builds of the same structure in different
+//     creation orders hash equal, even though their Lit values differ),
+//   - stored fanin order (sorting the fanin keys undoes And's
+//     Lit-value normalization, which depends on the numbering),
+//   - dead nodes (ANDs unreachable from every PO never reach the
+//     digest),
+//   - PI/PO names (only positions enter the hash).
+//
+// Because Graphs are structurally hashed as they are built (no two
+// ANDs share an ordered fanin pair), equal subcircuit signatures mean
+// equal subcircuits, so — up to a 64-bit collision — equal hashes mean
+// isomorphic reachable graphs with identical pin interfaces, which
+// fold bit-identically under identical options. That is what lets the
+// fold service key its result cache on this value: an uploaded netlist
+// and a generator spec that build the same AIG hit the same cache
+// entry. The hash is deliberately sensitive to PI/PO order and to the
+// total PI/PO counts (unused inputs included): pin scheduling — and
+// thus the folded circuit — depends on them.
+func StructuralHash(g *Graph) uint64 {
+	// edge key: fanin signature with the complement bit folded in.
+	sigs := make([]uint64, len(g.nodes))
+	key := func(l Lit) uint64 {
+		return sigs[l.Node()]<<1 | uint64(l&1)
+	}
+	for id := range g.nodes {
+		n := &g.nodes[id]
+		h := uint64(fnvOffset64)
+		mix := func(v uint64) {
+			h ^= v
+			h *= fnvPrime64
+		}
+		switch n.kind {
+		case kindConst:
+			mix(shConst)
+		case kindPI:
+			mix(shPI)
+			mix(uint64(n.piIndex))
+		case kindAnd:
+			k0, k1 := key(n.fan0), key(n.fan1)
+			if k0 > k1 {
+				k0, k1 = k1, k0
+			}
+			mix(shAnd)
+			mix(k0)
+			mix(k1)
+		}
+		sigs[id] = h
+	}
+
+	h := uint64(fnvOffset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= fnvPrime64
+	}
+	mix(uint64(len(g.pis)))
+	mix(uint64(len(g.pos)))
+	for _, po := range g.pos {
+		mix(shPO)
+		mix(key(po))
+	}
+	return h
+}

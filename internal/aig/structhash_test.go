@@ -1,0 +1,123 @@
+package aig
+
+import "testing"
+
+// buildDiamond builds out = (a&b) & (c&d) with the two inner ANDs
+// created in the given order, so the two variants hold the same
+// structure under different node numberings (and, at the outer AND,
+// a different stored fanin order after And's Lit normalization).
+func buildDiamond(innerFirst bool) *Graph {
+	g := New()
+	a := g.PI("a")
+	b := g.PI("b")
+	c := g.PI("c")
+	d := g.PI("d")
+	var x, y Lit
+	if innerFirst {
+		x = g.And(a, b)
+		y = g.And(c, d)
+	} else {
+		y = g.And(c, d)
+		x = g.And(a, b)
+	}
+	g.AddPO(g.And(x, y), "out")
+	return g
+}
+
+func TestStructuralHashRenumberingInvariant(t *testing.T) {
+	g1 := buildDiamond(true)
+	g2 := buildDiamond(false)
+	if g1.And(g1.PILit(0), g1.PILit(1)) == g2.And(g2.PILit(0), g2.PILit(1)) {
+		// Sanity only: the builds really do number nodes differently.
+		t.Log("builds coincidentally share numbering")
+	}
+	h1, h2 := StructuralHash(g1), StructuralHash(g2)
+	if h1 != h2 {
+		t.Fatalf("same structure, different hash: %#x vs %#x", h1, h2)
+	}
+}
+
+func TestStructuralHashIgnoresDeadNodesAndNames(t *testing.T) {
+	g1 := buildDiamond(true)
+	ref := StructuralHash(g1)
+
+	// Dead AND: reachable from no PO, so it must not perturb the hash.
+	g2 := buildDiamond(true)
+	g2.And(g2.PILit(0), g2.PILit(3))
+	if h := StructuralHash(g2); h != ref {
+		t.Fatalf("dead node changed hash: %#x vs %#x", h, ref)
+	}
+
+	// Names are not structure.
+	g3 := New()
+	a := g3.PI("in0")
+	b := g3.PI("in1")
+	c := g3.PI("in2")
+	d := g3.PI("in3")
+	g3.AddPO(g3.And(g3.And(a, b), g3.And(c, d)), "y")
+	if h := StructuralHash(g3); h != ref {
+		t.Fatalf("renamed pins changed hash: %#x vs %#x", h, ref)
+	}
+}
+
+func TestStructuralHashCollisions(t *testing.T) {
+	g1 := buildDiamond(true)
+	ref := StructuralHash(g1)
+
+	// Different function.
+	g2 := New()
+	a := g2.PI("a")
+	b := g2.PI("b")
+	c := g2.PI("c")
+	d := g2.PI("d")
+	g2.AddPO(g2.And(g2.Or(a, b), g2.And(c, d)), "out")
+	if h := StructuralHash(g2); h == ref {
+		t.Fatalf("different function, same hash %#x", h)
+	}
+
+	// An extra (unused) PI changes the pin interface, so it must
+	// change the hash: pin scheduling sees all PIs.
+	g3 := buildDiamond(true)
+	g3.PI("spare")
+	if h := StructuralHash(g3); h == ref {
+		t.Fatalf("extra PI, same hash %#x", h)
+	}
+
+	// Complemented output is a different circuit.
+	g4 := buildDiamond(true)
+	g4.SetPO(0, g4.PO(0).Not())
+	if h := StructuralHash(g4); h == ref {
+		t.Fatalf("complemented PO, same hash %#x", h)
+	}
+}
+
+func TestStructuralHashSensitiveToPOOrder(t *testing.T) {
+	build := func(swap bool) *Graph {
+		g := New()
+		a := g.PI("a")
+		b := g.PI("b")
+		x := g.And(a, b)
+		y := g.Or(a, b)
+		if swap {
+			x, y = y, x
+		}
+		g.AddPO(x, "o0")
+		g.AddPO(y, "o1")
+		return g
+	}
+	if h1, h2 := StructuralHash(build(false)), StructuralHash(build(true)); h1 == h2 {
+		t.Fatalf("permuted POs, same hash %#x (schedules differ, hashes must too)", h1)
+	}
+}
+
+func TestStructuralHashConstantOutputs(t *testing.T) {
+	g1 := New()
+	g1.PI("a")
+	g1.AddPO(Const0, "o")
+	g2 := New()
+	g2.PI("a")
+	g2.AddPO(Const1, "o")
+	if h1, h2 := StructuralHash(g1), StructuralHash(g2); h1 == h2 {
+		t.Fatalf("const-0 and const-1 outputs share hash %#x", h1)
+	}
+}

@@ -69,6 +69,13 @@ type SweepOptions struct {
 	// profiles attribute sweep and simulation work to the pipeline
 	// stage that triggered it.
 	Stage string
+	// Solvers, when non-nil, supplies the shard solvers and receives
+	// them back once the proving rounds end, so pooled sweeps reuse the
+	// solvers' per-variable arrays across jobs. Solvers are hard-reset
+	// between uses (sat.Solver.Reset); nil allocates per sweep. The
+	// pool is accessed from the shard worker goroutines and must stay
+	// usable concurrently (sat.Pool is).
+	Solvers *sat.Pool
 }
 
 // DefaultSweepOptions returns the settings used by the optimization flow.
@@ -345,7 +352,7 @@ func (g *Graph) SweepWithStats(opt SweepOptions) (*Graph, *SweepStats) {
 							pprof.Labels("stage", opt.Stage, "sweep.shard", strconv.Itoa(sh))))
 					}
 					if solvers[sh] == nil {
-						solvers[sh] = sat.New()
+						solvers[sh] = opt.Solvers.Get()
 						solvers[sh].SetBudget(opt.ConflictBudget)
 						if opt.Interrupt != nil {
 							solvers[sh].SetInterrupt(func() bool { return opt.Interrupt() != nil })
@@ -452,6 +459,9 @@ func (g *Graph) SweepWithStats(opt SweepOptions) (*Graph, *SweepStats) {
 	for _, s := range solvers {
 		if s != nil {
 			st.Solver.Add(s.Stats())
+			// Counterexamples were copied out of the models round by
+			// round, so nothing references the solver anymore.
+			opt.Solvers.Put(s)
 		}
 	}
 
@@ -526,10 +536,11 @@ func initialClasses(g *Graph, eng *simEngine, words int, compl, reach []bool) []
 	return out
 }
 
-// sigHash is a 64-bit FNV-1a hash of node id's normalized signature.
+// sigHash is a 64-bit FNV-1a hash of node id's normalized signature,
+// over the same parameters StructuralHash mixes with (structhash.go).
 func sigHash(eng *simEngine, id, words int, neg bool) uint64 {
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
+	const prime = fnvPrime64
+	h := uint64(fnvOffset64)
 	base := id * eng.stride
 	var buf [8]byte
 	for w := 0; w < words; w++ {

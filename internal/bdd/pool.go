@@ -1,0 +1,147 @@
+package bdd
+
+import (
+	"sync"
+
+	"circuitfold/internal/obs"
+)
+
+// Reset returns the manager to the observable state of New(nVars)
+// while retaining its large allocations, so a pooled manager starts
+// the next fold with a warm arena instead of growing from scratch.
+//
+// Everything that can influence behavior is restored exactly: the
+// arena holds only the terminal, the freelist is empty, the unique
+// table and the computed cache are back at their initial sizes (their
+// sizes steer growth triggers and cache hit patterns, and hit patterns
+// steer allocation order — a larger-than-fresh cache would give a
+// pooled fold a different arena layout than a cold one), the variable
+// order is the identity, and the interrupt hook, node limit, observer
+// and statistics are cleared. Only capacities survive: the arena and
+// visited backing arrays (the dominant allocation), the traversal
+// stack, the swap scratch, the Translate memo (epoch-guarded, so its
+// stale entries are unreachable) and the level/order slices. A fold on
+// a Reset manager is therefore bit-identical to the same fold on a
+// fresh one — the same guarantee Reserve documents: layout is a pure
+// function of the manager's operation history.
+func (m *Manager) Reset(nVars int) {
+	m.nodes = m.nodes[:1]
+	m.nodes[0] = nodeRec{level: int32(nVars)}
+	m.free = m.free[:0]
+
+	// The tables only ever grow, so slicing recovers the fresh length;
+	// the retained prefix must be zeroed (it is live table state).
+	m.unique = m.unique[:minUniqueSlots]
+	for i := range m.unique {
+		m.unique[i] = 0
+	}
+	m.uniqueUsed = 0
+	m.cache = m.cache[:minCacheSlots]
+	for i := range m.cache {
+		m.cache[i] = cacheEntry{}
+	}
+
+	// visited entries beyond the arena are re-appended as zero by mkReg,
+	// so clearing the one live slot and restarting the epoch suffices.
+	m.visited = m.visited[:1]
+	m.visited[0] = 0
+	m.epoch = 0
+	m.stack = m.stack[:0]
+
+	if cap(m.levelList) >= nVars {
+		m.levelList = m.levelList[:nVars]
+	} else {
+		m.levelList = make([]Node, nVars)
+	}
+	for i := range m.levelList {
+		m.levelList[i] = 0
+	}
+	m.varAtLevel = m.varAtLevel[:0]
+	m.levelOfVar = m.levelOfVar[:0]
+	for i := 0; i < nVars; i++ {
+		m.varAtLevel = append(m.varAtLevel, i)
+		m.levelOfVar = append(m.levelOfVar, i)
+	}
+
+	m.interrupt = nil
+	m.nodeLimit = 0
+	m.hits, m.misses, m.cHits = 0, 0, 0
+	m.peak = 1
+	m.flushedHits, m.flushedMisses, m.flushedCHits = 0, 0, 0
+	m.span = nil
+	m.mSwaps, m.mHits, m.mMisses, m.mCompl = nil, nil, nil, nil
+	m.mLive, m.mArena, m.mFree, m.mLoad = nil, nil, nil, nil
+}
+
+// Pool recycles Managers across folds. Get hands out a Reset manager
+// with a warm arena when one is available and a fresh one otherwise;
+// Put returns a manager once no Node from it is referenced anymore.
+// Because Reset restores the exact observable state of New, pooled and
+// fresh managers run bit-identical folds; the pool only removes the
+// allocation warm-up. All methods are safe for concurrent use (the
+// hybrid engine folds clusters from several goroutines over one pool)
+// and nil-safe: a nil *Pool degrades to plain New, so call sites can
+// thread an optional pool unconditionally.
+type Pool struct {
+	mu    sync.Mutex
+	free  []*Manager
+	reuse *obs.Counter // obs.MBDDPoolReuse, nil when unobserved
+}
+
+// poolCap bounds the managers a Pool retains; beyond it, Put drops the
+// manager for the GC. Folds use at most a handful of pooled managers
+// at once (the schedule manager and the folding manager), so a small
+// cap holds the working set without pinning worst-case arenas forever.
+const poolCap = 8
+
+// NewPool returns an empty manager pool.
+func NewPool() *Pool { return &Pool{} }
+
+// SetMetrics directs the pool's reuse counter (obs.MBDDPoolReuse):
+// incremented every time Get serves a recycled arena instead of
+// allocating. Nil (and a nil pool) disables counting.
+func (p *Pool) SetMetrics(reuse *obs.Counter) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.reuse = reuse
+	p.mu.Unlock()
+}
+
+// Get returns a manager with nVars variables, recycling a pooled arena
+// when one is available. On a nil pool it is exactly New(nVars).
+func (p *Pool) Get(nVars int) *Manager {
+	if p == nil {
+		return New(nVars)
+	}
+	p.mu.Lock()
+	var m *Manager
+	if k := len(p.free) - 1; k >= 0 {
+		m = p.free[k]
+		p.free[k] = nil
+		p.free = p.free[:k]
+	}
+	reuse := p.reuse
+	p.mu.Unlock()
+	if m == nil {
+		return New(nVars)
+	}
+	m.Reset(nVars)
+	reuse.Add(1)
+	return m
+}
+
+// Put returns a manager to the pool. The caller must not hold any Node
+// of m afterwards. Nil pools and nil managers are no-ops; a full pool
+// drops m.
+func (p *Pool) Put(m *Manager) {
+	if p == nil || m == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < poolCap {
+		p.free = append(p.free, m)
+	}
+	p.mu.Unlock()
+}

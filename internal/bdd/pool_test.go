@@ -1,0 +1,177 @@
+package bdd
+
+import (
+	"sync"
+	"testing"
+
+	"circuitfold/internal/obs"
+)
+
+// poolWorkload runs a fixed operation sequence — enough to grow the
+// unique table past its initial size, exercise the computed cache, GC
+// and sifting — and returns the final layout hash and a result node.
+func poolWorkload(m *Manager) (Node, uint64) {
+	n := m.NumVars()
+	f := m.Var(0)
+	g := m.NVar(1)
+	for i := 1; i < n; i++ {
+		f = m.Xor(f, m.Var(i))
+		g = m.Ite(m.Var(i), g, m.And(f, m.Var((i+1)%n)))
+	}
+	h := m.Or(f, g)
+	m.GC([]Node{f, g, h})
+	m.Sift([]Node{f, g, h}, 0, n-1)
+	return h, m.LayoutHash()
+}
+
+// TestResetBitIdenticalToFresh is the pooling determinism contract: a
+// manager that did arbitrary unrelated work and was Reset runs the
+// same workload to the same arena layout and the same result node as
+// a fresh manager.
+func TestResetBitIdenticalToFresh(t *testing.T) {
+	fresh := New(14)
+	fNode, fHash := poolWorkload(fresh)
+
+	dirty := New(9)
+	// Unrelated garbage under different knobs: other variable count,
+	// reordering, an interrupt hook, a node limit, an observer.
+	dirty.SetInterrupt(func() error { return nil })
+	dirty.SetNodeLimit(1 << 20)
+	dirty.SetObserver(nil, obs.NewRegistry())
+	a := dirty.Var(3)
+	for i := 0; i < 9; i++ {
+		a = m3(dirty, a, i)
+	}
+	dirty.Sift([]Node{a}, 0, 8)
+	dirty.GC([]Node{a})
+
+	dirty.Reset(14)
+	dNode, dHash := poolWorkload(dirty)
+	if dHash != fHash {
+		t.Fatalf("reset manager layout %#x, fresh %#x", dHash, fHash)
+	}
+	if dNode != fNode {
+		t.Fatalf("reset manager result %v, fresh %v", dNode, fNode)
+	}
+}
+
+func m3(m *Manager, a Node, i int) Node {
+	return m.Ite(m.Var(i%9), m.Xor(a, m.Var((i+2)%9)), m.Or(a, m.NVar((i+5)%9)))
+}
+
+// TestResetClearsState checks that nothing observable bleeds through a
+// Reset: statistics, variable order, node limit, free list.
+func TestResetClearsState(t *testing.T) {
+	m := New(6)
+	f := m.Var(0)
+	for i := 1; i < 6; i++ {
+		f = m.Xor(f, m.Var(i))
+	}
+	m.SwapAdjacent(2)
+	m.GC(nil) // frees everything: populates the freelist
+	m.SetNodeLimit(4)
+
+	m.Reset(6)
+	st := m.Stats()
+	if st.AllocNodes != 1 || st.FreeNodes != 0 || st.PeakNodes != 1 {
+		t.Fatalf("reset arena not empty: %+v", st)
+	}
+	if st.UniqueUsed != 0 || st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("reset stats not zero: %+v", st)
+	}
+	for i, v := range m.Order() {
+		if v != i {
+			t.Fatalf("reset order not identity: %v", m.Order())
+		}
+	}
+	// The old node limit must be gone: build well past 4 nodes.
+	g := m.Var(0)
+	for i := 1; i < 6; i++ {
+		g = m.Xor(g, m.Var(i))
+	}
+	if m.NodeCount(g) < 6 {
+		t.Fatalf("parity of 6 vars has %d nodes", m.NodeCount(g))
+	}
+}
+
+// TestResetChangesVariableCount reshapes the manager across Resets.
+func TestResetChangesVariableCount(t *testing.T) {
+	m := New(4)
+	poolWorkloadSmall(m)
+	m.Reset(17)
+	if m.NumVars() != 17 {
+		t.Fatalf("NumVars = %d, want 17", m.NumVars())
+	}
+	want := New(17)
+	a, ha := poolWorkload(want)
+	b, hb := poolWorkload(m)
+	if a != b || ha != hb {
+		t.Fatalf("grown reset diverges: node %v/%v layout %#x/%#x", b, a, hb, ha)
+	}
+	m.Reset(2)
+	if got := m.Level(m.Var(1)); got != 1 {
+		t.Fatalf("shrunk reset: level of var 1 = %d", got)
+	}
+}
+
+func poolWorkloadSmall(m *Manager) {
+	f := m.Var(0)
+	for i := 1; i < m.NumVars(); i++ {
+		f = m.And(f, m.Var(i))
+	}
+}
+
+// TestPoolReuse checks the recycle path, the reuse counter, and the
+// nil-pool degradation.
+func TestPoolReuse(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool()
+	p.SetMetrics(reg.Counter(obs.MBDDPoolReuse))
+
+	m1 := p.Get(8)
+	poolWorkloadSmall(m1)
+	if got := reg.Counter(obs.MBDDPoolReuse).Value(); got != 0 {
+		t.Fatalf("fresh Get counted as reuse: %d", got)
+	}
+	p.Put(m1)
+	m2 := p.Get(8)
+	if m2 != m1 {
+		t.Fatalf("pool did not recycle the manager")
+	}
+	if got := reg.Counter(obs.MBDDPoolReuse).Value(); got != 1 {
+		t.Fatalf("reuse counter = %d, want 1", got)
+	}
+	if st := m2.Stats(); st.AllocNodes != 1 {
+		t.Fatalf("recycled manager not reset: %+v", st)
+	}
+
+	var nilPool *Pool
+	if m := nilPool.Get(3); m == nil || m.NumVars() != 3 {
+		t.Fatalf("nil pool Get broken")
+	}
+	nilPool.Put(nil)
+	nilPool.SetMetrics(nil)
+}
+
+// TestPoolConcurrent hammers one pool from several goroutines; run
+// under -race this is the thread-safety gate for the hybrid engine's
+// shared cluster pool.
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m := p.Get(10)
+				f := m.And(m.Var(0), m.Var(9))
+				if m.Lo(f) != False {
+					t.Error("bad cofactor on pooled manager")
+				}
+				p.Put(m)
+			}
+		}()
+	}
+	wg.Wait()
+}

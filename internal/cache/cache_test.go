@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"circuitfold/internal/obs"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := New(4, 1<<20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", []byte("alpha"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	c.Put("a", []byte("alpha2")) // replace
+	if v, _ := c.Get("a"); string(v) != "alpha2" {
+		t.Fatalf("replacement not visible: %q", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 6 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheEntryEviction(t *testing.T) {
+	c := New(3, 1<<20)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	c.Get("k0") // refresh k0: k1 becomes LRU
+	c.Put("k3", []byte{3})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("LRU entry k1 survived")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheByteEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(100, 10)
+	c.Observe(reg.Gauge(obs.MCacheEntries), reg.Gauge(obs.MCacheBytes),
+		reg.Counter(obs.MCacheEvictions))
+	c.Put("a", []byte("aaaa"))
+	c.Put("b", []byte("bbbb"))
+	c.Put("c", []byte("cccc")) // 12 bytes > 10: evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("byte cap did not evict a")
+	}
+	if got := c.Bytes(); got != 8 {
+		t.Fatalf("Bytes = %d, want 8", got)
+	}
+	if g := reg.Gauge(obs.MCacheBytes).Value(); g != 8 {
+		t.Fatalf("bytes gauge = %d, want 8", g)
+	}
+	if e := reg.Counter(obs.MCacheEvictions).Value(); e != 1 {
+		t.Fatalf("evictions counter = %d, want 1", e)
+	}
+	// An oversized value is rejected outright, evicting nothing.
+	c.Put("huge", make([]byte, 11))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized value stored")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheNilSafe(t *testing.T) {
+	var c *Cache
+	c.Put("a", []byte("x"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.Len() != 0 || c.Bytes() != 0 || (c.Stats() != Stats{}) {
+		t.Fatal("nil cache accounting")
+	}
+	c.Observe(nil, nil, nil)
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := New(16, 1<<10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (w+i)%24)
+				if v, ok := c.Get(k); ok && len(v) != 3 {
+					t.Errorf("short value under %s", k)
+				}
+				c.Put(k, []byte{1, 2, 3})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("entry cap exceeded: %d", c.Len())
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"circuitfold/internal/aig"
+	"circuitfold/internal/bdd"
+	"circuitfold/internal/obs"
+	"circuitfold/internal/sat"
+)
+
+// Pools bundles the reusable fold arenas: a BDD manager pool for the
+// time-frame composition and reorder stages, and a SAT solver pool for
+// minimization and sweeping. A fold that runs with a Pools attached
+// checks arenas out at stage entry and returns them at stage exit with
+// a hard reset in between (bdd.Manager.Reset, sat.Solver.Reset), so a
+// pooled fold is bit-identical to a cold one — only the allocations
+// are shared. The zero of each field and a nil *Pools both degrade to
+// plain allocation, so option structs thread a Pools unconditionally.
+type Pools struct {
+	BDD *bdd.Pool
+	SAT *sat.Pool
+}
+
+// NewPools returns a fresh arena bundle. One bundle is typically owned
+// by one runner worker: the pools themselves are thread-safe, but
+// per-worker bundles keep arena reuse hot under concurrency instead of
+// contending on one free list.
+func NewPools() *Pools {
+	return &Pools{BDD: bdd.NewPool(), SAT: sat.NewPool()}
+}
+
+// Observe directs the bundle's reuse counters (obs.MBDDPoolReuse,
+// obs.MSATPoolReuse) at the given registry. Nil receivers and nil
+// registries are no-ops.
+func (p *Pools) Observe(reg *obs.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	p.BDD.SetMetrics(reg.Counter(obs.MBDDPoolReuse))
+	p.SAT.SetMetrics(reg.Counter(obs.MSATPoolReuse))
+}
+
+// bddPool returns the BDD arena pool, nil-safely.
+func (p *Pools) bddPool() *bdd.Pool {
+	if p == nil {
+		return nil
+	}
+	return p.BDD
+}
+
+// satPool returns the SAT solver pool, nil-safely.
+func (p *Pools) satPool() *sat.Pool {
+	if p == nil {
+		return nil
+	}
+	return p.SAT
+}
+
+// pooledSweepOptions defaults a sweep configuration's solver pool from
+// the fold's arena bundle, copying the options rather than mutating the
+// caller's struct. Nil options, an explicit pool, or an absent bundle
+// pass through unchanged.
+func pooledSweepOptions(post *aig.SweepOptions, pools *Pools) *aig.SweepOptions {
+	if post == nil || post.Solvers != nil || pools.satPool() == nil {
+		return post
+	}
+	o := *post
+	o.Solvers = pools.SAT
+	return &o
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"circuitfold"
+	"circuitfold/internal/cache"
 	"circuitfold/internal/core"
 	"circuitfold/internal/obs"
 	"circuitfold/internal/pipeline"
@@ -44,10 +45,11 @@ const eventReplay = 256
 // Job is one submitted fold. All accessors are safe for concurrent
 // use; the zero value is not usable — jobs come from Runner.Submit.
 type Job struct {
-	id   string
-	spec Spec
-	key  string
-	g    *circuitfold.Circuit
+	id      string
+	spec    Spec
+	key     string
+	foldKey string // shared-work content address (Spec.FoldKey)
+	g       *circuitfold.Circuit
 
 	events  *obs.Broadcast
 	metrics *circuitfold.Metrics
@@ -60,6 +62,8 @@ type Job struct {
 	state     State
 	err       string
 	method    string
+	cacheStat string   // shared-work verdict at submit: "hit", "miss" or "attached"
+	enqueued  bool     // true once the job entered the worker queue
 	resumed   []string // stage names restored from checkpoints
 	fromSnap  bool     // whole result restored from the final snapshot
 	created   time.Time
@@ -79,6 +83,19 @@ func (j *Job) Spec() Spec { return j.spec }
 
 // Key returns the job's content address (Spec.Hash).
 func (j *Job) Key() string { return j.key }
+
+// FoldKey returns the job's shared-work content address (Spec.FoldKey):
+// the key of the runner's result cache and in-flight dedup.
+func (j *Job) FoldKey() string { return j.foldKey }
+
+// CacheStatus reports how the shared-work engine classified the job at
+// submit: "hit" (served from the result cache), "attached" (joined an
+// identical in-flight job), or "miss" (folded).
+func (j *Job) CacheStatus() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cacheStat
+}
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -143,7 +160,11 @@ type Status struct {
 	// snapshot (an identical spec already ran to completion).
 	Resumed       []string `json:"resumed,omitempty"`
 	ResumedResult bool     `json:"resumed_result,omitempty"`
-	CreatedAt     string   `json:"created_at"`
+	// Cache is the shared-work verdict at submit: "hit" (served from
+	// the result cache), "miss" (folded), or "attached" (joined an
+	// identical in-flight job).
+	Cache     string `json:"cache,omitempty"`
+	CreatedAt string `json:"created_at"`
 	StartedAt     string   `json:"started_at,omitempty"`
 	FinishedAt    string   `json:"finished_at,omitempty"`
 	// Fold shape, present when done.
@@ -173,6 +194,7 @@ func (j *Job) Status() Status {
 		Error:         j.err,
 		Resumed:       append([]string(nil), j.resumed...),
 		ResumedResult: j.fromSnap,
+		Cache:         j.cacheStat,
 		CreatedAt:     j.created.UTC().Format(time.RFC3339Nano),
 	}
 	if !j.started.IsZero() {
@@ -193,11 +215,22 @@ func (j *Job) Status() Status {
 }
 
 // finish moves the job to a terminal state exactly once.
-func (j *Job) finish(state State, errText string) {
+func (j *Job) finish(state State, errText string) { j.finishWith(state, errText, nil) }
+
+// finishWith moves the job to a terminal state exactly once, running
+// mutate under the job lock just before the transition when this call
+// wins it. It reports whether it did: a lost race (the job was already
+// terminal) leaves the job untouched, so concurrent finishers — the
+// fold worker, a user cancel, a dedup delivery — cannot interleave
+// their result fields.
+func (j *Job) finishWith(state State, errText string, mutate func()) bool {
 	j.mu.Lock()
 	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
 		j.mu.Unlock()
-		return
+		return false
+	}
+	if mutate != nil {
+		mutate()
 	}
 	j.state = state
 	j.err = errText
@@ -205,6 +238,7 @@ func (j *Job) finish(state State, errText string) {
 	j.mu.Unlock()
 	j.events.Close()
 	close(j.done)
+	return true
 }
 
 // Runner executes jobs on a bounded worker pool over a checkpoint
@@ -216,15 +250,25 @@ type Runner struct {
 	metrics *obs.Registry // process-level: lifecycle, latency, HTTP
 	fSpans  int           // per-job flight-recorder ring sizes
 	fLogs   int
+	cache   *cache.Cache // shared-work result cache, nil when disabled
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string
+	inflight map[string]*flight // fold key -> live dedup group
 	nextID   int
 	closed   bool
 	draining bool
 
 	wg sync.WaitGroup
+}
+
+// flight is one in-flight dedup group: the leader is the job actually
+// folding under the fold key; waiters attached after it and observe
+// its terminal state (sharing its bit-identical result on success).
+type flight struct {
+	leader  *Job
+	waiters []*Job
 }
 
 // RunnerOptions configures NewRunnerWith. The zero value matches
@@ -245,6 +289,11 @@ type RunnerOptions struct {
 	// (<= 0 selects the obs defaults).
 	FlightSpans int
 	FlightLogs  int
+	// CacheEntries / CacheBytes bound the shared-work result cache
+	// (zero selects the cache defaults). A negative value in either
+	// disables the cache entirely; in-flight dedup stays on.
+	CacheEntries int
+	CacheBytes   int64
 }
 
 // NewRunner starts a runner with the given worker count (minimum 1)
@@ -269,13 +318,21 @@ func NewRunnerWith(opts RunnerOptions) *Runner {
 		opts.Metrics = obs.NewRegistry()
 	}
 	r := &Runner{
-		store:   opts.Store,
-		queue:   make(chan *Job, 1024),
-		log:     opts.Logger,
-		metrics: opts.Metrics,
-		fSpans:  opts.FlightSpans,
-		fLogs:   opts.FlightLogs,
-		jobs:    make(map[string]*Job),
+		store:    opts.Store,
+		queue:    make(chan *Job, 1024),
+		log:      opts.Logger,
+		metrics:  opts.Metrics,
+		fSpans:   opts.FlightSpans,
+		fLogs:    opts.FlightLogs,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*flight),
+	}
+	if opts.CacheEntries >= 0 && opts.CacheBytes >= 0 {
+		r.cache = cache.New(opts.CacheEntries, opts.CacheBytes)
+		r.cache.Observe(
+			opts.Metrics.Gauge(obs.MCacheEntries),
+			opts.Metrics.Gauge(obs.MCacheBytes),
+			opts.Metrics.Counter(obs.MCacheEvictions))
 	}
 	for i := 0; i < opts.Workers; i++ {
 		r.wg.Add(1)
@@ -329,6 +386,7 @@ func (r *Runner) SubmitWith(spec Spec, so SubmitOptions) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	foldKey := spec.FoldKey(g) // hashes the AIG; computed outside the lock
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -339,6 +397,7 @@ func (r *Runner) SubmitWith(spec Spec, so SubmitOptions) (*Job, error) {
 		id:      fmt.Sprintf("j%04d", r.nextID),
 		spec:    spec,
 		key:     spec.Hash(),
+		foldKey: foldKey,
 		g:       g,
 		events:  obs.NewBroadcast(eventReplay),
 		metrics: circuitfold.NewMetrics(),
@@ -354,18 +413,59 @@ func (r *Runner) SubmitWith(spec Spec, so SubmitOptions) (*Job, error) {
 	// the display width used everywhere else).
 	j.log = slog.New(obs.TeeHandler(r.log.Handler(), j.flight.LogHandler())).
 		With("job_id", j.id, "key", shortKey(j.key))
+	// Shared-work triage, in order: (1) the result cache serves a
+	// finished identical fold without touching an engine; (2) a live
+	// identical fold absorbs this submission as a waiter; (3) this
+	// submission leads and enqueues.
+	if data, ok := r.cache.Get(j.foldKey); ok {
+		// A hit decodes into a private Result, so cached jobs never
+		// alias each other's circuits. A corrupt entry (codec version
+		// drift) falls through to a real fold.
+		if method, res, err := decodeFinal(data); err == nil {
+			r.register(j)
+			r.metrics.Counter(obs.MJobCacheHits).Add(1)
+			r.metrics.Counter(obs.MJobDone).Add(1)
+			j.finishWith(StateDone, "", func() {
+				j.cacheStat = "hit"
+				j.method = method
+				j.result = res
+			})
+			j.log.Info("job submitted",
+				"method", j.spec.EffectiveMethod(), "t", j.spec.T, "cache", "hit")
+			j.log.Info("job done", "method", method, "cache", "hit")
+			return j, nil
+		}
+	}
+	if fl, ok := r.inflight[j.foldKey]; ok {
+		j.cacheStat = "attached"
+		fl.waiters = append(fl.waiters, j)
+		r.register(j)
+		r.metrics.Counter(obs.MJobDedupAttached).Add(1)
+		j.log.Info("job submitted", "method", j.spec.EffectiveMethod(),
+			"t", j.spec.T, "cache", "attached", "leader", fl.leader.id)
+		return j, nil
+	}
+	j.cacheStat = "miss"
 	select {
 	case r.queue <- j:
+		j.enqueued = true
 	default:
 		return nil, fmt.Errorf("job: queue full (%d pending)", cap(r.queue))
 	}
+	r.inflight[j.foldKey] = &flight{leader: j}
+	r.register(j)
+	r.metrics.Counter(obs.MJobCacheMisses).Add(1)
+	r.metrics.Gauge(obs.MJobQueueDepth).Set(int64(len(r.queue)))
+	j.log.Info("job submitted", "method", j.spec.EffectiveMethod(),
+		"t", j.spec.T, "profile", so.Profile, "cache", "miss")
+	return j, nil
+}
+
+// register indexes a new job. Called with r.mu held.
+func (r *Runner) register(j *Job) {
 	r.jobs[j.id] = j
 	r.order = append(r.order, j.id)
 	r.metrics.Counter(obs.MJobSubmitted).Add(1)
-	r.metrics.Gauge(obs.MJobQueueDepth).Set(int64(len(r.queue)))
-	j.log.Info("job submitted",
-		"method", j.spec.EffectiveMethod(), "t", j.spec.T, "profile", so.Profile)
-	return j, nil
 }
 
 // shortKey abbreviates a content hash for log correlation.
@@ -406,15 +506,120 @@ func (r *Runner) Cancel(id string) bool {
 	j.mu.Lock()
 	cancel := j.cancel
 	queued := j.state == StateQueued
+	enqueued := j.enqueued
 	j.mu.Unlock()
 	if queued {
-		j.finish(StateCanceled, "canceled before start")
+		if j.finishWith(StateCanceled, "canceled before start", nil) && !enqueued {
+			// Attached waiters never pass through a worker, so their
+			// cancellation is accounted here; enqueued jobs are counted
+			// when a worker dequeues them in a terminal state.
+			r.metrics.Counter(obs.MJobCanceled).Add(1)
+		}
+		// A canceled leader hands its waiters to a promoted successor.
+		r.settleFlight(j)
 		return true
 	}
 	if cancel != nil {
 		cancel()
 	}
 	return true
+}
+
+// settleFlight resolves the dedup group led by leader once it is
+// terminal: done waiters each decode a private copy of the leader's
+// encoded result (bit-identical by construction), failed waiters
+// inherit the failure, and a canceled leader promotes the first
+// still-live waiter so attached work survives user cancellation. No-op
+// unless leader actually leads a live flight, so it is safe to call on
+// every terminal transition.
+func (r *Runner) settleFlight(leader *Job) {
+	r.mu.Lock()
+	fl := r.inflight[leader.foldKey]
+	if fl == nil || fl.leader != leader {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.inflight, leader.foldKey)
+	waiters := fl.waiters
+	r.mu.Unlock()
+	if len(waiters) == 0 {
+		return
+	}
+	leader.mu.Lock()
+	state, errText, method, res := leader.state, leader.err, leader.method, leader.result
+	leader.mu.Unlock()
+	switch state {
+	case StateDone:
+		data, encErr := encodeFinal(method, res)
+		for _, w := range waiters {
+			wm, wres := method, res
+			if encErr == nil {
+				if m2, r2, err := decodeFinal(data); err == nil {
+					wm, wres = m2, r2
+				}
+			}
+			if w.finishWith(StateDone, "", func() {
+				w.method = wm
+				w.result = wres
+			}) {
+				r.metrics.Counter(obs.MJobDone).Add(1)
+				w.log.Info("job done", "method", wm, "cache", "attached", "leader", leader.id)
+			}
+		}
+	case StateFailed:
+		for _, w := range waiters {
+			if w.finishWith(StateFailed, errText, nil) {
+				r.metrics.Counter(obs.MJobFailed).Add(1)
+				w.log.Error("job failed", "err", errText, "cache", "attached", "leader", leader.id)
+			}
+		}
+	case StateCanceled:
+		r.promote(leader, waiters)
+	}
+}
+
+// promote re-enqueues the first still-live waiter as the new leader of
+// its fold key after the old leader was canceled; remaining live
+// waiters re-attach to it. When no promotion is possible — runner
+// draining, queue full, no live waiter — the waiters cancel with the
+// leader.
+func (r *Runner) promote(leader *Job, waiters []*Job) {
+	var live []*Job
+	for _, w := range waiters {
+		w.mu.Lock()
+		if w.state == StateQueued {
+			live = append(live, w)
+		}
+		w.mu.Unlock()
+	}
+	if len(live) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if !r.closed && !r.draining {
+		head := live[0]
+		select {
+		case r.queue <- head:
+			head.mu.Lock()
+			head.cacheStat = "miss" // it folds for real now
+			head.enqueued = true
+			head.mu.Unlock()
+			r.inflight[head.foldKey] = &flight{leader: head, waiters: live[1:]}
+			r.metrics.Gauge(obs.MJobQueueDepth).Set(int64(len(r.queue)))
+			r.mu.Unlock()
+			head.log.Info("job promoted to dedup leader", "was_leader", leader.id)
+			return
+		default:
+			// Queue full: fall through and cancel the group.
+		}
+	}
+	r.mu.Unlock()
+	for _, w := range live {
+		if w.finishWith(StateCanceled, "canceled: in-flight leader canceled", nil) {
+			r.metrics.Counter(obs.MJobCanceled).Add(1)
+			w.log.Info("job canceled", "cache", "attached", "leader", leader.id)
+		}
+	}
 }
 
 // Shutdown drains the runner: no new submissions, queued jobs are
@@ -457,11 +662,17 @@ func (r *Runner) Shutdown(ctx context.Context) error {
 	return fmt.Errorf("job: drain deadline: %w", ctx.Err())
 }
 
-// worker drains the queue.
+// worker drains the queue. Each worker owns one arena bundle: BDD
+// managers and SAT solvers recycle across its jobs with a hard reset
+// in between, so steady-state folding stops paying arena allocation.
+// Per-worker (not global) bundles keep reuse hot without cross-worker
+// contention on the free lists.
 func (r *Runner) worker() {
 	defer r.wg.Done()
+	pools := circuitfold.NewArenaPools()
+	pools.Observe(r.metrics)
 	for j := range r.queue {
-		r.runJob(j)
+		r.runJob(j, pools)
 	}
 }
 
@@ -471,7 +682,11 @@ func (r *Runner) worker() {
 var cpuProfileBusy atomic.Bool
 
 // runJob executes one job end to end.
-func (r *Runner) runJob(j *Job) {
+func (r *Runner) runJob(j *Job, pools *circuitfold.ArenaPools) {
+	// However the job ends, its dedup group (if it leads one) must be
+	// resolved: waiters share a success, inherit a failure, or promote
+	// past a cancellation. The job is terminal on every return path.
+	defer r.settleFlight(j)
 	r.mu.Lock()
 	draining := r.draining
 	r.mu.Unlock()
@@ -560,6 +775,9 @@ func (r *Runner) runJob(j *Job) {
 	// snapshot. A corrupt snapshot falls through to a recompute.
 	if data, ok := ck.Load(finalStage); ok {
 		if method, res, err := decodeFinal(data); err == nil {
+			// Prime the result cache: the next identical submission is
+			// served at the submit call, without reaching a worker.
+			r.cache.Put(j.foldKey, data)
 			j.mu.Lock()
 			j.method = method
 			j.result = res
@@ -574,6 +792,7 @@ func (r *Runner) runJob(j *Job) {
 
 	opt := j.spec.Options()
 	opt.Context = lctx
+	opt.Pools = pools
 	// Spans fan out to the live SSE stream and the flight recorder.
 	opt.Observer = &circuitfold.Observer{
 		Tracer:  circuitfold.NewTracer(obs.MultiSink(j.events, j.flight)),
@@ -640,6 +859,7 @@ func (r *Runner) runJob(j *Job) {
 	}
 	if data, encErr := encodeFinal(method, res); encErr == nil {
 		_ = ck.Save(finalStage, data) // best effort: resume is an optimization
+		r.cache.Put(j.foldKey, data)
 	}
 	j.mu.Lock()
 	j.method = method
@@ -676,6 +896,9 @@ func (r *Runner) dumpFlight(j *Job, ck pipeline.Checkpoint, reason string) {
 	}
 	if st.Method != "" {
 		meta["method"] = st.Method
+	}
+	if st.Cache != "" {
+		meta["cache"] = st.Cache
 	}
 	data, err := json.Marshal(j.flight.Record(meta, j.metrics))
 	if err != nil {

@@ -116,7 +116,10 @@ func TestRunnerRunsJob(t *testing.T) {
 }
 
 func TestRunnerFinalSnapshotResume(t *testing.T) {
-	r := NewRunner(1, nil)
+	// The result cache is disabled so the resubmission exercises the
+	// checkpoint-store resume path (the cache would otherwise serve it
+	// at submit; TestRunnerCacheHit covers that).
+	r := NewRunnerWith(RunnerOptions{Workers: 1, CacheEntries: -1})
 	defer r.Shutdown(context.Background())
 	j1, err := r.Submit(smokeSpec())
 	if err != nil {

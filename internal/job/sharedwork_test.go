@@ -1,0 +1,372 @@
+package job
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"circuitfold"
+	"circuitfold/internal/obs"
+	"circuitfold/internal/pipeline"
+)
+
+// gateStore blocks every Checkpoint call until the gate closes, giving
+// tests a deterministic window in which a job is running but has made
+// no progress — the stand-in for "an identical fold is in flight".
+type gateStore struct {
+	Store
+	gate chan struct{}
+}
+
+func (s *gateStore) Checkpoint(key string) pipeline.Checkpoint {
+	<-s.gate
+	return s.Store.Checkpoint(key)
+}
+
+// encodeJob serializes a finished job's result for byte-level
+// comparison.
+func encodeJob(t *testing.T, j *Job) []byte {
+	t.Helper()
+	res, err := j.Result()
+	if err != nil {
+		t.Fatalf("%s: %v", j.ID(), err)
+	}
+	res2 := stripReport(res)
+	data, err := encodeFinal(j.Status().Method, &res2)
+	if err != nil {
+		t.Fatalf("%s: encode: %v", j.ID(), err)
+	}
+	return data
+}
+
+func TestFoldKeyNetlistGeneratorCollision(t *testing.T) {
+	g, err := circuitfold.Benchmark("adder3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := circuitfold.WriteAAG(&buf, &circuitfold.Sequential{G: g, NumInputs: g.NumPIs()}); err != nil {
+		t.Fatal(err)
+	}
+	gen := Spec{Generator: "adder3", T: 3, Reorder: true}
+	net := Spec{Netlist: &Netlist{Format: "aag", Text: buf.String()}, T: 3, Reorder: true}
+	gg, err := gen.Circuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := net.Circuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Hash() == net.Hash() {
+		t.Error("wire-form hashes should differ (different sources)")
+	}
+	if gen.FoldKey(gg) != net.FoldKey(ng) {
+		t.Error("generator and netlist of the same AIG should share a fold key")
+	}
+
+	// Sensitivity: anything that can change the fold's outcome splits
+	// the key; Workers (bit-identical by construction) does not.
+	vary := gen
+	vary.T = 2
+	if vary.FoldKey(gg) == gen.FoldKey(gg) {
+		t.Error("different T should split the fold key")
+	}
+	vary = gen
+	vary.WallMS = 5000
+	if vary.FoldKey(gg) == gen.FoldKey(gg) {
+		t.Error("different budget should split the fold key")
+	}
+	vary = gen
+	vary.Workers = 7
+	if vary.FoldKey(gg) != gen.FoldKey(gg) {
+		t.Error("Workers must not change the fold key")
+	}
+	vary = gen
+	vary.Counter = "nat" // resolved encoding: "" and "nat" are the same
+	if vary.FoldKey(gg) != gen.FoldKey(gg) {
+		t.Error("encoding spelling must not change the fold key")
+	}
+}
+
+func TestRunnerCacheHit(t *testing.T) {
+	r := NewRunner(2, nil)
+	defer r.Shutdown(context.Background())
+	j1, err := r.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j1)
+	if st := j1.Status(); st.State != StateDone || st.Cache != "miss" {
+		t.Fatalf("cold job status = %+v", st)
+	}
+	j2, err := r.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j2)
+	st := j2.Status()
+	if st.State != StateDone || st.Cache != "hit" {
+		t.Fatalf("resubmission status = %+v", st)
+	}
+	if st.StartedAt != "" {
+		t.Error("cache hit should never reach a worker")
+	}
+	if !bytes.Equal(encodeJob(t, j1), encodeJob(t, j2)) {
+		t.Error("cached result is not byte-identical to the cold fold")
+	}
+	// The hit decodes a private Result: mutating one job's circuit must
+	// not alias the other's.
+	r1, _ := j1.Result()
+	r2, _ := j2.Result()
+	if r1.Seq == r2.Seq {
+		t.Error("cache hit aliases the cold job's circuit")
+	}
+	m := r.Metrics()
+	if hits := m.Counter(obs.MJobCacheHits).Value(); hits != 1 {
+		t.Errorf("cache_hits = %d, want 1", hits)
+	}
+	if misses := m.Counter(obs.MJobCacheMisses).Value(); misses != 1 {
+		t.Errorf("cache_misses = %d, want 1", misses)
+	}
+}
+
+// TestRunnerDedupConcurrentIdentical is the shared-work race gate:
+// identical specs submitted concurrently collapse onto one fold, and
+// every submission observes the same bytes.
+func TestRunnerDedupConcurrentIdentical(t *testing.T) {
+	gate := make(chan struct{})
+	r := NewRunnerWith(RunnerOptions{
+		Workers: 4,
+		Store:   &gateStore{Store: NewMemStore(), gate: gate},
+	})
+	defer r.Shutdown(context.Background())
+
+	const n = 6
+	jobs := make([]*Job, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jobs[i], errs[i] = r.Submit(smokeSpec())
+		}(i)
+	}
+	wg.Wait()
+	close(gate)
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		wait(t, jobs[i])
+	}
+
+	misses, attached := 0, 0
+	for _, j := range jobs {
+		st := j.Status()
+		if st.State != StateDone {
+			t.Fatalf("%s: %+v", j.ID(), st)
+		}
+		switch st.Cache {
+		case "miss":
+			misses++
+		case "attached":
+			attached++
+		default:
+			t.Errorf("%s: unexpected cache status %q", j.ID(), st.Cache)
+		}
+	}
+	if misses != 1 || attached != n-1 {
+		t.Errorf("misses/attached = %d/%d, want 1/%d", misses, attached, n-1)
+	}
+	want := encodeJob(t, jobs[0])
+	for _, j := range jobs[1:] {
+		if !bytes.Equal(want, encodeJob(t, j)) {
+			t.Errorf("%s: attached result diverges from the leader's", j.ID())
+		}
+	}
+	if got := r.Metrics().Counter(obs.MJobDedupAttached).Value(); got != n-1 {
+		t.Errorf("dedup_attached = %d, want %d", got, n-1)
+	}
+}
+
+// TestRunnerDedupWaiterCancel: cancelling an attached waiter leaves
+// the leader folding; the waiter stays canceled when the result lands.
+func TestRunnerDedupWaiterCancel(t *testing.T) {
+	gate := make(chan struct{})
+	r := NewRunnerWith(RunnerOptions{
+		Workers: 1,
+		Store:   &gateStore{Store: NewMemStore(), gate: gate},
+	})
+	defer r.Shutdown(context.Background())
+
+	leader, err := r.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, leader)
+	waiter, err := r.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waiter.Status(); st.Cache != "attached" {
+		t.Fatalf("waiter status = %+v", st)
+	}
+	if !r.Cancel(waiter.ID()) {
+		t.Fatal("cancel returned false")
+	}
+	wait(t, waiter)
+	if st := waiter.Status(); st.State != StateCanceled {
+		t.Fatalf("canceled waiter status = %+v", st)
+	}
+	close(gate)
+	wait(t, leader)
+	if st := leader.Status(); st.State != StateDone {
+		t.Fatalf("leader status = %+v (%s)", st, st.Error)
+	}
+	if st := waiter.Status(); st.State != StateCanceled {
+		t.Errorf("waiter resurrected by the leader's result: %+v", st)
+	}
+	// The flight resolved: the next identical submission is a cache hit.
+	again, err := r.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, again)
+	if st := again.Status(); st.Cache != "hit" {
+		t.Errorf("post-flight submission = %+v, want cache hit", st)
+	}
+}
+
+// TestRunnerDedupLeaderCancelPromotes: cancelling the leader promotes
+// the first live waiter, which folds for real; later waiters re-attach
+// and share its result.
+func TestRunnerDedupLeaderCancelPromotes(t *testing.T) {
+	gate := make(chan struct{})
+	r := NewRunnerWith(RunnerOptions{
+		Workers: 1,
+		Store:   &gateStore{Store: NewMemStore(), gate: gate},
+	})
+	defer r.Shutdown(context.Background())
+
+	leader, err := r.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, leader)
+	w1, err := r.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := r.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Cancel(leader.ID()) {
+		t.Fatal("cancel returned false")
+	}
+	close(gate)
+	wait(t, leader)
+	if st := leader.Status(); st.State != StateCanceled {
+		t.Fatalf("leader status = %+v", st)
+	}
+	wait(t, w1)
+	wait(t, w2)
+	st1, st2 := w1.Status(), w2.Status()
+	if st1.State != StateDone || st2.State != StateDone {
+		t.Fatalf("waiter states = %s/%s (%s/%s)", st1.State, st2.State, st1.Error, st2.Error)
+	}
+	if st1.Cache != "miss" {
+		t.Errorf("promoted waiter cache = %q, want miss", st1.Cache)
+	}
+	if st2.Cache != "attached" {
+		t.Errorf("re-attached waiter cache = %q, want attached", st2.Cache)
+	}
+	if !bytes.Equal(encodeJob(t, w1), encodeJob(t, w2)) {
+		t.Error("re-attached waiter's result diverges from the promoted leader's")
+	}
+}
+
+// TestRunnerPooledMatchesCold proves the tentpole determinism claim end
+// to end: a fold run on the runner's pooled, recycled arenas is
+// bit-identical to the same fold on fresh allocations, including after
+// the pools have been dirtied by a differently-shaped job.
+func TestRunnerPooledMatchesCold(t *testing.T) {
+	r := NewRunner(1, nil)
+	defer r.Shutdown(context.Background())
+
+	for i, spec := range []Spec{
+		{Generator: "64-adder", T: 16, Reorder: true},
+		{Generator: "64-adder", T: 8, Reorder: true}, // recycled arenas, new shape
+		{Generator: "adder3", T: 3, Reorder: true, Minimize: true},
+	} {
+		j, err := r.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wait(t, j)
+		res, err := j.Result()
+		if err != nil {
+			t.Fatalf("job %d: %v (%+v)", i, err, j.Status())
+		}
+		g, err := spec.Circuit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := circuitfold.Functional(g, spec.T, spec.Options())
+		if err != nil {
+			t.Fatalf("cold fold %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(stripReport(res), stripReport(cold)) {
+			t.Errorf("job %d (%s T=%d): pooled result differs from cold fold",
+				i, spec.Generator, spec.T)
+		}
+	}
+	if reuse := r.Metrics().Counter(obs.MBDDPoolReuse).Value(); reuse == 0 {
+		t.Error("BDD pool recorded no reuse across jobs")
+	}
+}
+
+// TestRunnerCacheDisabled: negative cache bounds turn the cache off,
+// so identical resubmission falls back to the checkpoint store (and
+// dedup still collapses concurrent ones).
+func TestRunnerCacheDisabled(t *testing.T) {
+	r := NewRunnerWith(RunnerOptions{Workers: 1, CacheEntries: -1})
+	defer r.Shutdown(context.Background())
+	j1, err := r.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j1)
+	j2, err := r.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j2)
+	st := j2.Status()
+	if st.Cache != "miss" || !st.ResumedResult {
+		t.Fatalf("cache-disabled resubmission = %+v, want miss + snapshot resume", st)
+	}
+	if hits := r.Metrics().Counter(obs.MJobCacheHits).Value(); hits != 0 {
+		t.Errorf("cache_hits = %d with cache disabled", hits)
+	}
+}
+
+// TestRunnerStatusJSONCache pins the wire shape of the cache verdict.
+func TestRunnerStatusJSONCache(t *testing.T) {
+	r := NewRunner(1, nil)
+	defer r.Shutdown(context.Background())
+	j, err := r.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j)
+	blob := fmt.Sprintf("%+v", j.Status())
+	if !bytes.Contains([]byte(blob), []byte("miss")) {
+		t.Errorf("status carries no cache verdict: %s", blob)
+	}
+}

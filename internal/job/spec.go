@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"circuitfold"
+	"circuitfold/internal/aig"
 	"circuitfold/internal/cio"
 )
 
@@ -180,6 +181,61 @@ func (s *Spec) Hash() string {
 	if err != nil {
 		// A Spec is plain data; Marshal cannot fail on one.
 		panic(fmt.Sprintf("job: spec hash: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// foldKeyVersion versions the FoldKey derivation: bump it whenever the
+// hashed fields or their meaning change, so stale cache entries from an
+// older derivation can never serve a new submission.
+const foldKeyVersion = 1
+
+// FoldKey is the job's shared-work content address, the key of the
+// runner's result cache and in-flight dedup. Unlike Hash, which
+// fingerprints the spec's wire form, FoldKey hashes the built circuit
+// (aig.StructuralHash over the strashed AIG) together with every knob
+// that can change the fold's outcome — so an inline netlist and a
+// generator spec producing the same AIG collide: they are the same
+// fold. Resolved encodings are hashed, so "nat"/"binary"/"" collide
+// too. Budgets are included because a tighter budget can change (or
+// abort) the result; Workers is deliberately excluded because folds
+// are bit-identical for every worker count.
+func (s *Spec) FoldKey(g *circuitfold.Circuit) string {
+	counter, _ := parseEncoding(s.Counter)
+	stateEnc, _ := parseEncoding(s.StateEnc)
+	key := struct {
+		V               int    `json:"v"`
+		AIG             string `json:"aig"`
+		T               int    `json:"t"`
+		Method          string `json:"method"`
+		Counter         int    `json:"counter"`
+		StateEnc        int    `json:"state_enc"`
+		Reorder         bool   `json:"reorder"`
+		Minimize        bool   `json:"minimize"`
+		WallMS          int64  `json:"wall_ms"`
+		MaxBDDNodes     int    `json:"max_bdd_nodes"`
+		MaxSATConflicts int64  `json:"max_sat_conflicts"`
+		MaxStates       int    `json:"max_states"`
+		SelfCheckRounds int    `json:"self_check_rounds"`
+	}{
+		V:               foldKeyVersion,
+		AIG:             fmt.Sprintf("%016x", aig.StructuralHash(g)),
+		T:               s.T,
+		Method:          s.EffectiveMethod(),
+		Counter:         int(counter),
+		StateEnc:        int(stateEnc),
+		Reorder:         s.Reorder,
+		Minimize:        s.Minimize,
+		WallMS:          s.WallMS,
+		MaxBDDNodes:     s.MaxBDDNodes,
+		MaxSATConflicts: s.MaxSATConflicts,
+		MaxStates:       s.MaxStates,
+		SelfCheckRounds: s.SelfCheckRounds,
+	}
+	data, err := json.Marshal(&key)
+	if err != nil {
+		panic(fmt.Sprintf("job: fold key: %v", err)) // plain data; cannot fail
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])

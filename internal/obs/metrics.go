@@ -45,6 +45,17 @@ const (
 	MJobDone       = "job.done"             // counter: jobs finished successfully
 	MJobFailed     = "job.failed"           // counter: jobs finished in error
 	MJobCanceled   = "job.canceled"         // counter: jobs canceled (client or drain)
+
+	// Shared-work engine (result cache, in-flight dedup, arena pools).
+	MJobCacheHits     = "job.cache_hits"     // counter: submissions served from the result cache
+	MJobCacheMisses   = "job.cache_misses"   // counter: submissions that had to fold
+	MJobDedupAttached = "job.dedup_attached" // counter: submissions attached to an identical in-flight job
+	MCacheEntries     = "cache.entries"      // gauge: result-cache entries resident
+	MCacheBytes       = "cache.bytes"        // gauge: result-cache bytes resident
+	MCacheEvictions   = "cache.evictions"    // counter: result-cache entries evicted (LRU or size cap)
+	MBDDPoolReuse     = "bdd.pool_reuse"     // counter: BDD manager arenas recycled from a pool
+	MSATPoolReuse     = "sat.pool_reuse"     // counter: SAT solvers recycled from a pool
+
 	MHTTPRequests  = "http.requests"        // counter: API requests served
 	MHTTPSeconds   = "http.request_seconds" // timing: API request latency
 	MFlightDumps   = "flight.dumps"         // counter: flight-recorder artifacts written

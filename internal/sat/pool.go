@@ -1,0 +1,135 @@
+package sat
+
+import (
+	"sync"
+
+	"circuitfold/internal/obs"
+)
+
+// Reset returns the solver to the observable state of New while
+// retaining the capacity of its per-variable arrays (assignments,
+// levels, activities, phases, the VSIDS heap and trail), so a pooled
+// solver re-adds variables without reallocating. Clause storage is
+// deliberately dropped, not recycled: clauses are per-problem heap
+// objects threaded through the watch lists, and the stale pointers
+// must be released for the GC either way. Budgets, resource limits,
+// the interrupt hook, the observer and the statistics are all cleared
+// — nothing from the previous problem can influence the next one.
+func (s *Solver) Reset() {
+	for i := range s.clauses {
+		s.clauses[i] = nil
+	}
+	s.clauses = s.clauses[:0]
+	for i := range s.learnts {
+		s.learnts[i] = nil
+	}
+	s.learnts = s.learnts[:0]
+	for i := range s.watches {
+		s.watches[i] = nil
+	}
+	s.watches = s.watches[:0]
+
+	s.assign = s.assign[:0]
+	s.level = s.level[:0]
+	for i := range s.reason {
+		s.reason[i] = nil
+	}
+	s.reason = s.reason[:0]
+	s.trail = s.trail[:0]
+	s.trailLim = s.trailLim[:0]
+	s.qhead = 0
+
+	s.activity = s.activity[:0]
+	s.varInc = 1
+	s.order.heap = s.order.heap[:0]
+	s.order.index = s.order.index[:0]
+	s.phase = s.phase[:0]
+	s.seen = s.seen[:0]
+	s.model = s.model[:0]
+
+	s.claInc = 1
+	s.ok = true
+	s.numConflicts = 0
+	s.budget = 0
+	s.interrupt = nil
+	s.hardConflicts = 0
+	s.hardLearntLits = 0
+	s.learntLits = 0
+	s.limitErr = nil
+	s.stats = Stats{}
+
+	s.span = nil
+	s.mDecisions, s.mPropagations, s.mRestarts, s.mConflicts = nil, nil, nil, nil
+	s.mLearned = nil
+	s.observed = false
+}
+
+// Pool recycles Solvers across jobs. Get hands out a Reset solver with
+// warm per-variable arrays when one is available and a fresh one
+// otherwise; Put returns a solver once its models and clauses are no
+// longer referenced. All methods are safe for concurrent use (sweep
+// shards share one pool across worker goroutines) and nil-safe: a nil
+// *Pool degrades to plain New, so call sites can thread an optional
+// pool unconditionally.
+type Pool struct {
+	mu    sync.Mutex
+	free  []*Solver
+	reuse *obs.Counter // obs.MSATPoolReuse, nil when unobserved
+}
+
+// solverPoolCap bounds the solvers a Pool retains: the sweep engine's
+// default shard count, the largest set a single fold checks out at
+// once.
+const solverPoolCap = 8
+
+// NewPool returns an empty solver pool.
+func NewPool() *Pool { return &Pool{} }
+
+// SetMetrics directs the pool's reuse counter (obs.MSATPoolReuse):
+// incremented every time Get serves a recycled solver instead of
+// allocating. Nil (and a nil pool) disables counting.
+func (p *Pool) SetMetrics(reuse *obs.Counter) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.reuse = reuse
+	p.mu.Unlock()
+}
+
+// Get returns an empty solver, recycling a pooled one when available.
+// On a nil pool it is exactly New().
+func (p *Pool) Get() *Solver {
+	if p == nil {
+		return New()
+	}
+	p.mu.Lock()
+	var s *Solver
+	if k := len(p.free) - 1; k >= 0 {
+		s = p.free[k]
+		p.free[k] = nil
+		p.free = p.free[:k]
+	}
+	reuse := p.reuse
+	p.mu.Unlock()
+	if s == nil {
+		return New()
+	}
+	s.Reset()
+	reuse.Add(1)
+	return s
+}
+
+// Put returns a solver to the pool. The caller must not use s (or a
+// model taken from it) afterwards. Nil pools and nil solvers are
+// no-ops; a full pool drops s.
+func (p *Pool) Put(s *Solver) {
+	if p == nil || s == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < solverPoolCap {
+		p.free = append(p.free, s)
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,117 @@
+package sat
+
+import (
+	"sync"
+	"testing"
+
+	"circuitfold/internal/obs"
+)
+
+// solveXorChain encodes a small satisfiable XOR chain and solves it,
+// returning the status and the model of variable 0.
+func solveXorChain(s *Solver, n int) (Status, bool) {
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	// x0 xor x1 = 1, x1 xor x2 = 1, ... pairwise difference clauses.
+	for i := 0; i+1 < n; i++ {
+		a, b := vars[i], vars[i+1]
+		s.AddClause(MkLit(a, false), MkLit(b, false))
+		s.AddClause(MkLit(a, true), MkLit(b, true))
+	}
+	s.AddClause(MkLit(vars[0], true)) // pin x0 = false
+	st := s.Solve()
+	if st != Sat {
+		return st, false
+	}
+	return st, s.Value(vars[0])
+}
+
+// TestSolverResetIsolation proves no state bleeds between problems: a
+// solver that went UNSAT (ok = false), carried budgets, limits and an
+// observer, solves a fresh problem after Reset exactly like a new one.
+func TestSolverResetIsolation(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(MkLit(v, false))
+	s.AddClause(MkLit(v, true)) // empty resolvent: UNSAT at level 0
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("setup: want UNSAT, got %v", st)
+	}
+	s.SetBudget(1)
+	s.SetResourceLimit(1, 1)
+	s.SetInterrupt(func() bool { return true })
+	s.SetObserver(nil, obs.NewRegistry())
+
+	s.Reset()
+	if s.NumVars() != 0 {
+		t.Fatalf("reset solver has %d vars", s.NumVars())
+	}
+	st, x0 := solveXorChain(s, 12)
+	if st != Sat || x0 != false {
+		t.Fatalf("reset solver: %v x0=%v; want SAT false", st, x0)
+	}
+	if got := s.Stats(); got.Decisions == 0 && got.Propagations == 0 {
+		t.Fatalf("reset solver recorded no work: %+v", got)
+	}
+
+	// Same problem on a genuinely fresh solver gives the same answer.
+	f := New()
+	st2, y0 := solveXorChain(f, 12)
+	if st2 != st || y0 != x0 {
+		t.Fatalf("fresh/reset divergence: %v/%v vs %v/%v", st2, y0, st, x0)
+	}
+}
+
+// TestSolverPoolReuse checks recycling, the reuse counter, and nil
+// degradation.
+func TestSolverPoolReuse(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool()
+	p.SetMetrics(reg.Counter(obs.MSATPoolReuse))
+
+	s1 := p.Get()
+	if _, _ = solveXorChain(s1, 6); s1.NumVars() != 6 {
+		t.Fatalf("setup solve went wrong")
+	}
+	p.Put(s1)
+	s2 := p.Get()
+	if s2 != s1 {
+		t.Fatalf("pool did not recycle the solver")
+	}
+	if s2.NumVars() != 0 {
+		t.Fatalf("recycled solver not reset: %d vars", s2.NumVars())
+	}
+	if got := reg.Counter(obs.MSATPoolReuse).Value(); got != 1 {
+		t.Fatalf("reuse counter = %d, want 1", got)
+	}
+
+	var nilPool *Pool
+	if s := nilPool.Get(); s == nil {
+		t.Fatalf("nil pool Get broken")
+	}
+	nilPool.Put(nil)
+	nilPool.SetMetrics(nil)
+}
+
+// TestSolverPoolConcurrent hammers one pool from several goroutines;
+// under -race this is the thread-safety gate for the sweep shards.
+func TestSolverPoolConcurrent(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := p.Get()
+				if st, _ := solveXorChain(s, 8); st != Sat {
+					t.Errorf("pooled solver: %v", st)
+				}
+				p.Put(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
