@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify race vet faults bench bench-go bench-bdd-smoke bench-fold-smoke bench-throughput-smoke bench-compare serve-smoke trace clean
+.PHONY: build test verify race vet faults bench bench-go bench-bdd-smoke bench-fold-smoke bench-throughput-smoke bench-compare serve-smoke chaos trace clean
 
 build:
 	$(GO) build ./...
@@ -45,12 +45,25 @@ verify: build test vet race faults serve-smoke bench-throughput-smoke
 # 64-adder T=16 fold submitted as a job, polled to completion, its
 # result diffed bit-for-bit against the same fold run in-process — plus
 # the daemon-restart kill-and-resume path, the SIGTERM drain
-# semantics, the goroutine-leak check around server start/stop, and the
+# semantics, the goroutine-leak check around server start/stop, the
 # telemetry surface (OpenMetrics exposition, readiness, the
-# fault-injected flight-recorder dump, per-job profile capture).
+# fault-injected flight-recorder dump, per-job profile capture), and
+# the durability layer (journal recovery incl. the /readyz recovering
+# state, checksummed-store quarantine/heal and fault points, overload
+# 429 admission control, and per-job deadlines).
 serve-smoke:
 	$(GO) build ./cmd/foldd
-	$(GO) test -race -run 'ServeSmoke|KillAndResume|Shutdown|GoroutineLeak|ServeFlightRecorder|ServeOpenMetrics|ServeReadiness|ServeProfile' -v ./internal/job/
+	$(GO) test -race -run 'ServeSmoke|KillAndResume|Shutdown|GoroutineLeak|ServeFlightRecorder|ServeOpenMetrics|ServeReadiness|ServeProfile|Journal|Recover|Quarantine|FaultPoints|CorruptionHeals|Overload|Deadline|NoLeak' -v ./internal/job/
+
+# chaos is the crash-safety gate, under the race detector: 20 rounds of
+# recover -> submit -> kill over one persistent journal + checkpoint
+# store, with periodic on-disk bit-flips, then a final recovery that
+# must drain every acknowledged job to a result bit-identical to an
+# uninterrupted fold, and must detect + quarantine a corrupted snapshot
+# (store.corrupt metric). CHAOS_SEED reproduces a failing schedule;
+# CHAOS_DIR keeps the journal and store on disk for CI artifacts.
+chaos:
+	CHAOS_ROUNDS=20 $(GO) test -race -run 'Chaos' -v -timeout 600s ./internal/job/
 
 # bench emits BENCH_sweep.json (ns/op, SAT calls, merges, conflicts for
 # the sweeping configurations), BENCH_pipeline.json (per-stage fold

@@ -351,6 +351,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench: serve:", err)
 			os.Exit(1)
 		}
+		srep.Overload, err = benchServeOverload(*circuit, *frames, *servejobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: serve overload:", err)
+			os.Exit(1)
+		}
 		if err := writeJSON(*serveout, srep); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
@@ -358,6 +363,9 @@ func main() {
 		last := srep.Runs[len(srep.Runs)-1]
 		fmt.Printf("wrote %s: fold service lane (%.1f jobs/s at concurrency %d, p50 %.1fms, p99 %.1fms)\n",
 			*serveout, last.JobsPerSec, last.Concurrency, last.P50Ms, last.P99Ms)
+		ov := srep.Overload
+		fmt.Printf("  overload: %d offered -> %d accepted / %d rejected (retry-after %v), accepted p99 %.1fms\n",
+			ov.Offered, ov.Accepted, ov.Rejected, ov.RetryAfterSeen, ov.AcceptedP99Ms)
 	}
 	if *tputout != "" {
 		trep, err := benchThroughput(*circuit, *frames, 8, *tputjobs)

@@ -31,11 +31,29 @@ type ServeRun struct {
 // cmd/benchcmp (make bench-compare) gates regressions against; keep
 // the field names in sync with benchcmp's copy of this schema.
 type ServeReport struct {
-	Date    string     `json:"date"`
-	Circuit string     `json:"circuit"`
-	Frames  int        `json:"frames"`
-	Workers int        `json:"workers"`
-	Runs    []ServeRun `json:"runs"`
+	Date     string         `json:"date"`
+	Circuit  string         `json:"circuit"`
+	Frames   int            `json:"frames"`
+	Workers  int            `json:"workers"`
+	Runs     []ServeRun     `json:"runs"`
+	Overload *ServeOverload `json:"overload,omitempty"`
+}
+
+// ServeOverload is the admission-control lane: a flood against a
+// deliberately tiny queue. The interesting numbers are the fast-fail
+// split (accepted vs 429-rejected), whether every rejection carried a
+// Retry-After hint, and that the latency of the *accepted* jobs stayed
+// bounded — overload protection means the jobs the daemon said yes to
+// are not the ones that suffer.
+type ServeOverload struct {
+	Workers        int     `json:"workers"`
+	QueueDepth     int     `json:"queue_depth"`
+	Offered        int     `json:"offered"`
+	Accepted       int     `json:"accepted"`
+	Rejected       int     `json:"rejected"`
+	RetryAfterSeen bool    `json:"retry_after_seen"`
+	AcceptedP50Ms  float64 `json:"accepted_p50_ms"`
+	AcceptedP99Ms  float64 `json:"accepted_p99_ms"`
 }
 
 // benchServe measures the fold service end to end over real HTTP on a
@@ -105,6 +123,117 @@ func benchServe(circuit string, T, workers, jobsPerRun int) (*ServeReport, error
 		})
 	}
 	return rep, nil
+}
+
+// benchServeOverload floods a one-worker, tiny-queue service with
+// concurrent submissions and measures the admission-control split:
+// how many were accepted vs fast-failed with 429, whether rejections
+// carried Retry-After, and the submit-to-done latency of the accepted
+// jobs only.
+func benchServeOverload(circuit string, T, offered int) (*ServeOverload, error) {
+	const workers, depth = 1, 8
+	runner := job.NewRunnerWith(job.RunnerOptions{Workers: workers, QueueDepth: depth})
+	srv := httptest.NewServer(job.Handler(runner))
+	defer srv.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		runner.Shutdown(ctx)
+	}()
+
+	ov := &ServeOverload{Workers: workers, QueueDepth: depth, Offered: offered}
+	var (
+		mu       sync.Mutex
+		accepted []time.Duration
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for i := 0; i < offered; i++ {
+		wg.Add(1)
+		go func(serial int) {
+			defer wg.Done()
+			d, retryAfter, err := oneOverloadJob(srv.URL, circuit, T, serial)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				if firstErr == nil {
+					firstErr = err
+				}
+			case retryAfter: // 429
+				ov.Rejected++
+				ov.RetryAfterSeen = true
+			default:
+				ov.Accepted++
+				accepted = append(accepted, d)
+			}
+		}(1 << 20 * (i + 1)) // distinct salts from the latency lanes
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(accepted) > 0 {
+		sort.Slice(accepted, func(i, j int) bool { return accepted[i] < accepted[j] })
+		ov.AcceptedP50Ms = float64(accepted[len(accepted)/2].Microseconds()) / 1e3
+		ov.AcceptedP99Ms = float64(accepted[(len(accepted)*99)/100].Microseconds()) / 1e3
+	}
+	return ov, nil
+}
+
+// oneOverloadJob submits one fold; a 429 reports retryAfter=true (the
+// header must be present), anything else polls to done like
+// oneServeJob.
+func oneOverloadJob(base, circuit string, T, serial int) (time.Duration, bool, error) {
+	spec := map[string]any{
+		"generator": circuit,
+		"t":         T,
+		"wall_ms":   int64(10*time.Minute/time.Millisecond) + int64(serial),
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, false, err
+	}
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return 0, false, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if resp.Header.Get("Retry-After") == "" {
+			return 0, false, fmt.Errorf("429 without Retry-After")
+		}
+		return 0, true, nil
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, false, fmt.Errorf("submit: %d %s", resp.StatusCode, st.Error)
+	}
+	for st.State == "queued" || st.State == "running" {
+		time.Sleep(time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return 0, false, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	if st.State != "done" {
+		return 0, false, fmt.Errorf("job %s: %s (%s)", st.ID, st.State, st.Error)
+	}
+	return time.Since(start), false, nil
 }
 
 // oneServeJob submits one fold over HTTP and polls it to completion,

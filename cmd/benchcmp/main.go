@@ -65,11 +65,22 @@ func main() {
 
 	b, err := load(*base)
 	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchcmp: baseline %s does not exist — nothing to compare against.\n"+
+				"Generate and commit one with:\n"+
+				"  go run ./cmd/bench -reps 1 -size 800 -out - -pipeout \"\" -bddout \"\" -serveout %s -tputout \"\" > /dev/null\n",
+				*base, *base)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
 	}
 	f, err := load(*fresh)
 	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchcmp: fresh report %s does not exist — run the serve lane first (make bench-compare does this).\n", *fresh)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
 	}

@@ -39,7 +39,7 @@ func TestCompareRegression(t *testing.T) {
 
 func TestCompareThroughputRegression(t *testing.T) {
 	base := rep(100, 200)
-	fresh := rep(100, 200) // p99 flat...
+	fresh := rep(100, 200)       // p99 flat...
 	fresh.Runs[1].JobsPerSec = 7 // ...but jobs/sec down 30% at c=8
 	lines, failed := compare(base, fresh, 25)
 	if !failed {

@@ -8,15 +8,28 @@
 // Usage:
 //
 //	foldd [-addr :8080] [-workers 4] [-checkpoint-dir DIR]
-//	      [-drain-timeout 30s] [-log-level info] [-log-format text]
-//	      [-pprof]
+//	      [-queue-depth 1024] [-drain-timeout 30s]
+//	      [-log-level info] [-log-format text] [-pprof]
 //
 // With -checkpoint-dir, every pipeline stage snapshots into a
-// file-backed store keyed by the job spec's content hash: a job killed
-// mid-fold (crash, deadline, SIGTERM past the drain window) resumes at
-// the last completed stage when the same spec is resubmitted — to this
-// process or a restarted one — and produces a bit-identical Result.
-// Without it, checkpoints live in memory and die with the process.
+// file-backed, checksummed store keyed by the job spec's content hash:
+// a job killed mid-fold (crash, deadline, SIGTERM past the drain
+// window) resumes at the last completed stage when the same spec is
+// resubmitted — to this process or a restarted one — and produces a
+// bit-identical Result. The same directory holds the job journal
+// (journal.wal): every accepted submission is fsynced to it before the
+// daemon acknowledges, and on startup the daemon replays the journal,
+// re-enqueueing every job that was queued or running at crash time
+// (/readyz answers 503 "recovering" until the replay finishes).
+// Without -checkpoint-dir, checkpoints live in memory, there is no
+// journal, and state dies with the process.
+//
+// Overload protection: the admission queue is bounded (-queue-depth);
+// at capacity, submissions fail fast with 429 and a Retry-After
+// estimate instead of queueing unboundedly, and /readyz reports
+// "overloaded" from 90% occupancy so load balancers back off first.
+// Clients can bound a job's total latency with ?deadline=30s on
+// submit.
 //
 // Telemetry: every log line is structured (text or JSON via
 // -log-format) and lines about a job carry its job_id and content key;
@@ -49,6 +62,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -58,13 +72,14 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		workers   = flag.Int("workers", 4, "concurrent fold jobs")
-		ckDir     = flag.String("checkpoint-dir", "", "file-backed checkpoint store directory (empty: in-memory)")
-		drain     = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before checkpoint-and-cancel")
-		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
-		logFormat = flag.String("log-format", "text", "log format: text or json")
-		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		workers    = flag.Int("workers", 4, "concurrent fold jobs")
+		ckDir      = flag.String("checkpoint-dir", "", "file-backed checkpoint store + journal directory (empty: in-memory, no journal)")
+		queueDepth = flag.Int("queue-depth", 0, "admission queue capacity; submissions past it fail fast with 429 (0: default 1024)")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before checkpoint-and-cancel")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log format: text or json")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -76,6 +91,8 @@ func main() {
 	slog.SetDefault(logger)
 
 	var store job.Store
+	var journal *job.Journal
+	var journalRecs []job.JournalRecord
 	if *ckDir != "" {
 		fs, err := job.NewFileStore(*ckDir)
 		if err != nil {
@@ -84,11 +101,22 @@ func main() {
 		}
 		store = fs
 		logger.Info("checkpoints enabled", "dir", fs.Dir())
+		journal, journalRecs, err = job.OpenJournal(filepath.Join(*ckDir, "journal.wal"))
+		if err != nil {
+			logger.Error("foldd: job journal", "err", err.Error())
+			os.Exit(1)
+		}
+		if tb := journal.TruncatedBytes(); tb > 0 {
+			logger.Warn("journal torn tail truncated", "bytes", tb)
+		}
+		logger.Info("journal opened", "path", journal.Path(), "records", len(journalRecs))
 	}
 	runner := job.NewRunnerWith(job.RunnerOptions{
-		Workers: *workers,
-		Store:   store,
-		Logger:  logger,
+		Workers:    *workers,
+		Store:      store,
+		Logger:     logger,
+		QueueDepth: *queueDepth,
+		Journal:    journal,
 	})
 
 	handler := job.Handler(runner)
@@ -109,6 +137,18 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr, "workers", *workers,
 		"log_level", *logLevel, "log_format", *logFormat)
+
+	// Startup recovery runs after the listener is up so /healthz and
+	// /readyz answer during the replay — readiness stays 503
+	// ("recovering") until Recover returns, keeping load balancers away
+	// while the crash backlog re-enqueues.
+	if journal != nil {
+		n, err := runner.Recover(journalRecs)
+		if err != nil {
+			logger.Warn("journal replay incomplete", "err", err.Error())
+		}
+		logger.Info("journal replayed", "records", len(journalRecs), "recovered_jobs", n)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -132,6 +172,9 @@ func main() {
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		srv.Close()
+	}
+	if journal != nil {
+		journal.Close()
 	}
 	logger.Info("stopped")
 }

@@ -13,6 +13,7 @@ package cache
 
 import (
 	"container/list"
+	"hash/crc32"
 	"sync"
 
 	"circuitfold/internal/obs"
@@ -38,18 +39,23 @@ type Cache struct {
 	ll         *list.List // front = most recently used
 	items      map[string]*list.Element
 
-	hits, misses, evictions int64
+	hits, misses, evictions, corrupt int64
 
 	// Optional metric mirrors (nil-safe obs handles).
 	mEntries   *obs.Gauge   // obs.MCacheEntries
 	mBytes     *obs.Gauge   // obs.MCacheBytes
 	mEvictions *obs.Counter // obs.MCacheEvictions
+	mCorrupt   *obs.Counter // obs.MStoreCorrupt
 }
 
-// entry is one LRU element.
+// entry is one LRU element. sum is the CRC32-IEEE of val taken at Put
+// time; Get re-verifies it so a snapshot corrupted in memory (or by a
+// caller violating the read-only contract) is dropped and re-folded
+// instead of being decoded into a client response.
 type entry struct {
 	key string
 	val []byte
+	sum uint32
 }
 
 // New returns a cache bounded to maxEntries entries and maxBytes total
@@ -69,21 +75,24 @@ func New(maxEntries int, maxBytes int64) *Cache {
 	}
 }
 
-// Observe mirrors the cache's occupancy on the given gauges and its
-// eviction count on the counter (any of which may be nil). Call before
-// use; the mirrors update on every Put and eviction.
-func (c *Cache) Observe(entries, bytes *obs.Gauge, evictions *obs.Counter) {
+// Observe mirrors the cache's occupancy on the given gauges, its
+// eviction count on the evictions counter, and checksum-failed entries
+// on the corrupt counter (any of which may be nil). Call before use;
+// the mirrors update on every Put, eviction, and corrupt drop.
+func (c *Cache) Observe(entries, bytes *obs.Gauge, evictions, corrupt *obs.Counter) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
-	c.mEntries, c.mBytes, c.mEvictions = entries, bytes, evictions
+	c.mEntries, c.mBytes, c.mEvictions, c.mCorrupt = entries, bytes, evictions, corrupt
 	c.mu.Unlock()
 }
 
 // Get returns the snapshot stored under key and marks it most recently
 // used. The returned bytes are shared with the cache and must be
-// treated as read-only.
+// treated as read-only. An entry whose checksum no longer matches is
+// dropped and reported as a miss, so the caller re-folds instead of
+// decoding corrupt bytes.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	if c == nil {
 		return nil, false
@@ -95,9 +104,20 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		c.misses++
 		return nil, false
 	}
+	e := el.Value.(*entry)
+	if crc32.ChecksumIEEE(e.val) != e.sum {
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.val))
+		c.corrupt++
+		c.misses++
+		c.mCorrupt.Add(1)
+		c.note()
+		return nil, false
+	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*entry).val, true
+	return e.val, true
 }
 
 // Put stores val under key (replacing any previous value) and evicts
@@ -110,13 +130,14 @@ func (c *Cache) Put(key string, val []byte) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	sum := crc32.ChecksumIEEE(val)
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*entry)
 		c.bytes += int64(len(val)) - int64(len(e.val))
-		e.val = val
+		e.val, e.sum = val, sum
 		c.ll.MoveToFront(el)
 	} else {
-		c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val, sum: sum})
 		c.bytes += int64(len(val))
 	}
 	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
@@ -168,9 +189,9 @@ func (c *Cache) Bytes() int64 {
 
 // Stats is a point-in-time snapshot of the cache's counters.
 type Stats struct {
-	Hits, Misses, Evictions int64
-	Entries                 int
-	Bytes                   int64
+	Hits, Misses, Evictions, Corrupt int64
+	Entries                          int
+	Bytes                            int64
 }
 
 // Stats returns the cache's cumulative counters and occupancy.
@@ -181,7 +202,7 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Corrupt: c.corrupt,
 		Entries: c.ll.Len(), Bytes: c.bytes,
 	}
 }

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -52,7 +53,7 @@ func TestCacheByteEviction(t *testing.T) {
 	reg := obs.NewRegistry()
 	c := New(100, 10)
 	c.Observe(reg.Gauge(obs.MCacheEntries), reg.Gauge(obs.MCacheBytes),
-		reg.Counter(obs.MCacheEvictions))
+		reg.Counter(obs.MCacheEvictions), reg.Counter(obs.MStoreCorrupt))
 	c.Put("a", []byte("aaaa"))
 	c.Put("b", []byte("bbbb"))
 	c.Put("c", []byte("cccc")) // 12 bytes > 10: evicts a
@@ -87,7 +88,7 @@ func TestCacheNilSafe(t *testing.T) {
 	if c.Len() != 0 || c.Bytes() != 0 || (c.Stats() != Stats{}) {
 		t.Fatal("nil cache accounting")
 	}
-	c.Observe(nil, nil, nil)
+	c.Observe(nil, nil, nil, nil)
 }
 
 func TestCacheConcurrent(t *testing.T) {
@@ -109,5 +110,77 @@ func TestCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 16 {
 		t.Fatalf("entry cap exceeded: %d", c.Len())
+	}
+}
+
+// TestCacheEvictionRace churns the cache hard enough that every Put
+// evicts, while hit traffic, metric re-wiring via Observe, and stats
+// readers run concurrently. Run under -race (the make race gate) this
+// proves LRU eviction holds no state outside the lock.
+func TestCacheEvictionRace(t *testing.T) {
+	c := New(8, 64) // 8 entries / 64 bytes: almost every Put evicts
+	var churn sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		churn.Add(1)
+		go func(w int) {
+			defer churn.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w*500+i)%32)
+				if v, ok := c.Get(k); ok && len(v) != 8 {
+					t.Errorf("short value under %s: %d bytes", k, len(v))
+				}
+				c.Put(k, []byte{0, 1, 2, 3, 4, 5, 6, byte(w)})
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	obsDone := make(chan struct{})
+	go func() { // re-point the metric sinks mid-eviction
+		defer close(obsDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg := obs.NewRegistry()
+			c.Observe(reg.Gauge(obs.MCacheEntries), reg.Gauge(obs.MCacheBytes),
+				reg.Counter(obs.MCacheEvictions), reg.Counter(obs.MStoreCorrupt))
+			c.Stats()
+			c.Len()
+			c.Bytes()
+		}
+	}()
+	churn.Wait()
+	close(stop)
+	<-obsDone
+	if c.Len() > 8 || c.Bytes() > 64 {
+		t.Fatalf("caps exceeded: %d entries, %d bytes", c.Len(), c.Bytes())
+	}
+}
+
+// TestCacheEvictionMidDecode pins the Get contract a concurrent reader
+// depends on: bytes returned by Get stay intact even after the entry
+// is evicted and its slot churned through many generations — eviction
+// drops the cache's reference, it never recycles the buffer under a
+// decoder's feet.
+func TestCacheEvictionMidDecode(t *testing.T) {
+	c := New(2, 1<<10)
+	want := []byte("decode me slowly, I dare you")
+	c.Put("held", want)
+	got, ok := c.Get("held")
+	if !ok {
+		t.Fatal("miss on fresh entry")
+	}
+	// Evict "held" and churn the cache for many generations while the
+	// reader still holds the slice.
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("churn%d", i), bytes.Repeat([]byte{byte(i)}, len(want)))
+	}
+	if _, ok := c.Get("held"); ok {
+		t.Fatal("held entry survived the churn")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("held bytes mutated after eviction: %q", got)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -150,6 +151,18 @@ func PinScheduleRun(g *aig.Graph, T int, opt ScheduleOptions, run *pipeline.Run)
 		if !queued[u] {
 			que = append(que, u)
 		}
+	}
+
+	// Cancellation aborts; only budget expiry degrades. expired() above
+	// also fires when the context is cancelled — a dying process —
+	// and a schedule whose remaining frames silently kept their natural
+	// order is valid but not the schedule an uninterrupted run computes.
+	// Returning it would let the pipeline checkpoint it, poisoning every
+	// future resume with a different (if correct) fold. Cancellation is
+	// sticky, so one check here catches any frame it could have
+	// influenced.
+	if err := run.Check(); err != nil && errors.Is(err, pipeline.ErrCanceled) {
+		return nil, err
 	}
 
 	s := &Schedule{

@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"circuitfold/internal/core"
+	"circuitfold/internal/pipeline"
+)
+
+// TestPinScheduleCancelAborts pins the crash-recovery contract the
+// chaos suite depends on: a cancelled run must abort PinScheduleRun
+// with ErrCanceled, never complete it. The degrade path (skipping
+// per-frame reordering) is reserved for budget expiry — if
+// cancellation could degrade, a job killed mid-schedule would
+// checkpoint a valid-but-different schedule and every resume after the
+// crash would produce a correct but non-bit-identical fold.
+func TestPinScheduleCancelAborts(t *testing.T) {
+	g := adder3()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run := pipeline.NewRun(ctx, pipeline.Budget{})
+	s, err := core.PinScheduleRun(g, 3, core.ScheduleOptions{Reorder: true}, run)
+	if !errors.Is(err, pipeline.ErrCanceled) {
+		t.Fatalf("cancelled schedule = (%v, %v), want ErrCanceled", s, err)
+	}
+}
+
+// TestPinScheduleBudgetDegrades is the counterpart: an exhausted wall
+// budget is not an abort. The schedule completes — remaining frames
+// keep their natural order — because a budget-bound fold should
+// produce its best valid answer, not fail.
+func TestPinScheduleBudgetDegrades(t *testing.T) {
+	g := adder3()
+	run := pipeline.NewRun(context.Background(), pipeline.Budget{Wall: time.Nanosecond})
+	time.Sleep(time.Millisecond) // the deadline is fixed at NewRun; let it pass
+	s, err := core.PinScheduleRun(g, 3, core.ScheduleOptions{Reorder: true}, run)
+	if err != nil {
+		t.Fatalf("budget-expired schedule aborted: %v", err)
+	}
+	if s == nil || s.T != 3 {
+		t.Fatalf("degraded schedule = %+v", s)
+	}
+}

@@ -38,11 +38,23 @@ const (
 	// worker, once per state it refines, so a seeded plan can blow up an
 	// arbitrary frame mid-flight and prove the pool drains cleanly.
 	PointTFFFrameWorker = "tff.frame.worker"
+
+	// Disk-fault points for the durability suite. They fire inside the
+	// file-backed checkpoint store: a short write before the payload is
+	// complete, a failed fsync after the payload is written, and a bit
+	// flip on the read path (the store corrupts the bytes it just read,
+	// simulating media rot, and must catch it by checksum).
+	PointStoreWrite = "store.save.write"   // FileStore save, before the payload write
+	PointStoreFsync = "store.save.fsync"   // FileStore save, at the temp-file fsync
+	PointStoreRead  = "store.load.bitflip" // FileStore load, flips one payload byte
 )
 
 // Points returns the registered injection-point names.
 func Points() []string {
-	return []string{PointBDDMk, PointSATSolve, PointSweepShard, PointMeMinIter, PointTFFFrameWorker}
+	return []string{
+		PointBDDMk, PointSATSolve, PointSweepShard, PointMeMinIter, PointTFFFrameWorker,
+		PointStoreWrite, PointStoreFsync, PointStoreRead,
+	}
 }
 
 // Mode selects how a firing rule surfaces.

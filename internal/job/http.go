@@ -2,9 +2,11 @@ package job
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -18,7 +20,8 @@ const maxSpecBytes = 32 << 20
 
 // Server exposes a Runner over HTTP/JSON:
 //
-//	POST /v1/jobs                submit a Spec (?profile=cpu|heap), returns its Status
+//	POST /v1/jobs                submit a Spec (?profile=cpu|heap, ?deadline=30s), returns its Status;
+//	                             429 + Retry-After when the admission queue is full
 //	GET  /v1/jobs                list job statuses
 //	GET  /v1/jobs/{id}           one job's Status
 //	POST /v1/jobs/{id}/cancel    cancel a job
@@ -54,9 +57,10 @@ func NewServer(runner *Runner) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	// Readiness gates traffic: a draining or shut-down runner answers
-	// 503 with the reason so load balancers stop routing submissions
-	// while in-flight folds finish.
+	// Readiness gates traffic: a recovering (startup journal replay),
+	// overloaded (queue near capacity), draining or shut-down runner
+	// answers 503 with the reason so load balancers stop routing
+	// submissions until the runner can take them.
 	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		if ready, reason := s.runner.Ready(); !ready {
 			writeJSON(w, http.StatusServiceUnavailable,
@@ -102,13 +106,34 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decode spec: %v", err)
 		return
 	}
-	j, err := s.runner.SubmitWith(spec, SubmitOptions{Profile: r.URL.Query().Get("profile")})
-	if err != nil {
-		code := http.StatusBadRequest
-		if err.Error() == "job: runner is shut down" {
-			code = http.StatusServiceUnavailable
+	so := SubmitOptions{Profile: r.URL.Query().Get("profile")}
+	if dl := r.URL.Query().Get("deadline"); dl != "" {
+		d, err := time.ParseDuration(dl)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest,
+				"bad deadline %q (want a positive Go duration, e.g. 30s)", dl)
+			return
 		}
-		httpError(w, code, "%v", err)
+		so.Deadline = d
+	}
+	j, err := s.runner.SubmitWith(spec, so)
+	if err != nil {
+		var qf *QueueFullError
+		switch {
+		case errors.As(err, &qf):
+			// Admission rejection: tell the client when to come back.
+			// The estimate rounds up so "Retry-After: 0" never happens.
+			secs := int((qf.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":               err.Error(),
+				"retry_after_seconds": secs,
+			})
+		case errors.Is(err, ErrShutdown):
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.Status())

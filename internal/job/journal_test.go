@@ -1,0 +1,225 @@
+package job
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestJournal(t *testing.T, path string) (*Journal, []JournalRecord) {
+	t.Helper()
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal(%s): %v", path, err)
+	}
+	return j, recs
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, recs := openTestJournal(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal has %d records", len(recs))
+	}
+	spec := smokeSpec()
+	if err := j.Append(OpSubmitted, "j0001", &spec, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(OpStarted, "j0001", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(OpDone, "j0001", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(OpFailed, "j0002", nil, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := openTestJournal(t, path)
+	defer j2.Close()
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	wantOps := []JournalOp{OpSubmitted, OpStarted, OpDone, OpFailed}
+	for i, r := range recs {
+		if r.Op != wantOps[i] {
+			t.Errorf("record %d op = %s, want %s", i, r.Op, wantOps[i])
+		}
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d seq = %d, want %d", i, r.Seq, i+1)
+		}
+	}
+	if recs[0].Spec == nil || recs[0].Spec.Generator != spec.Generator || recs[0].Spec.T != spec.T {
+		t.Errorf("submit record spec = %+v, want %+v", recs[0].Spec, spec)
+	}
+	if recs[3].Err != "boom" {
+		t.Errorf("failed record err = %q", recs[3].Err)
+	}
+	// Appends continue past the replayed sequence.
+	if err := j2.Append(OpCanceled, "j0003", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, recs := openTestJournal(t, path)
+	defer j3.Close()
+	if len(recs) != 5 || recs[4].Seq != 5 {
+		t.Fatalf("after reopen+append: %d records, last seq %d", len(recs), recs[len(recs)-1].Seq)
+	}
+}
+
+// TestJournalTornTail proves the crash contract: a partial trailing
+// frame — the write in flight when the process died — is truncated at
+// the last good record boundary and the journal keeps working.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := openTestJournal(t, path)
+	spec := smokeSpec()
+	for _, id := range []string{"j0001", "j0002", "j0003"} {
+		if err := j.Append(OpSubmitted, id, &spec, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Simulate a torn write: a frame header promising more payload
+	// than is on disk.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn [8]byte
+	binary.LittleEndian.PutUint32(torn[:4], 500) // payload never written
+	f.Write(torn[:])
+	f.Write([]byte("partial"))
+	f.Close()
+
+	j2, recs := openTestJournal(t, path)
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records after torn tail, want 3", len(recs))
+	}
+	if j2.TruncatedBytes() == 0 {
+		t.Error("TruncatedBytes = 0, want > 0")
+	}
+	// The tail is gone from disk and appends land cleanly after it.
+	if err := j2.Append(OpStarted, "j0001", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, recs := openTestJournal(t, path)
+	defer j3.Close()
+	if len(recs) != 4 {
+		t.Fatalf("after heal: %d records, want 4", len(recs))
+	}
+}
+
+// TestJournalCorruptRecord proves a CRC mismatch truncates at the last
+// good boundary rather than returning a corrupt record.
+func TestJournalCorruptRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := openTestJournal(t, path)
+	spec := smokeSpec()
+	if err := j.Append(OpSubmitted, "j0001", &spec, ""); err != nil {
+		t.Fatal(err)
+	}
+	offAfterFirst, err := j.f.Seek(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(OpSubmitted, "j0002", &spec, ""); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Flip one payload byte inside the second record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offAfterFirst+8+2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := openTestJournal(t, path)
+	defer j2.Close()
+	if len(recs) != 1 || recs[0].ID != "j0001" {
+		t.Fatalf("replayed %v, want only j0001", recs)
+	}
+	if j2.TruncatedBytes() == 0 {
+		t.Error("corruption not reported as truncation")
+	}
+}
+
+// TestJournalForeignFile proves OpenJournal refuses to clobber a file
+// that is not a journal.
+func TestJournalForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	if err := os.WriteFile(path, []byte("definitely not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("OpenJournal accepted a foreign file")
+	}
+}
+
+func TestJournalPendingJobs(t *testing.T) {
+	spec := smokeSpec()
+	recs := []JournalRecord{
+		{Seq: 1, Op: OpSubmitted, ID: "a", Spec: &spec}, // done below: not pending
+		{Seq: 2, Op: OpSubmitted, ID: "b", Spec: &spec}, // started, no terminal: pending
+		{Seq: 3, Op: OpSubmitted, ID: "c", Spec: &spec}, // queued: pending
+		{Seq: 4, Op: OpStarted, ID: "a"},
+		{Seq: 5, Op: OpStarted, ID: "b"},
+		{Seq: 6, Op: OpDone, ID: "a"},
+		{Seq: 7, Op: OpSubmitted, ID: "d", Spec: &spec}, // canceled: not pending
+		{Seq: 8, Op: OpCanceled, ID: "d"},
+		{Seq: 9, Op: OpFailed, ID: "e"}, // no submit record at all
+	}
+	pending := PendingJobs(recs)
+	if len(pending) != 2 {
+		t.Fatalf("pending = %d jobs, want 2", len(pending))
+	}
+	if pending[0].ID != "b" || pending[1].ID != "c" {
+		t.Errorf("pending order = %s, %s; want b, c", pending[0].ID, pending[1].ID)
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := openTestJournal(t, path)
+	spec := smokeSpec()
+	for _, id := range []string{"j0001", "j0002", "j0003"} {
+		j.Append(OpSubmitted, id, &spec, "")
+	}
+	j.Append(OpDone, "j0001", nil, "")
+	j.Append(OpDone, "j0002", nil, "")
+
+	// Compact down to the one live job.
+	if err := j.Compact([]JournalRecord{{Op: OpSubmitted, ID: "j0003", Spec: &spec}}); err != nil {
+		t.Fatal(err)
+	}
+	// The journal stays appendable after the swap.
+	if err := j.Append(OpStarted, "j0003", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, recs := openTestJournal(t, path)
+	defer j2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("compacted journal has %d records, want 2", len(recs))
+	}
+	if recs[0].Op != OpSubmitted || recs[0].ID != "j0003" || recs[0].Spec == nil {
+		t.Errorf("compacted record 0 = %+v", recs[0])
+	}
+	if recs[1].Op != OpStarted || recs[1].Seq <= recs[0].Seq {
+		t.Errorf("post-compaction append = %+v", recs[1])
+	}
+	if pending := PendingJobs(recs); len(pending) != 1 || pending[0].ID != "j0003" {
+		t.Errorf("pending after compaction = %+v", pending)
+	}
+}

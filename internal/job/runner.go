@@ -38,6 +38,30 @@ const (
 // per-stage checkpoints (hybrid, simple).
 const finalStage = "result"
 
+// ErrShutdown is returned by Submit once the runner has shut down.
+var ErrShutdown = errors.New("job: runner is shut down")
+
+// ErrQueueFull is the root of admission-control rejections. The
+// concrete error is a *QueueFullError carrying a Retry-After estimate;
+// test with errors.Is(err, ErrQueueFull) or errors.As.
+var ErrQueueFull = errors.New("job: queue full")
+
+// QueueFullError is a fast-fail admission rejection: the worker queue
+// is at capacity, and the caller should retry after RetryAfter (an
+// EWMA-based estimate of the time to drain one queue's worth of work).
+// It unwraps to ErrQueueFull.
+type QueueFullError struct {
+	Depth      int           // jobs pending at rejection time
+	RetryAfter time.Duration // suggested client backoff
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("job: queue full (%d pending); retry after %s", e.Depth, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrQueueFull) true.
+func (e *QueueFullError) Unwrap() error { return ErrQueueFull }
+
 // eventReplay is the per-job span replay ring: a client attaching
 // mid-run sees up to this many recent events before the live stream.
 const eventReplay = 256
@@ -51,12 +75,15 @@ type Job struct {
 	foldKey string // shared-work content address (Spec.FoldKey)
 	g       *circuitfold.Circuit
 
-	events  *obs.Broadcast
-	metrics *circuitfold.Metrics
-	flight  *obs.FlightRecorder
-	log     *slog.Logger // correlated: every line carries job_id + key
-	profile string       // requested profile kind: "", "cpu" or "heap"
-	done    chan struct{}
+	events    *obs.Broadcast
+	metrics   *circuitfold.Metrics
+	flight    *obs.FlightRecorder
+	log       *slog.Logger // correlated: every line carries job_id + key
+	profile   string       // requested profile kind: "", "cpu" or "heap"
+	done      chan struct{}
+	r         *Runner   // back-pointer for terminal-transition journaling
+	deadline  time.Time // zero = no client deadline
+	recovered bool      // re-enqueued by journal replay after a crash
 
 	mu        sync.Mutex
 	state     State
@@ -163,10 +190,15 @@ type Status struct {
 	// Cache is the shared-work verdict at submit: "hit" (served from
 	// the result cache), "miss" (folded), or "attached" (joined an
 	// identical in-flight job).
-	Cache     string `json:"cache,omitempty"`
-	CreatedAt string `json:"created_at"`
-	StartedAt     string   `json:"started_at,omitempty"`
-	FinishedAt    string   `json:"finished_at,omitempty"`
+	Cache string `json:"cache,omitempty"`
+	// Recovered marks a job re-enqueued by journal replay after a
+	// daemon crash; DeadlineAt is the client-supplied completion
+	// deadline, when one was set.
+	Recovered  bool   `json:"recovered,omitempty"`
+	DeadlineAt string `json:"deadline_at,omitempty"`
+	CreatedAt  string `json:"created_at"`
+	StartedAt  string `json:"started_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
 	// Fold shape, present when done.
 	InputPins  int `json:"input_pins,omitempty"`
 	OutputPins int `json:"output_pins,omitempty"`
@@ -195,7 +227,11 @@ func (j *Job) Status() Status {
 		Resumed:       append([]string(nil), j.resumed...),
 		ResumedResult: j.fromSnap,
 		Cache:         j.cacheStat,
+		Recovered:     j.recovered,
 		CreatedAt:     j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.deadline.IsZero() {
+		st.DeadlineAt = j.deadline.UTC().Format(time.RFC3339Nano)
 	}
 	if !j.started.IsZero() {
 		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
@@ -238,6 +274,9 @@ func (j *Job) finishWith(state State, errText string, mutate func()) bool {
 	j.mu.Unlock()
 	j.events.Close()
 	close(j.done)
+	if j.r != nil {
+		j.r.journalTerminal(j, state, errText)
+	}
 	return true
 }
 
@@ -246,19 +285,32 @@ func (j *Job) finishWith(state State, errText string, mutate func()) bool {
 type Runner struct {
 	store   Store
 	queue   chan *Job
+	workers int
 	log     *slog.Logger
 	metrics *obs.Registry // process-level: lifecycle, latency, HTTP
 	fSpans  int           // per-job flight-recorder ring sizes
 	fLogs   int
 	cache   *cache.Cache // shared-work result cache, nil when disabled
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string
-	inflight map[string]*flight // fold key -> live dedup group
-	nextID   int
-	closed   bool
-	draining bool
+	// journal is the durable transition log, or nil. It is an atomic
+	// pointer — not guarded by r.mu — because terminal transitions
+	// journal from finishWith, which runs both with and without r.mu
+	// held; Kill swaps it to nil to simulate a crash (no terminal
+	// records reach disk).
+	journal atomic.Pointer[Journal]
+
+	// avgRun is an EWMA of fold wall time in nanoseconds, feeding the
+	// Retry-After estimate on queue-full rejections.
+	avgRun atomic.Int64
+
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string
+	inflight   map[string]*flight // fold key -> live dedup group
+	nextID     int
+	closed     bool
+	draining   bool
+	recovering bool // journal replay in progress: not ready for traffic
 
 	wg sync.WaitGroup
 }
@@ -294,6 +346,15 @@ type RunnerOptions struct {
 	// disables the cache entirely; in-flight dedup stays on.
 	CacheEntries int
 	CacheBytes   int64
+	// QueueDepth bounds the admission queue (jobs accepted but not yet
+	// folding); zero selects the default of 1024. At capacity, Submit
+	// fast-fails with *QueueFullError instead of queueing unboundedly.
+	QueueDepth int
+	// Journal, when set, records every job transition durably and is
+	// consulted on startup recovery. The runner starts in the
+	// recovering state (readiness probes fail) until Recover is called
+	// — with the journal's replayed records, or nil to skip replay.
+	Journal *Journal
 }
 
 // NewRunner starts a runner with the given worker count (minimum 1)
@@ -317,9 +378,13 @@ func NewRunnerWith(opts RunnerOptions) *Runner {
 	if opts.Metrics == nil {
 		opts.Metrics = obs.NewRegistry()
 	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 1024
+	}
 	r := &Runner{
 		store:    opts.Store,
-		queue:    make(chan *Job, 1024),
+		queue:    make(chan *Job, opts.QueueDepth),
+		workers:  opts.Workers,
 		log:      opts.Logger,
 		metrics:  opts.Metrics,
 		fSpans:   opts.FlightSpans,
@@ -327,12 +392,24 @@ func NewRunnerWith(opts RunnerOptions) *Runner {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*flight),
 	}
+	corrupt := opts.Metrics.Counter(obs.MStoreCorrupt)
+	if fs, ok := opts.Store.(*FileStore); ok {
+		fs.Observe(corrupt)
+	}
 	if opts.CacheEntries >= 0 && opts.CacheBytes >= 0 {
 		r.cache = cache.New(opts.CacheEntries, opts.CacheBytes)
 		r.cache.Observe(
 			opts.Metrics.Gauge(obs.MCacheEntries),
 			opts.Metrics.Gauge(obs.MCacheBytes),
-			opts.Metrics.Counter(obs.MCacheEvictions))
+			opts.Metrics.Counter(obs.MCacheEvictions),
+			corrupt)
+	}
+	if opts.Journal != nil {
+		r.journal.Store(opts.Journal)
+		// A journaled runner is born recovering: readiness stays false
+		// until Recover replays (or explicitly skips) the backlog, so
+		// load balancers do not route traffic mid-replay.
+		r.recovering = true
 	}
 	for i := 0; i < opts.Workers; i++ {
 		r.wg.Add(1)
@@ -345,8 +422,12 @@ func NewRunnerWith(opts RunnerOptions) *Runner {
 // counters, queue depth, and latency histograms across all jobs.
 func (r *Runner) Metrics() *obs.Registry { return r.metrics }
 
-// Ready reports whether the runner accepts new jobs; when it does
-// not, reason says why (readiness probes surface it to the operator).
+// Ready reports whether the runner should receive new traffic; when it
+// should not, reason says why (readiness probes surface it to the
+// operator). Beyond the lifecycle states (recovering at startup,
+// draining or shut down at the end), a queue at >= 90% capacity reports
+// overloaded so load balancers back off before submissions start
+// failing with queue-full rejections.
 func (r *Runner) Ready() (bool, string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -355,6 +436,11 @@ func (r *Runner) Ready() (bool, string) {
 		return false, "shut down"
 	case r.draining:
 		return false, "draining"
+	case r.recovering:
+		return false, "recovering: journal replay in progress"
+	}
+	if n := len(r.queue); n*10 >= cap(r.queue)*9 {
+		return false, fmt.Sprintf("overloaded: queue %d/%d", n, cap(r.queue))
 	}
 	return true, ""
 }
@@ -366,6 +452,15 @@ type SubmitOptions struct {
 	// the fold's execution window, "heap" snapshots the live heap
 	// right after the fold. Empty means no profiling.
 	Profile string
+	// Deadline bounds the job's total latency (queue wait included):
+	// past it, a queued job fails without folding and a running job's
+	// pipeline context expires at its next cancellation poll. Zero
+	// means no deadline.
+	Deadline time.Duration
+
+	// recovered marks a journal-replay resubmission; only the runner's
+	// own recovery path sets it.
+	recovered bool
 }
 
 // Submit validates the spec, builds its circuit (rejecting malformed
@@ -390,22 +485,27 @@ func (r *Runner) SubmitWith(spec Spec, so SubmitOptions) (*Job, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
-		return nil, fmt.Errorf("job: runner is shut down")
+		return nil, ErrShutdown
 	}
 	r.nextID++
 	j := &Job{
-		id:      fmt.Sprintf("j%04d", r.nextID),
-		spec:    spec,
-		key:     spec.Hash(),
-		foldKey: foldKey,
-		g:       g,
-		events:  obs.NewBroadcast(eventReplay),
-		metrics: circuitfold.NewMetrics(),
-		flight:  obs.NewFlightRecorder(r.fSpans, r.fLogs),
-		profile: so.Profile,
-		done:    make(chan struct{}),
-		state:   StateQueued,
-		created: time.Now(),
+		id:        fmt.Sprintf("j%04d", r.nextID),
+		spec:      spec,
+		key:       spec.Hash(),
+		foldKey:   foldKey,
+		g:         g,
+		events:    obs.NewBroadcast(eventReplay),
+		metrics:   circuitfold.NewMetrics(),
+		flight:    obs.NewFlightRecorder(r.fSpans, r.fLogs),
+		profile:   so.Profile,
+		done:      make(chan struct{}),
+		r:         r,
+		recovered: so.recovered,
+		state:     StateQueued,
+		created:   time.Now(),
+	}
+	if so.Deadline > 0 {
+		j.deadline = j.created.Add(so.Deadline)
 	}
 	// Correlated logger: the process stream and the job's flight
 	// recorder both see every line, each stamped with the job's
@@ -423,6 +523,11 @@ func (r *Runner) SubmitWith(spec Spec, so SubmitOptions) (*Job, error) {
 		// drift) falls through to a real fold.
 		if method, res, err := decodeFinal(data); err == nil {
 			r.register(j)
+			// Journal the submission first so the done record that
+			// finishWith appends has a matching lifecycle. Best effort:
+			// a hit completes synchronously, so there is no pending
+			// work a crash could lose.
+			r.journalSubmit(j, false)
 			r.metrics.Counter(obs.MJobCacheHits).Add(1)
 			r.metrics.Counter(obs.MJobDone).Add(1)
 			j.finishWith(StateDone, "", func() {
@@ -440,18 +545,31 @@ func (r *Runner) SubmitWith(spec Spec, so SubmitOptions) (*Job, error) {
 		j.cacheStat = "attached"
 		fl.waiters = append(fl.waiters, j)
 		r.register(j)
+		// Best effort: losing this record means a crash replays the
+		// waiter as its own submission, which dedups or cache-hits.
+		r.journalSubmit(j, false)
 		r.metrics.Counter(obs.MJobDedupAttached).Add(1)
 		j.log.Info("job submitted", "method", j.spec.EffectiveMethod(),
 			"t", j.spec.T, "cache", "attached", "leader", fl.leader.id)
 		return j, nil
 	}
-	j.cacheStat = "miss"
-	select {
-	case r.queue <- j:
-		j.enqueued = true
-	default:
-		return nil, fmt.Errorf("job: queue full (%d pending)", cap(r.queue))
+	// Admission control: at queue capacity, fail fast with a
+	// Retry-After estimate instead of blocking or queueing unboundedly.
+	// The check-then-send below is race-free because every producer
+	// holds r.mu and workers only consume.
+	if len(r.queue) >= cap(r.queue) {
+		r.metrics.Counter(obs.MJobRejected).Add(1)
+		return nil, &QueueFullError{Depth: len(r.queue), RetryAfter: r.retryAfter()}
 	}
+	j.cacheStat = "miss"
+	// Journal before enqueueing, strictly: once Submit acknowledges a
+	// leader, a crash must be able to replay it. If the record cannot
+	// be made durable the submission is refused.
+	if err := r.journalSubmit(j, true); err != nil {
+		return nil, err
+	}
+	j.enqueued = true
+	r.queue <- j
 	r.inflight[j.foldKey] = &flight{leader: j}
 	r.register(j)
 	r.metrics.Counter(obs.MJobCacheMisses).Add(1)
@@ -459,6 +577,84 @@ func (r *Runner) SubmitWith(spec Spec, so SubmitOptions) (*Job, error) {
 	j.log.Info("job submitted", "method", j.spec.EffectiveMethod(),
 		"t", j.spec.T, "profile", so.Profile, "cache", "miss")
 	return j, nil
+}
+
+// retryAfter estimates how long a rejected client should back off: the
+// time for the current worker pool to drain one queue's worth of
+// average folds, clamped to [1s, 2m].
+func (r *Runner) retryAfter() time.Duration {
+	avg := time.Duration(r.avgRun.Load())
+	if avg <= 0 {
+		avg = time.Second
+	}
+	est := avg * time.Duration(cap(r.queue)/r.workers+1)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 2*time.Minute {
+		est = 2 * time.Minute
+	}
+	return est
+}
+
+// journalSubmit appends the job's submit record. In strict mode an
+// append failure is returned (and refuses the submission); otherwise
+// it is logged and swallowed. No-op without a journal.
+func (r *Runner) journalSubmit(j *Job, strict bool) error {
+	jr := r.journal.Load()
+	if jr == nil {
+		return nil
+	}
+	spec := j.spec
+	if err := jr.Append(OpSubmitted, j.id, &spec, ""); err != nil {
+		if strict {
+			return fmt.Errorf("job: refusing submission, journal append failed: %w", err)
+		}
+		j.log.Warn("journal append failed", "op", string(OpSubmitted), "err", err.Error())
+		return nil
+	}
+	r.metrics.Counter(obs.MJournalRecords).Add(1)
+	return nil
+}
+
+// journalTerminal appends the job's terminal record, best effort: a
+// lost terminal record only means recovery replays a job whose result
+// is already snapshotted, which resumes instantly. Called from
+// finishWith — with r.mu sometimes held — so it must not touch r.mu.
+func (r *Runner) journalTerminal(j *Job, state State, errText string) {
+	jr := r.journal.Load()
+	if jr == nil {
+		return
+	}
+	var op JournalOp
+	switch state {
+	case StateDone:
+		op = OpDone
+	case StateFailed:
+		op = OpFailed
+	case StateCanceled:
+		op = OpCanceled
+	default:
+		return
+	}
+	if err := jr.Append(op, j.id, nil, errText); err != nil {
+		j.log.Warn("journal append failed", "op", string(op), "err", err.Error())
+		return
+	}
+	r.metrics.Counter(obs.MJournalRecords).Add(1)
+}
+
+// journalStarted appends the job's started record, best effort.
+func (r *Runner) journalStarted(j *Job) {
+	jr := r.journal.Load()
+	if jr == nil {
+		return
+	}
+	if err := jr.Append(OpStarted, j.id, nil, ""); err != nil {
+		j.log.Warn("journal append failed", "op", string(OpStarted), "err", err.Error())
+		return
+	}
+	r.metrics.Counter(obs.MJournalRecords).Add(1)
 }
 
 // register indexes a new job. Called with r.mu held.
@@ -662,6 +858,94 @@ func (r *Runner) Shutdown(ctx context.Context) error {
 	return fmt.Errorf("job: drain deadline: %w", ctx.Err())
 }
 
+// Recover replays a journal's records (as returned by OpenJournal):
+// every job that was queued or running at crash time is resubmitted
+// through the normal admission path — folding is deterministic, so the
+// replay produces the bit-identical result, and jobs whose final
+// snapshot survived in the store resume from it instantly. Afterwards
+// the journal is compacted down to the still-live jobs and the runner
+// leaves the recovering state (readiness goes true). Recover returns
+// the number of jobs re-enqueued; it must be called once on a runner
+// built with a Journal, even with nil records, to mark recovery done.
+func (r *Runner) Recover(recs []JournalRecord) (int, error) {
+	n := 0
+	var firstErr error
+	for _, rec := range PendingJobs(recs) {
+		j, err := r.SubmitWith(*rec.Spec, SubmitOptions{recovered: true})
+		if err != nil {
+			// Keep replaying: one bad record (or a full queue) must not
+			// strand the rest of the backlog.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("job: recover %s: %w", rec.ID, err)
+			}
+			r.log.Warn("journal replay: job not recovered", "old_id", rec.ID, "err", err.Error())
+			continue
+		}
+		n++
+		r.metrics.Counter(obs.MJobRecovered).Add(1)
+		j.log.Info("job recovered from journal", "old_id", rec.ID)
+	}
+	// The resubmissions above appended fresh records to the old
+	// journal (safe: duplicate replays are idempotent), so the live
+	// set is durable before the history is compacted away.
+	r.compactJournal()
+	r.mu.Lock()
+	r.recovering = false
+	r.mu.Unlock()
+	return n, firstErr
+}
+
+// compactJournal rewrites the journal down to the currently-live jobs.
+func (r *Runner) compactJournal() {
+	jr := r.journal.Load()
+	if jr == nil {
+		return
+	}
+	r.mu.Lock()
+	var live []JournalRecord
+	for _, id := range r.order {
+		j := r.jobs[id]
+		j.mu.Lock()
+		if j.state == StateQueued || j.state == StateRunning {
+			spec := j.spec
+			live = append(live, JournalRecord{Op: OpSubmitted, ID: j.id, Spec: &spec})
+		}
+		j.mu.Unlock()
+	}
+	r.mu.Unlock()
+	if err := jr.Compact(live); err != nil {
+		r.log.Warn("journal compaction failed", "err", err.Error())
+	}
+}
+
+// Kill simulates a daemon crash for the chaos suite: the journal is
+// detached first (so no orderly terminal records reach disk — exactly
+// what a real crash leaves behind), then every context is cancelled
+// and the workers drained. The runner is unusable afterwards; recovery
+// happens by opening the journal again and building a fresh runner.
+func (r *Runner) Kill() {
+	if jr := r.journal.Swap(nil); jr != nil {
+		jr.Close()
+	}
+	r.mu.Lock()
+	already := r.closed
+	r.closed = true
+	r.draining = true
+	if !already {
+		close(r.queue)
+	}
+	r.mu.Unlock()
+	for _, j := range r.Jobs() {
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	r.wg.Wait()
+}
+
 // worker drains the queue. Each worker owns one arena bundle: BDD
 // managers and SAT solvers recycle across its jobs with a hard reset
 // in between, so steady-state folding stops paying arena allocation.
@@ -702,7 +986,23 @@ func (r *Runner) runJob(j *Job, pools *circuitfold.ArenaPools) {
 		r.metrics.Counter(obs.MJobCanceled).Add(1)
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	deadline := j.deadline // immutable after Submit
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		// Expired while queued: fail without burning a fold.
+		j.mu.Unlock()
+		j.finish(StateFailed, "deadline exceeded before start")
+		r.metrics.Counter(obs.MJobDeadline).Add(1)
+		r.metrics.Counter(obs.MJobFailed).Add(1)
+		j.log.Warn("job missed deadline in queue")
+		return
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if deadline.IsZero() {
+		ctx, cancel = context.WithCancel(context.Background())
+	} else {
+		ctx, cancel = context.WithDeadline(context.Background(), deadline)
+	}
 	defer cancel()
 	// Profile attribution: label this goroutine and hand the labeled
 	// context to the fold so frame/cluster workers inherit (and
@@ -720,6 +1020,7 @@ func (r *Runner) runJob(j *Job, pools *circuitfold.ArenaPools) {
 	running := r.metrics.Gauge(obs.MJobRunning)
 	running.Add(1)
 	defer running.Add(-1)
+	r.journalStarted(j)
 	j.log.Info("job started", "queue_wait", queueWait.Seconds())
 
 	ck := r.store.Checkpoint(j.key)
@@ -829,8 +1130,23 @@ func (r *Runner) runJob(j *Job, pools *circuitfold.ArenaPools) {
 	}
 	runDur := time.Since(j.started)
 	r.metrics.Timing(obs.MJobRunSeconds).Observe(runDur)
+	// EWMA of fold wall time (alpha 1/4) feeds the Retry-After estimate
+	// on queue-full rejections.
+	if old := r.avgRun.Load(); old == 0 {
+		r.avgRun.Store(int64(runDur))
+	} else {
+		r.avgRun.Store(old - old/4 + int64(runDur)/4)
+	}
 	if err != nil {
-		if errors.Is(err, circuitfold.ErrCanceled) {
+		if !deadline.IsZero() && ctx.Err() == context.DeadlineExceeded {
+			// The pipeline reports a deadline expiry as cancellation;
+			// for the client the difference matters.
+			j.finish(StateFailed, "deadline exceeded: "+err.Error())
+			r.metrics.Counter(obs.MJobDeadline).Add(1)
+			r.metrics.Counter(obs.MJobFailed).Add(1)
+			j.log.Warn("job missed deadline", "err", err.Error(), "run_seconds", runDur.Seconds())
+			r.dumpFlight(j, ck, "deadline_exceeded")
+		} else if errors.Is(err, circuitfold.ErrCanceled) {
 			j.finish(StateCanceled, err.Error())
 			r.metrics.Counter(obs.MJobCanceled).Add(1)
 			j.log.Info("job canceled", "err", err.Error(), "run_seconds", runDur.Seconds())

@@ -5,8 +5,10 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"circuitfold"
 	"circuitfold/internal/obs"
@@ -368,5 +370,67 @@ func TestRunnerStatusJSONCache(t *testing.T) {
 	blob := fmt.Sprintf("%+v", j.Status())
 	if !bytes.Contains([]byte(blob), []byte("miss")) {
 		t.Errorf("status carries no cache verdict: %s", blob)
+	}
+}
+
+// TestRunnerDedupPromoteCanceledWaiterNoLeak races client cancellation
+// of a waiter against cancellation of its dedup leader: promotion must
+// skip (or terminally settle) the already-canceled waiter, the
+// surviving waiter must still fold to done, every job must reach a
+// terminal state, and no goroutine may be left behind — the leak mode
+// being a promoted job whose context was canceled before it ever ran.
+func TestRunnerDedupPromoteCanceledWaiterNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		gate := make(chan struct{})
+		r := NewRunnerWith(RunnerOptions{
+			Workers: 1,
+			Store:   &gateStore{Store: NewMemStore(), gate: gate},
+		})
+		leader, err := r.Submit(smokeSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitRunning(t, leader)
+		w1, err := r.Submit(smokeSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := r.Submit(smokeSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Race the two cancellations: depending on interleaving the
+		// promotion sees w1 already terminal, or enqueues it canceled.
+		var cg sync.WaitGroup
+		cg.Add(2)
+		go func() { defer cg.Done(); r.Cancel(w1.ID()) }()
+		go func() { defer cg.Done(); r.Cancel(leader.ID()) }()
+		cg.Wait()
+		close(gate)
+		wait(t, leader)
+		wait(t, w1)
+		wait(t, w2)
+		if st := w1.Status(); st.State != StateCanceled {
+			t.Errorf("iteration %d: canceled waiter = %+v", i, st)
+		}
+		if st := w2.Status(); st.State != StateDone {
+			t.Errorf("iteration %d: surviving waiter = %+v (%s)", i, st, st.Error)
+		}
+		if err := r.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("goroutines: %d before, %d after promote-cancel races", before, runtime.NumGoroutine())
+		case <-time.After(20 * time.Millisecond):
+		}
 	}
 }

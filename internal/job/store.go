@@ -1,14 +1,24 @@
 package job
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"net/url"
 	"os"
 	"path/filepath"
 	"sync"
 
+	"circuitfold/internal/fault"
+	"circuitfold/internal/obs"
 	"circuitfold/internal/pipeline"
 )
+
+// ErrStore is the root of every durable-store fault: failed writes,
+// failed fsyncs, failed renames. Callers that need to distinguish
+// storage trouble from fold trouble test errors.Is(err, ErrStore).
+var ErrStore = errors.New("job: store fault")
 
 // Store is a checkpoint store partitioned by job key (a Spec.Hash):
 // each key names an independent pipeline.Checkpoint namespace holding
@@ -76,13 +86,28 @@ func (c *memCheckpoint) Save(stage string, data []byte) error {
 	return nil
 }
 
+// storeMagic heads every FileStore blob, followed by a 4-byte
+// little-endian CRC32-IEEE of the payload. The frame turns silent
+// media corruption into a detected miss: a blob whose checksum does
+// not match is quarantined (renamed aside with a .corrupt suffix) and
+// the caller re-folds, so corrupt bytes are never returned.
+const storeMagic = "CFS1"
+
+// corruptSuffix marks a quarantined blob. Quarantined files are left
+// on disk for forensics and ignored by Load.
+const corruptSuffix = ".corrupt"
+
 // FileStore is a Store on a directory: one subdirectory per job key,
-// one file per stage, written atomically (temp file + rename) so a
-// crash mid-save never leaves a truncated snapshot — at worst the
-// stage is absent and re-runs. This is the durable store behind a
-// daemon that must survive restarts.
+// one file per stage. Saves are atomic and durable — checksummed frame
+// into a temp file, fsync, rename, fsync of the parent directory — so
+// a crash or power loss mid-save never leaves a truncated or torn
+// snapshot: at worst the stage is absent and re-runs. Loads verify the
+// checksum and quarantine corrupt blobs instead of returning them.
+// This is the durable store behind a daemon that must survive
+// restarts.
 type FileStore struct {
-	dir string
+	dir     string
+	corrupt *obs.Counter
 }
 
 // NewFileStore returns a store rooted at dir, creating it if needed.
@@ -96,9 +121,13 @@ func NewFileStore(dir string) (*FileStore, error) {
 // Dir returns the store's root directory.
 func (s *FileStore) Dir() string { return s.dir }
 
+// Observe routes quarantine events to a corrupt-blob counter
+// (obs.MStoreCorrupt). Call before the store sees traffic.
+func (s *FileStore) Observe(corrupt *obs.Counter) { s.corrupt = corrupt }
+
 // Checkpoint returns the file-backed namespace for key.
 func (s *FileStore) Checkpoint(key string) pipeline.Checkpoint {
-	return &fileCheckpoint{dir: filepath.Join(s.dir, encodeName(key))}
+	return &fileCheckpoint{dir: filepath.Join(s.dir, encodeName(key)), s: s}
 }
 
 // Delete removes key's directory and everything under it.
@@ -111,37 +140,88 @@ func (s *FileStore) Delete(key string) error {
 // "functional/schedule"), so they are path-escaped into flat names.
 type fileCheckpoint struct {
 	dir string
+	s   *FileStore
 }
 
 func (c *fileCheckpoint) Load(stage string) ([]byte, bool) {
-	data, err := os.ReadFile(filepath.Join(c.dir, encodeName(stage)))
+	path := filepath.Join(c.dir, encodeName(stage))
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
-	return data, true
+	if fault.Point(fault.PointStoreRead) != nil && len(data) > 8 {
+		// Injected media rot: flip one payload byte in the bytes we
+		// just read. The checksum below must catch it.
+		data[8+(len(data)-8)/2] ^= 0x20
+	}
+	if len(data) < 8 || string(data[:4]) != storeMagic {
+		c.quarantine(path)
+		return nil, false
+	}
+	payload := data[8:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:8]) {
+		c.quarantine(path)
+		return nil, false
+	}
+	return payload, true
+}
+
+// quarantine moves a corrupt blob aside so the next Save starts clean,
+// and counts it. The fold re-runs from the previous stage (or from
+// scratch), so corruption heals transparently.
+func (c *fileCheckpoint) quarantine(path string) {
+	os.Remove(path + corruptSuffix)
+	if os.Rename(path, path+corruptSuffix) == nil && c.s != nil {
+		c.s.corrupt.Add(1)
+	}
 }
 
 func (c *fileCheckpoint) Save(stage string, data []byte) error {
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
-		return err
+		return fmt.Errorf("%w: mkdir %s: %v", ErrStore, c.dir, err)
 	}
 	f, err := os.CreateTemp(c.dir, ".tmp-*")
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: create temp: %v", ErrStore, err)
 	}
 	tmp := f.Name()
-	if _, err := f.Write(data); err != nil {
+	fail := func(op string, cause error) error {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return fmt.Errorf("%w: %s %s: %v", ErrStore, op, stage, cause)
+	}
+	var hdr [8]byte
+	copy(hdr[:4], storeMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(data))
+	if err := fault.Point(fault.PointStoreWrite); err != nil {
+		// Simulated short write: part of the frame lands, then the
+		// write fails. The temp file is discarded either way.
+		f.Write(hdr[:])
+		f.Write(data[:len(data)/2])
+		return fail("write", err)
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		return fail("write", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail("write", err)
+	}
+	if err := fault.Point(fault.PointStoreFsync); err != nil {
+		return fail("fsync", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("fsync", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return fmt.Errorf("%w: close %s: %v", ErrStore, stage, err)
 	}
 	if err := os.Rename(tmp, filepath.Join(c.dir, encodeName(stage))); err != nil {
 		os.Remove(tmp)
-		return err
+		return fmt.Errorf("%w: rename %s: %v", ErrStore, stage, err)
+	}
+	if err := syncDir(c.dir); err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	return nil
 }

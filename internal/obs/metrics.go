@@ -37,14 +37,14 @@ const (
 	MFoldFrameWorkers   = "fold.frame_workers"      // gauge: worker count of the most recent parallel fold
 
 	// Service-layer names (the fold daemon's process registry).
-	MJobQueueWait  = "job.queue_wait"       // timing: submit-to-start latency
-	MJobRunSeconds = "job.run_seconds"      // timing: start-to-finish fold latency
-	MJobQueueDepth = "job.queue_depth"      // gauge: jobs waiting for a worker
-	MJobRunning    = "job.running"          // gauge: jobs currently folding
-	MJobSubmitted  = "job.submitted"        // counter: jobs accepted by Submit
-	MJobDone       = "job.done"             // counter: jobs finished successfully
-	MJobFailed     = "job.failed"           // counter: jobs finished in error
-	MJobCanceled   = "job.canceled"         // counter: jobs canceled (client or drain)
+	MJobQueueWait  = "job.queue_wait"  // timing: submit-to-start latency
+	MJobRunSeconds = "job.run_seconds" // timing: start-to-finish fold latency
+	MJobQueueDepth = "job.queue_depth" // gauge: jobs waiting for a worker
+	MJobRunning    = "job.running"     // gauge: jobs currently folding
+	MJobSubmitted  = "job.submitted"   // counter: jobs accepted by Submit
+	MJobDone       = "job.done"        // counter: jobs finished successfully
+	MJobFailed     = "job.failed"      // counter: jobs finished in error
+	MJobCanceled   = "job.canceled"    // counter: jobs canceled (client or drain)
 
 	// Shared-work engine (result cache, in-flight dedup, arena pools).
 	MJobCacheHits     = "job.cache_hits"     // counter: submissions served from the result cache
@@ -56,9 +56,17 @@ const (
 	MBDDPoolReuse     = "bdd.pool_reuse"     // counter: BDD manager arenas recycled from a pool
 	MSATPoolReuse     = "sat.pool_reuse"     // counter: SAT solvers recycled from a pool
 
-	MHTTPRequests  = "http.requests"        // counter: API requests served
-	MHTTPSeconds   = "http.request_seconds" // timing: API request latency
-	MFlightDumps   = "flight.dumps"         // counter: flight-recorder artifacts written
+	MHTTPRequests = "http.requests"        // counter: API requests served
+	MHTTPSeconds  = "http.request_seconds" // timing: API request latency
+	MFlightDumps  = "flight.dumps"         // counter: flight-recorder artifacts written
+
+	// Durability + overload protection (journal, checksummed stores,
+	// admission control).
+	MStoreCorrupt   = "store.corrupt"         // counter: checksum-failed blobs quarantined (file store) or dropped (result cache)
+	MJournalRecords = "journal.records"       // counter: records appended to the job journal
+	MJobRecovered   = "job.recovered"         // counter: jobs re-enqueued by journal replay after a crash
+	MJobRejected    = "job.rejected"          // counter: submissions fast-failed because the queue was full
+	MJobDeadline    = "job.deadline_exceeded" // counter: jobs that missed their client-supplied deadline
 )
 
 // StageSeconds is the per-stage latency timing name for a pipeline
